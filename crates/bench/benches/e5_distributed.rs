@@ -1,0 +1,58 @@
+//! E5 (paper §5.2): front-end/shard split of DPF evaluation. Per-shard
+//! work should equal the small-domain evaluation regardless of how many
+//! shards the deployment has — the paper's load-flatness argument for the
+//! 305-shard C4 architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightweb_core::deployment::ShardedDeployment;
+use lightweb_dpf::{gen, DpfParams};
+use std::time::Duration;
+
+fn entries(params: &DpfParams, n: usize, record_len: usize) -> Vec<(u64, Vec<u8>)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    while out.len() < n {
+        let slot = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % params.domain_size();
+        i += 1;
+        if seen.insert(slot) {
+            out.push((slot, vec![(i & 0xFF) as u8; record_len]));
+        }
+    }
+    out
+}
+
+fn bench_sharded_answer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5/sharded_answer");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let params = DpfParams::with_default_termination(16).unwrap();
+    let es = entries(&params, 1 << 13, 256);
+    let (key, _) = gen(&params, 99);
+    for prefix in [1u32, 3, 5] {
+        let dep = ShardedDeployment::from_entries(params, prefix, 256, es.clone()).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards=2^{prefix}")),
+            &dep,
+            |b, dep| {
+                b.iter(|| std::hint::black_box(dep.answer(&key).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_front_end_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5/front_end");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let params = DpfParams::with_default_termination(22).unwrap();
+    let (key, _) = gen(&params, 1);
+    for prefix in [4u32, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("prefix={prefix}")), &key, |b, k| {
+            b.iter(|| std::hint::black_box(k.eval_prefix(prefix)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_answer, bench_front_end_split);
+criterion_main!(benches);

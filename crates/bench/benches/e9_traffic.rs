@@ -1,0 +1,41 @@
+//! E9 (paper §1 motivation): the fingerprinting attack itself is cheap —
+//! which is the paper's point about "low-cost traffic-analysis attacks".
+//! These benches measure classifier training and per-flow classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightweb_workload::fingerprint::{
+    simulate_proxy_flow, synthetic_site, FlowObservation, NearestCentroid,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_fingerprinting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/fingerprint");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(5);
+    let site = synthetic_site(40, &mut rng);
+    let samples: Vec<(usize, FlowObservation)> = site
+        .iter()
+        .enumerate()
+        .flat_map(|(label, objs)| {
+            (0..8)
+                .map(|_| (label, simulate_proxy_flow(objs, &mut rng)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    g.bench_function("train_320_flows", |b| {
+        b.iter(|| std::hint::black_box(NearestCentroid::train(&samples)));
+    });
+
+    let clf = NearestCentroid::train(&samples);
+    let obs = simulate_proxy_flow(&site[7], &mut rng);
+    g.bench_function("classify_one_flow", |b| {
+        b.iter(|| std::hint::black_box(clf.classify(&obs)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fingerprinting);
+criterion_main!(benches);

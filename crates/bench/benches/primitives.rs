@@ -1,0 +1,112 @@
+//! Cryptographic-primitive throughput: the calibration layer under every
+//! experiment. The paper's absolute numbers come from AVX-accelerated C++;
+//! knowing our ChaCha/PRG/scan throughput makes the extrapolations in
+//! EXPERIMENTS.md auditable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightweb_crypto::aead::ChaCha20Poly1305;
+use lightweb_crypto::chacha::ChaCha;
+use lightweb_crypto::poly1305::Poly1305;
+use lightweb_crypto::prg::DpfPrg;
+use lightweb_crypto::util::xor_in_place_masked;
+use lightweb_crypto::SipHash24;
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn bench_chacha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/chacha20");
+    quick(&mut g);
+    let cipher = ChaCha::chacha20(&[7u8; 32], &[1u8; 12]);
+    for len in [1024usize, 65536] {
+        let mut buf = vec![0u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                cipher.apply_keystream(0, &mut buf);
+                std::hint::black_box(&buf);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_prg_expand(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/dpf_prg_expand");
+    quick(&mut g);
+    let prg = DpfPrg::new();
+    let seed = [9u8; 16];
+    g.bench_function("expand_one_node", |b| {
+        b.iter(|| std::hint::black_box(prg.expand(&seed)));
+    });
+    let mut out = [0u8; 16];
+    g.bench_function("convert_leaf_128bit", |b| {
+        b.iter(|| {
+            prg.convert(&seed, &mut out);
+            std::hint::black_box(&out);
+        });
+    });
+    g.finish();
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/siphash24");
+    quick(&mut g);
+    let sip = SipHash24::from_halves(1, 2);
+    let path = b"nytimes.com/world/africa/2023/06/headlines.json";
+    g.throughput(Throughput::Bytes(path.len() as u64));
+    g.bench_function("hash_typical_path", |b| {
+        b.iter(|| std::hint::black_box(sip.hash(path)));
+    });
+    g.finish();
+}
+
+fn bench_poly1305_and_aead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/aead");
+    quick(&mut g);
+    let key = [3u8; 32];
+    let blob = vec![0x55u8; 4096];
+    g.throughput(Throughput::Bytes(blob.len() as u64));
+    g.bench_function("poly1305_mac_4KiB", |b| {
+        b.iter(|| std::hint::black_box(Poly1305::mac(&key, &blob)));
+    });
+    let aead = ChaCha20Poly1305::new(&key);
+    let nonce = [1u8; 12];
+    g.bench_function("seal_4KiB_blob", |b| {
+        b.iter(|| std::hint::black_box(aead.seal(&nonce, b"path", &blob)));
+    });
+    let ct = aead.seal(&nonce, b"path", &blob);
+    g.bench_function("open_4KiB_blob", |b| {
+        b.iter(|| std::hint::black_box(aead.open(&nonce, b"path", &ct).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_masked_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives/scan_inner_loop");
+    quick(&mut g);
+    let src = vec![0xAAu8; 4096];
+    let mut dst = vec![0u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("xor_in_place_masked_4KiB", |b| {
+        b.iter(|| {
+            xor_in_place_masked(&mut dst, &src, 0xFF);
+            std::hint::black_box(&dst);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chacha,
+    bench_prg_expand,
+    bench_siphash,
+    bench_poly1305_and_aead,
+    bench_masked_xor
+);
+criterion_main!(benches);

@@ -1,0 +1,630 @@
+//! `reproduce` — regenerate every table and figure in the lightweb paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10]
+//! ```
+//!
+//! Each experiment prints the paper's reported numbers next to the values
+//! measured/estimated by this reproduction. `LIGHTWEB_SHARD_MIB` scales
+//! the shard (default 64 MiB; set 1024 for the paper's 1 GiB).
+//!
+//! See EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
+//! discussion.
+
+use lightweb_bench::{
+    build_shard, fmt_ms, render_table, shard_mib_from_env, time_mean, time_once, BenchShard,
+};
+use lightweb_cost::economics::{self, UserCostInputs};
+use lightweb_cost::model::{
+    estimate_deployment, paper_measurements, DatasetSpec, InstanceType, ShardMeasurement,
+};
+use lightweb_cost::trend;
+use lightweb_dpf::{gen, paper_key_size_bytes, DpfParams};
+use lightweb_oram::ObliviousKvStore;
+use lightweb_pir::cuckoo::{build_assignment, CuckooHasher};
+use lightweb_pir::lwe::{LweClient, LweParams, LweServer};
+use lightweb_pir::{analytic_collision_probability, KeywordMap, PirServer, TwoServerClient};
+use lightweb_workload::fingerprint::{
+    simulate_lightweb_flow, simulate_proxy_flow, synthetic_site, FlowObservation, NearestCentroid,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run = |name: &str| arg == "all" || arg == name || (name == "e4" && arg == "table2");
+    println!("lightweb reproduction harness (shard = {} MiB; set LIGHTWEB_SHARD_MIB to rescale)\n", shard_mib_from_env());
+
+    if run("e1") {
+        e1_server_compute();
+    }
+    if run("e2") {
+        e2_batching();
+    }
+    if run("e3") {
+        e3_communication();
+    }
+    if run("e4") {
+        e4_table2();
+    }
+    if run("e5") {
+        e5_distributed_dpf();
+    }
+    if run("e6") {
+        e6_economics();
+    }
+    if run("e7") {
+        e7_collisions();
+    }
+    if run("e8") {
+        e8_modes();
+    }
+    if run("e9") {
+        e9_traffic_analysis();
+    }
+    if run("e10") {
+        e10_trend();
+    }
+    if run("e11") {
+        e11_timing();
+    }
+    if arg == "all" || arg == "ablations" {
+        ablations();
+    }
+}
+
+// =====================================================================
+// E11 (extension) - timing leakage (SS3.2's admitted residual leak) and
+// the constant-rate pacer that closes it.
+// =====================================================================
+fn e11_timing() {
+    use lightweb_workload::timing::{
+        extract_features, paced_observation, Archetype, TimingClassifier, TimingFeatures,
+    };
+    println!("== E11 (extension): visit-timing leakage and constant-rate cover ==");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut dataset = |n: usize| -> Vec<(usize, TimingFeatures)> {
+        let mut out = Vec::new();
+        for (label, arche) in Archetype::all().iter().enumerate() {
+            for _ in 0..n {
+                out.push((label, extract_features(&arche.day_of_visits(&mut rng))));
+            }
+        }
+        out
+    };
+    let clf = TimingClassifier::train(&dataset(20));
+    let raw_acc = clf.accuracy(&dataset(10));
+
+    let paced = extract_features(&paced_observation(300.0, 15.0));
+    let paced_train: Vec<(usize, TimingFeatures)> =
+        (0..3).flat_map(|l| (0..10).map(move |_| (l, paced))).collect();
+    let paced_clf = TimingClassifier::train(&paced_train);
+    let paced_test: Vec<(usize, TimingFeatures)> = (0..3).map(|l| (l, paced)).collect();
+    let paced_acc = paced_clf.accuracy(&paced_test);
+
+    let rows = vec![
+        vec!["raw lightweb (timing visible)".into(), format!("{:.0}%", raw_acc * 100.0)],
+        vec!["with constant-rate pacer (5-min slots)".into(), format!("{:.0}%", paced_acc * 100.0)],
+        vec!["random guessing (3 archetypes)".into(), "33%".into()],
+    ];
+    println!("{}", render_table(&["observation channel", "archetype-classification accuracy"], &rows));
+    println!("the paper's SS3.2 example ('a page every five minutes in the morning' = news reader) is real but fixable with cover traffic at constant rate\n");
+}
+
+// =====================================================================
+// Ablations - design choices DESIGN.md calls out (run: `reproduce ablations`).
+// =====================================================================
+fn ablations() {
+    println!("== A1: DPF early-termination width (full-domain eval at d=16) ==");
+    let mut rows = Vec::new();
+    for term in [0u32, 3, 5, 7, 9, 11] {
+        let params = DpfParams::new(16, term).unwrap();
+        let (k0, _) = gen(&params, 101);
+        let t = time_mean(5, || {
+            std::hint::black_box(k0.eval_full());
+        });
+        rows.push(vec![
+            term.to_string(),
+            (params.tree_depth()).to_string(),
+            params.leaf_block_len().to_string(),
+            fmt_ms(t),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["nu", "tree depth", "leaf block B", "eval_full (ms)"], &rows)
+    );
+    println!("choice: nu=7 - deeper trees pay a PRG call per node; wider leaves pay conversion bytes\n");
+
+    println!("== A2: universe size tiers (paper SS3.5) ==");
+    // Per-request implications of the small/medium/large fixed blob sizes
+    // for a fixed 64 MiB of content.
+    let mut rows = Vec::new();
+    for (tier, blob) in [("small", 1024usize), ("medium (paper)", 4096), ("large", 16384)] {
+        let shard = build_shard(64, blob);
+        let (k0, _) = gen(&shard.params, 9);
+        let (_, t) = time_once(|| shard.server.answer(&k0).unwrap());
+        rows.push(vec![
+            tier.to_string(),
+            blob.to_string(),
+            shard.server.len().to_string(),
+            format!("{}", shard.params.domain_bits()),
+            fmt_ms(t),
+            format!("{:.1}", (2 * blob) as f64 / 1024.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["tier", "blob B", "blobs (64 MiB)", "domain bits", "request (ms)", "download KiB"],
+            &rows
+        )
+    );
+    println!("choice: same stored bytes scan in ~the same time; bigger blobs buy fewer slots and bigger downloads - the SS3.5 cost/coverage trade\n");
+}
+
+/// Shared measurement of the benchmark shard: per-request DPF and scan
+/// times, plus batched latency at the paper's batch size of 16.
+struct MeasuredShard {
+    shard: BenchShard,
+    dpf: Duration,
+    scan: Duration,
+    batch16_latency: Duration,
+}
+
+fn measure_shard(mib: usize, record_len: usize) -> MeasuredShard {
+    let shard = build_shard(mib, record_len);
+    let params = shard.params;
+    let (k0, _) = gen(&params, 12345 % params.domain_size());
+
+    let reps = 3;
+    let dpf = time_mean(reps, || {
+        std::hint::black_box(k0.eval_full());
+    });
+    let bits = k0.eval_full();
+    let scan = time_mean(reps, || {
+        std::hint::black_box(shard.server.scan(&bits));
+    });
+
+    let client = TwoServerClient::new(params, record_len);
+    let keys: Vec<_> = (0..16)
+        .map(|i| client.query_slot((i * 31) % params.domain_size()).key0)
+        .collect();
+    let (_, batch16_latency) = time_once(|| shard.server.answer_batch(&keys).unwrap());
+
+    MeasuredShard { shard, dpf, scan, batch16_latency }
+}
+
+// =====================================================================
+// E1 — §5.1 server computation: 167 ms/request (64 DPF + 103 scan) on a
+// 1 GiB shard with domain 2^22.
+// =====================================================================
+fn e1_server_compute() {
+    println!("== E1: per-request server computation (paper §5.1) ==");
+    let mib = shard_mib_from_env();
+    let m = measure_shard(mib, 1024);
+    let total = m.dpf + m.scan;
+
+    // Extrapolate to the paper's 1 GiB / 2^22 operating point: the scan is
+    // linear in stored bytes; DPF full-domain evaluation is linear in the
+    // slot-domain size.
+    let scale_scan = 1024.0 / mib as f64;
+    let scale_dpf = 2f64.powi(22 - m.shard.params.domain_bits() as i32);
+    let scan_1gib = m.scan.as_secs_f64() * scale_scan;
+    let dpf_1gib = m.dpf.as_secs_f64() * scale_dpf;
+
+    let rows = vec![
+        vec![
+            format!("ours ({} MiB, d={})", mib, m.shard.params.domain_bits()),
+            fmt_ms(m.dpf),
+            fmt_ms(m.scan),
+            fmt_ms(total),
+        ],
+        vec![
+            "ours, extrapolated to 1 GiB / d=22".into(),
+            format!("{:.2}", dpf_1gib * 1000.0),
+            format!("{:.2}", scan_1gib * 1000.0),
+            format!("{:.2}", (dpf_1gib + scan_1gib) * 1000.0),
+        ],
+        vec![
+            "paper (1 GiB, d=22, c5.large + AVX)".into(),
+            "64.00".into(),
+            "103.00".into(),
+            "167.00".into(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["configuration", "DPF eval (ms)", "data scan (ms)", "total (ms)"], &rows)
+    );
+    println!(
+        "shape check: scan dominates DPF ({}); per-request cost is linear in shard size\n",
+        if m.scan > m.dpf { "yes, as in the paper" } else { "NO — differs from paper" }
+    );
+}
+
+// =====================================================================
+// E2 — §5.1 batching: latency/throughput trade. Paper: b=1 → 0.51 s,
+// 2 req/s; b=16 → 2.6 s, 6 req/s.
+// =====================================================================
+fn e2_batching() {
+    println!("== E2: request batching (paper §5.1) ==");
+    let mib = shard_mib_from_env().min(64);
+    let shard = build_shard(mib, 1024);
+    let params = shard.params;
+    let client = TwoServerClient::new(params, 1024);
+
+    let mut rows = Vec::new();
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        let keys: Vec<_> = (0..batch)
+            .map(|i| client.query_slot((i as u64 * 97) % params.domain_size()).key0)
+            .collect();
+        let (_, elapsed) = time_once(|| shard.server.answer_batch(&keys).unwrap());
+        let throughput = batch as f64 / elapsed.as_secs_f64();
+        rows.push(vec![
+            batch.to_string(),
+            fmt_ms(elapsed),
+            format!("{:.2}", fmt_ms(elapsed).parse::<f64>().unwrap() / batch as f64),
+            format!("{throughput:.1}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["batch size", "latency (ms)", "amortized ms/req", "throughput (req/s)"],
+            &rows
+        )
+    );
+    println!("paper (1 GiB shard): b=1 → 510 ms latency, 2 req/s; b=16 → 2600 ms, 6 req/s");
+    println!("shape check: batching trades latency for throughput because the scan is paid once per batch\n");
+}
+
+// =====================================================================
+// E3 — §5.1 communication: DPF key size (λ+2)·d; 13.6 KiB/request total
+// at d=22 with 4 KiB buckets (2 servers).
+// =====================================================================
+fn e3_communication() {
+    println!("== E3: communication per request (paper §5.1) ==");
+    let bucket = 4096usize;
+    let mut rows = Vec::new();
+    for d in [16u32, 18, 20, 22, 24, 26, 28] {
+        let params = DpfParams::with_default_termination(d).unwrap();
+        let (k0, k1) = gen(&params, 0);
+        let ours_up = k0.serialized_len() + k1.serialized_len();
+        // The paper's arithmetic prices (λ+2)·d at 130 *bytes* per level
+        // (13.6 KiB at d=22 only works out that way); print both readings.
+        let paper_bits_up = 2 * paper_key_size_bytes(d);
+        let paper_bytes_up = 2 * 130 * d as usize;
+        let download = 2 * bucket;
+        rows.push(vec![
+            d.to_string(),
+            ours_up.to_string(),
+            paper_bits_up.to_string(),
+            paper_bytes_up.to_string(),
+            download.to_string(),
+            format!("{:.1}", (ours_up + download) as f64 / 1024.0),
+            format!("{:.1}", (paper_bytes_up + download) as f64 / 1024.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "d",
+                "ours: upload B (2 keys)",
+                "paper (λ+2)d bits → B",
+                "paper arithmetic (130 B/level)",
+                "download B (2 buckets)",
+                "ours total KiB",
+                "paper total KiB",
+            ],
+            &rows
+        )
+    );
+    println!("paper at d=22: 13.6 KiB per request (incl. 2× two-server overhead)");
+    println!("note: our keys are smaller because early termination shortens the tree\n");
+}
+
+// =====================================================================
+// E4 — Table 2: estimated deployment costs for C4 and Wikipedia.
+// =====================================================================
+fn e4_table2() {
+    println!("== E4: Table 2 — estimated costs of running ZLTP (paper §5.2) ==");
+    let mib = shard_mib_from_env();
+    let m = measure_shard(mib, 1024);
+
+    let ours = ShardMeasurement {
+        shard_gib: mib as f64 / 1024.0,
+        seconds_per_request: (m.dpf + m.scan).as_secs_f64(),
+        dpf_seconds: m.dpf.as_secs_f64(),
+        scan_seconds: m.scan.as_secs_f64(),
+        domain_bits: m.shard.params.domain_bits(),
+        bucket_bytes: 4096,
+    };
+    let paper = paper_measurements();
+    let inst = InstanceType::c5_large();
+    let batched_latency = m.batch16_latency.as_secs_f64();
+
+    let mut rows = Vec::new();
+    for dataset in [DatasetSpec::c4(), DatasetSpec::wikipedia()] {
+        for (label, shard, lat) in
+            [("ours", &ours, batched_latency), ("paper", &paper, 2.6)]
+        {
+            let est = estimate_deployment(&dataset, shard, &inst, lat);
+            rows.push(vec![
+                format!("{} ({label})", dataset.name),
+                format!("{:.0}", dataset.total_gib),
+                format!("{}M", dataset.pages / 1_000_000),
+                format!("{:.1}", dataset.avg_page_kib),
+                est.shards.to_string(),
+                format!("{:.1}", est.vcpu_seconds),
+                format!("${:.4}", est.dollars_per_request),
+                format!("{:.1}", est.communication_kib),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "GiB",
+                "pages",
+                "avg KiB",
+                "shards",
+                "vCPU sec",
+                "req cost",
+                "comm KiB",
+            ],
+            &rows
+        )
+    );
+    println!("paper Table 2: C4 → 204 vCPU-sec, $0.002, 15.9 KiB; Wikipedia → 10 vCPU-sec, $0.0001, 14.9 KiB");
+    println!("(our 'shards' count uses this machine's shard unit; the estimation method is §5.2's)\n");
+}
+
+// =====================================================================
+// E5 — §5.2 distributed DPF evaluation across shards.
+// =====================================================================
+fn e5_distributed_dpf() {
+    println!("== E5: front-end split of DPF evaluation (paper §5.2) ==");
+    let params = DpfParams::with_default_termination(18).unwrap();
+    let record_len = 256usize;
+    let n_records = 1 << 14;
+    let entries: Vec<(u64, Vec<u8>)> = {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        while out.len() < n_records {
+            let slot = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % params.domain_size();
+            i += 1;
+            if seen.insert(slot) {
+                out.push((slot, vec![(i & 0xFF) as u8; record_len]));
+            }
+        }
+        out
+    };
+    let mono = PirServer::from_entries(params, record_len, entries.clone()).unwrap();
+    let (key, _) = gen(&params, 777);
+    let reference = mono.answer(&key).unwrap();
+
+    let mut rows = Vec::new();
+    for prefix in [1u32, 2, 3, 4, 6] {
+        let dep = lightweb_core::deployment::ShardedDeployment::from_entries(
+            params,
+            prefix,
+            record_len,
+            entries.clone(),
+        )
+        .unwrap();
+        let (front_nodes, frontend_time) = time_once(|| key.eval_prefix(prefix));
+        let (result, total) = time_once(|| dep.answer(&key).unwrap());
+        assert_eq!(result.0, reference, "sharded answer mismatch");
+        rows.push(vec![
+            format!("2^{prefix} = {}", 1 << prefix),
+            fmt_ms(frontend_time),
+            fmt_ms(total),
+            format!("{:.3}", total.as_secs_f64() * 1000.0 / (1 << prefix) as f64),
+            front_nodes.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["shards", "front-end (ms)", "all shards seq. (ms)", "per-shard (ms)", "sub-trees shipped"],
+            &rows
+        )
+    );
+    println!("shape check: per-shard work falls ~2x per prefix bit — a shard does exactly the small-domain work, as §5.2 argues\n");
+}
+
+// =====================================================================
+// E6 — §4 economics: $15/month, Google Fi comparison.
+// =====================================================================
+fn e6_economics() {
+    println!("== E6: who pays? (paper §4, §5.2) ==");
+    let paper_inputs = UserCostInputs::paper();
+    let monthly = economics::monthly_user_cost(&paper_inputs);
+    let nyt = economics::google_fi_cost(economics::NYT_HOMEPAGE_MIB * 1024.0 * 1024.0);
+    let four_kib_fi = economics::google_fi_cost(4096.0);
+    let rows = vec![
+        vec!["monthly user cost (50 pg/day × 5 GETs, $0.002/GET)".into(), format!("${monthly:.2}"), "$15 (≈ Netflix)".into()],
+        vec!["22.4 MiB NYT homepage over Google Fi".into(), format!("${nyt:.3}"), "$0.218".into()],
+        vec!["4 KiB over Google Fi".into(), format!("${four_kib_fi:.6}"), "$0.000038".into()],
+        vec!["4 KiB over ZLTP".into(), "$0.002".into(), "$0.002".into()],
+        vec![
+            "ZLTP / Fi overhead".into(),
+            format!("{:.0}x", economics::zltp_overhead_factor(4096.0, 0.002)),
+            "~two orders of magnitude".into(),
+        ],
+    ];
+    println!("{}", render_table(&["quantity", "computed", "paper"], &rows));
+    println!();
+}
+
+// =====================================================================
+// E7 — §5.1 collision probability and mitigations.
+// =====================================================================
+fn e7_collisions() {
+    println!("== E7: keyword-to-slot collisions (paper §5.1) ==");
+    let mut rows = Vec::new();
+    for d in [20u32, 21, 22, 23, 24, 26] {
+        let p = analytic_collision_probability(1 << 20, d);
+        rows.push(vec![
+            format!("2^{d}"),
+            format!("2^20"),
+            format!("{p:.3}"),
+            if d == 22 { "paper's operating point (≤ 1/4)".into() } else { String::new() },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["domain", "stored keys", "P(fresh key collides)", "note"], &rows)
+    );
+
+    // Monte Carlo at a scaled-down but identically-loaded point.
+    let map = KeywordMap::new(&[0x11; 16], 14);
+    let occupied: std::collections::HashSet<u64> =
+        (0..(1u32 << 12)).map(|i| map.slot(format!("stored-{i}").as_bytes())).collect();
+    let probes = 4000;
+    let hits = (0..probes)
+        .filter(|i| occupied.contains(&map.slot(format!("fresh-{i}").as_bytes())))
+        .count();
+    println!(
+        "Monte Carlo at the same 1/4 load (2^12 keys in 2^14 slots): measured {:.3}, analytic {:.3}",
+        hits as f64 / probes as f64,
+        analytic_collision_probability(occupied.len() as u64, 14)
+    );
+
+    // Cuckoo mitigation: survives 45% load where single-hash collides often.
+    let hasher = CuckooHasher::new(&[0x22; 16], 13);
+    let keys: Vec<Vec<u8>> = (0..3686u32).map(|i| format!("k{i}").into_bytes()).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    match build_assignment(&hasher, &refs) {
+        Ok(asg) => println!(
+            "cuckoo mitigation: {} keys placed at 45% load of 2^13 slots ({} evictions); single-hash P(collision) there would be {:.2}",
+            asg.slots.len(),
+            asg.evictions,
+            analytic_collision_probability(3686, 13)
+        ),
+        Err(e) => println!("cuckoo build failed unexpectedly: {e}"),
+    }
+    println!();
+}
+
+// =====================================================================
+// E8 — §2.2 mode comparison: PIR linear vs enclave/ORAM polylog.
+// =====================================================================
+fn e8_modes() {
+    println!("== E8: modes of operation — server cost scaling (paper §2.2) ==");
+    let record_len = 256usize;
+    let mut rows = Vec::new();
+    for n_pow in [10u32, 12, 14] {
+        let n = 1usize << n_pow;
+        // Two-server PIR.
+        let params = DpfParams::with_default_termination(n_pow + 2).unwrap();
+        let entries: Vec<(u64, Vec<u8>)> =
+            (0..n as u64).map(|i| (i * 4 + 1, vec![i as u8; record_len])).collect();
+        let pir = PirServer::from_entries(params, record_len, entries).unwrap();
+        let (k0, _) = gen(&params, 5);
+        let pir_time = time_mean(3, || {
+            std::hint::black_box(pir.answer(&k0).unwrap());
+        });
+
+        // Enclave + Path ORAM.
+        let mut kv = ObliviousKvStore::new(n as u64, record_len).unwrap();
+        for i in 0..n {
+            kv.put(format!("k{i}").as_bytes(), &vec![i as u8; record_len]).unwrap();
+        }
+        let oram_time = time_mean(20, || {
+            std::hint::black_box(kv.get(b"k7").unwrap());
+        });
+
+        // Single-server LWE.
+        let lwe_params = LweParams { n: 256 };
+        let records: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; record_len]).collect();
+        let lwe = LweServer::new(lwe_params, record_len, records).unwrap();
+        let lwe_client = LweClient::new(lwe_params, lwe.public_seed(), lwe.cols(), record_len);
+        let q = lwe_client.query(3);
+        let lwe_time = time_mean(3, || {
+            std::hint::black_box(lwe.answer(&q.payload).unwrap());
+        });
+
+        let us = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+        rows.push(vec![format!("2^{n_pow}"), us(pir_time), us(lwe_time), us(oram_time)]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["pairs", "2-server PIR (us)", "1-server LWE (us)", "enclave ORAM (us)"],
+            &rows
+        )
+    );
+    println!("shape check: PIR and LWE grow linearly with the store; the enclave's ORAM cost is polylogarithmic (near-flat), as §2.2 claims\n");
+}
+
+// =====================================================================
+// E9 — §1 motivation: traffic analysis defeats proxies, not lightweb.
+// =====================================================================
+fn e9_traffic_analysis() {
+    println!("== E9: website fingerprinting — proxy vs lightweb (paper §1) ==");
+    let mut rng = StdRng::seed_from_u64(99);
+    let pages = synthetic_site(40, &mut rng);
+    let chance = 1.0 / pages.len() as f64;
+
+    let proxy_train: Vec<(usize, FlowObservation)> = pages
+        .iter()
+        .enumerate()
+        .flat_map(|(label, objs)| {
+            (0..8)
+                .map(|_| (label, simulate_proxy_flow(objs, &mut StdRng::seed_from_u64(label as u64 * 31 + 1))))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let proxy_test: Vec<(usize, FlowObservation)> = pages
+        .iter()
+        .enumerate()
+        .map(|(label, objs)| (label, simulate_proxy_flow(objs, &mut rng)))
+        .collect();
+    let proxy_clf = NearestCentroid::train(&proxy_train);
+    let proxy_acc = proxy_clf.accuracy(&proxy_test);
+
+    let lw_train: Vec<(usize, FlowObservation)> = (0..pages.len())
+        .flat_map(|label| (0..8).map(move |_| (label, simulate_lightweb_flow(5, 1024))))
+        .collect();
+    let lw_test: Vec<(usize, FlowObservation)> =
+        (0..pages.len()).map(|label| (label, simulate_lightweb_flow(5, 1024))).collect();
+    let lw_clf = NearestCentroid::train(&lw_train);
+    let lw_acc = lw_clf.accuracy(&lw_test);
+
+    let rows = vec![
+        vec!["encrypting proxy (per-object sizes visible)".into(), format!("{:.0}%", proxy_acc * 100.0)],
+        vec!["lightweb (fixed 5 × 1 KiB fetches)".into(), format!("{:.0}%", lw_acc * 100.0)],
+        vec!["random guessing".into(), format!("{:.0}%", chance * 100.0)],
+    ];
+    println!("{}", render_table(&["channel", "fingerprinting accuracy (40 pages)"], &rows));
+    println!("shape check: the proxy leaks page identity through traffic shape; lightweb's fixed fetch schedule caps the attacker at chance\n");
+}
+
+// =====================================================================
+// E10 — §5.2 "looking forward": compute-cost trend.
+// =====================================================================
+fn e10_trend() {
+    println!("== E10: cost trend (paper §5.2 'looking forward') ==");
+    let now = 0.002f64;
+    let mut rows = Vec::new();
+    for years in [0.0f64, 5.0, 10.0] {
+        rows.push(vec![
+            format!("{years:.0}"),
+            format!("${:.6}", trend::cost_after_years(now, years)),
+        ]);
+    }
+    println!("{}", render_table(&["years from now", "$/request under 16x-per-5y trend"], &rows));
+    println!(
+        "order-of-magnitude (10x) reduction reached after {:.1} years — the paper's 'in 5 years … an order of magnitude' claim holds\n",
+        trend::years_to_factor(10.0)
+    );
+}

@@ -1,0 +1,122 @@
+#![warn(missing_docs)]
+
+//! # lightweb-browser
+//!
+//! The lightweb client: "essentially a minimal web browser that speaks the
+//! ZLTP protocol" (paper §3.2).
+//!
+//! A browsing session works exactly as the paper lays out:
+//!
+//! 1. **Connect** — the browser opens *two* ZLTP session pairs with the
+//!    CDN: one for the (large, rarely-changing) code blobs and one for the
+//!    (small, per-page) data blobs.
+//! 2. **Fetch code** — for a path like `nytimes.com/2023/06/25/uganda` the
+//!    browser extracts the domain and private-GETs its code blob — unless
+//!    it is already in the aggressively-kept client cache, in which case
+//!    the network sees nothing.
+//! 3. **Fetch data** — the domain's code runs with the path as argument
+//!    and names a small number of data blobs; the browser fetches them and
+//!    **pads with dummy queries to the universe's fixed per-page count**,
+//!    so "the number of data blobs fetched per page view" is constant
+//!    (§3.2) and the network learns only *that* a page was visited.
+//! 4. **Render** — the fetched JSON data flows back into the code's
+//!    template and the page body is produced. No further network traffic
+//!    until the user navigates.
+//!
+//! The paper's code blobs contain JavaScript. Reproducing a JS engine is
+//! out of scope; what the privacy argument actually requires of page code
+//! is a *deterministic function from (path, local state) to a bounded list
+//! of data-blob fetches plus a render of the results*. [`lwscript`] is a
+//! tiny language that is exactly that function — see DESIGN.md's
+//! substitution table.
+//!
+//! Dynamic content (§3.3) falls out of local state: a `prompt` statement
+//! asks the user once and caches the answer in domain-separated
+//! [`storage`], and later visits fetch personalized blobs (the paper's
+//! per-postal-code weather example is `examples/weather.rs`).
+
+pub mod browser;
+pub mod lwscript;
+pub mod pacer;
+pub mod storage;
+
+pub use browser::{BrowserError, LightwebBrowser, PageVisit, RenderedPage};
+pub use lwscript::{parse_script, LwScript, ScriptError, ScriptPlan};
+pub use pacer::{PacedSlot, Pacer};
+pub use storage::LocalStorage;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The LWScript parser is total: arbitrary source text either
+        /// parses or errors, never panics — code blobs come from
+        /// publishers, who are not trusted by the client.
+        #[test]
+        fn parser_never_panics(source in "\\PC{0,256}") {
+            let _ = parse_script(&source);
+        }
+
+        /// Structured-ish garbage built from real keywords also never
+        /// panics (harder cases than uniform noise).
+        #[test]
+        fn parser_survives_keyword_soup(
+            words in prop::collection::vec(
+                prop_oneof![
+                    Just("route"), Just("default"), Just("fetch"), Just("render"),
+                    Just("prompt"), Just("store"), Just("title"), Just("{"),
+                    Just("}"), Just("\"x\""), Just("\"/a/:b\""), Just("#c"),
+                ],
+                0..32,
+            ),
+        ) {
+            let source = words.join(" ");
+            let _ = parse_script(&source);
+            let source_lines = words.join("\n");
+            let _ = parse_script(&source_lines);
+        }
+
+        /// Any path made of safe segments either matches a route or falls
+        /// through to default — the interpreter never panics.
+        #[test]
+        fn interpreter_total_on_arbitrary_paths(
+            segs in prop::collection::vec("[a-z0-9]{1,8}", 0..5),
+        ) {
+            let script = parse_script(
+                r#"
+                route "/articles/:id" {
+                    fetch "site.com/articles/{id}"
+                    render "Article {id}"
+                }
+                default {
+                    render "404"
+                }
+                "#,
+            ).unwrap();
+            let path = format!("/{}", segs.join("/"));
+            let storage = std::collections::HashMap::new();
+            let plan = script.plan(&path, &storage, &mut |_q| String::new());
+            prop_assert!(plan.is_ok());
+        }
+
+        /// Template rendering never emits unresolved `{data.N}` slots when
+        /// N is within the fetched set.
+        #[test]
+        fn render_substitutes_all_data_slots(n in 0usize..4) {
+            let script = parse_script(&format!(
+                "route \"/x\" {{\n fetch \"d.com/a\"\n render \"got {{data.{n}}}\"\n }}"
+            )).unwrap();
+            let storage = std::collections::HashMap::new();
+            let plan = script.plan("/x", &storage, &mut |_q| String::new()).unwrap();
+            let data: Vec<Option<String>> = (0..4).map(|i| Some(format!("v{i}"))).collect();
+            let body = plan.render(&data).unwrap();
+            prop_assert!(!body.contains("{data."), "{body}");
+            let expected = format!("v{n}");
+            prop_assert!(body.contains(&expected));
+        }
+    }
+}

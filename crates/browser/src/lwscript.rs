@@ -1,0 +1,729 @@
+//! LWScript — the lightweb page-code language.
+//!
+//! The paper puts "a blob of JavaScript code and style information" in each
+//! domain's code blob; the code receives the requested path and "can then
+//! make a small, fixed number of private-GET requests" before rendering
+//! (§3.2). LWScript distills that contract into a deterministic
+//! mini-language (see the crate docs for why this substitution is
+//! faithful). A program is a list of routes:
+//!
+//! ```text
+//! # The weather.com code blob
+//! route "/" {
+//!     prompt postal "Enter your postal code:"
+//!     fetch "weather.com/by-postal/{store.postal}"
+//!     title "Weather for {store.postal}"
+//!     render "Forecast: {data.0.forecast} High {data.0.high}"
+//! }
+//! route "/about" {
+//!     fetch "weather.com/about"
+//!     render "{data.0}"
+//! }
+//! default {
+//!     render "No such page."
+//! }
+//! ```
+//!
+//! * `route "<pattern>"` — patterns match the path after the domain.
+//!   `:name` captures one segment; `*name` captures the rest.
+//! * `fetch "<template>"` — request a data blob; templates substitute
+//!   `{var}` (path captures) and `{store.key}` (local storage).
+//! * `prompt <key> "<question>"` — if local storage lacks `key`, ask the
+//!   user and store the answer (the §3.3 dynamic-content hook).
+//! * `store <key> "<template>"` — write local storage.
+//! * `link "<label>" "<target>"` — offer a hyperlink to another lightweb
+//!   path; following it is an ordinary (fixed-shape) page load.
+//! * `title` / `render` — produce the page. Render templates additionally
+//!   substitute `{data.N}` (fetch N's payload as text) and
+//!   `{data.N.field.path}` (JSON member access, array indices allowed).
+//!
+//! Execution is two-phase so the interpreter stays pure: [`LwScript::plan`]
+//! resolves routing, prompts, and fetch paths; the browser performs the
+//! network I/O; [`ScriptPlan::render`] turns fetched payloads into the
+//! final page.
+
+use lightweb_universe::json::{parse_json, Value};
+use std::collections::HashMap;
+
+/// Hard cap on fetches a single route may request. The universe's
+/// `fetches_per_page` may be lower; this bound just keeps parsing sane.
+pub const MAX_FETCHES_PER_ROUTE: usize = 16;
+
+/// Errors from parsing or executing LWScript.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptError {
+    /// Parse failure, with line number.
+    Parse {
+        /// 1-based source line of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// No route matched and there is no `default`.
+    NoRoute(String),
+    /// A template referenced an unknown variable.
+    UnknownVar(String),
+    /// A template referenced fetch data out of range.
+    DataOutOfRange(usize),
+    /// A JSON path into fetch data did not resolve.
+    BadDataPath(String),
+    /// Route requests more fetches than allowed.
+    TooManyFetches(usize),
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            ScriptError::NoRoute(p) => write!(f, "no route matches '{p}'"),
+            ScriptError::UnknownVar(v) => write!(f, "unknown template variable '{v}'"),
+            ScriptError::DataOutOfRange(n) => write!(f, "data index {n} out of range"),
+            ScriptError::BadDataPath(p) => write!(f, "JSON path '{p}' did not resolve"),
+            ScriptError::TooManyFetches(n) => write!(f, "route requests {n} fetches (max {MAX_FETCHES_PER_ROUTE})"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// One statement inside a route body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Stmt {
+    Fetch(String),
+    Prompt { key: String, question: String },
+    Store { key: String, template: String },
+    Title(String),
+    Render(String),
+    Link { label: String, target: String },
+}
+
+/// A route: pattern plus body.
+#[derive(Clone, Debug)]
+struct Route {
+    pattern: Vec<PatSeg>,
+    body: Vec<Stmt>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PatSeg {
+    Literal(String),
+    Capture(String),
+    Rest(String),
+}
+
+/// A parsed LWScript program.
+#[derive(Clone, Debug)]
+pub struct LwScript {
+    routes: Vec<Route>,
+    default: Option<Vec<Stmt>>,
+}
+
+/// The outcome of the planning phase: what to fetch and how to render.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScriptPlan {
+    /// Resolved data-blob paths to fetch, in order.
+    pub fetches: Vec<String>,
+    /// Storage writes to apply (already resolved).
+    pub stores: Vec<(String, String)>,
+    /// Hyperlinks the page offers: `(label, lightweb path)`. Following one
+    /// is the §3.2 "user visits a new page or follows a hyperlink" event —
+    /// a fresh fixed-count page load, nothing more.
+    pub links: Vec<(String, String)>,
+    /// Page title template (data placeholders unresolved).
+    title_template: String,
+    /// Page body template (data placeholders unresolved).
+    render_template: String,
+}
+
+/// Parse an LWScript program.
+pub fn parse_script(source: &str) -> Result<LwScript, ScriptError> {
+    let mut routes = Vec::new();
+    let mut default = None;
+    let lines: Vec<(usize, &str)> = source.lines().enumerate().collect();
+    let mut i = 0;
+
+    while i < lines.len() {
+        let (ln, raw) = lines[i];
+        i += 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let perr = |message: &str| ScriptError::Parse { line: ln + 1, message: message.into() };
+        if let Some(rest) = line.strip_prefix("route ") {
+            let (pattern_str, brace) =
+                split_quoted(rest).ok_or_else(|| perr("expected quoted pattern"))?;
+            if brace.trim() != "{" {
+                return Err(perr("expected '{' after pattern"));
+            }
+            let body = parse_body(&lines, &mut i)?;
+            routes.push(Route { pattern: parse_pattern(&pattern_str), body });
+        } else if line.starts_with("default") {
+            if !line.trim_start_matches("default").trim().starts_with('{') {
+                return Err(perr("expected '{' after default"));
+            }
+            let body = parse_body(&lines, &mut i)?;
+            if default.replace(body).is_some() {
+                return Err(perr("duplicate default block"));
+            }
+        } else {
+            return Err(perr(&format!("expected 'route' or 'default', got '{line}'")));
+        }
+    }
+    Ok(LwScript { routes, default })
+}
+
+/// Parse statements until the closing `}` of a block. `i` points at the
+/// first body line on entry and one past the `}` on exit.
+fn parse_body(lines: &[(usize, &str)], i: &mut usize) -> Result<Vec<Stmt>, ScriptError> {
+    let mut body = Vec::new();
+    while *i < lines.len() {
+        let (ln, raw) = lines[*i];
+        *i += 1;
+        let line = raw.trim();
+        let perr = |message: &str| ScriptError::Parse { line: ln + 1, message: message.into() };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "}" {
+            return Ok(body);
+        }
+        if let Some(rest) = line.strip_prefix("fetch ") {
+            let (tpl, tail) = split_quoted(rest).ok_or_else(|| perr("fetch needs a quoted template"))?;
+            ensure_empty(&tail, perr)?;
+            body.push(Stmt::Fetch(tpl));
+        } else if let Some(rest) = line.strip_prefix("render ") {
+            let (tpl, tail) = split_quoted(rest).ok_or_else(|| perr("render needs a quoted template"))?;
+            ensure_empty(&tail, perr)?;
+            body.push(Stmt::Render(tpl));
+        } else if let Some(rest) = line.strip_prefix("title ") {
+            let (tpl, tail) = split_quoted(rest).ok_or_else(|| perr("title needs a quoted template"))?;
+            ensure_empty(&tail, perr)?;
+            body.push(Stmt::Title(tpl));
+        } else if let Some(rest) = line.strip_prefix("prompt ") {
+            let rest = rest.trim_start();
+            let (key, qrest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| perr("prompt needs a key and a quoted question"))?;
+            validate_key(key).map_err(|m| perr(&m))?;
+            let (question, tail) =
+                split_quoted(qrest).ok_or_else(|| perr("prompt needs a quoted question"))?;
+            ensure_empty(&tail, perr)?;
+            body.push(Stmt::Prompt { key: key.to_string(), question });
+        } else if let Some(rest) = line.strip_prefix("link ") {
+            let (label, lrest) =
+                split_quoted(rest).ok_or_else(|| perr("link needs a quoted label and target"))?;
+            let (target, tail) =
+                split_quoted(&lrest).ok_or_else(|| perr("link needs a quoted target"))?;
+            ensure_empty(&tail, perr)?;
+            body.push(Stmt::Link { label, target });
+        } else if let Some(rest) = line.strip_prefix("store ") {
+            let rest = rest.trim_start();
+            let (key, trest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| perr("store needs a key and a quoted template"))?;
+            validate_key(key).map_err(|m| perr(&m))?;
+            let (template, tail) =
+                split_quoted(trest).ok_or_else(|| perr("store needs a quoted template"))?;
+            ensure_empty(&tail, perr)?;
+            body.push(Stmt::Store { key: key.to_string(), template });
+        } else {
+            return Err(perr(&format!("unknown statement '{line}'")));
+        }
+    }
+    Err(ScriptError::Parse { line: lines.len(), message: "unterminated block (missing '}')".into() })
+}
+
+fn ensure_empty(tail: &str, perr: impl Fn(&str) -> ScriptError) -> Result<(), ScriptError> {
+    let t = tail.trim();
+    if t.is_empty() || t.starts_with('#') {
+        Ok(())
+    } else {
+        Err(perr(&format!("unexpected trailing '{t}'")))
+    }
+}
+
+fn validate_key(key: &str) -> Result<(), String> {
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(())
+    } else {
+        Err(format!("invalid storage key '{key}'"))
+    }
+}
+
+/// Pull a leading quoted string off `s`, returning (contents, rest).
+fn split_quoted(s: &str) -> Option<(String, String)> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return None,
+    }
+    let mut out = String::new();
+    for (i, c) in chars {
+        match c {
+            '"' => return Some((out, s[i + 1..].to_string())),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatSeg> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|seg| {
+            if let Some(name) = seg.strip_prefix(':') {
+                PatSeg::Capture(name.to_string())
+            } else if let Some(name) = seg.strip_prefix('*') {
+                PatSeg::Rest(name.to_string())
+            } else {
+                PatSeg::Literal(seg.to_string())
+            }
+        })
+        .collect()
+}
+
+impl LwScript {
+    /// Number of routes (excluding default).
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Plan a page view: match `path` (the part after the domain, starting
+    /// with `/`), resolve prompts against `storage` via `ask`, and produce
+    /// the fetch list and render templates.
+    pub fn plan(
+        &self,
+        path: &str,
+        storage: &HashMap<String, String>,
+        ask: &mut dyn FnMut(&str) -> String,
+    ) -> Result<ScriptPlan, ScriptError> {
+        let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let (body, vars) = self
+            .routes
+            .iter()
+            .find_map(|r| match_pattern(&r.pattern, &segs).map(|vars| (&r.body, vars)))
+            .or_else(|| self.default.as_ref().map(|b| (b, HashMap::new())))
+            .ok_or_else(|| ScriptError::NoRoute(path.to_string()))?;
+
+        // Working copy of storage so `prompt`/`store` affect later
+        // statements within the same plan.
+        let mut store: HashMap<String, String> = storage.clone();
+        let mut plan = ScriptPlan {
+            fetches: Vec::new(),
+            stores: Vec::new(),
+            links: Vec::new(),
+            title_template: String::new(),
+            render_template: String::new(),
+        };
+        for stmt in body {
+            match stmt {
+                Stmt::Prompt { key, question } => {
+                    if !store.contains_key(key) {
+                        let answer = ask(question);
+                        store.insert(key.clone(), answer.clone());
+                        plan.stores.push((key.clone(), answer));
+                    }
+                }
+                Stmt::Store { key, template } => {
+                    let value = substitute(template, &vars, &store, None)?;
+                    store.insert(key.clone(), value.clone());
+                    plan.stores.push((key.clone(), value));
+                }
+                Stmt::Fetch(template) => {
+                    plan.fetches.push(substitute(template, &vars, &store, None)?);
+                }
+                Stmt::Title(t) => plan.title_template = substitute_keep_data(t, &vars, &store)?,
+                Stmt::Render(t) => plan.render_template = substitute_keep_data(t, &vars, &store)?,
+                Stmt::Link { label, target } => {
+                    plan.links.push((
+                        substitute(label, &vars, &store, None)?,
+                        substitute(target, &vars, &store, None)?,
+                    ));
+                }
+            }
+        }
+        if plan.fetches.len() > MAX_FETCHES_PER_ROUTE {
+            return Err(ScriptError::TooManyFetches(plan.fetches.len()));
+        }
+        Ok(plan)
+    }
+}
+
+impl ScriptPlan {
+    /// Render the final page once the fetches have completed. `data[i]` is
+    /// fetch `i`'s payload as UTF-8 text (or `None` if the blob was empty/
+    /// missing).
+    pub fn render(&self, data: &[Option<String>]) -> Result<String, ScriptError> {
+        substitute_data(&self.render_template, data)
+    }
+
+    /// Render the page title.
+    pub fn render_title(&self, data: &[Option<String>]) -> Result<String, ScriptError> {
+        substitute_data(&self.title_template, data)
+    }
+}
+
+fn match_pattern(pattern: &[PatSeg], segs: &[&str]) -> Option<HashMap<String, String>> {
+    let mut vars = HashMap::new();
+    let mut i = 0;
+    for (pi, pat) in pattern.iter().enumerate() {
+        match pat {
+            PatSeg::Literal(lit) => {
+                if segs.get(i) != Some(&lit.as_str()) {
+                    return None;
+                }
+                i += 1;
+            }
+            PatSeg::Capture(name) => {
+                let seg = segs.get(i)?;
+                vars.insert(name.clone(), seg.to_string());
+                i += 1;
+            }
+            PatSeg::Rest(name) => {
+                debug_assert_eq!(pi, pattern.len() - 1, "rest capture must be last");
+                vars.insert(name.clone(), segs[i..].join("/"));
+                return Some(vars);
+            }
+        }
+    }
+    (i == segs.len()).then_some(vars)
+}
+
+/// Substitute `{var}` and `{store.key}`; `{data...}` is an error unless
+/// deferred.
+fn substitute(
+    template: &str,
+    vars: &HashMap<String, String>,
+    store: &HashMap<String, String>,
+    data: Option<&[Option<String>]>,
+) -> Result<String, ScriptError> {
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        let end = after.find('}').ok_or_else(|| ScriptError::UnknownVar(after.to_string()))?;
+        let name = &after[..end];
+        if let Some(key) = name.strip_prefix("store.") {
+            out.push_str(
+                store.get(key).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
+            );
+        } else if name == "data" || name.starts_with("data.") {
+            match data {
+                Some(d) => out.push_str(&resolve_data(name, d)?),
+                None => return Err(ScriptError::UnknownVar(name.to_string())),
+            }
+        } else {
+            out.push_str(vars.get(name).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?);
+        }
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Substitute vars/store but pass `{data...}` placeholders through for the
+/// render phase.
+fn substitute_keep_data(
+    template: &str,
+    vars: &HashMap<String, String>,
+    store: &HashMap<String, String>,
+) -> Result<String, ScriptError> {
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        let end = after.find('}').ok_or_else(|| ScriptError::UnknownVar(after.to_string()))?;
+        let name = &after[..end];
+        if name == "data" || name.starts_with("data.") {
+            out.push('{');
+            out.push_str(name);
+            out.push('}');
+        } else if let Some(key) = name.strip_prefix("store.") {
+            out.push_str(
+                store.get(key).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
+            );
+        } else {
+            out.push_str(vars.get(name).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?);
+        }
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn substitute_data(template: &str, data: &[Option<String>]) -> Result<String, ScriptError> {
+    substitute(template, &HashMap::new(), &HashMap::new(), Some(data))
+}
+
+/// Resolve `data.N` or `data.N.path.into.json`.
+fn resolve_data(name: &str, data: &[Option<String>]) -> Result<String, ScriptError> {
+    let mut parts = name.split('.');
+    let _data = parts.next();
+    let idx: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ScriptError::BadDataPath(name.to_string()))?;
+    let payload = data
+        .get(idx)
+        .ok_or(ScriptError::DataOutOfRange(idx))?
+        .as_deref()
+        .unwrap_or("");
+    let json_path: Vec<&str> = parts.collect();
+    if json_path.is_empty() {
+        return Ok(payload.to_string());
+    }
+    let mut value = parse_json(payload).map_err(|_| ScriptError::BadDataPath(name.to_string()))?;
+    for seg in json_path {
+        value = if let Ok(i) = seg.parse::<usize>() {
+            value.at(i).cloned()
+        } else {
+            value.get(seg).cloned()
+        }
+        .ok_or_else(|| ScriptError::BadDataPath(name.to_string()))?;
+    }
+    Ok(match value {
+        Value::String(s) => s,
+        other => other.to_json(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_prompt(_q: &str) -> String {
+        panic!("unexpected prompt")
+    }
+
+    #[test]
+    fn parse_and_route_literal() {
+        let s = parse_script(
+            r#"
+            route "/" {
+                fetch "d.com/home"
+                render "home: {data.0}"
+            }
+            route "/about" {
+                render "about"
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.route_count(), 2);
+        let st = HashMap::new();
+        let plan = s.plan("/", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.fetches, vec!["d.com/home"]);
+        let plan2 = s.plan("/about", &st, &mut no_prompt).unwrap();
+        assert!(plan2.fetches.is_empty());
+        assert_eq!(plan2.render(&[]).unwrap(), "about");
+    }
+
+    #[test]
+    fn captures_substitute_into_fetches() {
+        let s = parse_script(
+            r#"
+            route "/articles/:year/:slug" {
+                fetch "news.com/articles/{year}/{slug}"
+                title "Article: {slug}"
+                render "{data.0}"
+            }
+            "#,
+        )
+        .unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/articles/2023/uganda", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.fetches, vec!["news.com/articles/2023/uganda"]);
+        assert_eq!(plan.render_title(&[]).unwrap(), "Article: uganda");
+    }
+
+    #[test]
+    fn rest_capture_matches_remainder() {
+        let s = parse_script(
+            "route \"/files/*rest\" {\n fetch \"d.com/{rest}\"\n render \"ok\"\n }",
+        )
+        .unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/files/a/b/c", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.fetches, vec!["d.com/a/b/c"]);
+    }
+
+    #[test]
+    fn default_route_catches_unmatched() {
+        let s = parse_script(
+            "route \"/x\" {\n render \"x\"\n }\ndefault {\n render \"404\"\n }",
+        )
+        .unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/nope/nope", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.render(&[]).unwrap(), "404");
+    }
+
+    #[test]
+    fn no_route_no_default_errors() {
+        let s = parse_script("route \"/x\" {\n render \"x\"\n }").unwrap();
+        let st = HashMap::new();
+        assert_eq!(
+            s.plan("/y", &st, &mut no_prompt).unwrap_err(),
+            ScriptError::NoRoute("/y".into())
+        );
+    }
+
+    #[test]
+    fn prompt_asks_once_and_stores() {
+        let s = parse_script(
+            r#"
+            route "/" {
+                prompt postal "Enter postal code:"
+                fetch "weather.com/by-postal/{store.postal}"
+                render "{data.0.forecast}"
+            }
+            "#,
+        )
+        .unwrap();
+        // First visit: storage empty, prompt fires.
+        let st = HashMap::new();
+        let mut asked = 0;
+        let plan = s
+            .plan("/", &st, &mut |q| {
+                asked += 1;
+                assert!(q.contains("postal"));
+                "94110".to_string()
+            })
+            .unwrap();
+        assert_eq!(asked, 1);
+        assert_eq!(plan.fetches, vec!["weather.com/by-postal/94110"]);
+        assert_eq!(plan.stores, vec![("postal".to_string(), "94110".to_string())]);
+
+        // Second visit: storage has the key, no prompt.
+        let mut st2 = HashMap::new();
+        st2.insert("postal".to_string(), "10001".to_string());
+        let plan2 = s.plan("/", &st2, &mut no_prompt).unwrap();
+        assert_eq!(plan2.fetches, vec!["weather.com/by-postal/10001"]);
+        assert!(plan2.stores.is_empty());
+    }
+
+    #[test]
+    fn store_statement_resolves_templates() {
+        let s = parse_script(
+            "route \"/tag/:t\" {\n store last_tag \"{t}\"\n render \"tag {store.last_tag}\"\n }",
+        )
+        .unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/tag/rust", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.stores, vec![("last_tag".to_string(), "rust".to_string())]);
+        assert_eq!(plan.render(&[]).unwrap(), "tag rust");
+    }
+
+    #[test]
+    fn json_data_paths_resolve() {
+        let s = parse_script(
+            "route \"/\" {\n fetch \"d.com/x\"\n render \"{data.0.headlines.1} high={data.0.temp}\"\n }",
+        )
+        .unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/", &st, &mut no_prompt).unwrap();
+        let payload = r#"{"headlines":["first","second"],"temp":72}"#.to_string();
+        assert_eq!(plan.render(&[Some(payload)]).unwrap(), "second high=72");
+    }
+
+    #[test]
+    fn bad_json_path_is_an_error() {
+        let s = parse_script("route \"/\" {\n fetch \"d.com/x\"\n render \"{data.0.missing}\"\n }").unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/", &st, &mut no_prompt).unwrap();
+        assert!(matches!(
+            plan.render(&[Some("{}".into())]),
+            Err(ScriptError::BadDataPath(_))
+        ));
+    }
+
+    #[test]
+    fn data_out_of_range_is_an_error() {
+        let s = parse_script("route \"/\" {\n render \"{data.3}\"\n }").unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.render(&[]).unwrap_err(), ScriptError::DataOutOfRange(3));
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let s = parse_script("route \"/\" {\n fetch \"d.com/{nope}\"\n render \"x\"\n }").unwrap();
+        let st = HashMap::new();
+        assert!(matches!(
+            s.plan("/", &st, &mut no_prompt),
+            Err(ScriptError::UnknownVar(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_script("route \"/x\" {\n bogus \"statement\"\n }").unwrap_err();
+        assert!(matches!(err, ScriptError::Parse { line: 2, .. }), "{err}");
+        let err2 = parse_script("not-a-keyword").unwrap_err();
+        assert!(matches!(err2, ScriptError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(parse_script("route \"/x\" {\n render \"x\"").is_err());
+    }
+
+    #[test]
+    fn routes_match_in_declaration_order() {
+        let s = parse_script(
+            "route \"/a/:x\" {\n render \"capture {x}\"\n }\nroute \"/a/b\" {\n render \"literal\"\n }",
+        )
+        .unwrap();
+        let st = HashMap::new();
+        // The capture route is declared first and wins.
+        let plan = s.plan("/a/b", &st, &mut no_prompt).unwrap();
+        assert_eq!(plan.render(&[]).unwrap(), "capture b");
+    }
+
+    #[test]
+    fn links_resolve_and_surface() {
+        let s = parse_script(
+            r#"
+            route "/story/:id" {
+                fetch "news.com/story/{id}"
+                link "Next story" "news.com/story/{id}-next"
+                link "Home" "news.com/"
+                render "{data.0}"
+            }
+            "#,
+        )
+        .unwrap();
+        let st = HashMap::new();
+        let plan = s.plan("/story/42", &st, &mut no_prompt).unwrap();
+        assert_eq!(
+            plan.links,
+            vec![
+                ("Next story".to_string(), "news.com/story/42-next".to_string()),
+                ("Home".to_string(), "news.com/".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_link_rejected() {
+        assert!(parse_script("route \"/\" {\n link \"only-label\"\n }").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = parse_script(
+            "# header comment\n\nroute \"/\" {\n # body comment\n render \"ok\"\n }\n",
+        )
+        .unwrap();
+        assert_eq!(s.route_count(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Constant-rate cover traffic: closing the paper's residual timing leak.
+//!
+//! ZLTP hides *which* page a user fetches but "does not hide the number or
+//! timing of client requests" (§2.1), and §3.2 concedes an attacker can
+//! "infer some limited information about the user's browsing behavior by
+//! the number and timing of their page visits" — the user who fetches a
+//! page every five minutes each morning is probably reading the news.
+//!
+//! The classical fix (and a natural lightweb extension) is to fetch at a
+//! **constant rate**: the browser fires one page-load *slot* every fixed
+//! interval; a slot carries the oldest queued real navigation if one is
+//! waiting, otherwise a cover load — [`crate::LightwebBrowser::browse_cover`]
+//! issues the same fixed number of dummy data GETs a real page view would,
+//! so the two are indistinguishable on the wire. The price is latency
+//! (real visits wait for the next slot) and bandwidth (idle slots still
+//! burn a page-load of traffic); [`Pacer::schedule`] makes that trade
+//! measurable.
+
+/// One slot in a constant-rate schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PacedSlot {
+    /// When the slot fires, seconds from schedule start.
+    pub time_s: f64,
+    /// `Some(i)` = serves the i-th real visit; `None` = cover load.
+    pub real: Option<usize>,
+    /// For real visits, how long the navigation waited in the queue.
+    pub delay_s: f64,
+}
+
+/// A constant-rate page-load scheduler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pacer {
+    /// Seconds between consecutive page-load slots.
+    pub interval_s: f64,
+}
+
+impl Pacer {
+    /// A pacer firing every `interval_s` seconds.
+    pub fn new(interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "interval must be positive");
+        Self { interval_s }
+    }
+
+    /// Build the slot schedule for `[0, horizon_s)` given the user's real
+    /// navigation times (sorted ascending). Each slot serves the oldest
+    /// real visit that has already arrived, FIFO; idle slots are cover.
+    ///
+    /// The returned schedule's *shape* (slot count and spacing) depends
+    /// only on `horizon_s` and the interval — never on `visit_times` —
+    /// which is the whole point.
+    pub fn schedule(&self, visit_times: &[f64], horizon_s: f64) -> Vec<PacedSlot> {
+        debug_assert!(
+            visit_times.windows(2).all(|w| w[0] <= w[1]),
+            "visit times must be sorted"
+        );
+        let slots = (horizon_s / self.interval_s).ceil() as usize;
+        let mut out = Vec::with_capacity(slots);
+        let mut next_visit = 0usize;
+        for s in 0..slots {
+            let t = s as f64 * self.interval_s;
+            let real = if next_visit < visit_times.len() && visit_times[next_visit] <= t {
+                let idx = next_visit;
+                next_visit += 1;
+                Some(idx)
+            } else {
+                None
+            };
+            let delay_s = real.map(|i| t - visit_times[i]).unwrap_or(0.0);
+            out.push(PacedSlot { time_s: t, real, delay_s });
+        }
+        out
+    }
+
+    /// Fraction of slots carrying real visits (the bandwidth efficiency of
+    /// the cover scheme).
+    pub fn utilization(schedule: &[PacedSlot]) -> f64 {
+        if schedule.is_empty() {
+            return 0.0;
+        }
+        schedule.iter().filter(|s| s.real.is_some()).count() as f64 / schedule.len() as f64
+    }
+
+    /// Mean queueing delay of the real visits in a schedule.
+    pub fn mean_delay(schedule: &[PacedSlot]) -> f64 {
+        let reals: Vec<f64> =
+            schedule.iter().filter(|s| s.real.is_some()).map(|s| s.delay_s).collect();
+        if reals.is_empty() {
+            0.0
+        } else {
+            reals.iter().sum::<f64>() / reals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_count_depends_only_on_horizon() {
+        let pacer = Pacer::new(10.0);
+        let a = pacer.schedule(&[], 100.0);
+        let b = pacer.schedule(&[1.0, 2.0, 3.0, 50.0], 100.0);
+        let c = pacer.schedule(&[99.0], 100.0);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
+        // Identical firing times — the observable.
+        let times = |s: &[PacedSlot]| s.iter().map(|x| x.time_s).collect::<Vec<_>>();
+        assert_eq!(times(&a), times(&b));
+        assert_eq!(times(&a), times(&c));
+    }
+
+    #[test]
+    fn every_arrived_visit_is_served_fifo() {
+        let pacer = Pacer::new(5.0);
+        let visits = [0.0, 1.0, 12.0, 12.5];
+        let sched = pacer.schedule(&visits, 60.0);
+        let served: Vec<usize> = sched.iter().filter_map(|s| s.real).collect();
+        assert_eq!(served, vec![0, 1, 2, 3], "all served, in order");
+    }
+
+    #[test]
+    fn delays_are_queue_waits() {
+        let pacer = Pacer::new(10.0);
+        // Two visits arrive together at t=1: first served at t=10 (delay
+        // 9), second at t=20 (delay 19).
+        let sched = pacer.schedule(&[1.0, 1.0], 40.0);
+        let delays: Vec<f64> =
+            sched.iter().filter(|s| s.real.is_some()).map(|s| s.delay_s).collect();
+        assert_eq!(delays, vec![9.0, 19.0]);
+        assert!((Pacer::mean_delay(&sched) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_reflects_load() {
+        let pacer = Pacer::new(10.0);
+        let idle = pacer.schedule(&[], 100.0);
+        assert_eq!(Pacer::utilization(&idle), 0.0);
+        let busy = pacer.schedule(&[0.0, 5.0, 15.0, 25.0, 35.0], 100.0);
+        assert!((Pacer::utilization(&busy) - 0.5).abs() < 1e-9);
+        assert_eq!(Pacer::utilization(&[]), 0.0);
+    }
+
+    #[test]
+    fn visit_at_slot_boundary_is_served_in_that_slot() {
+        let pacer = Pacer::new(10.0);
+        let sched = pacer.schedule(&[20.0], 40.0);
+        let slot = sched.iter().find(|s| s.real == Some(0)).unwrap();
+        assert_eq!(slot.time_s, 20.0);
+        assert_eq!(slot.delay_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        Pacer::new(0.0);
+    }
+}

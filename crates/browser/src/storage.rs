@@ -1,0 +1,118 @@
+//! Domain-separated local storage.
+//!
+//! "As today, the lightweb browser enforces domain separation on local
+//! storage and other client-side state" (§3.2). Page code only ever sees
+//! the map for the domain being rendered — [`LocalStorage::domain_view`]
+//! hands the browser a copy scoped to one domain, and writes flow back
+//! through [`LocalStorage::set`] with the domain pinned by the browser,
+//! not by the page.
+
+use std::collections::HashMap;
+
+/// Client-side storage, partitioned by domain.
+#[derive(Clone, Debug, Default)]
+pub struct LocalStorage {
+    by_domain: HashMap<String, HashMap<String, String>>,
+}
+
+impl LocalStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read one key within a domain.
+    pub fn get(&self, domain: &str, key: &str) -> Option<&str> {
+        self.by_domain.get(domain)?.get(key).map(|s| s.as_str())
+    }
+
+    /// Write one key within a domain.
+    pub fn set(&mut self, domain: &str, key: &str, value: &str) {
+        self.by_domain
+            .entry(domain.to_string())
+            .or_default()
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// Remove one key. Returns whether it existed.
+    pub fn remove(&mut self, domain: &str, key: &str) -> bool {
+        self.by_domain
+            .get_mut(domain)
+            .map(|m| m.remove(key).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Snapshot of one domain's map — what page code gets to see.
+    pub fn domain_view(&self, domain: &str) -> HashMap<String, String> {
+        self.by_domain.get(domain).cloned().unwrap_or_default()
+    }
+
+    /// Clear an entire domain (e.g. the user clears site data).
+    pub fn clear_domain(&mut self, domain: &str) {
+        self.by_domain.remove(domain);
+    }
+
+    /// Number of keys stored for a domain.
+    pub fn domain_len(&self, domain: &str) -> usize {
+        self.by_domain.get(domain).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = LocalStorage::new();
+        s.set("weather.com", "postal", "94110");
+        assert_eq!(s.get("weather.com", "postal"), Some("94110"));
+        assert_eq!(s.get("weather.com", "other"), None);
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let mut s = LocalStorage::new();
+        s.set("a.com", "token", "secret-a");
+        s.set("b.com", "token", "secret-b");
+        assert_eq!(s.get("a.com", "token"), Some("secret-a"));
+        assert_eq!(s.get("b.com", "token"), Some("secret-b"));
+        // A domain view never includes another domain's keys.
+        let view = s.domain_view("a.com");
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.get("token").map(|s| s.as_str()), Some("secret-a"));
+        assert!(s.domain_view("c.com").is_empty());
+    }
+
+    #[test]
+    fn view_is_a_snapshot_not_a_handle() {
+        let mut s = LocalStorage::new();
+        s.set("a.com", "k", "v1");
+        let mut view = s.domain_view("a.com");
+        view.insert("k".into(), "tampered".into());
+        // Mutating the view does not touch real storage.
+        assert_eq!(s.get("a.com", "k"), Some("v1"));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = LocalStorage::new();
+        s.set("a.com", "x", "1");
+        s.set("a.com", "y", "2");
+        assert!(s.remove("a.com", "x"));
+        assert!(!s.remove("a.com", "x"));
+        assert!(!s.remove("nope.com", "x"));
+        assert_eq!(s.domain_len("a.com"), 1);
+        s.clear_domain("a.com");
+        assert_eq!(s.domain_len("a.com"), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = LocalStorage::new();
+        s.set("a.com", "k", "old");
+        s.set("a.com", "k", "new");
+        assert_eq!(s.get("a.com", "k"), Some("new"));
+        assert_eq!(s.domain_len("a.com"), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the ZLTP protocol engine.
+
+use crate::config::Mode;
+
+/// Every way a ZLTP interaction can fail.
+#[derive(Debug)]
+pub enum ZltpError {
+    /// Underlying transport I/O failure.
+    Io(std::io::Error),
+    /// A frame violated the wire format.
+    Wire(String),
+    /// The peer spoke an incompatible protocol version.
+    VersionMismatch {
+        /// Our protocol version.
+        ours: u16,
+        /// The peer's claimed version.
+        theirs: u16,
+    },
+    /// No mode acceptable to both sides.
+    NoCommonMode,
+    /// A message arrived that is invalid in the current session state.
+    UnexpectedMessage {
+        /// What the state machine was waiting for.
+        expected: &'static str,
+        /// What arrived instead.
+        got: &'static str,
+    },
+    /// The server rejected a request.
+    ServerError {
+        /// Wire-level error code.
+        code: u16,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// A query payload was malformed for the negotiated mode.
+    BadQuery(String),
+    /// Mode-specific engine failure (PIR/ORAM/LWE).
+    Engine(String),
+    /// The two servers of a pair disagree on session parameters.
+    ServerPairMismatch(String),
+    /// Operation attempted on the wrong mode.
+    WrongMode {
+        /// The session's negotiated mode.
+        have: Mode,
+        /// The mode the operation requires.
+        need: Mode,
+    },
+    /// The session or server has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for ZltpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZltpError::Io(e) => write!(f, "transport I/O error: {e}"),
+            ZltpError::Wire(m) => write!(f, "wire-format violation: {m}"),
+            ZltpError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, theirs {theirs}")
+            }
+            ZltpError::NoCommonMode => write!(f, "no mutually supported mode of operation"),
+            ZltpError::UnexpectedMessage { expected, got } => {
+                write!(f, "unexpected message: expected {expected}, got {got}")
+            }
+            ZltpError::ServerError { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ZltpError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ZltpError::Engine(m) => write!(f, "engine failure: {m}"),
+            ZltpError::ServerPairMismatch(m) => write!(f, "server pair mismatch: {m}"),
+            ZltpError::WrongMode { have, need } => {
+                write!(f, "operation requires mode {need:?} but session uses {have:?}")
+            }
+            ZltpError::Closed => write!(f, "session closed"),
+        }
+    }
+}
+
+impl std::error::Error for ZltpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZltpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ZltpError {
+    fn from(e: std::io::Error) -> Self {
+        ZltpError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ZltpError::ServerError { code: 404, message: "no such universe".into() };
+        assert!(e.to_string().contains("404"));
+        assert!(e.to_string().contains("no such universe"));
+        let v = ZltpError::VersionMismatch { ours: 1, theirs: 9 };
+        assert!(v.to_string().contains('9'));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = ZltpError::from(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,234 @@
+//! Blocking byte-stream transports and frame I/O.
+//!
+//! ZLTP is transport-agnostic: anything that is `Read + Write` carries it.
+//! Two transports ship here:
+//!
+//! * [`MemDuplex`] — an in-process duplex built on crossbeam channels, used
+//!   by tests, benchmarks, and the sharded-deployment simulation (where one
+//!   process stands in for a rack of machines).
+//! * `std::net::TcpStream` — the real thing; [`crate::server::ZltpServer`]
+//!   can listen on a socket, and every integration test that matters runs
+//!   over both transports.
+//!
+//! [`FramedConn`] layers the ZLTP wire format over any such stream and
+//! keeps per-direction byte counters — the raw material for the paper's
+//! communication measurements (§5.1: 13.6 KiB per request).
+
+use crate::error::ZltpError;
+use crate::wire::{Frame, Message, MAX_FRAME_LEN};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::io::{Read, Write};
+
+/// One end of an in-memory duplex byte stream.
+///
+/// Writes are delivered as chunks to the peer's receive queue; reads pull
+/// chunks and buffer partial consumption. Dropping an end causes the peer's
+/// reads to fail like a closed socket.
+pub struct MemDuplex {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Unconsumed remainder of the last received chunk.
+    pending: Vec<u8>,
+    pending_pos: usize,
+}
+
+/// Create a connected pair of in-memory duplex streams.
+pub fn mem_pair() -> (MemDuplex, MemDuplex) {
+    let (tx_a, rx_b) = unbounded();
+    let (tx_b, rx_a) = unbounded();
+    (
+        MemDuplex { tx: tx_a, rx: rx_a, pending: Vec::new(), pending_pos: 0 },
+        MemDuplex { tx: tx_b, rx: rx_b, pending: Vec::new(), pending_pos: 0 },
+    )
+}
+
+impl Read for MemDuplex {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.pending_pos >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pending_pos = 0;
+                }
+                // Peer hung up: EOF.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = (self.pending.len() - self.pending_pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + n]);
+        self.pending_pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for MemDuplex {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer closed"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A frame-oriented connection over any blocking byte stream, with byte
+/// accounting.
+pub struct FramedConn<S> {
+    stream: S,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl<S: Read + Write> FramedConn<S> {
+    /// Wrap a stream.
+    pub fn new(stream: S) -> Self {
+        Self { stream, bytes_sent: 0, bytes_received: 0 }
+    }
+
+    /// Total bytes written (frames incl. headers).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total bytes read.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Send one protocol message.
+    pub fn send(&mut self, msg: &Message) -> Result<(), ZltpError> {
+        let frame = msg.to_frame();
+        let len = 1 + frame.payload.len();
+        if len > MAX_FRAME_LEN {
+            return Err(ZltpError::Wire(format!("frame too large: {len} bytes")));
+        }
+        let mut header = [0u8; 5];
+        header[..4].copy_from_slice(&(len as u32).to_be_bytes());
+        header[4] = frame.msg_type;
+        self.stream.write_all(&header)?;
+        self.stream.write_all(&frame.payload)?;
+        self.stream.flush()?;
+        self.bytes_sent += 5 + frame.payload.len() as u64;
+        Ok(())
+    }
+
+    /// Receive one protocol message (blocking).
+    pub fn recv(&mut self) -> Result<Message, ZltpError> {
+        let mut header = [0u8; 5];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(ZltpError::Wire(format!("invalid frame length {len}")));
+        }
+        let msg_type = header[4];
+        let mut payload = vec![0u8; len - 1];
+        self.stream.read_exact(&mut payload)?;
+        self.bytes_received += 5 + payload.len() as u64;
+        Message::from_frame(&Frame { msg_type, payload })
+    }
+
+    /// Consume the wrapper and return the inner stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_pair_carries_bytes_both_ways() {
+        let (mut a, mut b) = mem_pair();
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        b.write_all(b"world").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+    }
+
+    #[test]
+    fn partial_reads_buffer_correctly() {
+        let (mut a, mut b) = mem_pair();
+        a.write_all(&[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        let mut rest = [0u8; 2];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(rest, [5, 6]);
+    }
+
+    #[test]
+    fn dropped_peer_reads_eof_and_write_fails() {
+        let (mut a, b) = mem_pair();
+        drop(b);
+        let mut buf = [0u8; 1];
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "EOF expected");
+        assert!(a.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn framed_messages_roundtrip_over_mem() {
+        let (a, b) = mem_pair();
+        let mut ca = FramedConn::new(a);
+        let mut cb = FramedConn::new(b);
+        let msg = Message::Get { request_id: 3, payload: vec![7; 100] };
+        ca.send(&msg).unwrap();
+        assert_eq!(cb.recv().unwrap(), msg);
+        assert_eq!(ca.bytes_sent(), cb.bytes_received());
+        assert!(ca.bytes_sent() > 100);
+    }
+
+    #[test]
+    fn framed_messages_roundtrip_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::new(stream);
+            let msg = conn.recv().unwrap();
+            conn.send(&msg).unwrap(); // echo
+        });
+        let mut conn = FramedConn::new(std::net::TcpStream::connect(addr).unwrap());
+        let msg = Message::GetResponse { request_id: 1, payload: vec![0xEE; 1024] };
+        conn.send(&msg).unwrap();
+        assert_eq!(conn.recv().unwrap(), msg);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let (mut a, b) = mem_pair();
+        // Write a header promising 100 bytes, then hang up.
+        a.write_all(&[0, 0, 0, 100, 3]).unwrap();
+        drop(a);
+        let mut cb = FramedConn::new(b);
+        assert!(matches!(cb.recv(), Err(ZltpError::Io(_))));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let (mut a, b) = mem_pair();
+        a.write_all(&[0, 0, 0, 0, 0]).unwrap();
+        let mut cb = FramedConn::new(b);
+        assert!(matches!(cb.recv(), Err(ZltpError::Wire(_))));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let (mut a, b) = mem_pair();
+        // Claim a 1 GiB frame.
+        a.write_all(&[0x40, 0, 0, 1, 3]).unwrap();
+        let mut cb = FramedConn::new(b);
+        assert!(matches!(cb.recv(), Err(ZltpError::Wire(_))));
+    }
+}

@@ -1,0 +1,412 @@
+//! The ZLTP wire format: length-prefixed binary frames.
+//!
+//! Every message travels as `u32 length (big-endian) || u8 type || payload`.
+//! The length covers the type byte and payload. Frames are capped at
+//! [`MAX_FRAME_LEN`] so a malicious peer cannot force unbounded allocation.
+//!
+//! Because ZLTP's privacy rests on *what* is inside the payloads (DPF keys,
+//! LWE vectors, sealed keywords) rather than on hiding message boundaries,
+//! the framing itself is deliberately plain. Response frames for a given
+//! session are all the same size by construction (fixed blob size), which
+//! is what the lightweb layer's traffic-shape argument relies on.
+
+use crate::error::ZltpError;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Protocol version spoken by this implementation.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame's (type + payload) length: 64 MiB, comfortably
+/// above the largest legitimate frame (an LWE hint for a big shard).
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Message type identifiers.
+mod msg_type {
+    pub const CLIENT_HELLO: u8 = 1;
+    pub const SERVER_HELLO: u8 = 2;
+    pub const GET: u8 = 3;
+    pub const GET_RESPONSE: u8 = 4;
+    pub const LWE_SETUP_REQUEST: u8 = 5;
+    pub const LWE_SETUP_RESPONSE: u8 = 6;
+    pub const ERROR: u8 = 7;
+    pub const CLOSE: u8 = 8;
+}
+
+/// A raw frame: type byte plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message type byte.
+    pub msg_type: u8,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// A decoded ZLTP protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Client's opening message.
+    ClientHello {
+        /// Protocol version.
+        version: u16,
+        /// Supported mode identifiers, most preferred first.
+        modes: Vec<u8>,
+    },
+    /// Server's reply fixing the session parameters.
+    ServerHello {
+        /// Protocol version.
+        version: u16,
+        /// Universe identifier.
+        universe_id: String,
+        /// Chosen mode identifier.
+        mode: u8,
+        /// Fixed blob size served on this session.
+        blob_len: u32,
+        /// log2 of the keyword slot domain.
+        domain_bits: u8,
+        /// DPF early-termination width.
+        term_bits: u8,
+        /// Keyword-hash key shared universe-wide.
+        keyword_hash_key: [u8; 16],
+        /// Mode-specific public metadata (e.g. the enclave session key, or
+        /// the LWE public-matrix seed).
+        extra: Vec<u8>,
+    },
+    /// One private-GET request.
+    Get {
+        /// Client-chosen id echoed in the response.
+        request_id: u32,
+        /// Mode-specific query payload.
+        payload: Vec<u8>,
+    },
+    /// One private-GET response.
+    GetResponse {
+        /// Echoed request id.
+        request_id: u32,
+        /// Mode-specific response payload (fixed size per session).
+        payload: Vec<u8>,
+    },
+    /// Client asks for the LWE offline material (manifest + hint).
+    LweSetupRequest,
+    /// LWE offline material.
+    LweSetupResponse {
+        /// Sorted 64-bit hashes of stored keys; the record index of a key
+        /// is its rank in this list. Public metadata: reveals *what* is
+        /// stored (which is public anyway), never what is queried.
+        key_hashes: Vec<u64>,
+        /// The hint matrix `DB·A`, row-major `record_len × n` u32s.
+        hint: Vec<u32>,
+    },
+    /// Server-reported failure.
+    Error {
+        /// Numeric code.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Orderly shutdown.
+    Close,
+}
+
+impl Message {
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::ClientHello { .. } => "ClientHello",
+            Message::ServerHello { .. } => "ServerHello",
+            Message::Get { .. } => "Get",
+            Message::GetResponse { .. } => "GetResponse",
+            Message::LweSetupRequest => "LweSetupRequest",
+            Message::LweSetupResponse { .. } => "LweSetupResponse",
+            Message::Error { .. } => "Error",
+            Message::Close => "Close",
+        }
+    }
+
+    /// Encode into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut buf = BytesMut::new();
+        let msg_type = match self {
+            Message::ClientHello { version, modes } => {
+                buf.put_u16(*version);
+                buf.put_u8(modes.len() as u8);
+                buf.put_slice(modes);
+                msg_type::CLIENT_HELLO
+            }
+            Message::ServerHello {
+                version,
+                universe_id,
+                mode,
+                blob_len,
+                domain_bits,
+                term_bits,
+                keyword_hash_key,
+                extra,
+            } => {
+                buf.put_u16(*version);
+                put_string(&mut buf, universe_id);
+                buf.put_u8(*mode);
+                buf.put_u32(*blob_len);
+                buf.put_u8(*domain_bits);
+                buf.put_u8(*term_bits);
+                buf.put_slice(keyword_hash_key);
+                buf.put_u32(extra.len() as u32);
+                buf.put_slice(extra);
+                msg_type::SERVER_HELLO
+            }
+            Message::Get { request_id, payload } => {
+                buf.put_u32(*request_id);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload);
+                msg_type::GET
+            }
+            Message::GetResponse { request_id, payload } => {
+                buf.put_u32(*request_id);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload);
+                msg_type::GET_RESPONSE
+            }
+            Message::LweSetupRequest => msg_type::LWE_SETUP_REQUEST,
+            Message::LweSetupResponse { key_hashes, hint } => {
+                buf.put_u32(key_hashes.len() as u32);
+                for h in key_hashes {
+                    buf.put_u64(*h);
+                }
+                buf.put_u32(hint.len() as u32);
+                for v in hint {
+                    buf.put_u32(*v);
+                }
+                msg_type::LWE_SETUP_RESPONSE
+            }
+            Message::Error { code, message } => {
+                buf.put_u16(*code);
+                put_string(&mut buf, message);
+                msg_type::ERROR
+            }
+            Message::Close => msg_type::CLOSE,
+        };
+        Frame { msg_type, payload: buf.to_vec() }
+    }
+
+    /// Decode a frame into a message.
+    pub fn from_frame(frame: &Frame) -> Result<Message, ZltpError> {
+        let mut buf = frame.payload.as_slice();
+        let msg = match frame.msg_type {
+            msg_type::CLIENT_HELLO => {
+                let version = get_u16(&mut buf)?;
+                let n = get_u8(&mut buf)? as usize;
+                let modes = get_bytes(&mut buf, n)?;
+                Message::ClientHello { version, modes }
+            }
+            msg_type::SERVER_HELLO => {
+                let version = get_u16(&mut buf)?;
+                let universe_id = get_string(&mut buf)?;
+                let mode = get_u8(&mut buf)?;
+                let blob_len = get_u32(&mut buf)?;
+                let domain_bits = get_u8(&mut buf)?;
+                let term_bits = get_u8(&mut buf)?;
+                let kh = get_bytes(&mut buf, 16)?;
+                let extra_len = get_u32(&mut buf)? as usize;
+                let extra = get_bytes(&mut buf, extra_len)?;
+                let mut keyword_hash_key = [0u8; 16];
+                keyword_hash_key.copy_from_slice(&kh);
+                Message::ServerHello {
+                    version,
+                    universe_id,
+                    mode,
+                    blob_len,
+                    domain_bits,
+                    term_bits,
+                    keyword_hash_key,
+                    extra,
+                }
+            }
+            msg_type::GET => {
+                let request_id = get_u32(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                let payload = get_bytes(&mut buf, n)?;
+                Message::Get { request_id, payload }
+            }
+            msg_type::GET_RESPONSE => {
+                let request_id = get_u32(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                let payload = get_bytes(&mut buf, n)?;
+                Message::GetResponse { request_id, payload }
+            }
+            msg_type::LWE_SETUP_REQUEST => Message::LweSetupRequest,
+            msg_type::LWE_SETUP_RESPONSE => {
+                let n = get_u32(&mut buf)? as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(ZltpError::Wire("truncated key-hash list".into()));
+                }
+                let mut key_hashes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    key_hashes.push(buf.get_u64());
+                }
+                let m = get_u32(&mut buf)? as usize;
+                if buf.remaining() < m * 4 {
+                    return Err(ZltpError::Wire("truncated hint".into()));
+                }
+                let mut hint = Vec::with_capacity(m);
+                for _ in 0..m {
+                    hint.push(buf.get_u32());
+                }
+                Message::LweSetupResponse { key_hashes, hint }
+            }
+            msg_type::ERROR => {
+                let code = get_u16(&mut buf)?;
+                let message = get_string(&mut buf)?;
+                Message::Error { code, message }
+            }
+            msg_type::CLOSE => Message::Close,
+            t => return Err(ZltpError::Wire(format!("unknown message type {t}"))),
+        };
+        if !buf.is_empty() {
+            return Err(ZltpError::Wire(format!(
+                "{} trailing bytes after {}",
+                buf.len(),
+                msg.name()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, ZltpError> {
+    if buf.remaining() < 1 {
+        return Err(ZltpError::Wire("truncated frame".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, ZltpError> {
+    if buf.remaining() < 2 {
+        return Err(ZltpError::Wire("truncated frame".into()));
+    }
+    Ok(buf.get_u16())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, ZltpError> {
+    if buf.remaining() < 4 {
+        return Err(ZltpError::Wire("truncated frame".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_bytes(buf: &mut &[u8], n: usize) -> Result<Vec<u8>, ZltpError> {
+    if buf.remaining() < n {
+        return Err(ZltpError::Wire("truncated frame".into()));
+    }
+    let out = buf[..n].to_vec();
+    buf.advance(n);
+    Ok(out)
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, ZltpError> {
+    let n = get_u16(buf)? as usize;
+    let bytes = get_bytes(buf, n)?;
+    String::from_utf8(bytes).map_err(|_| ZltpError::Wire("invalid UTF-8 string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = msg.to_frame();
+        let back = Message::from_frame(&frame).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::ClientHello { version: 1, modes: vec![1, 3] });
+        roundtrip(Message::ServerHello {
+            version: 1,
+            universe_id: "main".into(),
+            mode: 1,
+            blob_len: 4096,
+            domain_bits: 22,
+            term_bits: 7,
+            keyword_hash_key: [9; 16],
+            extra: vec![1, 2, 3],
+        });
+        roundtrip(Message::Get { request_id: 7, payload: vec![0xAB; 357] });
+        roundtrip(Message::GetResponse { request_id: 7, payload: vec![0xCD; 4096] });
+        roundtrip(Message::LweSetupRequest);
+        roundtrip(Message::LweSetupResponse {
+            key_hashes: vec![u64::MAX, 0, 42],
+            hint: vec![1, 2, 3, 4, u32::MAX],
+        });
+        roundtrip(Message::Error { code: 500, message: "boom".into() });
+        roundtrip(Message::Close);
+    }
+
+    #[test]
+    fn empty_payload_messages_roundtrip() {
+        roundtrip(Message::ClientHello { version: 0, modes: vec![] });
+        roundtrip(Message::Get { request_id: 0, payload: vec![] });
+        roundtrip(Message::LweSetupResponse { key_hashes: vec![], hint: vec![] });
+    }
+
+    #[test]
+    fn unknown_message_type_rejected() {
+        let frame = Frame { msg_type: 99, payload: vec![] };
+        assert!(matches!(Message::from_frame(&frame), Err(ZltpError::Wire(_))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let good = Message::ServerHello {
+            version: 1,
+            universe_id: "u".into(),
+            mode: 1,
+            blob_len: 64,
+            domain_bits: 10,
+            term_bits: 3,
+            keyword_hash_key: [0; 16],
+            extra: vec![5; 10],
+        }
+        .to_frame();
+        for len in 0..good.payload.len() {
+            let bad = Frame { msg_type: good.msg_type, payload: good.payload[..len].to_vec() };
+            assert!(
+                Message::from_frame(&bad).is_err(),
+                "accepted truncation to {len} of {}",
+                good.payload.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = Message::Close.to_frame();
+        frame.payload.push(0);
+        assert!(matches!(Message::from_frame(&frame), Err(ZltpError::Wire(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // Error message with non-UTF-8 bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&500u16.to_be_bytes());
+        payload.extend_from_slice(&2u16.to_be_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        let frame = Frame { msg_type: 7, payload };
+        assert!(matches!(Message::from_frame(&frame), Err(ZltpError::Wire(_))));
+    }
+
+    #[test]
+    fn get_responses_have_uniform_size_for_fixed_blobs() {
+        // The traffic-shape property: responses for equal-size blobs encode
+        // to equal-size frames regardless of content.
+        let a = Message::GetResponse { request_id: 1, payload: vec![0x00; 1024] }.to_frame();
+        let b = Message::GetResponse { request_id: 999, payload: vec![0xFF; 1024] }.to_frame();
+        assert_eq!(a.payload.len(), b.payload.len());
+    }
+}

@@ -1,0 +1,95 @@
+//! User-facing economics (paper §4 and §5.2's comparisons).
+//!
+//! Three headline numbers from the paper are reproduced here:
+//!
+//! * the **$15/month** per-user estimate ("comparable to the cost of a
+//!   Netflix membership") for 50 pages/day × 5 GETs/page at ~$0.002 per
+//!   4 KiB private-GET on the 360M-page C4 universe;
+//! * the **Google Fi comparison**: at $10/GiB, loading the 22.4 MiB New
+//!   York Times homepage costs $0.218 — the paper's willingness-to-pay
+//!   anchor — while 4 KiB over Fi costs $0.000038, making ZLTP "roughly
+//!   two orders of magnitude more expensive" per byte;
+//! * the resulting **ZLTP/Fi cost ratio** for a 4 KiB value.
+
+/// Google Fi's metered data price the paper cites: $10/GiB.
+pub const FI_DOLLARS_PER_GIB: f64 = 10.0;
+
+/// The NYT homepage weight the paper cites, in MiB.
+pub const NYT_HOMEPAGE_MIB: f64 = 22.4;
+
+/// Inputs for the monthly per-user cost estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UserCostInputs {
+    /// Page views per day (paper: 50).
+    pub pages_per_day: f64,
+    /// Data GETs per page view (paper: 5).
+    pub gets_per_page: f64,
+    /// System-wide dollars per private-GET (paper: ~$0.002).
+    pub dollars_per_get: f64,
+}
+
+impl UserCostInputs {
+    /// The paper's §4 operating point.
+    pub fn paper() -> Self {
+        Self { pages_per_day: 50.0, gets_per_page: 5.0, dollars_per_get: 0.002 }
+    }
+}
+
+/// Monthly (30-day) per-user cost in dollars.
+pub fn monthly_user_cost(inputs: &UserCostInputs) -> f64 {
+    inputs.pages_per_day * 30.0 * inputs.gets_per_page * inputs.dollars_per_get
+}
+
+/// What `bytes` of transfer cost over Google Fi.
+pub fn google_fi_cost(bytes: f64) -> f64 {
+    bytes / (1024.0 * 1024.0 * 1024.0) * FI_DOLLARS_PER_GIB
+}
+
+/// The ZLTP-vs-metered-data cost ratio for one `value_bytes` fetch at
+/// `dollars_per_get`.
+pub fn zltp_overhead_factor(value_bytes: f64, dollars_per_get: f64) -> f64 {
+    dollars_per_get / google_fi_cost(value_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_cost_is_about_fifteen_dollars() {
+        // §4: "roughly $15 (comparable to the cost of a Netflix membership)"
+        let cost = monthly_user_cost(&UserCostInputs::paper());
+        assert!((cost - 15.0).abs() < 0.01, "${cost}");
+    }
+
+    #[test]
+    fn nyt_homepage_over_fi_costs_21_8_cents() {
+        // §5.2: "the cost to load the 22.4 MiB New York Times homepage is
+        // $0.218".
+        let cost = google_fi_cost(NYT_HOMEPAGE_MIB * 1024.0 * 1024.0);
+        assert!((cost - 0.218).abs() < 0.002, "${cost}");
+    }
+
+    #[test]
+    fn four_kib_over_fi_costs_38_microdollars() {
+        // §5.2: "loading 4 KiB ... costs ... $0.000038 with Google Fi".
+        let cost = google_fi_cost(4096.0);
+        assert!((cost - 0.000038).abs() < 0.000002, "${cost}");
+    }
+
+    #[test]
+    fn zltp_is_about_two_orders_of_magnitude_dearer() {
+        // §5.2: "roughly two orders of magnitude more expensive".
+        let factor = zltp_overhead_factor(4096.0, 0.002);
+        assert!((30.0..300.0).contains(&factor), "factor {factor}");
+        // And close to the paper's implied 0.002/0.000038 ≈ 52×.
+        assert!((factor - 52.4).abs() < 2.0, "factor {factor}");
+    }
+
+    #[test]
+    fn cost_scales_with_usage() {
+        let mut heavy = UserCostInputs::paper();
+        heavy.pages_per_day = 100.0;
+        assert!((monthly_user_cost(&heavy) - 30.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # lightweb-cost
+//!
+//! Deployment cost modelling: the machinery behind the paper's §4
+//! economics and §5.2 scale-up estimates, culminating in Table 2.
+//!
+//! The paper's method is: measure one small shard (§5.1), then *estimate*
+//! a full C4-scale deployment by linear extrapolation over shards, priced
+//! at AWS c5.large rates. This crate implements exactly that estimation
+//! pipeline so it can be fed either the paper's published measurements
+//! (reproducing Table 2's numbers to the cent) or this repository's own
+//! measured microbenchmarks (producing *our* Table 2, compared in
+//! EXPERIMENTS.md).
+
+pub mod economics;
+pub mod model;
+pub mod trend;
+
+pub use economics::{google_fi_cost, monthly_user_cost, UserCostInputs, FI_DOLLARS_PER_GIB};
+pub use model::{
+    paper_measurements, DatasetSpec, DeploymentEstimate, InstanceType, ShardMeasurement,
+};
+pub use trend::{cost_after_years, years_to_factor};

@@ -1,0 +1,238 @@
+//! The §5.2 scale-up estimator: shard microbenchmark → deployment costs.
+//!
+//! Inputs: one shard's measured per-request compute time, the shard size,
+//! the instance pricing, and the dataset to serve. Output: the Table 2
+//! row — vCPU-seconds, dollars, and communication per request.
+//!
+//! Worked example with the paper's numbers (which
+//! [`paper_measurements`] encodes): a c5.large (2 vCPU, $0.085/h) serves a
+//! 1 GiB shard at 167 ms/request. C4 is 305 GiB → 305 shards; each request
+//! touches every shard for 167 ms, so one *server side* costs
+//! 305 × 0.167 s × 2 vCPU ≈ 102 vCPU-s ≈ 1.7 vCPU-min, and two-server PIR
+//! doubles it to ≈ 204 vCPU-s and ≈ $0.002 — the numbers printed in
+//! Table 2.
+
+use serde::Serialize;
+
+/// An instance type with its pricing.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct InstanceType {
+    /// Name for reports.
+    pub name: &'static str,
+    /// vCPUs per instance.
+    pub vcpus: u32,
+    /// Dollars per instance-hour.
+    pub dollars_per_hour: f64,
+    /// Memory per instance in GiB (shard size ceiling).
+    pub memory_gib: f64,
+}
+
+impl InstanceType {
+    /// The paper's c5.large: 2 vCPU, 4 GiB, $0.085/h.
+    pub fn c5_large() -> Self {
+        Self { name: "c5.large", vcpus: 2, dollars_per_hour: 0.085, memory_gib: 4.0 }
+    }
+}
+
+/// One shard's measured per-request costs (the §5.1 microbenchmark).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ShardMeasurement {
+    /// Shard size in GiB.
+    pub shard_gib: f64,
+    /// Wall-clock seconds of per-request compute on the shard's instance
+    /// (amortized, i.e. with batching if enabled).
+    pub seconds_per_request: f64,
+    /// Of which: DPF evaluation.
+    pub dpf_seconds: f64,
+    /// Of which: data scan.
+    pub scan_seconds: f64,
+    /// DPF slot-domain bits at this shard size.
+    pub domain_bits: u32,
+    /// Response bucket size in bytes.
+    pub bucket_bytes: usize,
+}
+
+/// The paper's §5.1 measurements: 167 ms/request on a 1 GiB shard
+/// (64 ms DPF + 103 ms scan), domain 2^22, 4 KiB buckets.
+pub fn paper_measurements() -> ShardMeasurement {
+    ShardMeasurement {
+        shard_gib: 1.0,
+        seconds_per_request: 0.167,
+        dpf_seconds: 0.064,
+        scan_seconds: 0.103,
+        domain_bits: 22,
+        bucket_bytes: 4096,
+    }
+}
+
+/// A dataset to serve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DatasetSpec {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Total compressed size in GiB.
+    pub total_gib: f64,
+    /// Number of pages.
+    pub pages: u64,
+    /// Average compressed page size in KiB.
+    pub avg_page_kib: f64,
+}
+
+impl DatasetSpec {
+    /// Table 2's C4 row inputs.
+    pub fn c4() -> Self {
+        Self { name: "C4", total_gib: 305.0, pages: 360_000_000, avg_page_kib: 0.9 }
+    }
+
+    /// Table 2's Wikipedia row inputs.
+    pub fn wikipedia() -> Self {
+        Self { name: "Wikipedia", total_gib: 21.0, pages: 60_000_000, avg_page_kib: 0.4 }
+    }
+}
+
+/// A complete per-request deployment estimate — one Table 2 row.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DeploymentEstimate {
+    /// Data-server shards per logical server.
+    pub shards: u32,
+    /// vCPU-seconds per request, system-wide (×2 for two-server).
+    pub vcpu_seconds: f64,
+    /// Dollars per request, system-wide.
+    pub dollars_per_request: f64,
+    /// Client↔server communication per request in KiB (both directions,
+    /// both servers).
+    pub communication_kib: f64,
+    /// Lower bound on request latency (one shard's batched latency).
+    pub latency_floor_s: f64,
+}
+
+/// Estimate a two-server deployment for `dataset`, scaling the shard
+/// measurement across `instance`s exactly as §5.2 does.
+///
+/// `batched_latency_s` is the per-shard end-to-end latency (2.6 s in the
+/// paper with batch size 16).
+pub fn estimate_deployment(
+    dataset: &DatasetSpec,
+    shard: &ShardMeasurement,
+    instance: &InstanceType,
+    batched_latency_s: f64,
+) -> DeploymentEstimate {
+    let shards = (dataset.total_gib / shard.shard_gib).ceil() as u32;
+    // One server side: every shard computes for seconds_per_request.
+    let one_side_vcpu_seconds =
+        shards as f64 * shard.seconds_per_request * instance.vcpus as f64;
+    let one_side_dollars =
+        shards as f64 * shard.seconds_per_request / 3600.0 * instance.dollars_per_hour;
+
+    DeploymentEstimate {
+        shards,
+        vcpu_seconds: 2.0 * one_side_vcpu_seconds,
+        dollars_per_request: 2.0 * one_side_dollars,
+        communication_kib: communication_kib(dataset, shard),
+        latency_floor_s: batched_latency_s,
+    }
+}
+
+/// The paper's communication accounting for the sharded deployment: each
+/// shard owns its own `2^domain_bits` output domain, so the effective key
+/// domain is `shards × 2^domain_bits`, priced at the §5.1 key-size formula
+/// of (λ+2)·d per level with λ = 128 **bytes** (the paper's arithmetic:
+/// 13.6 KiB at d = 22 with a 4 KiB bucket only works out at 130 bytes per
+/// level; see EXPERIMENTS.md).
+fn communication_kib(dataset: &DatasetSpec, shard: &ShardMeasurement) -> f64 {
+    let shards = (dataset.total_gib / shard.shard_gib).ceil();
+    let effective_domain_bits = shard.domain_bits as f64 + shards.log2();
+    let upload_per_server_bytes = 130.0 * effective_domain_bits;
+    let download_per_server_bytes = shard.bucket_bytes as f64;
+    2.0 * (upload_per_server_bytes + download_per_server_bytes) / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c4_row_matches_table_2() {
+        let est = estimate_deployment(
+            &DatasetSpec::c4(),
+            &paper_measurements(),
+            &InstanceType::c5_large(),
+            2.6,
+        );
+        assert_eq!(est.shards, 305);
+        // Table 2: 204 vCPU-sec.
+        assert!((est.vcpu_seconds - 204.0).abs() < 4.0, "vCPU-s {}", est.vcpu_seconds);
+        // Table 2: $0.002.
+        assert!(
+            (est.dollars_per_request - 0.002).abs() < 0.0005,
+            "$ {}",
+            est.dollars_per_request
+        );
+        // Table 2: 15.9 KiB.
+        assert!(
+            (est.communication_kib - 15.9).abs() < 0.5,
+            "comm {} KiB",
+            est.communication_kib
+        );
+        assert_eq!(est.latency_floor_s, 2.6);
+    }
+
+    #[test]
+    fn wikipedia_row_matches_table_2() {
+        let est = estimate_deployment(
+            &DatasetSpec::wikipedia(),
+            &paper_measurements(),
+            &InstanceType::c5_large(),
+            2.6,
+        );
+        assert_eq!(est.shards, 21);
+        // Table 2 prints 10 vCPU-sec and $0.0001; a strict application of
+        // the paper's own §5.2 method (21 shards × 167 ms × 2 vCPU × 2
+        // servers) gives 14 vCPU-sec and $0.00017. We reproduce the method
+        // and record the table's rounding gap in EXPERIMENTS.md.
+        assert!((10.0..=15.0).contains(&est.vcpu_seconds), "vCPU-s {}", est.vcpu_seconds);
+        assert!(
+            (0.0001..=0.0002).contains(&est.dollars_per_request),
+            "$ {}",
+            est.dollars_per_request
+        );
+        // Table 2: 14.9 KiB.
+        assert!(
+            (est.communication_kib - 14.9).abs() < 0.5,
+            "comm {} KiB",
+            est.communication_kib
+        );
+    }
+
+    #[test]
+    fn costs_scale_linearly_with_dataset_size() {
+        let shard = paper_measurements();
+        let inst = InstanceType::c5_large();
+        let small = DatasetSpec { name: "x", total_gib: 10.0, pages: 1, avg_page_kib: 1.0 };
+        let large = DatasetSpec { name: "y", total_gib: 100.0, pages: 1, avg_page_kib: 1.0 };
+        let a = estimate_deployment(&small, &shard, &inst, 2.6);
+        let b = estimate_deployment(&large, &shard, &inst, 2.6);
+        let ratio = b.vcpu_seconds / a.vcpu_seconds;
+        assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
+        // Communication grows only logarithmically.
+        assert!(b.communication_kib < a.communication_kib * 1.2);
+    }
+
+    #[test]
+    fn faster_shards_cut_cost_proportionally() {
+        let inst = InstanceType::c5_large();
+        let base = paper_measurements();
+        let mut fast = base;
+        fast.seconds_per_request = base.seconds_per_request / 2.0;
+        let a = estimate_deployment(&DatasetSpec::c4(), &base, &inst, 2.6);
+        let b = estimate_deployment(&DatasetSpec::c4(), &fast, &inst, 2.6);
+        assert!((a.dollars_per_request / b.dollars_per_request - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_measurement_split_adds_up() {
+        let m = paper_measurements();
+        assert!((m.dpf_seconds + m.scan_seconds - m.seconds_per_request).abs() < 1e-9);
+        assert!(m.scan_seconds > m.dpf_seconds, "scan dominates in the paper");
+    }
+}

@@ -1,0 +1,61 @@
+//! The "looking forward" compute-cost trend (paper §5.2).
+//!
+//! "In 2003, $1 bought 8 CPU hours, and in 2008, $1 bought 128 CPU hours
+//! (adjusted for inflation), a 16× increase. This change suggests that in
+//! 5 years, we could potentially see the dollar cost of a ZLTP request
+//! drop by an order of magnitude."
+
+/// The historical improvement factor per period the paper cites.
+pub const FACTOR_PER_PERIOD: f64 = 16.0;
+
+/// The period length in years.
+pub const PERIOD_YEARS: f64 = 5.0;
+
+/// Projected cost after `years`, starting from `cost_now`.
+pub fn cost_after_years(cost_now: f64, years: f64) -> f64 {
+    cost_now / FACTOR_PER_PERIOD.powf(years / PERIOD_YEARS)
+}
+
+/// Years until cost falls by `factor` under the trend.
+pub fn years_to_factor(factor: f64) -> f64 {
+    assert!(factor >= 1.0, "factor must be >= 1");
+    PERIOD_YEARS * factor.ln() / FACTOR_PER_PERIOD.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_years_beats_an_order_of_magnitude() {
+        // The paper's claim: 5 years → ≥10× cheaper (16× under the trend).
+        let now = 0.002;
+        let later = cost_after_years(now, 5.0);
+        assert!(now / later >= 10.0, "only {}x", now / later);
+        assert!((now / later - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_of_magnitude_takes_about_four_years() {
+        let y = years_to_factor(10.0);
+        assert!((4.0..4.5).contains(&y), "{y}");
+    }
+
+    #[test]
+    fn trend_composes() {
+        let a = cost_after_years(1.0, 5.0);
+        let b = cost_after_years(a, 5.0);
+        assert!((b - cost_after_years(1.0, 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_years_is_identity() {
+        assert_eq!(cost_after_years(0.5, 0.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be")]
+    fn sub_unity_factor_rejected() {
+        years_to_factor(0.5);
+    }
+}

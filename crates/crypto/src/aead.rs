@@ -1,0 +1,213 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439), composed from the primitives in this
+//! crate.
+//!
+//! Lightweb's access-control story (paper §3.3) is encryption-at-rest: the
+//! CDN stores only ciphertext data blobs for paywalled domains, and the
+//! publisher distributes decryption keys out of band to paying users,
+//! rotating keys to revoke access. That requires an authenticated cipher so
+//! that a client can detect blobs encrypted under a rotated-out key (or a
+//! tampering CDN) instead of rendering garbage; this module provides it.
+
+use crate::chacha::{ChaCha, CHACHA_KEY_LEN, CHACHA_NONCE_LEN};
+use crate::poly1305::{Poly1305, POLY1305_TAG_LEN};
+use crate::util::ct_eq;
+
+/// AEAD key length (32 bytes).
+pub const AEAD_KEY_LEN: usize = CHACHA_KEY_LEN;
+/// AEAD nonce length (12 bytes).
+pub const AEAD_NONCE_LEN: usize = CHACHA_NONCE_LEN;
+/// AEAD tag length (16 bytes).
+pub const AEAD_TAG_LEN: usize = POLY1305_TAG_LEN;
+
+/// Errors returned by AEAD operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// The ciphertext is shorter than a tag, or the tag failed to verify.
+    /// Deliberately carries no detail: distinguishing "truncated" from
+    /// "forged" would be an oracle.
+    InvalidCiphertext,
+}
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AEAD ciphertext rejected")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// A ChaCha20-Poly1305 AEAD instance bound to one key.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; AEAD_KEY_LEN],
+}
+
+impl ChaCha20Poly1305 {
+    /// Create an AEAD instance from a 256-bit key.
+    pub fn new(key: &[u8; AEAD_KEY_LEN]) -> Self {
+        Self { key: *key }
+    }
+
+    /// Derive the one-time Poly1305 key for `nonce` (RFC 8439 §2.6): the
+    /// first 32 bytes of ChaCha20 keystream block 0.
+    fn poly_key(&self, nonce: &[u8; AEAD_NONCE_LEN]) -> [u8; 32] {
+        let cipher = ChaCha::chacha20(&self.key, nonce);
+        let mut block = [0u8; 64];
+        cipher.keystream_block(0, &mut block);
+        let mut pk = [0u8; 32];
+        pk.copy_from_slice(&block[..32]);
+        pk
+    }
+
+    /// Compute the RFC 8439 MAC over `aad` and `ciphertext`.
+    fn tag(
+        &self,
+        nonce: &[u8; AEAD_NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+    ) -> [u8; AEAD_TAG_LEN] {
+        let pk = self.poly_key(nonce);
+        let mut mac = Poly1305::new(&pk);
+        let zeros = [0u8; 16];
+        mac.update(aad);
+        mac.update(&zeros[..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&zeros[..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypt `plaintext` with associated data `aad`, returning
+    /// `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; AEAD_NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ChaCha::chacha20(&self.key, nonce).apply_keystream(1, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verify and decrypt `ciphertext || tag`. Returns the plaintext, or an
+    /// error if the tag does not verify.
+    pub fn open(
+        &self,
+        nonce: &[u8; AEAD_NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if ciphertext_and_tag.len() < AEAD_TAG_LEN {
+            return Err(AeadError::InvalidCiphertext);
+        }
+        let split = ciphertext_and_tag.len() - AEAD_TAG_LEN;
+        let (ct, tag) = ciphertext_and_tag.split_at(split);
+        let expected = self.tag(nonce, aad, ct);
+        if !ct_eq(&expected, tag) {
+            return Err(AeadError::InvalidCiphertext);
+        }
+        let mut out = ct.to_vec();
+        ChaCha::chacha20(&self.key, nonce).apply_keystream(1, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{hex_decode, hex_encode};
+
+    /// RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: [u8; 32] = (0x80u8..0xa0).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = hex_decode("070000004041424344454647")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aad = hex_decode("50515253c0c1c2c3c4c5c6c7").unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let aead = ChaCha20Poly1305::new(&key);
+        let out = aead.seal(&nonce, &aad, plaintext);
+        let (ct, tag) = out.split_at(out.len() - 16);
+        let expected_ct = hex_decode(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        )
+        .unwrap();
+        assert_eq!(ct.to_vec(), expected_ct);
+        assert_eq!(hex_encode(tag), "1ae10b594f09e26a7e902ecbd0600691");
+
+        // And decryption succeeds.
+        let pt = aead.open(&nonce, &aad, &out).unwrap();
+        assert_eq!(pt, plaintext);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = crate::random_key();
+        let aead = ChaCha20Poly1305::new(&key);
+        let nonce = [1u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 64, 100, 4096] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let ct = aead.seal(&nonce, b"blob-path", &pt);
+            assert_eq!(ct.len(), len + AEAD_TAG_LEN);
+            assert_eq!(aead.open(&nonce, b"blob-path", &ct).unwrap(), pt, "len={len}");
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let aead = ChaCha20Poly1305::new(&crate::random_key());
+        let nonce = [2u8; 12];
+        let mut ct = aead.seal(&nonce, b"", b"secret page body");
+        for i in 0..ct.len() {
+            let mut bad = ct.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                aead.open(&nonce, b"", &bad),
+                Err(AeadError::InvalidCiphertext),
+                "flip at byte {i} accepted"
+            );
+        }
+        // Untampered still opens (ct unchanged).
+        ct.truncate(ct.len());
+        assert!(aead.open(&nonce, b"", &ct).is_ok());
+    }
+
+    #[test]
+    fn wrong_aad_is_rejected() {
+        let aead = ChaCha20Poly1305::new(&crate::random_key());
+        let nonce = [3u8; 12];
+        let ct = aead.seal(&nonce, b"path-a", b"body");
+        assert!(aead.open(&nonce, b"path-b", &ct).is_err());
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let nonce = [4u8; 12];
+        let ct = ChaCha20Poly1305::new(&crate::random_key()).seal(&nonce, b"", b"body");
+        assert!(ChaCha20Poly1305::new(&crate::random_key())
+            .open(&nonce, b"", &ct)
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let aead = ChaCha20Poly1305::new(&crate::random_key());
+        let ct = aead.seal(&[5u8; 12], b"", b"body");
+        assert!(aead.open(&[6u8; 12], b"", &ct).is_err());
+    }
+
+    #[test]
+    fn truncated_ciphertext_is_rejected() {
+        let aead = ChaCha20Poly1305::new(&crate::random_key());
+        let nonce = [7u8; 12];
+        let ct = aead.seal(&nonce, b"", b"body");
+        for len in 0..ct.len() {
+            assert!(aead.open(&nonce, b"", &ct[..len]).is_err(), "len={len}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The ChaCha family of stream ciphers (RFC 8439), implemented from scratch.
+//!
+//! ZLTP uses ChaCha in two places: ChaCha20 is the stream-cipher half of the
+//! [`crate::aead`] construction used for lightweb's access-control layer, and
+//! a reduced-round ChaCha8 block function is the core of the DPF node PRG
+//! ([`crate::prg`]). Reduced-round ChaCha is the standard PRG choice in
+//! production function-secret-sharing code because a full-domain DPF
+//! evaluation performs one PRG call per tree node and the PRG dominates the
+//! "DPF evaluation" half of the per-request cost the paper measures in §5.1.
+
+/// Length in bytes of a ChaCha key.
+pub const CHACHA_KEY_LEN: usize = 32;
+/// Length in bytes of a ChaCha (IETF) nonce.
+pub const CHACHA_NONCE_LEN: usize = 12;
+/// Length in bytes of one ChaCha output block.
+pub const CHACHA_BLOCK_LEN: usize = 64;
+
+/// The ChaCha constants `"expand 32-byte k"` as little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+#[inline(always)]
+fn double_round(state: &mut [u32; 16]) {
+    quarter_round(state, 0, 4, 8, 12);
+    quarter_round(state, 1, 5, 9, 13);
+    quarter_round(state, 2, 6, 10, 14);
+    quarter_round(state, 3, 7, 11, 15);
+    quarter_round(state, 0, 5, 10, 15);
+    quarter_round(state, 1, 6, 11, 12);
+    quarter_round(state, 2, 7, 8, 13);
+    quarter_round(state, 3, 4, 9, 14);
+}
+
+/// Run the ChaCha permutation with `rounds` rounds over `input`, writing the
+/// feed-forward result into `out` as 16 little-endian words.
+///
+/// `rounds` must be even (ChaCha is specified in double rounds).
+#[inline]
+pub fn chacha_permute(input: &[u32; 16], rounds: usize, out: &mut [u8; CHACHA_BLOCK_LEN]) {
+    debug_assert!(rounds % 2 == 0, "ChaCha round count must be even");
+    let mut state = *input;
+    for _ in 0..rounds / 2 {
+        double_round(&mut state);
+    }
+    for (i, word) in state.iter_mut().enumerate() {
+        *word = word.wrapping_add(input[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// Build the initial ChaCha state matrix from key / counter / nonce.
+#[inline]
+fn init_state(key: &[u8; CHACHA_KEY_LEN], counter: u32, nonce: &[u8; CHACHA_NONCE_LEN]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state
+}
+
+/// A ChaCha stream cipher instance with a configurable round count.
+///
+/// `ChaCha::chacha20` is the RFC 8439 cipher; `ChaCha::chacha8` is the
+/// reduced-round variant used as the DPF PRG. The instance is positioned with
+/// an explicit 32-bit block counter, matching the IETF flavour (96-bit nonce,
+/// 32-bit counter, 256 GiB max stream length — far beyond any ZLTP message).
+#[derive(Clone)]
+pub struct ChaCha {
+    key: [u8; CHACHA_KEY_LEN],
+    nonce: [u8; CHACHA_NONCE_LEN],
+    rounds: usize,
+}
+
+impl ChaCha {
+    /// Create a ChaCha instance with an explicit round count (must be even).
+    pub fn new(key: &[u8; CHACHA_KEY_LEN], nonce: &[u8; CHACHA_NONCE_LEN], rounds: usize) -> Self {
+        assert!(rounds >= 2 && rounds % 2 == 0, "invalid ChaCha round count {rounds}");
+        Self { key: *key, nonce: *nonce, rounds }
+    }
+
+    /// RFC 8439 ChaCha20.
+    pub fn chacha20(key: &[u8; CHACHA_KEY_LEN], nonce: &[u8; CHACHA_NONCE_LEN]) -> Self {
+        Self::new(key, nonce, 20)
+    }
+
+    /// Reduced-round ChaCha8 (PRG use only).
+    pub fn chacha8(key: &[u8; CHACHA_KEY_LEN], nonce: &[u8; CHACHA_NONCE_LEN]) -> Self {
+        Self::new(key, nonce, 8)
+    }
+
+    /// Generate the keystream block at `counter` into `out`.
+    pub fn keystream_block(&self, counter: u32, out: &mut [u8; CHACHA_BLOCK_LEN]) {
+        let state = init_state(&self.key, counter, &self.nonce);
+        chacha_permute(&state, self.rounds, out);
+    }
+
+    /// XOR the keystream starting at block `counter` into `data` in place.
+    ///
+    /// Encrypt and decrypt are the same operation. Returns the counter value
+    /// one past the last block consumed, so callers can continue the stream.
+    pub fn apply_keystream(&self, mut counter: u32, data: &mut [u8]) -> u32 {
+        let mut block = [0u8; CHACHA_BLOCK_LEN];
+        for chunk in data.chunks_mut(CHACHA_BLOCK_LEN) {
+            self.keystream_block(counter, &mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+            counter = counter
+                .checked_add(1)
+                .expect("ChaCha 32-bit block counter overflow (message too long)");
+        }
+        counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::hex_decode;
+
+    fn key_0_31() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    /// RFC 8439 §2.3.2: ChaCha20 block function test vector.
+    #[test]
+    fn rfc8439_block_function_vector() {
+        let key = key_0_31();
+        let nonce = hex_decode("000000090000004a00000000").unwrap();
+        let nonce: [u8; 12] = nonce.try_into().unwrap();
+        let cipher = ChaCha::chacha20(&key, &nonce);
+        let mut out = [0u8; 64];
+        cipher.keystream_block(1, &mut out);
+        let expected = hex_decode(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        )
+        .unwrap();
+        assert_eq!(out.to_vec(), expected);
+    }
+
+    /// RFC 8439 §2.4.2: ChaCha20 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key = key_0_31();
+        let nonce = hex_decode("000000000000004a00000000").unwrap();
+        let nonce: [u8; 12] = nonce.try_into().unwrap();
+        let cipher = ChaCha::chacha20(&key, &nonce);
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        cipher.apply_keystream(1, &mut data);
+        let expected = hex_decode(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        )
+        .unwrap();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn encrypt_then_decrypt_roundtrips() {
+        let key = crate::random_key();
+        let nonce = [7u8; 12];
+        let cipher = ChaCha::chacha20(&key, &nonce);
+        let plaintext: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let mut data = plaintext.clone();
+        cipher.apply_keystream(0, &mut data);
+        assert_ne!(data, plaintext);
+        cipher.apply_keystream(0, &mut data);
+        assert_eq!(data, plaintext);
+    }
+
+    #[test]
+    fn distinct_counters_give_distinct_blocks() {
+        let cipher = ChaCha::chacha20(&[1u8; 32], &[2u8; 12]);
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        cipher.keystream_block(0, &mut a);
+        cipher.keystream_block(1, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chacha8_differs_from_chacha20() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        ChaCha::chacha8(&key, &nonce).keystream_block(0, &mut a);
+        ChaCha::chacha20(&key, &nonce).keystream_block(0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_keystream_returns_next_counter() {
+        let cipher = ChaCha::chacha20(&[0u8; 32], &[0u8; 12]);
+        let mut data = vec![0u8; 130]; // 3 blocks (2 full + 1 partial)
+        assert_eq!(cipher.apply_keystream(5, &mut data), 8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        // Applying the keystream in two chunks at block-aligned offsets must
+        // equal applying it in one call.
+        let cipher = ChaCha::chacha20(&[9u8; 32], &[1u8; 12]);
+        let mut whole = vec![0xAB; 256];
+        cipher.apply_keystream(0, &mut whole);
+
+        let mut parts = vec![0xAB; 256];
+        let next = cipher.apply_keystream(0, &mut parts[..128]);
+        cipher.apply_keystream(next, &mut parts[128..]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ChaCha round count")]
+    fn odd_round_count_rejected() {
+        let _ = ChaCha::new(&[0u8; 32], &[0u8; 12], 7);
+    }
+}

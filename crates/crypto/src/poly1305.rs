@@ -1,0 +1,275 @@
+//! The Poly1305 one-time authenticator (RFC 8439), implemented from scratch.
+//!
+//! Poly1305 evaluates the message, split into 16-byte blocks, as a polynomial
+//! at a secret point `r` modulo the prime `2^130 - 5`, then adds a one-time
+//! pad `s`. This implementation uses the classic five-limb radix-2^26
+//! representation so every limb product fits comfortably in a `u64`.
+
+/// Length of a Poly1305 key (r || s).
+pub const POLY1305_KEY_LEN: usize = 32;
+/// Length of a Poly1305 tag.
+pub const POLY1305_TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 state.
+///
+/// Feed message bytes with [`Poly1305::update`] and produce the 16-byte tag
+/// with [`Poly1305::finalize`]. A state must not be reused after
+/// finalization — Poly1305 keys are strictly one-time.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    h: [u32; 5],
+    pad: [u32; 4],
+    buffer: [u8; 16],
+    leftover: usize,
+}
+
+impl Poly1305 {
+    /// Initialize from a 32-byte one-time key: the first half is the
+    /// polynomial point `r` (clamped per the RFC), the second half the final
+    /// pad `s`.
+    pub fn new(key: &[u8; POLY1305_KEY_LEN]) -> Self {
+        let le = |i: usize| u32::from_le_bytes(key[i..i + 4].try_into().unwrap());
+        // r &= 0xffffffc0ffffffc0ffffffc0fffffff, split into 26-bit limbs.
+        let r = [
+            le(0) & 0x03ff_ffff,
+            (le(3) >> 2) & 0x03ff_ff03,
+            (le(6) >> 4) & 0x03ff_c0ff,
+            (le(9) >> 6) & 0x03f0_3fff,
+            (le(12) >> 8) & 0x000f_ffff,
+        ];
+        let pad = [le(16), le(20), le(24), le(28)];
+        Self { r, h: [0; 5], pad, buffer: [0; 16], leftover: 0 }
+    }
+
+    /// Process one 16-byte block. `hibit` is `1 << 24` for full blocks and 0
+    /// for the padded final partial block (whose 2^128 term is encoded in the
+    /// buffer itself).
+    fn block(&mut self, m: &[u8], hibit: u32) {
+        let le = |i: usize| u32::from_le_bytes(m[i..i + 4].try_into().unwrap());
+
+        let mut h0 = self.h[0].wrapping_add(le(0) & 0x03ff_ffff) as u64;
+        let mut h1 = self.h[1].wrapping_add((le(3) >> 2) & 0x03ff_ffff) as u64;
+        let mut h2 = self.h[2].wrapping_add((le(6) >> 4) & 0x03ff_ffff) as u64;
+        let mut h3 = self.h[3].wrapping_add((le(9) >> 6) & 0x03ff_ffff) as u64;
+        let mut h4 = self.h[4].wrapping_add((le(12) >> 8) | hibit) as u64;
+
+        let [r0, r1, r2, r3, r4] = self.r.map(|x| x as u64);
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+
+        // h *= r  (mod 2^130 - 5), schoolbook with the 5x folding trick.
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial carry propagation back to 26-bit limbs.
+        let mut c;
+        c = d0 >> 26;
+        h0 = d0 & 0x03ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h1 = d1 & 0x03ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h2 = d2 & 0x03ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h3 = d3 & 0x03ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h4 = d4 & 0x03ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        self.h = [h0 as u32, h1 as u32, h2 as u32, h3 as u32, h4 as u32];
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.leftover > 0 {
+            let want = (16 - self.leftover).min(data.len());
+            self.buffer[self.leftover..self.leftover + want].copy_from_slice(&data[..want]);
+            self.leftover += want;
+            data = &data[want..];
+            if self.leftover == 16 {
+                let buf = self.buffer;
+                self.block(&buf, 1 << 24);
+                self.leftover = 0;
+            }
+        }
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            // Copy out to satisfy the borrow checker; 16 bytes, negligible.
+            let mut m = [0u8; 16];
+            m.copy_from_slice(chunk);
+            self.block(&m, 1 << 24);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            self.buffer[..rem.len()].copy_from_slice(rem);
+            self.leftover = rem.len();
+        }
+    }
+
+    /// Consume the state and produce the authentication tag.
+    pub fn finalize(mut self) -> [u8; POLY1305_TAG_LEN] {
+        if self.leftover > 0 {
+            let mut m = [0u8; 16];
+            m[..self.leftover].copy_from_slice(&self.buffer[..self.leftover]);
+            m[self.leftover] = 1; // 2^128 term for the padded final block
+            self.block(&m, 0);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+
+        // Fully propagate carries.
+        let mut c;
+        c = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        // Compute h + -p = h - (2^130 - 5) and constant-time select.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // mask = all-ones if h >= p (g4 had no borrow), else zero.
+        let mask = (g4 >> 31).wrapping_sub(1);
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
+        h3 = (h3 & !mask) | (g3 & mask);
+        h4 = (h4 & !mask) | (g4 & mask);
+
+        // Repack limbs into 4 little-endian 32-bit words.
+        let w0 = h0 | (h1 << 26);
+        let w1 = (h1 >> 6) | (h2 << 20);
+        let w2 = (h2 >> 12) | (h3 << 14);
+        let w3 = (h3 >> 18) | (h4 << 8);
+
+        // tag = (h + s) mod 2^128
+        let mut f: u64;
+        let mut tag = [0u8; 16];
+        f = w0 as u64 + self.pad[0] as u64;
+        tag[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w1 as u64 + self.pad[1] as u64 + (f >> 32);
+        tag[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w2 as u64 + self.pad[2] as u64 + (f >> 32);
+        tag[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w3 as u64 + self.pad[3] as u64 + (f >> 32);
+        tag[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        tag
+    }
+
+    /// One-shot convenience: MAC `data` under `key`.
+    pub fn mac(key: &[u8; POLY1305_KEY_LEN], data: &[u8]) -> [u8; POLY1305_TAG_LEN] {
+        let mut st = Self::new(key);
+        st.update(data);
+        st.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{hex_decode, hex_encode};
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_mac_vector() {
+        let key: [u8; 32] = hex_decode(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap()
+        .try_into()
+        .unwrap();
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex_encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    /// RFC 8439 §A.3 vector #1: all-zero key and message give an all-zero tag.
+    #[test]
+    fn rfc8439_a3_vector_1() {
+        let tag = Poly1305::mac(&[0u8; 32], &[0u8; 64]);
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    /// RFC 8439 §A.3 vector #2: r = 0, s = nonzero; tag equals s.
+    #[test]
+    fn rfc8439_a3_vector_2() {
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(
+            &hex_decode("36e5f6b5c5e06070f0efca96227a863e").unwrap(),
+        );
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(hex_encode(&tag), "36e5f6b5c5e06070f0efca96227a863e");
+    }
+
+    /// RFC 8439 §A.3 vector #3: s = 0.
+    #[test]
+    fn rfc8439_a3_vector_3() {
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(
+            &hex_decode("36e5f6b5c5e06070f0efca96227a863e").unwrap(),
+        );
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(hex_encode(&tag), "f3477e7cd95417af89a6b8794c310cf0");
+    }
+
+    #[test]
+    fn incremental_update_matches_one_shot() {
+        let key = crate::random_key();
+        let data: Vec<u8> = (0..259u32).map(|i| (i * 7 % 256) as u8).collect();
+        let one_shot = Poly1305::mac(&key, &data);
+        // Feed in awkward chunk sizes crossing block boundaries.
+        for chunk_len in [1usize, 3, 15, 16, 17, 33, 100] {
+            let mut st = Poly1305::new(&key);
+            for chunk in data.chunks(chunk_len) {
+                st.update(chunk);
+            }
+            assert_eq!(st.finalize(), one_shot, "chunk_len={chunk_len}");
+        }
+    }
+
+    #[test]
+    fn different_messages_give_different_tags() {
+        let key = crate::random_key();
+        assert_ne!(Poly1305::mac(&key, b"hello"), Poly1305::mac(&key, b"hellp"));
+    }
+
+    #[test]
+    fn empty_message_is_pad_only() {
+        // With no blocks processed, h stays 0 and the tag is exactly s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xAA; 16]);
+        assert_eq!(Poly1305::mac(&key, b""), [0xAA; 16]);
+    }
+}

@@ -1,0 +1,174 @@
+//! SipHash-2-4, a fast keyed pseudorandom function over short inputs.
+//!
+//! ZLTP's two-server PIR mode retrieves key-value pairs "by keyword"
+//! (paper §2.2, citing Chor-Gilboa-Naor): the client and servers share a
+//! public hash that maps an arbitrary path string such as
+//! `nytimes.com/world/africa/headlines.json` onto a slot in the DPF output
+//! domain of size 2^d. §5.1 sizes that domain at 2^22 for ~2^20 stored pairs
+//! so the collision probability for a fresh key stays below 1/4.
+//!
+//! SipHash is the right tool: keyed (each universe epoch can re-seed to
+//! resolve collisions), fast on short strings, and trivially portable.
+
+/// A SipHash-2-4 instance with a fixed 128-bit key.
+#[derive(Clone, Copy, Debug)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+#[inline(always)]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+impl SipHash24 {
+    /// Create an instance from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self {
+            k0: u64::from_le_bytes(key[..8].try_into().unwrap()),
+            k1: u64::from_le_bytes(key[8..].try_into().unwrap()),
+        }
+    }
+
+    /// Create an instance from two 64-bit key halves.
+    pub fn from_halves(k0: u64, k1: u64) -> Self {
+        Self { k0, k1 }
+    }
+
+    /// Hash a byte string to 64 bits.
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut v = [
+            self.k0 ^ 0x736f_6d65_7073_6575,
+            self.k1 ^ 0x646f_7261_6e64_6f6d,
+            self.k0 ^ 0x6c79_6765_6e65_7261,
+            self.k1 ^ 0x7465_6462_7974_6573,
+        ];
+
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().unwrap());
+            v[3] ^= m;
+            sipround(&mut v);
+            sipround(&mut v);
+            v[0] ^= m;
+        }
+
+        // Final block: remaining bytes plus the length byte in the MSB.
+        let rem = chunks.remainder();
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        last[7] = data.len() as u8;
+        let m = u64::from_le_bytes(last);
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+
+        v[2] ^= 0xff;
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+
+        v[0] ^ v[1] ^ v[2] ^ v[3]
+    }
+
+    /// Hash a string onto a domain of size `2^domain_bits`.
+    ///
+    /// This is the keyword→slot map used by keyword PIR. `domain_bits` must
+    /// be at most 64.
+    pub fn hash_to_domain(&self, data: &[u8], domain_bits: u32) -> u64 {
+        assert!(domain_bits <= 64, "domain too large");
+        let h = self.hash(data);
+        if domain_bits == 64 {
+            h
+        } else {
+            h & ((1u64 << domain_bits) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference test vectors from the SipHash paper / reference
+    /// implementation (`vectors_sip64`), key = 00 01 02 ... 0f and messages
+    /// 00, 00 01, 00 01 02, ...
+    #[test]
+    fn reference_vectors() {
+        let mut key = [0u8; 16];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let sip = SipHash24::new(&key);
+        let expected: [u64; 8] = [
+            0x726f_db47_dd0e_0e31,
+            0x74f8_39c5_93dc_67fd,
+            0x0d6c_8009_d9a9_4f5a,
+            0x8567_6696_d7fb_7e2d,
+            0xcf27_94e0_2771_87b7,
+            0x1876_5564_cd99_a68d,
+            0xcbc9_466e_58fe_e3ce,
+            0xab02_00f5_8b01_d137,
+        ];
+        let msg: Vec<u8> = (0..8).collect();
+        for (len, want) in expected.iter().enumerate() {
+            assert_eq!(sip.hash(&msg[..len]), *want, "message length {len}");
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_hashes() {
+        let a = SipHash24::from_halves(1, 2);
+        let b = SipHash24::from_halves(3, 4);
+        assert_ne!(a.hash(b"lightweb"), b.hash(b"lightweb"));
+    }
+
+    #[test]
+    fn hash_to_domain_is_in_range() {
+        let sip = SipHash24::from_halves(42, 43);
+        for bits in [1u32, 8, 22, 63, 64] {
+            for i in 0..100u32 {
+                let h = sip.hash_to_domain(&i.to_le_bytes(), bits);
+                if bits < 64 {
+                    assert!(h < (1u64 << bits), "bits={bits} h={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_to_domain_roughly_uniform() {
+        // Hash 4096 keys into 4 buckets; each bucket should get 1024 ± a
+        // generous slack. Catches e.g. masking the wrong bits.
+        let sip = SipHash24::from_halves(7, 11);
+        let mut counts = [0usize; 4];
+        for i in 0..4096u32 {
+            counts[sip.hash_to_domain(format!("page-{i}").as_bytes(), 2) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1400).contains(&c), "badly skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain too large")]
+    fn oversized_domain_rejected() {
+        SipHash24::from_halves(0, 0).hash_to_domain(b"x", 65);
+    }
+}

@@ -1,0 +1,158 @@
+//! Small shared utilities: hex, constant-time comparison, XOR helpers.
+
+/// Encode bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (case-insensitive). Returns `None` on odd length or
+/// non-hex characters.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+/// Constant-time equality for equal-length byte slices.
+///
+/// Returns `false` immediately on length mismatch (lengths are public in
+/// every lightweb use — tags and seeds are fixed-size).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Map 0 -> true without a data-dependent branch on the bytes.
+    diff == 0
+}
+
+/// XOR `src` into `dst` in place. Panics if lengths differ: XOR-accumulation
+/// over mismatched buffers is always a logic error in the PIR scan.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    xor_in_place_masked(dst, src, 0xFF);
+}
+
+/// XOR `src & broadcast(mask)` into `dst`: the branch-free conditional
+/// accumulate at the heart of the PIR linear scan (§5.1 of the paper).
+/// `mask` must be 0x00 or 0xFF.
+///
+/// Word-at-a-time via unaligned 64-bit loads (`from_ne_bytes` compiles to a
+/// single unaligned load on every mainstream target), so `dst` and `src`
+/// need not share alignment — records in the scan buffer usually don't.
+pub fn xor_in_place_masked(dst: &mut [u8], src: &[u8], mask: u8) {
+    debug_assert!(mask == 0 || mask == 0xFF);
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    let wide = u64::from_ne_bytes([mask; 8]);
+    let mut d_chunks = dst.chunks_exact_mut(8);
+    let mut s_chunks = src.chunks_exact(8);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        let dv = u64::from_ne_bytes(d.as_ref().try_into().unwrap());
+        let sv = u64::from_ne_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&(dv ^ (sv & wide)).to_ne_bytes());
+    }
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder().iter())
+    {
+        *d ^= *s & mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_decode_rejects_bad_input() {
+        assert!(hex_decode("abc").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex chars");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_decode_accepts_uppercase() {
+        assert_eq!(hex_decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn xor_in_place_is_involution() {
+        let a: Vec<u8> = (0..100).collect();
+        let b: Vec<u8> = (0..100u8).map(|i| i.wrapping_mul(3)).collect();
+        let mut c = a.clone();
+        xor_in_place(&mut c, &b);
+        xor_in_place(&mut c, &b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn xor_masked_zero_is_identity() {
+        let mut dst = vec![0x55u8; 37];
+        let src = vec![0xFFu8; 37];
+        xor_in_place_masked(&mut dst, &src, 0x00);
+        assert_eq!(dst, vec![0x55u8; 37]);
+    }
+
+    #[test]
+    fn xor_masked_ff_equals_plain_xor() {
+        let mut a = vec![0x55u8; 37];
+        let mut b = a.clone();
+        let src: Vec<u8> = (0..37).collect();
+        xor_in_place(&mut a, &src);
+        xor_in_place_masked(&mut b, &src, 0xFF);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xor_handles_unaligned_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+            let mut dst = vec![0u8; len];
+            let src: Vec<u8> = (0..len as u8).collect();
+            xor_in_place(&mut dst, &src);
+            assert_eq!(dst, src, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        xor_in_place(&mut [0u8; 3], &[0u8; 4]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Front-end / data-server split evaluation of a DPF key (paper §5.2).
+//!
+//! In the scaled-up architecture the client sends its DPF key to a
+//! *front-end* server. The front-end evaluates the top `p` levels of the
+//! seed tree once, producing `2^p` sub-tree roots, and ships root `j`
+//! (plus the lower correction words, which are identical for every shard) to
+//! the data server responsible for slice `j` of the domain. Each data server
+//! then performs exactly the work of evaluating a DPF over a domain of size
+//! `2^(d-p)` — so per-server cost stays flat as the deployment grows, which
+//! is how the paper argues a 305-server C4 deployment keeps the 1 GiB
+//! microbenchmark's per-shard latency.
+
+use crate::eval::NodeState;
+use crate::key::{CorrectionWord, DpfKey, DpfParams};
+use lightweb_crypto::prg::{DpfPrg, Seed};
+
+/// A sub-tree root handed from the front-end to one data server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Seed at the sub-tree root.
+    pub seed: Seed,
+    /// Control bit at the sub-tree root.
+    pub bit: bool,
+}
+
+/// The key material a data server needs to finish an evaluation from a
+/// [`TreeNode`]: the correction words below the prefix plus the terminal
+/// correction word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardKey {
+    params: DpfParams,
+    party: u8,
+    prefix_bits: u32,
+    cws: Vec<CorrectionWord>,
+    final_cw: Vec<u8>,
+}
+
+impl DpfKey {
+    /// Evaluate the top `prefix_bits` levels of the tree, returning the
+    /// `2^prefix_bits` sub-tree roots in domain order.
+    ///
+    /// Requires `prefix_bits < tree_depth()` and that each shard's slice of
+    /// the domain is byte-aligned (`domain_bits - prefix_bits >= 3`), so the
+    /// per-shard outputs concatenate cleanly.
+    pub fn eval_prefix(&self, prefix_bits: u32) -> Vec<TreeNode> {
+        assert!(
+            prefix_bits < self.params.tree_depth(),
+            "prefix {prefix_bits} must be shallower than the tree ({})",
+            self.params.tree_depth()
+        );
+        assert!(
+            self.params.domain_bits() - prefix_bits >= 3,
+            "per-shard slice must cover at least 8 domain points"
+        );
+        let prg = DpfPrg::new();
+        let mut frontier = vec![NodeState { seed: self.root_seed, bit: self.party == 1 }];
+        for level in 0..prefix_bits {
+            let cw = &self.cws[level as usize];
+            let mut next = Vec::with_capacity(frontier.len() * 2);
+            for state in frontier {
+                next.push(crate::eval::descend(&prg, state, cw, false));
+                next.push(crate::eval::descend(&prg, state, cw, true));
+            }
+            frontier = next;
+        }
+        frontier
+            .into_iter()
+            .map(|s| TreeNode { seed: s.seed, bit: s.bit })
+            .collect()
+    }
+
+    /// Extract the key material data servers need below a `prefix_bits`
+    /// split. The same `ShardKey` serves every shard; only the [`TreeNode`]
+    /// differs per shard.
+    pub fn shard_key(&self, prefix_bits: u32) -> ShardKey {
+        assert!(prefix_bits < self.params.tree_depth());
+        ShardKey {
+            params: self.params,
+            party: self.party,
+            prefix_bits,
+            cws: self.cws[prefix_bits as usize..].to_vec(),
+            final_cw: self.final_cw.clone(),
+        }
+    }
+}
+
+impl ShardKey {
+    /// The parameters of the originating key.
+    pub fn params(&self) -> DpfParams {
+        self.params
+    }
+
+    /// The prefix depth this shard key was split at.
+    pub fn prefix_bits(&self) -> u32 {
+        self.prefix_bits
+    }
+
+    /// Number of bytes of packed output each shard produces.
+    pub fn shard_output_len(&self) -> usize {
+        ((self.params.domain_size() >> self.prefix_bits) as usize + 7) / 8
+    }
+
+    /// Evaluate the sub-tree rooted at `node`, writing the shard's packed
+    /// output bits into `out` (`out.len()` must equal
+    /// [`ShardKey::shard_output_len`]).
+    pub fn eval(&self, node: &TreeNode, out: &mut [u8]) {
+        assert_eq!(out.len(), self.shard_output_len(), "shard output buffer size");
+        // Reconstitute a DpfKey rooted at the sub-tree: same machinery, with
+        // the sub-tree root as the key root. The `party` field only matters
+        // at the true root (initial control bit), which `node.bit` replaces.
+        let sub = DpfKey {
+            params: DpfParams::new(
+                self.params.domain_bits() - self.prefix_bits,
+                self.params.term_bits(),
+            )
+            .expect("shard params validated at split time"),
+            party: node.bit as u8,
+            root_seed: node.seed,
+            cws: self.cws.clone(),
+            final_cw: self.final_cw.clone(),
+        };
+        let full = sub.eval_full();
+        out.copy_from_slice(&full);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::gen_with_seeds;
+
+    #[test]
+    fn prefix_frontier_has_expected_size() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let (k0, _) = gen_with_seeds(&params, 100, [1; 16], [2; 16]);
+        for p in 1..params.tree_depth() {
+            assert_eq!(k0.eval_prefix(p).len(), 1 << p);
+        }
+    }
+
+    #[test]
+    fn sharded_eval_reassembles_full_eval() {
+        let params = DpfParams::new(13, 4).unwrap();
+        let alpha = 4321;
+        for prefix in [1u32, 2, 3, 5] {
+            let (k0, k1) = gen_with_seeds(&params, alpha, [11; 16], [12; 16]);
+            let mut reconstructed = vec![0u8; params.output_len()];
+            for key in [&k0, &k1] {
+                let nodes = key.eval_prefix(prefix);
+                let shard_key = key.shard_key(prefix);
+                let len = shard_key.shard_output_len();
+                let mut assembled = Vec::with_capacity(params.output_len());
+                for node in &nodes {
+                    let mut out = vec![0u8; len];
+                    shard_key.eval(node, &mut out);
+                    assembled.extend_from_slice(&out);
+                }
+                assert_eq!(assembled, key.eval_full(), "party {} prefix {prefix}", key.party());
+                for (r, a) in reconstructed.iter_mut().zip(assembled.iter()) {
+                    *r ^= *a;
+                }
+            }
+            // Reconstruction across parties is the unit vector at alpha.
+            for x in 0..params.domain_size() {
+                let bit = (reconstructed[(x / 8) as usize] >> (x % 8)) & 1 == 1;
+                assert_eq!(bit, x == alpha, "prefix={prefix} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_work_is_independent_of_prefix_position() {
+        // Every shard's eval covers the same number of points — the paper's
+        // load-balance claim.
+        let params = DpfParams::new(12, 3).unwrap();
+        let (k0, _) = gen_with_seeds(&params, 0, [9; 16], [10; 16]);
+        let shard_key = k0.shard_key(3);
+        assert_eq!(
+            shard_key.shard_output_len() * 8,
+            (params.domain_size() >> 3) as usize
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shallower than the tree")]
+    fn prefix_at_tree_depth_panics() {
+        let params = DpfParams::new(8, 2).unwrap();
+        let (k0, _) = gen_with_seeds(&params, 0, [0; 16], [1; 16]);
+        k0.eval_prefix(params.tree_depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 domain points")]
+    fn unaligned_shard_slice_panics() {
+        let params = DpfParams::new(4, 1).unwrap();
+        let (k0, _) = gen_with_seeds(&params, 0, [0; 16], [1; 16]);
+        k0.eval_prefix(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard output buffer size")]
+    fn wrong_output_buffer_size_panics() {
+        let params = DpfParams::new(10, 2).unwrap();
+        let (k0, _) = gen_with_seeds(&params, 0, [0; 16], [1; 16]);
+        let nodes = k0.eval_prefix(2);
+        let shard_key = k0.shard_key(2);
+        let mut out = vec![0u8; 1];
+        shard_key.eval(&nodes[0], &mut out);
+    }
+}

@@ -1,0 +1,289 @@
+//! Incremental (hierarchical) distributed point functions.
+//!
+//! The paper's prototype uses "Google's distributed point function library"
+//! [28] — which implements *incremental* DPFs: one key pair that defines a
+//! point function on **every prefix length** of the hidden index, with an
+//! independent value per level. Evaluating a key at hierarchy level `i` on
+//! prefix `p` yields a share of `β_i` if `p` is the length-`i` prefix of
+//! `α`, and of `0` otherwise.
+//!
+//! Lightweb has a concrete use for the hierarchy beyond plain PIR: the §4
+//! billing problem ("privately collect data on the number of queries
+//! received for each domain") is exactly the *private heavy hitters*
+//! setting of the paper's citation [11] (Boneh et al.), whose protocol
+//! walks prefixes of client-held strings using incremental DPF shares. The
+//! [`crate::incremental`] tests include a miniature prefix-count
+//! aggregation in that style.
+//!
+//! Construction: the standard BGI16 tree (shared with [`crate::key`]),
+//! plus one *value correction word* per level, computed so the two
+//! parties' converted on-path seeds XOR to `β_i`.
+
+use crate::key::{mask_seed, CorrectionWord};
+use lightweb_crypto::prg::{DpfPrg, Seed, SEED_LEN};
+
+/// One party's incremental DPF key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncrementalDpfKey {
+    domain_bits: u32,
+    value_len: usize,
+    party: u8,
+    root_seed: Seed,
+    cws: Vec<CorrectionWord>,
+    /// One value correction word per level (level `i` covers prefixes of
+    /// length `i+1`).
+    value_cws: Vec<Vec<u8>>,
+}
+
+/// Generate an incremental DPF key pair hiding `alpha` with per-level
+/// values `betas` (one per prefix length, each exactly `value_len` bytes).
+pub fn gen_incremental(
+    domain_bits: u32,
+    alpha: u64,
+    betas: &[Vec<u8>],
+    value_len: usize,
+) -> (IncrementalDpfKey, IncrementalDpfKey) {
+    assert!((1..=40).contains(&domain_bits), "domain_bits out of range");
+    assert!(alpha < (1u64 << domain_bits), "alpha outside domain");
+    assert_eq!(betas.len(), domain_bits as usize, "one beta per level");
+    assert!(betas.iter().all(|b| b.len() == value_len), "beta length mismatch");
+
+    let prg = DpfPrg::new();
+    let seed0 = lightweb_crypto::random_seed();
+    let seed1 = lightweb_crypto::random_seed();
+    let mut s0 = seed0;
+    let mut s1 = seed1;
+    let mut t0 = false;
+    let mut t1 = true;
+    let mut cws = Vec::with_capacity(domain_bits as usize);
+    let mut value_cws = Vec::with_capacity(domain_bits as usize);
+
+    for level in 0..domain_bits {
+        let bit = (alpha >> (domain_bits - 1 - level)) & 1 == 1;
+        let e0 = prg.expand(&s0);
+        let e1 = prg.expand(&s1);
+        let (lose0, lose1) = if bit {
+            (e0.left_seed, e1.left_seed)
+        } else {
+            (e0.right_seed, e1.right_seed)
+        };
+        let mut cw_seed = [0u8; SEED_LEN];
+        for i in 0..SEED_LEN {
+            cw_seed[i] = lose0[i] ^ lose1[i];
+        }
+        let cw_left = e0.left_bit ^ e1.left_bit ^ bit ^ true;
+        let cw_right = e0.right_bit ^ e1.right_bit ^ bit;
+        cws.push(CorrectionWord { seed: cw_seed, left_bit: cw_left, right_bit: cw_right });
+
+        let (ks0, kb0, ks1, kb1, cw_keep) = if bit {
+            (e0.right_seed, e0.right_bit, e1.right_seed, e1.right_bit, cw_right)
+        } else {
+            (e0.left_seed, e0.left_bit, e1.left_seed, e1.left_bit, cw_left)
+        };
+        let m0 = mask_seed(&cw_seed, t0);
+        let m1 = mask_seed(&cw_seed, t1);
+        for i in 0..SEED_LEN {
+            s0[i] = ks0[i] ^ m0[i];
+            s1[i] = ks1[i] ^ m1[i];
+        }
+        let nt0 = kb0 ^ (t0 & cw_keep);
+        let nt1 = kb1 ^ (t1 & cw_keep);
+        t0 = nt0;
+        t1 = nt1;
+
+        // Value correction for this level: conv(s0) ^ conv(s1) ^ beta.
+        let mut c0 = vec![0u8; value_len];
+        let mut c1 = vec![0u8; value_len];
+        prg.convert(&s0, &mut c0);
+        prg.convert(&s1, &mut c1);
+        let mut vcw = vec![0u8; value_len];
+        for i in 0..value_len {
+            vcw[i] = c0[i] ^ c1[i] ^ betas[level as usize][i];
+        }
+        value_cws.push(vcw);
+        debug_assert!(t0 ^ t1, "control-bit invariant broken at level {level}");
+    }
+
+    let k = |party: u8, root_seed: Seed| IncrementalDpfKey {
+        domain_bits,
+        value_len,
+        party,
+        root_seed,
+        cws: cws.clone(),
+        value_cws: value_cws.clone(),
+    };
+    (k(0, seed0), k(1, seed1))
+}
+
+impl IncrementalDpfKey {
+    /// log2 of the domain.
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+
+    /// The fixed per-level value length.
+    pub fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    /// Which party this key belongs to.
+    pub fn party(&self) -> u8 {
+        self.party
+    }
+
+    /// Evaluate the share of the level-`prefix_len` value at `prefix`
+    /// (the top `prefix_len` bits of a domain point).
+    ///
+    /// The two parties' results XOR to `β_{prefix_len}` iff `prefix` is
+    /// the length-`prefix_len` prefix of the hidden `α`, and to zero
+    /// otherwise.
+    pub fn eval_prefix(&self, prefix: u64, prefix_len: u32) -> Vec<u8> {
+        assert!(
+            prefix_len >= 1 && prefix_len <= self.domain_bits,
+            "prefix length {prefix_len} outside 1..={}",
+            self.domain_bits
+        );
+        assert!(prefix < (1u64 << prefix_len), "prefix wider than its length");
+        let prg = DpfPrg::new();
+        let mut seed = self.root_seed;
+        let mut t = self.party == 1;
+        for level in 0..prefix_len {
+            let go_right = (prefix >> (prefix_len - 1 - level)) & 1 == 1;
+            let e = prg.expand(&seed);
+            let (mut s, mut b) = if go_right {
+                (e.right_seed, e.right_bit)
+            } else {
+                (e.left_seed, e.left_bit)
+            };
+            if t {
+                let cw = &self.cws[level as usize];
+                for i in 0..SEED_LEN {
+                    s[i] ^= cw.seed[i];
+                }
+                b ^= if go_right { cw.right_bit } else { cw.left_bit };
+            }
+            seed = s;
+            t = b;
+        }
+        let mut out = vec![0u8; self.value_len];
+        prg.convert(&seed, &mut out);
+        if t {
+            for (o, c) in out.iter_mut().zip(&self.value_cws[(prefix_len - 1) as usize]) {
+                *o ^= *c;
+            }
+        }
+        out
+    }
+
+    /// Evaluate the whole level `prefix_len`: shares for every prefix of
+    /// that length (exponential in `prefix_len`; used by aggregation
+    /// servers walking short prefixes, as in private heavy hitters).
+    pub fn eval_level(&self, prefix_len: u32) -> Vec<Vec<u8>> {
+        (0..(1u64 << prefix_len)).map(|p| self.eval_prefix(p, prefix_len)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn betas(domain_bits: u32, value_len: usize) -> Vec<Vec<u8>> {
+        (0..domain_bits).map(|i| vec![(i + 1) as u8; value_len]).collect()
+    }
+
+    fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+        a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+    }
+
+    #[test]
+    fn shares_reconstruct_betas_exactly_on_the_alpha_path() {
+        let domain_bits = 8u32;
+        let alpha = 0b1011_0010u64;
+        let bs = betas(domain_bits, 4);
+        let (k0, k1) = gen_incremental(domain_bits, alpha, &bs, 4);
+        for len in 1..=domain_bits {
+            for prefix in 0..(1u64 << len) {
+                let got = xor(&k0.eval_prefix(prefix, len), &k1.eval_prefix(prefix, len));
+                let expected = if prefix == alpha >> (domain_bits - len) {
+                    bs[(len - 1) as usize].clone()
+                } else {
+                    vec![0u8; 4]
+                };
+                assert_eq!(got, expected, "len={len} prefix={prefix:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_evaluation_matches_pointwise() {
+        let (k0, _) = gen_incremental(6, 13, &betas(6, 2), 2);
+        for len in [1u32, 3, 6] {
+            let level = k0.eval_level(len);
+            assert_eq!(level.len(), 1 << len);
+            for (p, share) in level.iter().enumerate() {
+                assert_eq!(share, &k0.eval_prefix(p as u64, len));
+            }
+        }
+    }
+
+    #[test]
+    fn individual_shares_are_balanced() {
+        // A single party's level evaluation should look pseudorandom.
+        let (k0, _) = gen_incremental(10, 777, &betas(10, 8), 8);
+        let level = k0.eval_level(8);
+        let ones: u32 = level
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|b| b.count_ones())
+            .sum();
+        let total_bits = (level.len() * 8 * 8) as u32;
+        let frac = ones as f64 / total_bits as f64;
+        assert!((0.45..0.55).contains(&frac), "share bit density {frac}");
+    }
+
+    /// Miniature private prefix counting in the style of the paper's heavy
+    /// hitters citation [11]: clients submit incremental-DPF shares of
+    /// their visited domain index; two servers evaluate a level and sum
+    /// shares; combining reveals per-prefix counts only.
+    #[test]
+    fn prefix_count_aggregation() {
+        let domain_bits = 6u32;
+        let value_len = 8usize; // u64 counter as XOR-share... use parity-free trick:
+        // XOR shares don't add, so encode the count contribution as a
+        // random-looking share pair whose XOR is 1 at the leaf; servers
+        // count reconstructed 1s after combining per client. (Additive
+        // aggregation over many clients needs arithmetic shares as in
+        // [11]; this test demonstrates the prefix *membership* primitive.)
+        let visited = [5u64, 5, 20, 5, 63];
+        let mut level3_counts = vec![0u64; 8];
+        for &site in &visited {
+            let mut one = vec![0u8; value_len];
+            one[0] = 1;
+            let bs: Vec<Vec<u8>> = (0..domain_bits).map(|_| one.clone()).collect();
+            let (k0, k1) = gen_incremental(domain_bits, site, &bs, value_len);
+            let l0 = k0.eval_level(3);
+            let l1 = k1.eval_level(3);
+            for p in 0..8usize {
+                let combined = xor(&l0[p], &l1[p]);
+                if combined[0] == 1 && combined[1..].iter().all(|&b| b == 0) {
+                    level3_counts[p] += 1;
+                }
+            }
+        }
+        // Sites 5,5,5 -> prefix 0; 20 -> prefix 2; 63 -> prefix 7.
+        assert_eq!(level3_counts, vec![3, 0, 1, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one beta per level")]
+    fn wrong_beta_count_rejected() {
+        gen_incremental(4, 0, &betas(3, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix wider")]
+    fn oversized_prefix_rejected() {
+        let (k0, _) = gen_incremental(4, 0, &betas(4, 2), 2);
+        k0.eval_prefix(4, 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! DPF parameters, key material, and key generation.
+
+use lightweb_crypto::prg::{DpfPrg, Seed, SEED_LEN};
+
+/// Parameters of a DPF instance: the domain size and the early-termination
+/// width.
+///
+/// The function domain has `2^domain_bits` points. The evaluation tree has
+/// depth `domain_bits - term_bits`; each leaf covers `2^term_bits`
+/// consecutive points via PRG conversion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DpfParams {
+    domain_bits: u32,
+    term_bits: u32,
+}
+
+/// Errors constructing [`DpfParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// `domain_bits` must be in `1..=40` (a 2^40-slot universe is ~10^12
+    /// pages — far beyond the paper's 360M-page C4 deployment).
+    DomainBits(u32),
+    /// `term_bits` must be strictly smaller than `domain_bits` and at most
+    /// 13 (an 8 KiB leaf block).
+    TermBits(u32),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::DomainBits(b) => write!(f, "domain_bits {b} out of range 1..=40"),
+            ParamError::TermBits(b) => write!(f, "term_bits {b} invalid (must be < domain_bits and <= 13)"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl DpfParams {
+    /// Construct parameters, validating ranges.
+    pub fn new(domain_bits: u32, term_bits: u32) -> Result<Self, ParamError> {
+        if domain_bits == 0 || domain_bits > 40 {
+            return Err(ParamError::DomainBits(domain_bits));
+        }
+        if term_bits >= domain_bits || term_bits > 13 {
+            return Err(ParamError::TermBits(term_bits));
+        }
+        Ok(Self { domain_bits, term_bits })
+    }
+
+    /// Parameters with the default early-termination width used throughout
+    /// the workspace (ν = 7, i.e. 128-bit leaf blocks — one seed width, the
+    /// conventional choice in DPF libraries).
+    pub fn with_default_termination(domain_bits: u32) -> Result<Self, ParamError> {
+        let term = 7.min(domain_bits.saturating_sub(1));
+        Self::new(domain_bits, term)
+    }
+
+    /// log2 of the domain size.
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+
+    /// Early-termination width ν.
+    pub fn term_bits(&self) -> u32 {
+        self.term_bits
+    }
+
+    /// Number of points in the domain (`2^domain_bits`).
+    pub fn domain_size(&self) -> u64 {
+        1u64 << self.domain_bits
+    }
+
+    /// Depth of the seed tree (`domain_bits - term_bits`).
+    pub fn tree_depth(&self) -> u32 {
+        self.domain_bits - self.term_bits
+    }
+
+    /// Number of domain points covered by one leaf (`2^term_bits`).
+    pub fn leaf_width(&self) -> u64 {
+        1u64 << self.term_bits
+    }
+
+    /// Size in bytes of one leaf output block (at least one byte).
+    pub fn leaf_block_len(&self) -> usize {
+        ((self.leaf_width() as usize) + 7) / 8
+    }
+
+    /// Size in bytes of the packed full-domain output bit vector.
+    pub fn output_len(&self) -> usize {
+        ((self.domain_size() as usize) + 7) / 8
+    }
+}
+
+/// Per-level correction word: a seed plus one control bit for each child.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorrectionWord {
+    pub(crate) seed: Seed,
+    pub(crate) left_bit: bool,
+    pub(crate) right_bit: bool,
+}
+
+/// One party's DPF key.
+///
+/// Holds the party's root seed, one correction word per tree level, and the
+/// terminal correction block. Either key alone is pseudorandom; see the
+/// crate docs for the security claim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DpfKey {
+    pub(crate) params: DpfParams,
+    pub(crate) party: u8,
+    pub(crate) root_seed: Seed,
+    pub(crate) cws: Vec<CorrectionWord>,
+    pub(crate) final_cw: Vec<u8>,
+}
+
+impl DpfKey {
+    /// The parameters this key was generated for.
+    pub fn params(&self) -> DpfParams {
+        self.params
+    }
+
+    /// Which party (0 or 1) this key belongs to.
+    pub fn party(&self) -> u8 {
+        self.party
+    }
+}
+
+#[inline]
+fn xor_seed(a: &Seed, b: &Seed) -> Seed {
+    let mut out = [0u8; SEED_LEN];
+    for i in 0..SEED_LEN {
+        out[i] = a[i] ^ b[i];
+    }
+    out
+}
+
+#[inline]
+pub(crate) fn mask_seed(s: &Seed, bit: bool) -> Seed {
+    if bit {
+        *s
+    } else {
+        [0u8; SEED_LEN]
+    }
+}
+
+/// Generate a DPF key pair for the point function that is 1 at `alpha`
+/// (and 0 everywhere else), using fresh OS randomness for the root seeds.
+pub fn gen(params: &DpfParams, alpha: u64) -> (DpfKey, DpfKey) {
+    gen_with_seeds(params, alpha, lightweb_crypto::random_seed(), lightweb_crypto::random_seed())
+}
+
+/// Deterministic key generation from caller-supplied root seeds.
+///
+/// Exposed for reproducible tests and benchmarks; production callers should
+/// use [`gen`].
+pub fn gen_with_seeds(params: &DpfParams, alpha: u64, seed0: Seed, seed1: Seed) -> (DpfKey, DpfKey) {
+    assert!(alpha < params.domain_size(), "alpha {alpha} outside domain");
+    let prg = DpfPrg::new();
+    let depth = params.tree_depth();
+    let leaf_index = alpha >> params.term_bits();
+    let leaf_offset = alpha & (params.leaf_width() - 1);
+
+    let mut s0 = seed0;
+    let mut s1 = seed1;
+    let mut t0 = false;
+    let mut t1 = true;
+    let mut cws = Vec::with_capacity(depth as usize);
+
+    for level in 0..depth {
+        // Path bit at this level: MSB-first over the leaf index.
+        let bit = (leaf_index >> (depth - 1 - level)) & 1 == 1;
+
+        let e0 = prg.expand(&s0);
+        let e1 = prg.expand(&s1);
+
+        // "Lose" side: the child off the path to alpha. Its seeds are forced
+        // equal across parties so the sub-trees cancel.
+        let (lose0, lose1) = if bit {
+            (e0.left_seed, e1.left_seed)
+        } else {
+            (e0.right_seed, e1.right_seed)
+        };
+        let cw_seed = xor_seed(&lose0, &lose1);
+        let cw_left = e0.left_bit ^ e1.left_bit ^ bit ^ true;
+        let cw_right = e0.right_bit ^ e1.right_bit ^ bit;
+        cws.push(CorrectionWord { seed: cw_seed, left_bit: cw_left, right_bit: cw_right });
+
+        // Both parties descend toward alpha ("keep" side), applying the
+        // correction word iff their control bit is set.
+        let (keep_seed0, keep_bit0, keep_seed1, keep_bit1, cw_keep) = if bit {
+            (e0.right_seed, e0.right_bit, e1.right_seed, e1.right_bit, cw_right)
+        } else {
+            (e0.left_seed, e0.left_bit, e1.left_seed, e1.left_bit, cw_left)
+        };
+        s0 = xor_seed(&keep_seed0, &mask_seed(&cw_seed, t0));
+        s1 = xor_seed(&keep_seed1, &mask_seed(&cw_seed, t1));
+        let new_t0 = keep_bit0 ^ (t0 & cw_keep);
+        let new_t1 = keep_bit1 ^ (t1 & cw_keep);
+        t0 = new_t0;
+        t1 = new_t1;
+    }
+
+    // Terminal correction word: forces the XOR of the two converted leaf
+    // blocks to be the unit vector at alpha's offset within its leaf.
+    let block_len = params.leaf_block_len();
+    let mut conv0 = vec![0u8; block_len];
+    let mut conv1 = vec![0u8; block_len];
+    prg.convert(&s0, &mut conv0);
+    prg.convert(&s1, &mut conv1);
+    let mut final_cw = vec![0u8; block_len];
+    for i in 0..block_len {
+        final_cw[i] = conv0[i] ^ conv1[i];
+    }
+    final_cw[(leaf_offset / 8) as usize] ^= 1u8 << (leaf_offset % 8);
+
+    // Exactly one party has its control bit set at the target leaf
+    // (t0 ^ t1 == 1 along the path by construction), so the final CW is
+    // applied an odd number of times and the unit bit survives the XOR.
+    debug_assert!(t0 ^ t1, "control-bit invariant broken at the leaf");
+
+    let k0 = DpfKey { params: *params, party: 0, root_seed: seed0, cws: cws.clone(), final_cw: final_cw.clone() };
+    let k1 = DpfKey { params: *params, party: 1, root_seed: seed1, cws, final_cw };
+    (k0, k1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        assert!(DpfParams::new(0, 0).is_err());
+        assert!(DpfParams::new(41, 7).is_err());
+        assert!(DpfParams::new(8, 8).is_err(), "term must be < domain");
+        assert!(DpfParams::new(22, 14).is_err(), "term too wide");
+        let p = DpfParams::new(22, 7).unwrap();
+        assert_eq!(p.domain_size(), 1 << 22);
+        assert_eq!(p.tree_depth(), 15);
+        assert_eq!(p.leaf_width(), 128);
+        assert_eq!(p.leaf_block_len(), 16);
+        assert_eq!(p.output_len(), (1 << 22) / 8);
+    }
+
+    #[test]
+    fn default_termination_clamps_small_domains() {
+        assert_eq!(DpfParams::with_default_termination(3).unwrap().term_bits(), 2);
+        assert_eq!(DpfParams::with_default_termination(22).unwrap().term_bits(), 7);
+    }
+
+    #[test]
+    fn leaf_block_len_subbyte_widths() {
+        // term_bits = 0..2 give leaf widths 1, 2, 4 bits -> 1 byte blocks.
+        for t in 0..3 {
+            assert_eq!(DpfParams::new(8, t).unwrap().leaf_block_len(), 1);
+        }
+    }
+
+    #[test]
+    fn gen_is_randomized_but_structure_matches() {
+        let params = DpfParams::new(10, 2).unwrap();
+        let (a0, _) = gen(&params, 3);
+        let (b0, _) = gen(&params, 3);
+        assert_ne!(a0.root_seed, b0.root_seed, "fresh randomness per gen");
+        assert_eq!(a0.cws.len(), params.tree_depth() as usize);
+        assert_eq!(a0.final_cw.len(), params.leaf_block_len());
+    }
+
+    #[test]
+    fn gen_with_seeds_is_deterministic() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let (a0, a1) = gen_with_seeds(&params, 100, [1; 16], [2; 16]);
+        let (b0, b1) = gen_with_seeds(&params, 100, [1; 16], [2; 16]);
+        assert_eq!(a0, b0);
+        assert_eq!(a1, b1);
+    }
+
+    #[test]
+    fn parties_share_correction_words() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let (k0, k1) = gen(&params, 77);
+        assert_eq!(k0.cws, k1.cws);
+        assert_eq!(k0.final_cw, k1.final_cw);
+        assert_ne!(k0.root_seed, k1.root_seed);
+        assert_eq!(k0.party(), 0);
+        assert_eq!(k1.party(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn alpha_out_of_range_panics() {
+        let params = DpfParams::new(4, 1).unwrap();
+        gen(&params, 16);
+    }
+
+    #[test]
+    fn correctness_at_domain_edges() {
+        // alpha = 0 and alpha = max must both work (off-by-one traps).
+        for domain_bits in [1u32, 2, 5, 9] {
+            let params = DpfParams::new(domain_bits, 0).unwrap();
+            for alpha in [0, params.domain_size() - 1] {
+                let (k0, k1) = gen(&params, alpha);
+                for x in 0..params.domain_size() {
+                    let got = k0.eval_point(x) ^ k1.eval_point(x);
+                    assert_eq!(got, x == alpha, "d={domain_bits} alpha={alpha} x={x}");
+                }
+            }
+        }
+    }
+}

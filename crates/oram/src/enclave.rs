@@ -1,0 +1,257 @@
+//! The simulated hardware enclave and its untrusted-memory trace.
+//!
+//! The paper's enclave mode trusts SGX-style hardware to keep secrets while
+//! running on an adversarial server. We do not have an enclave (and the
+//! paper itself catalogs a slew of attacks on real ones — [13, 47, 50, 53,
+//! 54, 56]); what the *reproduction* needs is the security-relevant
+//! observable: the sequence of untrusted-memory accesses the enclave makes.
+//! [`UntrustedStorage`] makes that observable explicit — every read and
+//! write of untrusted memory is recorded — and [`crate::auditor`] can then
+//! verify the obliviousness property that a real deployment would get from
+//! ORAM + hardware.
+
+use crate::kv::ObliviousKvStore;
+use crate::path_oram::OramError;
+
+/// What kind of untrusted-memory access an event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Marks the start of one logical operation (one GET served).
+    OpStart,
+    /// A bucket read.
+    Read,
+    /// A bucket write.
+    Write,
+}
+
+/// One recorded untrusted-memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Read, write, or operation boundary.
+    pub kind: AccessKind,
+    /// Bucket (cell) index accessed; 0 for `OpStart`.
+    pub location: u64,
+}
+
+/// Untrusted server memory as seen from inside the enclave.
+///
+/// A flat array of cells with optional access tracing. The honest server
+/// stores the cells; a malicious server additionally watches the access
+/// sequence — which is exactly what the trace captures.
+#[derive(Clone, Debug)]
+pub struct UntrustedStorage<T> {
+    cells: Vec<T>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<T: Clone> UntrustedStorage<T> {
+    /// Allocate `n` cells initialized to `init`.
+    pub fn new(n: usize, init: T) -> Self {
+        Self { cells: vec![init; n], trace: None }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the storage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Start recording accesses (clears any previous trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stop recording and return the trace, if tracing was on.
+    pub fn take_trace(&mut self) -> Option<Vec<TraceEvent>> {
+        self.trace.take()
+    }
+
+    /// Record an operation boundary (no memory touched).
+    pub fn mark_op_start(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent { kind: AccessKind::OpStart, location: 0 });
+        }
+    }
+
+    /// Read cell `i`.
+    pub fn read(&mut self, i: u64) -> T {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent { kind: AccessKind::Read, location: i });
+        }
+        self.cells[i as usize].clone()
+    }
+
+    /// Write cell `i`.
+    pub fn write(&mut self, i: u64, value: T) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent { kind: AccessKind::Write, location: i });
+        }
+        self.cells[i as usize] = value;
+    }
+}
+
+/// A software stand-in for a ZLTP enclave-mode server.
+///
+/// Pairs the enclave-private state (key table, position map, stash — all
+/// inside [`ObliviousKvStore`]) with the traced untrusted bucket store, and
+/// exposes the single operation the enclave performs: serving a private
+/// GET. Every GET — hit or miss — performs exactly one ORAM access, so the
+/// untrusted trace is independent of both the key requested and whether it
+/// exists.
+pub struct SimulatedEnclave {
+    store: ObliviousKvStore,
+}
+
+impl SimulatedEnclave {
+    /// Create an enclave able to hold `capacity` values of `value_len`
+    /// bytes each.
+    pub fn new(capacity: u64, value_len: usize) -> Result<Self, OramError> {
+        Ok(Self { store: ObliviousKvStore::new(capacity, value_len)? })
+    }
+
+    /// Bulk-load key-value pairs (the publisher-upload phase; not private).
+    pub fn load<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
+    ) -> Result<(), OramError> {
+        for (k, v) in entries {
+            self.store.put(k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Serve one private GET.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, OramError> {
+        self.store.oram_mut().storage_mut().mark_op_start();
+        self.store.get(key)
+    }
+
+    /// Insert or update one pair (publisher push path).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), OramError> {
+        self.store.oram_mut().storage_mut().mark_op_start();
+        self.store.put(key, value)
+    }
+
+    /// Begin recording the untrusted-memory trace.
+    pub fn enable_trace(&mut self) {
+        self.store.oram_mut().storage_mut().enable_trace();
+    }
+
+    /// Stop recording and return the trace.
+    pub fn take_trace(&mut self) -> Option<Vec<TraceEvent>> {
+        self.store.oram_mut().storage_mut().take_trace()
+    }
+
+    /// ORAM tree height (needed by the auditor).
+    pub fn tree_height(&self) -> u32 {
+        self.store.oram().height()
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> u64 {
+        self.store.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.len() == 0
+    }
+
+    /// Approximate bytes of enclave-private memory in use (key table +
+    /// position map + stash). The paper's enclave mode is attractive
+    /// precisely because this is small compared to the dataset.
+    pub fn private_bytes(&self) -> usize {
+        self.store.private_bytes()
+    }
+
+    /// Bytes of untrusted memory (the bucket tree).
+    pub fn untrusted_bytes(&self) -> usize {
+        self.store.oram().untrusted_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_reads_back_writes() {
+        let mut st = UntrustedStorage::new(4, 0u32);
+        st.write(2, 7);
+        assert_eq!(st.read(2), 7);
+        assert_eq!(st.read(0), 0);
+        assert_eq!(st.len(), 4);
+        assert!(!st.is_empty());
+    }
+
+    #[test]
+    fn trace_records_accesses_in_order() {
+        let mut st = UntrustedStorage::new(4, 0u32);
+        st.enable_trace();
+        st.mark_op_start();
+        st.read(1);
+        st.write(3, 9);
+        let trace = st.take_trace().unwrap();
+        assert_eq!(
+            trace,
+            vec![
+                TraceEvent { kind: AccessKind::OpStart, location: 0 },
+                TraceEvent { kind: AccessKind::Read, location: 1 },
+                TraceEvent { kind: AccessKind::Write, location: 3 },
+            ]
+        );
+        // Tracing stopped.
+        st.read(0);
+        assert!(st.take_trace().is_none());
+    }
+
+    #[test]
+    fn enclave_serves_gets() {
+        let mut enc = SimulatedEnclave::new(64, 8).unwrap();
+        enc.load([(b"a".as_slice(), [1u8; 8].as_slice()), (b"b", &[2u8; 8])])
+            .unwrap();
+        assert_eq!(enc.get(b"a").unwrap().unwrap(), vec![1u8; 8]);
+        assert_eq!(enc.get(b"b").unwrap().unwrap(), vec![2u8; 8]);
+        assert_eq!(enc.get(b"missing").unwrap(), None);
+        assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn private_memory_much_smaller_than_untrusted() {
+        let mut enc = SimulatedEnclave::new(1024, 64).unwrap();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..512u32)
+            .map(|i| (format!("k{i}").into_bytes(), vec![i as u8; 64]))
+            .collect();
+        enc.load(entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice())))
+            .unwrap();
+        assert!(
+            enc.private_bytes() * 4 < enc.untrusted_bytes(),
+            "private {} vs untrusted {}",
+            enc.private_bytes(),
+            enc.untrusted_bytes()
+        );
+    }
+
+    #[test]
+    fn miss_and_hit_have_identical_trace_shape() {
+        let mut enc = SimulatedEnclave::new(64, 8).unwrap();
+        enc.load([(b"present".as_slice(), [1u8; 8].as_slice())]).unwrap();
+
+        enc.enable_trace();
+        enc.get(b"present").unwrap();
+        let hit = enc.take_trace().unwrap();
+
+        enc.enable_trace();
+        enc.get(b"absent").unwrap();
+        let miss = enc.take_trace().unwrap();
+
+        let shape = |t: &[TraceEvent]| {
+            t.iter().map(|e| e.kind).collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&hit), shape(&miss), "hit/miss trace shapes differ");
+    }
+}

@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+
+//! # lightweb-oram
+//!
+//! Oblivious RAM and a simulated hardware enclave — the substrate for
+//! ZLTP's *enclave mode of operation* (paper §2.2).
+//!
+//! In that mode the client makes private key-value lookups by talking to a
+//! server-side hardware enclave (e.g. Intel SGX). The enclave's own memory
+//! is tiny, so the data lives in *untrusted* server memory — and the
+//! enclave must access it through an oblivious-RAM protocol, otherwise the
+//! operator learns which key-value pairs clients request simply by watching
+//! memory traffic. The payoff the paper cites: communication and server
+//! computation both polylogarithmic in the number of key-value pairs,
+//! versus the linear scan of the PIR mode.
+//!
+//! This crate provides:
+//!
+//! * [`path_oram`] — a from-scratch Path ORAM (Stefanov et al.) with
+//!   bucket size 4, an in-enclave position map (the "ORAM tailored to
+//!   hardware enclaves" the paper references, à la ZeroTrace/Snoopy), and
+//!   an explicit stash.
+//! * [`enclave`] — a `SimulatedEnclave`: a software stand-in for SGX that
+//!   partitions state into *private* (in-enclave) and *untrusted* memory
+//!   and records every untrusted access in a trace. The trace is this
+//!   reproduction's substitute for real enclave hardware: the
+//!   security-relevant observable of an enclave is exactly its untrusted
+//!   memory-access pattern, and here it is first-class and auditable.
+//! * [`auditor`] — checks that recorded traces are *oblivious*: every
+//!   logical operation touches one full root-to-leaf path, path leaves are
+//!   uniform, and the trace shape is independent of the request sequence.
+//! * [`kv`] — an oblivious key-value store over Path ORAM: the actual
+//!   structure a ZLTP enclave-mode server runs, including dummy accesses
+//!   for missing keys so existence is not leaked.
+
+pub mod auditor;
+pub mod enclave;
+pub mod kv;
+pub mod path_oram;
+pub mod recursive;
+
+pub use auditor::{audit_trace, AuditReport};
+pub use enclave::{AccessKind, SimulatedEnclave, TraceEvent};
+pub use kv::ObliviousKvStore;
+pub use path_oram::{OramError, PathOram};
+pub use recursive::RecursivePathOram;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Path ORAM behaves exactly like a plain map under any sequence of
+        /// reads and writes (linearizability against a model).
+        #[test]
+        fn oram_matches_hashmap_model(
+            ops in prop::collection::vec((0u64..32, 0u8..=255, any::<bool>()), 1..200),
+        ) {
+            let mut oram = PathOram::new(32, 8).unwrap();
+            let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+            for (addr, val, is_write) in ops {
+                if is_write {
+                    let data = vec![val; 8];
+                    oram.write(addr, &data).unwrap();
+                    model.insert(addr, data);
+                } else {
+                    let got = oram.read(addr).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&addr));
+                }
+            }
+        }
+
+        /// The KV store matches a model map, including absent keys.
+        #[test]
+        fn kv_store_matches_model(
+            ops in prop::collection::vec((0u8..16, 0u8..=255, any::<bool>()), 1..120),
+        ) {
+            let mut store = ObliviousKvStore::new(64, 16).unwrap();
+            let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+            for (k, val, is_write) in ops {
+                let key = format!("key-{k}");
+                if is_write {
+                    let data = vec![val; 16];
+                    store.put(key.as_bytes(), &data).unwrap();
+                    model.insert(key, data);
+                } else {
+                    let got = store.get(key.as_bytes()).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&key));
+                }
+            }
+        }
+    }
+}

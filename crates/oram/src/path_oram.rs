@@ -1,0 +1,481 @@
+//! Path ORAM (Stefanov et al., CCS 2013), the oblivious-RAM scheme behind
+//! the enclave mode's untrusted data store.
+//!
+//! Blocks live in a complete binary tree of buckets held in untrusted
+//! memory; each block is assigned to a uniformly random leaf and the
+//! invariant is that a block resides somewhere on the path from the root to
+//! its leaf (or in the enclave-private *stash*). Every access — read or
+//! write, hit or miss — reads one full root-to-leaf path, reassigns the
+//! target block to a fresh random leaf, and writes the same path back. The
+//! observable access pattern is therefore a sequence of uniformly random
+//! paths, independent of the logical addresses accessed.
+//!
+//! Per-access cost is `Z·(log N + 1)` bucket transfers — the
+//! polylogarithmic cost the paper contrasts with the PIR mode's linear
+//! scan in §2.2.
+
+use crate::enclave::UntrustedStorage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Blocks per bucket (Z). Z = 4 is the standard choice for which Path
+/// ORAM's stash bound is proven to hold with negligible overflow.
+pub const BUCKET_SIZE: usize = 4;
+
+/// Stash capacity before we declare overflow. Path ORAM's stash is
+/// O(log N)·ω(1) w.h.p.; 256 is far beyond any realistic excursion and
+/// exists so a logic bug fails loudly instead of consuming memory.
+const STASH_LIMIT: usize = 256;
+
+/// Errors from the ORAM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OramError {
+    /// Address is outside the ORAM's capacity.
+    AddrOutOfRange {
+        /// The offending address.
+        addr: u64,
+        /// The ORAM's declared capacity.
+        capacity: u64,
+    },
+    /// Block data had the wrong length.
+    BlockLen {
+        /// The ORAM's fixed block length.
+        expected: usize,
+        /// The offending data length.
+        got: usize,
+    },
+    /// The stash exceeded its bound — indicates a broken eviction.
+    StashOverflow {
+        /// Stash occupancy at overflow.
+        size: usize,
+    },
+    /// Capacity would be exceeded (KV store: too many distinct keys).
+    CapacityExceeded {
+        /// The declared capacity.
+        capacity: u64,
+    },
+    /// Invalid construction parameters.
+    BadParams(&'static str),
+}
+
+impl std::fmt::Display for OramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OramError::AddrOutOfRange { addr, capacity } => {
+                write!(f, "address {addr} outside capacity {capacity}")
+            }
+            OramError::BlockLen { expected, got } => {
+                write!(f, "block length {got} != {expected}")
+            }
+            OramError::StashOverflow { size } => write!(f, "stash overflow at {size} blocks"),
+            OramError::CapacityExceeded { capacity } => {
+                write!(f, "ORAM capacity {capacity} exceeded")
+            }
+            OramError::BadParams(m) => write!(f, "bad ORAM parameters: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OramError {}
+
+/// A data block with its logical address and currently assigned leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Block {
+    addr: u64,
+    leaf: u64,
+    data: Vec<u8>,
+}
+
+/// One tree bucket: up to [`BUCKET_SIZE`] blocks.
+pub(crate) type Bucket = Vec<Block>;
+
+/// The Path ORAM controller. Tree buckets live in [`UntrustedStorage`];
+/// the position map and stash are enclave-private.
+pub struct PathOram {
+    capacity: u64,
+    block_len: usize,
+    /// Tree height: leaves are at depth `height`, `2^height` of them.
+    height: u32,
+    storage: UntrustedStorage<Bucket>,
+    /// addr -> assigned leaf. Enclave-private.
+    position: HashMap<u64, u64>,
+    /// Overflow blocks awaiting eviction. Enclave-private.
+    stash: Vec<Block>,
+    rng: StdRng,
+    max_stash_seen: usize,
+    accesses: u64,
+}
+
+impl PathOram {
+    /// Create an ORAM holding up to `capacity` blocks of `block_len` bytes,
+    /// seeded from the OS RNG.
+    pub fn new(capacity: u64, block_len: usize) -> Result<Self, OramError> {
+        let mut seed = [0u8; 32];
+        lightweb_crypto::fill_random(&mut seed);
+        Self::with_seed(capacity, block_len, seed)
+    }
+
+    /// Deterministic construction for tests and audits.
+    pub fn with_seed(capacity: u64, block_len: usize, seed: [u8; 32]) -> Result<Self, OramError> {
+        if capacity == 0 || capacity > 1 << 32 {
+            return Err(OramError::BadParams("capacity must be in 1..=2^32"));
+        }
+        if block_len == 0 {
+            return Err(OramError::BadParams("block_len must be positive"));
+        }
+        // Enough leaves that each block can get its own: 2^height >= capacity.
+        let height = 64 - (capacity.max(2) - 1).leading_zeros();
+        let num_buckets = 1u64 << (height + 1); // heap-indexed from 1
+        Ok(Self {
+            capacity,
+            block_len,
+            height,
+            storage: UntrustedStorage::new(num_buckets as usize, Bucket::new()),
+            position: HashMap::new(),
+            stash: Vec::new(),
+            rng: StdRng::from_seed(seed),
+            max_stash_seen: 0,
+            accesses: 0,
+        })
+    }
+
+    /// Tree height (leaves at depth `height`).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> u64 {
+        1 << self.height
+    }
+
+    /// Declared capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Block size in bytes.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Largest stash occupancy observed so far (a health metric; Path ORAM
+    /// theory says this stays O(log N)).
+    pub fn max_stash_seen(&self) -> usize {
+        self.max_stash_seen
+    }
+
+    /// Total accesses performed.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Bytes of untrusted memory if every bucket were full (the quantity a
+    /// server must provision).
+    pub fn untrusted_bytes(&self) -> usize {
+        self.storage.len() * BUCKET_SIZE * (self.block_len + 16)
+    }
+
+    /// Approximate enclave-private bytes (position map + stash).
+    pub fn private_bytes(&self) -> usize {
+        self.position.len() * 16 + self.stash.len() * (self.block_len + 16)
+    }
+
+    /// Enclave-private bytes excluding the internal position map. Used by
+    /// [`crate::recursive::RecursivePathOram`], whose real position map
+    /// lives in the map ORAM (this instance's internal copy only exists
+    /// because `access_with_position` keeps it coherent for eviction; a
+    /// from-scratch implementation would drop it).
+    pub fn private_bytes_stash_only(&self) -> usize {
+        self.stash.len() * (self.block_len + 16)
+    }
+
+    /// Mutable handle to the untrusted storage (trace control, in-crate).
+    pub(crate) fn storage_mut(&mut self) -> &mut UntrustedStorage<Bucket> {
+        &mut self.storage
+    }
+
+    /// Begin recording the untrusted-memory access trace.
+    pub fn enable_trace(&mut self) {
+        self.storage.enable_trace();
+    }
+
+    /// Stop recording and return the trace, if tracing was on.
+    pub fn take_trace(&mut self) -> Option<Vec<crate::enclave::TraceEvent>> {
+        self.storage.take_trace()
+    }
+
+    /// Record a logical-operation boundary in the trace.
+    pub fn mark_op_start(&mut self) {
+        self.storage.mark_op_start();
+    }
+
+    /// Heap index of the bucket at `level` on the path to `leaf`.
+    #[inline]
+    fn path_bucket(&self, leaf: u64, level: u32) -> u64 {
+        (leaf + self.num_leaves()) >> (self.height - level)
+    }
+
+    /// Read a block. Returns `None` if the address has never been written.
+    /// Misses still perform a full (dummy) path access.
+    pub fn read(&mut self, addr: u64) -> Result<Option<Vec<u8>>, OramError> {
+        self.access(addr, None)
+    }
+
+    /// Write a block (insert or overwrite).
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), OramError> {
+        if data.len() != self.block_len {
+            return Err(OramError::BlockLen { expected: self.block_len, got: data.len() });
+        }
+        self.access(addr, Some(data)).map(|_| ())
+    }
+
+    /// Perform a dummy access (uniform path read + write-back) that changes
+    /// nothing. Used to pad fixed per-request access counts.
+    pub fn dummy_access(&mut self) -> Result<(), OramError> {
+        let leaf = self.rng.gen_range(0..self.num_leaves());
+        self.read_path_to_stash(leaf);
+        self.evict_along_path(leaf)?;
+        self.accesses += 1;
+        Ok(())
+    }
+
+    /// The core access: one path read, optional block update, one path
+    /// write-back. Identical untrusted-memory footprint for reads, writes,
+    /// hits, and misses.
+    fn access(&mut self, addr: u64, write_data: Option<&[u8]>) -> Result<Option<Vec<u8>>, OramError> {
+        if addr >= self.capacity {
+            return Err(OramError::AddrOutOfRange { addr, capacity: self.capacity });
+        }
+        // Leaf to read: the block's current assignment, or a uniform dummy
+        // for never-written addresses.
+        let read_leaf = match self.position.get(&addr) {
+            Some(&l) => l,
+            None => self.rng.gen_range(0..self.num_leaves()),
+        };
+        let new_leaf = self.rng.gen_range(0..self.num_leaves());
+        self.access_with_position(addr, read_leaf, new_leaf, write_data)
+    }
+
+    /// The position-map-externalized access used by
+    /// [`crate::recursive::RecursivePathOram`]: the caller supplies the
+    /// leaf to read and the fresh leaf to assign, and is responsible for
+    /// recording `new_leaf` wherever its position map lives. The internal
+    /// map is still updated (it remains authoritative for eviction), but
+    /// an external caller may keep its own copy in another ORAM.
+    pub fn access_with_position(
+        &mut self,
+        addr: u64,
+        read_leaf: u64,
+        new_leaf: u64,
+        write_data: Option<&[u8]>,
+    ) -> Result<Option<Vec<u8>>, OramError> {
+        if addr >= self.capacity {
+            return Err(OramError::AddrOutOfRange { addr, capacity: self.capacity });
+        }
+        if read_leaf >= self.num_leaves() || new_leaf >= self.num_leaves() {
+            return Err(OramError::BadParams("leaf outside the tree"));
+        }
+        if let Some(data) = write_data {
+            if data.len() != self.block_len {
+                return Err(OramError::BlockLen { expected: self.block_len, got: data.len() });
+            }
+        }
+
+        self.read_path_to_stash(read_leaf);
+
+        // Find (or create) the target block in the stash and reassign it to
+        // the fresh leaf.
+        let mut result = None;
+        let mut found = false;
+        for block in &mut self.stash {
+            if block.addr == addr {
+                result = Some(block.data.clone());
+                if let Some(data) = write_data {
+                    block.data.clear();
+                    block.data.extend_from_slice(data);
+                }
+                block.leaf = new_leaf;
+                found = true;
+                break;
+            }
+        }
+        if found {
+            self.position.insert(addr, new_leaf);
+        } else if let Some(data) = write_data {
+            self.stash.push(Block { addr, leaf: new_leaf, data: data.to_vec() });
+            self.position.insert(addr, new_leaf);
+        }
+        // A read miss leaves no trace in the position map — the dummy path
+        // access already happened, so the miss is externally invisible.
+
+        self.evict_along_path(read_leaf)?;
+        self.accesses += 1;
+        Ok(result)
+    }
+
+    /// Read every bucket on the path to `leaf` into the stash.
+    fn read_path_to_stash(&mut self, leaf: u64) {
+        for level in 0..=self.height {
+            let idx = self.path_bucket(leaf, level);
+            let bucket = self.storage.read(idx);
+            self.stash.extend(bucket);
+        }
+    }
+
+    /// Greedy write-back: from leaf to root, move every stash block that is
+    /// allowed to live in the bucket (its own path passes through it) back
+    /// into the tree, up to Z per bucket.
+    fn evict_along_path(&mut self, leaf: u64) -> Result<(), OramError> {
+        for level in (0..=self.height).rev() {
+            let idx = self.path_bucket(leaf, level);
+            let mut bucket = Bucket::new();
+            let mut i = 0;
+            while i < self.stash.len() && bucket.len() < BUCKET_SIZE {
+                if self.path_bucket(self.stash[i].leaf, level) == idx {
+                    bucket.push(self.stash.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            self.storage.write(idx, bucket);
+        }
+        self.max_stash_seen = self.max_stash_seen.max(self.stash.len());
+        if self.stash.len() > STASH_LIMIT {
+            return Err(OramError::StashOverflow { size: self.stash.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut oram = PathOram::with_seed(16, 4, [1; 32]).unwrap();
+        oram.write(3, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(oram.read(3).unwrap(), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn unwritten_address_reads_none() {
+        let mut oram = PathOram::with_seed(16, 4, [2; 32]).unwrap();
+        assert_eq!(oram.read(5).unwrap(), None);
+        // And stays none after other writes.
+        oram.write(6, &[9; 4]).unwrap();
+        assert_eq!(oram.read(5).unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut oram = PathOram::with_seed(16, 4, [3; 32]).unwrap();
+        oram.write(0, &[1; 4]).unwrap();
+        oram.write(0, &[2; 4]).unwrap();
+        assert_eq!(oram.read(0).unwrap(), Some(vec![2; 4]));
+    }
+
+    #[test]
+    fn full_capacity_storm() {
+        // Fill every address, then read everything back twice (the second
+        // round exercises re-assigned leaves), interleaved with rewrites.
+        let cap = 128u64;
+        let mut oram = PathOram::with_seed(cap, 8, [4; 32]).unwrap();
+        for a in 0..cap {
+            oram.write(a, &[a as u8; 8]).unwrap();
+        }
+        for round in 0..2 {
+            for a in 0..cap {
+                assert_eq!(oram.read(a).unwrap(), Some(vec![a as u8; 8]), "round {round} addr {a}");
+            }
+        }
+        for a in (0..cap).rev() {
+            oram.write(a, &[(a as u8).wrapping_add(1); 8]).unwrap();
+        }
+        for a in 0..cap {
+            assert_eq!(oram.read(a).unwrap(), Some(vec![(a as u8).wrapping_add(1); 8]));
+        }
+        assert!(oram.max_stash_seen() < 64, "stash grew to {}", oram.max_stash_seen());
+    }
+
+    #[test]
+    fn stash_stays_bounded_under_skewed_access() {
+        // Hammering a single hot address must not grow the stash.
+        let mut oram = PathOram::with_seed(256, 16, [5; 32]).unwrap();
+        for a in 0..256u64 {
+            oram.write(a, &[a as u8; 16]).unwrap();
+        }
+        for _ in 0..2000 {
+            oram.read(42).unwrap();
+        }
+        assert!(oram.max_stash_seen() < 64, "stash grew to {}", oram.max_stash_seen());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(PathOram::new(0, 8).is_err());
+        assert!(PathOram::new(8, 0).is_err());
+        let mut oram = PathOram::with_seed(8, 4, [0; 32]).unwrap();
+        assert!(matches!(
+            oram.read(8),
+            Err(OramError::AddrOutOfRange { addr: 8, capacity: 8 })
+        ));
+        assert!(matches!(
+            oram.write(0, &[0; 3]),
+            Err(OramError::BlockLen { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn tree_geometry() {
+        let oram = PathOram::with_seed(100, 4, [0; 32]).unwrap();
+        // 2^height >= capacity
+        assert!(oram.num_leaves() >= 100);
+        assert_eq!(oram.num_leaves(), 128);
+        assert_eq!(oram.height(), 7);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut oram = PathOram::with_seed(1, 4, [0; 32]).unwrap();
+        oram.write(0, &[7; 4]).unwrap();
+        assert_eq!(oram.read(0).unwrap(), Some(vec![7; 4]));
+    }
+
+    #[test]
+    fn dummy_access_changes_nothing() {
+        let mut oram = PathOram::with_seed(32, 4, [6; 32]).unwrap();
+        for a in 0..32u64 {
+            oram.write(a, &[a as u8; 4]).unwrap();
+        }
+        for _ in 0..100 {
+            oram.dummy_access().unwrap();
+        }
+        for a in 0..32u64 {
+            assert_eq!(oram.read(a).unwrap(), Some(vec![a as u8; 4]));
+        }
+    }
+
+    #[test]
+    fn access_count_tracks_operations() {
+        let mut oram = PathOram::with_seed(8, 4, [7; 32]).unwrap();
+        oram.write(0, &[0; 4]).unwrap();
+        oram.read(0).unwrap();
+        oram.dummy_access().unwrap();
+        assert_eq!(oram.access_count(), 3);
+    }
+
+    #[test]
+    fn per_access_bucket_touches_are_polylog() {
+        // The enclave-mode selling point: 2·(height+1) bucket transfers per
+        // access, not a linear scan.
+        let mut oram = PathOram::with_seed(1024, 8, [8; 32]).unwrap();
+        oram.enable_trace();
+        oram.write(17, &[1; 8]).unwrap();
+        let trace = oram.take_trace().unwrap();
+        let h = oram.height() as usize;
+        assert_eq!(trace.len(), 2 * (h + 1));
+    }
+}

@@ -1,0 +1,248 @@
+//! Cuckoo hashing: the paper's second collision mitigation (§5.1).
+//!
+//! Instead of renaming a colliding key, the universe can give every key
+//! *two* candidate slots (two independent hash functions) and let a cuckoo
+//! insertion procedure find an assignment in which every stored key owns
+//! one of its candidates. The client then "probes several locations per
+//! request": it issues one PIR query per candidate slot and picks the
+//! response whose embedded key fingerprint matches.
+//!
+//! With two hash functions, cuckoo tables succeed with high probability up
+//! to ~50% load — a far better occupancy/collision trade-off than the plain
+//! single-hash map (whose fresh-key collision probability is already ~22%
+//! at 25% load, per §5.1).
+
+use lightweb_crypto::SipHash24;
+use std::collections::HashMap;
+
+/// Number of candidate slots per key (two hash functions).
+pub const CUCKOO_WAYS: usize = 2;
+
+/// Maximum eviction-chain length before the build is declared failed and
+/// the caller should re-key or grow the domain.
+const MAX_EVICTIONS: usize = 500;
+
+/// Errors building a cuckoo assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CuckooError {
+    /// Insertion exceeded the eviction budget — the table is too full for
+    /// this hash-key pair; re-key or grow the domain.
+    InsertionFailed {
+        /// Index of the key whose insertion failed.
+        key_index: usize,
+    },
+    /// Two identical keys were inserted.
+    DuplicateKey(usize),
+}
+
+impl std::fmt::Display for CuckooError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CuckooError::InsertionFailed { key_index } => {
+                write!(f, "cuckoo insertion failed for key index {key_index}")
+            }
+            CuckooError::DuplicateKey(i) => write!(f, "duplicate key at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for CuckooError {}
+
+/// The pair of hash functions defining everyone's candidate slots.
+#[derive(Clone, Copy, Debug)]
+pub struct CuckooHasher {
+    h: [SipHash24; CUCKOO_WAYS],
+    domain_bits: u32,
+}
+
+impl CuckooHasher {
+    /// Derive the two hash functions from a 16-byte universe key.
+    pub fn new(hash_key: &[u8; 16], domain_bits: u32) -> Self {
+        assert!((1..=40).contains(&domain_bits), "domain_bits out of range");
+        let k0 = u64::from_le_bytes(hash_key[..8].try_into().unwrap());
+        let k1 = u64::from_le_bytes(hash_key[8..].try_into().unwrap());
+        Self {
+            h: [
+                SipHash24::from_halves(k0, k1),
+                // Independent second function via constant tweaks.
+                SipHash24::from_halves(k0 ^ 0x9e37_79b9_7f4a_7c15, k1 ^ 0x6a09_e667_f3bc_c908),
+            ],
+            domain_bits,
+        }
+    }
+
+    /// Both candidate slots for a key. The two candidates may coincide for
+    /// unlucky keys; the insertion procedure handles that.
+    pub fn candidates(&self, key: &[u8]) -> [u64; CUCKOO_WAYS] {
+        [
+            self.h[0].hash_to_domain(key, self.domain_bits),
+            self.h[1].hash_to_domain(key, self.domain_bits),
+        ]
+    }
+
+    /// log2 of the slot domain.
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+}
+
+/// A completed cuckoo assignment: each key owns exactly one of its
+/// candidate slots.
+#[derive(Clone, Debug)]
+pub struct CuckooAssignment {
+    /// `assignment[i]` is the slot assigned to input key `i`.
+    pub slots: Vec<u64>,
+    /// Total evictions performed while building (a load-health metric).
+    pub evictions: usize,
+}
+
+/// Build a cuckoo assignment for `keys` under `hasher`.
+///
+/// Classic random-walk insertion: place each key in one of its candidates,
+/// evicting the current occupant to its alternate slot when both are full.
+pub fn build_assignment(hasher: &CuckooHasher, keys: &[&[u8]]) -> Result<CuckooAssignment, CuckooError> {
+    // slot -> index of key occupying it
+    let mut occupant: HashMap<u64, usize> = HashMap::with_capacity(keys.len() * 2);
+    let mut assigned: Vec<Option<u64>> = vec![None; keys.len()];
+    let mut seen = std::collections::HashSet::with_capacity(keys.len());
+    let mut total_evictions = 0usize;
+
+    for (i, key) in keys.iter().enumerate() {
+        if !seen.insert(*key) {
+            return Err(CuckooError::DuplicateKey(i));
+        }
+        // Textbook cuckoo walk: place the key in an empty candidate if one
+        // exists; otherwise evict the occupant of the first candidate, which
+        // is then reinserted into its *alternate* slot, cascading.
+        let cands = hasher.candidates(key);
+        if let Some(&slot) = cands.iter().find(|s| !occupant.contains_key(s)) {
+            occupant.insert(slot, i);
+            assigned[i] = Some(slot);
+            continue;
+        }
+        let mut current = i;
+        let mut target = cands[0];
+        let mut steps = 0usize;
+        loop {
+            if steps > MAX_EVICTIONS {
+                return Err(CuckooError::InsertionFailed { key_index: i });
+            }
+            match occupant.insert(target, current) {
+                None => {
+                    assigned[current] = Some(target);
+                    break;
+                }
+                Some(victim) => {
+                    assigned[current] = Some(target);
+                    assigned[victim] = None;
+                    // The victim moves to its other candidate slot.
+                    let vc = hasher.candidates(keys[victim]);
+                    target = if vc[0] == target { vc[1] } else { vc[0] };
+                    current = victim;
+                    steps += 1;
+                    total_evictions += 1;
+                }
+            }
+        }
+    }
+
+    Ok(CuckooAssignment {
+        slots: assigned.into_iter().map(|s| s.expect("all keys placed")).collect(),
+        evictions: total_evictions,
+    })
+}
+
+/// An 8-byte fingerprint embedded at the front of each record so the client
+/// can tell which of its `CUCKOO_WAYS` probes hit the real key.
+pub fn key_fingerprint(hasher: &CuckooHasher, key: &[u8]) -> [u8; 8] {
+    // A third derived function, independent of the slot hashes.
+    let fp = SipHash24::from_halves(0x5bf0_3635_dead_beef, 0x1234_5678_9abc_def0);
+    let mut tagged = Vec::with_capacity(key.len() + 1);
+    tagged.push(hasher.domain_bits as u8);
+    tagged.extend_from_slice(key);
+    fp.hash(&tagged).to_le_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("example.com/page/{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn assignment_places_every_key_in_a_candidate() {
+        let hasher = CuckooHasher::new(&[5u8; 16], 10);
+        let owned = keys(400); // ~39% load of 1024 slots
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let asg = build_assignment(&hasher, &refs).unwrap();
+        assert_eq!(asg.slots.len(), refs.len());
+        let unique: std::collections::HashSet<_> = asg.slots.iter().collect();
+        assert_eq!(unique.len(), refs.len(), "slots must be distinct");
+        for (key, slot) in refs.iter().zip(asg.slots.iter()) {
+            assert!(hasher.candidates(key).contains(slot));
+        }
+    }
+
+    #[test]
+    fn cuckoo_beats_single_hash_at_same_load() {
+        // At 2^12 keys in 2^13 slots (50% load) a single hash map collides
+        // massively; cuckoo still succeeds.
+        let hasher = CuckooHasher::new(&[6u8; 16], 13);
+        let owned = keys(1 << 12);
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let asg = build_assignment(&hasher, &refs);
+        assert!(asg.is_ok(), "cuckoo failed at 50% load");
+
+        let single = crate::keyword::KeywordMap::new(&[6u8; 16], 13);
+        let (_, collisions) = single.assign_all(refs.iter().copied());
+        assert!(
+            collisions.len() > 500,
+            "single hash unexpectedly clean: {} collisions",
+            collisions.len()
+        );
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let hasher = CuckooHasher::new(&[7u8; 16], 8);
+        let e = build_assignment(&hasher, &[b"a", b"b", b"a"]).unwrap_err();
+        assert_eq!(e, CuckooError::DuplicateKey(2));
+    }
+
+    #[test]
+    fn overfull_table_fails_cleanly() {
+        // 100 keys in 64 slots cannot fit.
+        let hasher = CuckooHasher::new(&[8u8; 16], 6);
+        let owned = keys(100);
+        let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        assert!(matches!(
+            build_assignment(&hasher, &refs),
+            Err(CuckooError::InsertionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_keys() {
+        let hasher = CuckooHasher::new(&[9u8; 16], 10);
+        let fp1 = key_fingerprint(&hasher, b"nytimes.com/a");
+        let fp2 = key_fingerprint(&hasher, b"nytimes.com/b");
+        assert_ne!(fp1, fp2);
+        assert_eq!(fp1, key_fingerprint(&hasher, b"nytimes.com/a"));
+    }
+
+    #[test]
+    fn candidates_are_deterministic() {
+        let hasher = CuckooHasher::new(&[10u8; 16], 12);
+        assert_eq!(hasher.candidates(b"k"), hasher.candidates(b"k"));
+        // The two hash functions should disagree on most keys.
+        let same = (0..128)
+            .filter(|i| {
+                let c = hasher.candidates(format!("x{i}").as_bytes());
+                c[0] == c[1]
+            })
+            .count();
+        assert!(same < 10, "{same}/128 keys had coinciding candidates");
+    }
+}

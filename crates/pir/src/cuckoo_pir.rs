@@ -1,0 +1,232 @@
+//! End-to-end keyword PIR over cuckoo hashing: the paper's "probing
+//! several locations per request" collision mitigation (§5.1), wired into
+//! the two-server engine.
+//!
+//! The single-hash keyword map caps occupancy around 25% before fresh-key
+//! collisions exceed 1/4. With a cuckoo assignment, every stored key owns
+//! one of its **two** candidate slots, occupancy safely reaches ~45%, and
+//! the *client* resolves ambiguity: it privately fetches both candidate
+//! slots and keeps the record whose embedded fingerprint matches. Both
+//! probes are ordinary private-GETs, so the CDN still learns nothing; the
+//! price is 2× per-request server compute — exactly the trade the paper
+//! sketches.
+//!
+//! Record layout: `fingerprint(8 bytes) || payload`, so a record's true
+//! key is verifiable without revealing it to the server.
+
+use crate::cuckoo::{build_assignment, key_fingerprint, CuckooError, CuckooHasher};
+use crate::two_server::{PirError, PirServer, TwoServerClient};
+use lightweb_dpf::DpfParams;
+
+/// Bytes of each record consumed by the embedded fingerprint.
+pub const FINGERPRINT_LEN: usize = 8;
+
+/// Errors from the cuckoo PIR layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CuckooPirError {
+    /// The cuckoo assignment could not be built.
+    Build(CuckooError),
+    /// The underlying PIR engine failed.
+    Pir(PirError),
+    /// A payload was too large for the fixed record size.
+    PayloadLen {
+        /// Largest payload the record size allows.
+        max: usize,
+        /// The offending payload's length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CuckooPirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CuckooPirError::Build(e) => write!(f, "cuckoo build: {e}"),
+            CuckooPirError::Pir(e) => write!(f, "pir: {e}"),
+            CuckooPirError::PayloadLen { max, got } => {
+                write!(f, "payload of {got} bytes exceeds {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CuckooPirError {}
+
+/// Build the two (identical) cuckoo-PIR databases from keyword/value
+/// pairs. `record_len` includes the fingerprint; payloads may be at most
+/// `record_len - FINGERPRINT_LEN` bytes and are zero-padded.
+pub fn build_cuckoo_server(
+    hasher: &CuckooHasher,
+    params: DpfParams,
+    record_len: usize,
+    pairs: &[(&[u8], &[u8])],
+) -> Result<PirServer, CuckooPirError> {
+    assert!(record_len > FINGERPRINT_LEN, "record too small for a fingerprint");
+    assert_eq!(
+        hasher.domain_bits(),
+        params.domain_bits(),
+        "hasher and DPF domain must agree"
+    );
+    let keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| *k).collect();
+    let assignment = build_assignment(hasher, &keys).map_err(CuckooPirError::Build)?;
+
+    let max_payload = record_len - FINGERPRINT_LEN;
+    let mut entries = Vec::with_capacity(pairs.len());
+    for ((key, value), slot) in pairs.iter().zip(assignment.slots.iter()) {
+        if value.len() > max_payload {
+            return Err(CuckooPirError::PayloadLen { max: max_payload, got: value.len() });
+        }
+        let mut rec = vec![0u8; record_len];
+        rec[..FINGERPRINT_LEN].copy_from_slice(&key_fingerprint(hasher, key));
+        rec[FINGERPRINT_LEN..FINGERPRINT_LEN + value.len()].copy_from_slice(value);
+        entries.push((*slot, rec));
+    }
+    PirServer::from_entries(params, record_len, entries).map_err(CuckooPirError::Pir)
+}
+
+/// Client side: fetch a keyword with two private probes and fingerprint
+/// disambiguation. `fetch` runs one two-server slot query (the caller owns
+/// the sessions); it is invoked exactly twice for every lookup — hit,
+/// miss, or collision — so the access pattern stays fixed.
+pub fn cuckoo_private_get<E>(
+    hasher: &CuckooHasher,
+    client: &TwoServerClient,
+    keyword: &[u8],
+    mut fetch: impl FnMut(u64) -> Result<Vec<u8>, E>,
+) -> Result<Option<Vec<u8>>, E> {
+    let fp = key_fingerprint(hasher, keyword);
+    let cands = hasher.candidates(keyword);
+    let record_len = client.record_len();
+    let mut found = None;
+    for slot in cands {
+        let record = fetch(slot)?;
+        debug_assert_eq!(record.len(), record_len);
+        if record.len() >= FINGERPRINT_LEN && record[..FINGERPRINT_LEN] == fp && found.is_none() {
+            found = Some(record[FINGERPRINT_LEN..].to_vec());
+        }
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_server::TwoServerClient;
+
+    const RECORD: usize = 64;
+
+    fn setup(n: usize) -> (CuckooHasher, DpfParams, PirServer, PirServer, Vec<(String, Vec<u8>)>) {
+        // 45% load: n keys in ~2.2n slots.
+        let domain_bits = (64 - (n as u64 * 2 + n as u64 / 5).leading_zeros()).max(6);
+        let hasher = CuckooHasher::new(&[0x33; 16], domain_bits);
+        let params = DpfParams::new(domain_bits, 2.min(domain_bits - 1)).unwrap();
+        let pairs: Vec<(String, Vec<u8>)> = (0..n)
+            .map(|i| (format!("site.com/page/{i}"), format!("payload {i}").into_bytes()))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            pairs.iter().map(|(k, v)| (k.as_bytes(), v.as_slice())).collect();
+        let s0 = build_cuckoo_server(&hasher, params, RECORD, &refs).unwrap();
+        let s1 = s0.clone();
+        (hasher, params, s0, s1, pairs)
+    }
+
+    fn get(
+        hasher: &CuckooHasher,
+        client: &TwoServerClient,
+        s0: &PirServer,
+        s1: &PirServer,
+        key: &str,
+    ) -> Option<Vec<u8>> {
+        cuckoo_private_get(hasher, client, key.as_bytes(), |slot| {
+            let q = client.query_slot(slot);
+            let a0 = s0.answer(&q.key0)?;
+            let a1 = s1.answer(&q.key1)?;
+            TwoServerClient::combine(&a0, &a1)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn every_key_retrievable_at_high_load() {
+        let (hasher, params, s0, s1, pairs) = setup(300);
+        let client = TwoServerClient::new(params, RECORD);
+        for (key, value) in pairs.iter().step_by(17) {
+            let got = get(&hasher, &client, &s0, &s1, key).unwrap();
+            assert_eq!(&got[..value.len()], &value[..], "{key}");
+            assert!(got[value.len()..].iter().all(|&b| b == 0), "padding");
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none_after_two_probes() {
+        let (hasher, params, s0, s1, _) = setup(100);
+        let client = TwoServerClient::new(params, RECORD);
+        let mut probes = 0;
+        let result = cuckoo_private_get(
+            &hasher,
+            &client,
+            b"site.com/not-published",
+            |slot| -> Result<Vec<u8>, PirError> {
+                probes += 1;
+                let q = client.query_slot(slot);
+                TwoServerClient::combine(&s0.answer(&q.key0)?, &s1.answer(&q.key1)?)
+            },
+        )
+        .unwrap();
+        assert_eq!(result, None);
+        assert_eq!(probes, 2, "misses must still probe both candidates");
+    }
+
+    #[test]
+    fn hits_also_probe_both_candidates() {
+        let (hasher, params, s0, s1, pairs) = setup(100);
+        let client = TwoServerClient::new(params, RECORD);
+        let mut probes = 0;
+        let _ = cuckoo_private_get(
+            &hasher,
+            &client,
+            pairs[0].0.as_bytes(),
+            |slot| -> Result<Vec<u8>, PirError> {
+                probes += 1;
+                let q = client.query_slot(slot);
+                TwoServerClient::combine(&s0.answer(&q.key0)?, &s1.answer(&q.key1)?)
+            },
+        )
+        .unwrap();
+        assert_eq!(probes, 2, "fixed probe count regardless of which slot hits");
+    }
+
+    #[test]
+    fn wrong_fingerprint_candidate_is_not_returned() {
+        // A key whose candidate slot is occupied by a *different* key must
+        // not get that record back.
+        let (hasher, params, s0, s1, pairs) = setup(300);
+        let client = TwoServerClient::new(params, RECORD);
+        for probe_key in ["site.com/page/0", "site.com/other/thing", "x.com/y"] {
+            if let Some(got) = get(&hasher, &client, &s0, &s1, probe_key) {
+                // Only legitimate if the key is actually published.
+                assert!(
+                    pairs.iter().any(|(k, _)| k == probe_key),
+                    "ghost record for {probe_key}: {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let hasher = CuckooHasher::new(&[1; 16], 8);
+        let params = DpfParams::new(8, 2).unwrap();
+        let big = vec![0u8; RECORD]; // leaves no room for the fingerprint
+        let err =
+            build_cuckoo_server(&hasher, params, RECORD, &[(b"k", big.as_slice())]).unwrap_err();
+        assert!(matches!(err, CuckooPirError::PayloadLen { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must agree")]
+    fn mismatched_domains_rejected() {
+        let hasher = CuckooHasher::new(&[1; 16], 8);
+        let params = DpfParams::new(10, 2).unwrap();
+        let _ = build_cuckoo_server(&hasher, params, RECORD, &[]);
+    }
+}

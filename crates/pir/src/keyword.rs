@@ -1,0 +1,180 @@
+//! PIR by keywords: hashing arbitrary path strings onto the DPF domain.
+//!
+//! ZLTP keys are arbitrary strings (lightweb paths). The prototype maps a
+//! key onto the DPF output domain of size `2^d` with a shared keyed hash;
+//! the client then performs index PIR on the hashed slot. §5.1 sizes the
+//! domain at `2^22` for roughly `2^20` stored pairs, so a *new* key collides
+//! with an existing one with probability at most 1/4 even at capacity — and
+//! "if this happens, then the publisher can simply select another key
+//! name". The [`crate::cuckoo`] module implements the other mitigation the
+//! paper mentions.
+
+use lightweb_crypto::SipHash24;
+
+/// The shared keyword→slot map: a keyed hash truncated to the DPF domain.
+///
+/// All parties in a universe (clients, both PIR servers, publishers) must
+/// use the same map, so its 128-bit key is public universe metadata — it
+/// provides balance, not secrecy.
+#[derive(Clone, Copy, Debug)]
+pub struct KeywordMap {
+    sip: SipHash24,
+    domain_bits: u32,
+}
+
+impl KeywordMap {
+    /// Create a map onto a domain of size `2^domain_bits`.
+    pub fn new(hash_key: &[u8; 16], domain_bits: u32) -> Self {
+        assert!(domain_bits >= 1 && domain_bits <= 40, "domain_bits out of range");
+        Self { sip: SipHash24::new(hash_key), domain_bits }
+    }
+
+    /// The slot a keyword maps to.
+    pub fn slot(&self, keyword: &[u8]) -> u64 {
+        self.sip.hash_to_domain(keyword, self.domain_bits)
+    }
+
+    /// log2 of the slot domain.
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+
+    /// Map a set of keywords, reporting any that collide.
+    ///
+    /// Returns `(assignments, collisions)` where `collisions` lists the
+    /// indices of keywords whose slot was already taken by an earlier
+    /// keyword. The publisher-facing layer uses this to ask for a rename.
+    pub fn assign_all<'a>(
+        &self,
+        keywords: impl IntoIterator<Item = &'a [u8]>,
+    ) -> (Vec<u64>, Vec<usize>) {
+        let mut seen = std::collections::HashSet::new();
+        let mut slots = Vec::new();
+        let mut collisions = Vec::new();
+        for (i, kw) in keywords.into_iter().enumerate() {
+            let s = self.slot(kw);
+            if !seen.insert(s) {
+                collisions.push(i);
+            }
+            slots.push(s);
+        }
+        (slots, collisions)
+    }
+}
+
+/// Probability that a *fresh* keyword collides with at least one of
+/// `n_keys` already-stored keys in a domain of size `2^domain_bits`:
+/// `1 - (1 - 2^-d)^n`.
+///
+/// At the paper's operating point (`n = 2^20`, `d = 22`) this is
+/// `1 - (1 - 2^-22)^(2^20) ≈ 0.221 ≤ 1/4` — the bound quoted in §5.1.
+pub fn analytic_collision_probability(n_keys: u64, domain_bits: u32) -> f64 {
+    let d = 2f64.powi(domain_bits as i32);
+    // ln(1-p) * n, computed stably via ln_1p.
+    1.0 - ((-1.0 / d).ln_1p() * n_keys as f64).exp()
+}
+
+/// Expected number of pairwise collisions when `n_keys` keys are hashed
+/// into `2^domain_bits` slots: `C(n,2) / 2^d`. Useful for sizing domains.
+pub fn expected_pairwise_collisions(n_keys: u64, domain_bits: u32) -> f64 {
+    let n = n_keys as f64;
+    n * (n - 1.0) / 2.0 / 2f64.powi(domain_bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_deterministic_and_in_range() {
+        let map = KeywordMap::new(&[1u8; 16], 22);
+        let a = map.slot(b"nytimes.com/world/africa/headlines.json");
+        let b = map.slot(b"nytimes.com/world/africa/headlines.json");
+        assert_eq!(a, b);
+        assert!(a < 1 << 22);
+    }
+
+    #[test]
+    fn different_hash_keys_give_different_maps() {
+        let m1 = KeywordMap::new(&[1u8; 16], 22);
+        let m2 = KeywordMap::new(&[2u8; 16], 22);
+        // A re-keyed universe epoch re-shuffles slots (the paper's rename
+        // escape hatch generalized).
+        let moved = (0..64)
+            .filter(|i| {
+                let k = format!("page-{i}");
+                m1.slot(k.as_bytes()) != m2.slot(k.as_bytes())
+            })
+            .count();
+        assert!(moved > 48, "only {moved}/64 slots moved on re-key");
+    }
+
+    #[test]
+    fn assign_all_reports_collisions() {
+        // Force collisions with a tiny 2-bit domain.
+        let map = KeywordMap::new(&[3u8; 16], 2);
+        let keywords: Vec<Vec<u8>> = (0..16).map(|i| format!("k{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keywords.iter().map(|k| k.as_slice()).collect();
+        let (slots, collisions) = map.assign_all(refs);
+        assert_eq!(slots.len(), 16);
+        // 16 keys into 4 slots must collide at least 12 times.
+        assert!(collisions.len() >= 12);
+        // And no collision index refers to the first occurrence of a slot.
+        for &i in &collisions {
+            assert!(slots[..i].contains(&slots[i]));
+        }
+    }
+
+    #[test]
+    fn paper_operating_point_is_below_one_quarter() {
+        let p = analytic_collision_probability(1 << 20, 22);
+        assert!(p <= 0.25, "P(collision) = {p} exceeds the paper's 1/4 bound");
+        assert!(p > 0.2, "P(collision) = {p} suspiciously small for n/D = 1/4");
+    }
+
+    #[test]
+    fn collision_probability_monotonic_in_n_and_d() {
+        assert!(
+            analytic_collision_probability(1 << 10, 22)
+                < analytic_collision_probability(1 << 20, 22)
+        );
+        assert!(
+            analytic_collision_probability(1 << 20, 24)
+                < analytic_collision_probability(1 << 20, 22)
+        );
+        assert_eq!(analytic_collision_probability(0, 22), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        // Hash 2^12 keys into 2^14 slots, then measure the fresh-key
+        // collision rate over 2000 probes; should match the analytic value
+        // (~0.221) within Monte-Carlo noise.
+        let map = KeywordMap::new(&[9u8; 16], 14);
+        let occupied: std::collections::HashSet<u64> =
+            (0..(1 << 12)).map(|i: u32| map.slot(format!("stored-{i}").as_bytes())).collect();
+        let probes = 2000;
+        let hits = (0..probes)
+            .filter(|i| occupied.contains(&map.slot(format!("fresh-{i}").as_bytes())))
+            .count();
+        let measured = hits as f64 / probes as f64;
+        let analytic = analytic_collision_probability(occupied.len() as u64, 14);
+        assert!(
+            (measured - analytic).abs() < 0.05,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn expected_pairwise_collisions_sane() {
+        // Birthday: 2^11 keys in 2^22 slots -> ~0.5 expected pairs.
+        let e = expected_pairwise_collisions(1 << 11, 22);
+        assert!((e - 0.4999).abs() < 0.01, "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bit_domain_rejected() {
+        KeywordMap::new(&[0u8; 16], 0);
+    }
+}

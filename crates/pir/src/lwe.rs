@@ -1,0 +1,429 @@
+//! Single-server lattice PIR (SimplePIR-style Regev encryption).
+//!
+//! The paper's §2.2 notes that ZLTP could instead run on single-server PIR
+//! "whose security rests only on cryptographic assumptions", at higher
+//! communication and computation cost. This module implements such a scheme
+//! so that the mode-comparison benchmark can demonstrate the trade-off
+//! concretely.
+//!
+//! ## Scheme
+//!
+//! The database is laid out as a matrix `DB ∈ Z_p^{rows×cols}` with one
+//! *column per record* and one *row per record byte* (`p = 256`). The
+//! server publishes:
+//!
+//! * a seed for the public LWE matrix `A ∈ Z_q^{cols×n}` (`q = 2^32`), and
+//! * a *hint* `H = DB·A ∈ Z_q^{rows×n}`, downloaded once per database
+//!   version (the offline phase).
+//!
+//! To fetch record `j`, the client samples a secret `s ∈ Z_q^n` and sends
+//! `qu = A·s + e + Δ·u_j ∈ Z_q^{cols}` where `Δ = q/p` and `u_j` is the
+//! j-th unit vector. The server replies `ans = DB·qu ∈ Z_q^{rows}` — a
+//! linear scan over the whole database, just like the DPF mode. The client
+//! recovers byte `r` as `round((ans_r − ⟨H_r, s⟩)/Δ) mod p`.
+//!
+//! Correctness holds when the accumulated noise `|Σ_c DB[r][c]·e_c|` stays
+//! below `Δ/2 = 2^23`; with ternary noise and the database sizes used here
+//! that holds with overwhelming probability (same analysis as SimplePIR).
+//!
+//! ## Parameters
+//!
+//! [`LweParams::default_secure`] uses `n = 1024`, the SimplePIR-recommended
+//! dimension for `q = 2^32`. [`LweParams::insecure_test`] shrinks `n` for
+//! fast unit tests and is named accordingly.
+
+use lightweb_crypto::chacha::ChaCha;
+use rand::Rng;
+
+/// LWE parameters. The modulus is fixed at `q = 2^32` (native wrapping
+/// arithmetic) and the plaintext modulus at `p = 256` (one byte per cell).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LweParams {
+    /// Secret dimension n.
+    pub n: usize,
+}
+
+/// Scaling factor Δ = q / p = 2^24.
+const DELTA_SHIFT: u32 = 24;
+
+impl LweParams {
+    /// Production-shaped parameters (n = 1024).
+    pub fn default_secure() -> Self {
+        Self { n: 1024 }
+    }
+
+    /// Small parameters for fast tests. **Not secure.**
+    pub fn insecure_test() -> Self {
+        Self { n: 64 }
+    }
+}
+
+/// Errors from the LWE PIR engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LweError {
+    /// Record had the wrong length.
+    RecordLen {
+        /// Expected record length.
+        expected: usize,
+        /// Actual length received.
+        got: usize,
+    },
+    /// Query vector had the wrong length.
+    QueryLen {
+        /// Expected query entries (one per record column).
+        expected: usize,
+        /// Actual entries received.
+        got: usize,
+    },
+    /// Answer vector had the wrong length.
+    AnswerLen {
+        /// Expected answer entries (one per record byte).
+        expected: usize,
+        /// Actual entries received.
+        got: usize,
+    },
+    /// Requested record index is out of range.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of records in the database.
+        cols: usize,
+    },
+    /// The hint does not match this client's dimensions.
+    HintLen {
+        /// Expected hint entries (record_len x n).
+        expected: usize,
+        /// Actual entries received.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for LweError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LweError::RecordLen { expected, got } => write!(f, "record length {got} != {expected}"),
+            LweError::QueryLen { expected, got } => write!(f, "query length {got} != {expected}"),
+            LweError::AnswerLen { expected, got } => write!(f, "answer length {got} != {expected}"),
+            LweError::IndexOutOfRange { index, cols } => write!(f, "record {index} out of range ({cols} records)"),
+            LweError::HintLen { expected, got } => write!(f, "hint length {got} != {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for LweError {}
+
+/// Expand row `c` of the public matrix `A ∈ Z_q^{cols×n}` from the seed.
+///
+/// Row-seeded ChaCha20 keeps `A` out of memory on both sides: the server
+/// streams it while building the hint, the client while building queries.
+fn a_row(seed: &[u8; 32], c: usize, n: usize, out: &mut [u32]) {
+    debug_assert_eq!(out.len(), n);
+    let mut nonce = [0u8; 12];
+    nonce[..8].copy_from_slice(&(c as u64).to_le_bytes());
+    let cipher = ChaCha::chacha20(seed, &nonce);
+    let mut block = [0u8; 64];
+    let mut produced = 0usize;
+    let mut counter = 0u32;
+    while produced < n {
+        cipher.keystream_block(counter, &mut block);
+        counter += 1;
+        for chunk in block.chunks_exact(4) {
+            if produced == n {
+                break;
+            }
+            out[produced] = u32::from_le_bytes(chunk.try_into().unwrap());
+            produced += 1;
+        }
+    }
+}
+
+/// The single-server PIR database plus its published hint.
+pub struct LweServer {
+    params: LweParams,
+    record_len: usize,
+    cols: usize,
+    /// Row-major `rows × cols` byte matrix: `db[r * cols + c]` = byte `r` of
+    /// record `c`.
+    db: Vec<u8>,
+    seed: [u8; 32],
+    /// `rows × n` hint, row-major.
+    hint: Vec<u32>,
+}
+
+impl LweServer {
+    /// Build a server over `records` (all of length `record_len`),
+    /// precomputing the hint (the offline phase).
+    pub fn new(params: LweParams, record_len: usize, records: Vec<Vec<u8>>) -> Result<Self, LweError> {
+        assert!(record_len > 0, "record_len must be positive");
+        let cols = records.len();
+        let rows = record_len;
+        let mut db = vec![0u8; rows * cols];
+        for (c, rec) in records.iter().enumerate() {
+            if rec.len() != record_len {
+                return Err(LweError::RecordLen { expected: record_len, got: rec.len() });
+            }
+            for (r, &byte) in rec.iter().enumerate() {
+                db[r * cols + c] = byte;
+            }
+        }
+        let seed = lightweb_crypto::random_key();
+
+        // hint = DB · A, streaming A row by row (one row per column c).
+        let mut hint = vec![0u32; rows * params.n];
+        let mut row = vec![0u32; params.n];
+        for c in 0..cols {
+            a_row(&seed, c, params.n, &mut row);
+            for r in 0..rows {
+                let d = db[r * cols + c] as u32;
+                if d == 0 {
+                    continue;
+                }
+                let h = &mut hint[r * params.n..(r + 1) * params.n];
+                for (hj, aj) in h.iter_mut().zip(row.iter()) {
+                    *hj = hj.wrapping_add(d.wrapping_mul(*aj));
+                }
+            }
+        }
+
+        Ok(Self { params, record_len, cols, db, seed, hint })
+    }
+
+    /// The LWE parameters this server was built with.
+    pub fn params(&self) -> LweParams {
+        self.params
+    }
+
+    /// The seed for the public matrix `A` (published to clients).
+    pub fn public_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// Number of records (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The hint `DB·A`, downloaded once per database version.
+    pub fn hint(&self) -> &[u32] {
+        &self.hint
+    }
+
+    /// Size in bytes of the hint download.
+    pub fn hint_bytes(&self) -> usize {
+        self.hint.len() * 4
+    }
+
+    /// Answer a query: `ans = DB · qu`. One pass over every database byte —
+    /// the same O(N) online cost as the DPF mode, but with 32-bit
+    /// multiply-accumulate instead of XOR.
+    pub fn answer(&self, query: &[u32]) -> Result<Vec<u32>, LweError> {
+        if query.len() != self.cols {
+            return Err(LweError::QueryLen { expected: self.cols, got: query.len() });
+        }
+        let rows = self.record_len;
+        let mut ans = vec![0u32; rows];
+        for r in 0..rows {
+            let row = &self.db[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0u32;
+            for (d, q) in row.iter().zip(query.iter()) {
+                acc = acc.wrapping_add((*d as u32).wrapping_mul(*q));
+            }
+            ans[r] = acc;
+        }
+        Ok(ans)
+    }
+}
+
+/// A prepared client query: the encrypted selection vector plus the secret
+/// needed to decrypt the answer.
+pub struct LweQuery {
+    /// The vector sent to the server.
+    pub payload: Vec<u32>,
+    secret: Vec<u32>,
+    index: usize,
+}
+
+impl LweQuery {
+    /// Upload size in bytes.
+    pub fn upload_bytes(&self) -> usize {
+        self.payload.len() * 4
+    }
+}
+
+/// Client side of the single-server scheme.
+pub struct LweClient {
+    params: LweParams,
+    seed: [u8; 32],
+    cols: usize,
+    record_len: usize,
+}
+
+impl LweClient {
+    /// Create a client from the server's published metadata.
+    pub fn new(params: LweParams, seed: [u8; 32], cols: usize, record_len: usize) -> Self {
+        Self { params, seed, cols, record_len }
+    }
+
+    /// Build a query for record `index`.
+    pub fn query(&self, index: usize) -> LweQuery {
+        assert!(index < self.cols, "record index out of range");
+        let mut rng = rand::thread_rng();
+        let secret: Vec<u32> = (0..self.params.n).map(|_| rng.gen()).collect();
+        let mut payload = vec![0u32; self.cols];
+        let mut row = vec![0u32; self.params.n];
+        for c in 0..self.cols {
+            a_row(&self.seed, c, self.params.n, &mut row);
+            let mut acc = 0u32;
+            for (a, s) in row.iter().zip(secret.iter()) {
+                acc = acc.wrapping_add(a.wrapping_mul(*s));
+            }
+            // Ternary noise: -1, 0, +1 with probabilities 1/4, 1/2, 1/4.
+            let e: i32 = match rng.gen_range(0..4u8) {
+                0 => -1,
+                1 => 1,
+                _ => 0,
+            };
+            acc = acc.wrapping_add(e as u32);
+            if c == index {
+                acc = acc.wrapping_add(1u32 << DELTA_SHIFT);
+            }
+            payload[c] = acc;
+        }
+        LweQuery { payload, secret, index }
+    }
+
+    /// Decrypt the server's answer into the record bytes.
+    pub fn decode(&self, query: &LweQuery, hint: &[u32], answer: &[u32]) -> Result<Vec<u8>, LweError> {
+        let rows = self.record_len;
+        if hint.len() != rows * self.params.n {
+            return Err(LweError::HintLen { expected: rows * self.params.n, got: hint.len() });
+        }
+        if answer.len() != rows {
+            return Err(LweError::AnswerLen { expected: rows, got: answer.len() });
+        }
+        let mut out = vec![0u8; rows];
+        for r in 0..rows {
+            let h = &hint[r * self.params.n..(r + 1) * self.params.n];
+            let mut hs = 0u32;
+            for (a, s) in h.iter().zip(query.secret.iter()) {
+                hs = hs.wrapping_add(a.wrapping_mul(*s));
+            }
+            let noisy = answer[r].wrapping_sub(hs);
+            // Round to the nearest multiple of Δ; the shift reduces mod p.
+            let rounded = noisy.wrapping_add(1u32 << (DELTA_SHIFT - 1)) >> DELTA_SHIFT;
+            out[r] = (rounded & 0xFF) as u8;
+        }
+        Ok(out)
+    }
+
+    /// Which record a query targets (client-side bookkeeping).
+    pub fn query_index(query: &LweQuery) -> usize {
+        query.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_records(n: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..len).map(|b| ((b * 17 + i * 101) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_retrieval() {
+        let params = LweParams::insecure_test();
+        let records = make_records(32, 48);
+        let server = LweServer::new(params, 48, records.clone()).unwrap();
+        let client = LweClient::new(params, server.public_seed(), server.cols(), 48);
+        for idx in [0usize, 1, 15, 31] {
+            let q = client.query(idx);
+            let ans = server.answer(&q.payload).unwrap();
+            assert_eq!(client.decode(&q, server.hint(), &ans).unwrap(), records[idx]);
+        }
+    }
+
+    #[test]
+    fn payload_hides_index_size_wise() {
+        // Queries for different indices have identical length and should
+        // not be trivially distinguishable (both look uniform).
+        let params = LweParams::insecure_test();
+        let server = LweServer::new(params, 8, make_records(16, 8)).unwrap();
+        let client = LweClient::new(params, server.public_seed(), server.cols(), 8);
+        let q0 = client.query(0);
+        let q1 = client.query(15);
+        assert_eq!(q0.payload.len(), q1.payload.len());
+        assert_eq!(q0.upload_bytes(), 16 * 4);
+    }
+
+    #[test]
+    fn wrong_sizes_rejected() {
+        let params = LweParams::insecure_test();
+        let server = LweServer::new(params, 8, make_records(4, 8)).unwrap();
+        assert!(matches!(
+            server.answer(&[0u32; 3]),
+            Err(LweError::QueryLen { expected: 4, got: 3 })
+        ));
+        let client = LweClient::new(params, server.public_seed(), 4, 8);
+        let q = client.query(0);
+        let ans = server.answer(&q.payload).unwrap();
+        assert!(matches!(
+            client.decode(&q, &ans[..1].iter().map(|&x| x).collect::<Vec<_>>(), &ans),
+            Err(LweError::HintLen { .. })
+        ));
+        assert!(matches!(
+            client.decode(&q, server.hint(), &ans[..7]),
+            Err(LweError::AnswerLen { expected: 8, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn ragged_records_rejected() {
+        let params = LweParams::insecure_test();
+        let mut records = make_records(4, 8);
+        records[2].pop();
+        assert!(matches!(
+            LweServer::new(params, 8, records),
+            Err(LweError::RecordLen { expected: 8, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn hint_reused_across_queries() {
+        // The hint is per-database, not per-query: many queries decode
+        // against the same hint.
+        let params = LweParams::insecure_test();
+        let records = make_records(10, 16);
+        let server = LweServer::new(params, 16, records.clone()).unwrap();
+        let client = LweClient::new(params, server.public_seed(), server.cols(), 16);
+        let hint = server.hint().to_vec();
+        for idx in 0..10 {
+            let q = client.query(idx);
+            let ans = server.answer(&q.payload).unwrap();
+            assert_eq!(client.decode(&q, &hint, &ans).unwrap(), records[idx]);
+        }
+    }
+
+    #[test]
+    fn communication_is_larger_than_dpf_mode() {
+        // The paper's claim: single-server cryptographic PIR costs more
+        // communication. At 2^10 records the LWE upload alone (4 bytes per
+        // record) already exceeds a DPF key pair (~1 KiB at d = 22).
+        let params = LweParams::insecure_test();
+        let server = LweServer::new(params, 8, make_records(1024, 8)).unwrap();
+        let client = LweClient::new(params, server.public_seed(), server.cols(), 8);
+        let q = client.query(0);
+        assert!(q.upload_bytes() >= 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_index_out_of_range_panics() {
+        let params = LweParams::insecure_test();
+        let server = LweServer::new(params, 8, make_records(4, 8)).unwrap();
+        let client = LweClient::new(params, server.public_seed(), 4, 8);
+        let _ = client.query(4);
+    }
+}

@@ -1,0 +1,485 @@
+//! Two-server DPF-based PIR: the prototype mode the paper benchmarks.
+//!
+//! The server holds key-value pairs where the key is a slot in the DPF
+//! output domain of size `2^d` and the value is a fixed-length record.
+//! Answering a query means (1) evaluating the client's DPF key over the
+//! full domain — "DPF evaluation", 64 of 167 ms in §5.1 — and (2) XORing
+//! together the records whose slot bit is set — "scanning over the data",
+//! the remaining 103 ms. XORing the two servers' answers yields the record
+//! in the queried slot.
+//!
+//! The scan is implemented branch-free (a broadcast mask per record) so the
+//! compiler can vectorize it; the paper's prototype used AVX intrinsics for
+//! the same loop.
+//!
+//! Batching (§5.1): evaluating `b` DPF keys up front and answering all of
+//! them in a *single* pass over the data raises throughput at the cost of
+//! latency, because the scan — the dominant term — is paid once per batch
+//! rather than once per request. [`PirServer::answer_batch`] implements
+//! this; the `e2_batching` bench reproduces the paper's 0.51 s / 2 req/s
+//! vs 2.6 s / 6 req/s trade-off curve.
+
+use lightweb_crypto::util::xor_in_place_masked;
+use lightweb_dpf::{gen, DpfKey, DpfParams};
+
+/// Errors from the PIR engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PirError {
+    /// A record had the wrong length for this database.
+    RecordLen {
+        /// The database's fixed record length.
+        expected: usize,
+        /// The offending record's length.
+        got: usize,
+    },
+    /// A slot index was outside the DPF domain.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: u64,
+        /// The domain size it must be below.
+        domain: u64,
+    },
+    /// Two records were assigned the same slot (keyword collision that the
+    /// publisher must resolve by renaming, per §5.1).
+    DuplicateSlot(u64),
+    /// The query key's parameters do not match the database.
+    ParamsMismatch,
+    /// Two answers being combined had different lengths.
+    AnswerLen,
+}
+
+impl std::fmt::Display for PirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PirError::RecordLen { expected, got } => {
+                write!(f, "record length {got} != database record length {expected}")
+            }
+            PirError::SlotOutOfRange { slot, domain } => {
+                write!(f, "slot {slot} outside domain of size {domain}")
+            }
+            PirError::DuplicateSlot(s) => write!(f, "duplicate slot {s}"),
+            PirError::ParamsMismatch => write!(f, "query parameters do not match database"),
+            PirError::AnswerLen => write!(f, "answers have mismatched lengths"),
+        }
+    }
+}
+
+impl std::error::Error for PirError {}
+
+/// One (logical) PIR server: the slot-indexed record store plus the scan.
+///
+/// In the two-server protocol both servers hold *identical* databases; the
+/// non-collusion assumption is about their operators, not their contents.
+#[derive(Clone, Debug)]
+pub struct PirServer {
+    params: DpfParams,
+    record_len: usize,
+    /// Occupied slots, ascending.
+    slots: Vec<u64>,
+    /// Record bytes, contiguous, `slots.len() * record_len`.
+    data: Vec<u8>,
+}
+
+impl PirServer {
+    /// Create an empty server for the given domain and record size.
+    pub fn new(params: DpfParams, record_len: usize) -> Self {
+        assert!(record_len > 0, "record_len must be positive");
+        Self { params, record_len, slots: Vec::new(), data: Vec::new() }
+    }
+
+    /// Build a server from `(slot, record)` entries.
+    ///
+    /// Entries may arrive in any order; duplicate slots and wrong-length
+    /// records are rejected.
+    pub fn from_entries(
+        params: DpfParams,
+        record_len: usize,
+        mut entries: Vec<(u64, Vec<u8>)>,
+    ) -> Result<Self, PirError> {
+        entries.sort_by_key(|e| e.0);
+        let mut server = Self::new(params, record_len);
+        let mut last: Option<u64> = None;
+        for (slot, rec) in entries {
+            if last == Some(slot) {
+                return Err(PirError::DuplicateSlot(slot));
+            }
+            last = Some(slot);
+            server.insert_sorted(slot, &rec)?;
+        }
+        Ok(server)
+    }
+
+    fn insert_sorted(&mut self, slot: u64, record: &[u8]) -> Result<(), PirError> {
+        if slot >= self.params.domain_size() {
+            return Err(PirError::SlotOutOfRange { slot, domain: self.params.domain_size() });
+        }
+        if record.len() != self.record_len {
+            return Err(PirError::RecordLen { expected: self.record_len, got: record.len() });
+        }
+        self.slots.push(slot);
+        self.data.extend_from_slice(record);
+        Ok(())
+    }
+
+    /// Insert or replace the record at `slot`.
+    pub fn upsert(&mut self, slot: u64, record: &[u8]) -> Result<(), PirError> {
+        if slot >= self.params.domain_size() {
+            return Err(PirError::SlotOutOfRange { slot, domain: self.params.domain_size() });
+        }
+        if record.len() != self.record_len {
+            return Err(PirError::RecordLen { expected: self.record_len, got: record.len() });
+        }
+        match self.slots.binary_search(&slot) {
+            Ok(i) => {
+                self.data[i * self.record_len..(i + 1) * self.record_len].copy_from_slice(record);
+            }
+            Err(i) => {
+                self.slots.insert(i, slot);
+                let at = i * self.record_len;
+                // Insert the record bytes at the right offset.
+                self.data.splice(at..at, record.iter().copied());
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the record at `slot`, if present. Returns whether it existed.
+    pub fn remove(&mut self, slot: u64) -> bool {
+        match self.slots.binary_search(&slot) {
+            Ok(i) => {
+                self.slots.remove(i);
+                let at = i * self.record_len;
+                self.data.drain(at..at + self.record_len);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `slot` is occupied.
+    pub fn contains(&self, slot: u64) -> bool {
+        self.slots.binary_search(&slot).is_ok()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total stored bytes (the quantity the paper's per-GiB scan cost is
+    /// normalized against).
+    pub fn stored_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The DPF parameters queries must use.
+    pub fn params(&self) -> DpfParams {
+        self.params
+    }
+
+    /// Iterate over the stored `(slot, record)` pairs in slot order.
+    /// Used when re-materializing the store into another layout (e.g.
+    /// splitting it across deployment shards).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(move |(i, &slot)| (slot, &self.data[i * self.record_len..(i + 1) * self.record_len]))
+    }
+
+    /// The fixed record (bucket) size in bytes.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// Answer one query: full-domain DPF evaluation plus the data scan.
+    pub fn answer(&self, key: &DpfKey) -> Result<Vec<u8>, PirError> {
+        if key.params() != self.params {
+            return Err(PirError::ParamsMismatch);
+        }
+        let bits = key.eval_full();
+        Ok(self.scan(&bits))
+    }
+
+    /// The scan half of [`PirServer::answer`], exposed so the sharded
+    /// deployment (which receives pre-expanded sub-tree evaluations from a
+    /// front-end, §5.2) can reuse it.
+    ///
+    /// `bits` is the packed full-domain share bit vector.
+    pub fn scan(&self, bits: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(bits.len(), self.params.output_len());
+        let mut acc = vec![0u8; self.record_len];
+        for (i, &slot) in self.slots.iter().enumerate() {
+            let bit = (bits[(slot / 8) as usize] >> (slot % 8)) & 1;
+            // Branch-free conditional XOR: mask is 0x00 or 0xFF.
+            let mask = bit.wrapping_neg();
+            let rec = &self.data[i * self.record_len..(i + 1) * self.record_len];
+            xor_in_place_masked(&mut acc, rec, mask);
+        }
+        acc
+    }
+
+    /// Answer a batch of queries in one pass over the data (§5.1 batching).
+    ///
+    /// All DPF keys are evaluated first; the scan then visits each record
+    /// once, accumulating into every query's bucket. With `b` queries the
+    /// per-query scan cost drops by ~`b`× while the DPF-evaluation cost is
+    /// unchanged — the origin of the paper's latency/throughput trade-off.
+    pub fn answer_batch(&self, keys: &[DpfKey]) -> Result<Vec<Vec<u8>>, PirError> {
+        for key in keys {
+            if key.params() != self.params {
+                return Err(PirError::ParamsMismatch);
+            }
+        }
+        let bit_vecs: Vec<Vec<u8>> = keys.iter().map(|k| k.eval_full()).collect();
+        let mut accs = vec![vec![0u8; self.record_len]; keys.len()];
+        for (i, &slot) in self.slots.iter().enumerate() {
+            let rec = &self.data[i * self.record_len..(i + 1) * self.record_len];
+            let byte = (slot / 8) as usize;
+            let shift = (slot % 8) as u32;
+            for (q, bits) in bit_vecs.iter().enumerate() {
+                let mask = ((bits[byte] >> shift) & 1).wrapping_neg();
+                xor_in_place_masked(&mut accs[q], rec, mask);
+            }
+        }
+        Ok(accs)
+    }
+}
+
+/// A pair of DPF keys forming one two-server PIR query.
+#[derive(Clone, Debug)]
+pub struct TwoServerQuery {
+    /// Key for server 0.
+    pub key0: DpfKey,
+    /// Key for server 1.
+    pub key1: DpfKey,
+    /// The queried slot (client-side only; never sent).
+    pub slot: u64,
+}
+
+/// Client side of the two-server protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoServerClient {
+    params: DpfParams,
+    record_len: usize,
+}
+
+impl TwoServerClient {
+    /// Create a client for databases with the given parameters.
+    pub fn new(params: DpfParams, record_len: usize) -> Self {
+        Self { params, record_len }
+    }
+
+    /// The negotiated record (bucket) length.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// The negotiated DPF parameters.
+    pub fn params(&self) -> DpfParams {
+        self.params
+    }
+
+    /// Build the query for `slot`: a fresh DPF key pair for the point
+    /// function at `slot`.
+    pub fn query_slot(&self, slot: u64) -> TwoServerQuery {
+        assert!(slot < self.params.domain_size(), "slot outside domain");
+        let (key0, key1) = gen(&self.params, slot);
+        TwoServerQuery { key0, key1, slot }
+    }
+
+    /// Combine the two servers' answers into the plaintext bucket.
+    pub fn combine(answer0: &[u8], answer1: &[u8]) -> Result<Vec<u8>, PirError> {
+        if answer0.len() != answer1.len() {
+            return Err(PirError::AnswerLen);
+        }
+        Ok(answer0.iter().zip(answer1.iter()).map(|(a, b)| a ^ b).collect())
+    }
+
+    /// Upload bytes for one query (both servers' keys).
+    pub fn upload_bytes(&self) -> usize {
+        let q = self.query_slot(0);
+        q.key0.serialized_len() + q.key1.serialized_len()
+    }
+
+    /// Download bytes for one query (both servers' buckets).
+    pub fn download_bytes(&self) -> usize {
+        2 * self.record_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DpfParams {
+        DpfParams::new(10, 3).unwrap()
+    }
+
+    fn sample_entries(n: usize, record_len: usize) -> Vec<(u64, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let slot = (i as u64 * 37 + 5) % (1 << 10);
+                let mut rec = vec![0u8; record_len];
+                rec[0] = i as u8;
+                rec[record_len - 1] = (i * 3) as u8;
+                (slot, rec)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_retrieval() {
+        let p = params();
+        let entries = sample_entries(25, 32);
+        let s0 = PirServer::from_entries(p, 32, entries.clone()).unwrap();
+        let s1 = s0.clone();
+        let client = TwoServerClient::new(p, 32);
+        for (slot, rec) in &entries {
+            let q = client.query_slot(*slot);
+            let a0 = s0.answer(&q.key0).unwrap();
+            let a1 = s1.answer(&q.key1).unwrap();
+            assert_eq!(TwoServerClient::combine(&a0, &a1).unwrap(), *rec);
+        }
+    }
+
+    #[test]
+    fn querying_an_empty_slot_returns_zeros() {
+        let p = params();
+        let entries = sample_entries(5, 16);
+        let occupied: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        let s0 = PirServer::from_entries(p, 16, entries.clone()).unwrap();
+        let s1 = s0.clone();
+        let client = TwoServerClient::new(p, 16);
+        let empty_slot = (0..p.domain_size()).find(|s| !occupied.contains(s)).unwrap();
+        let q = client.query_slot(empty_slot);
+        let a0 = s0.answer(&q.key0).unwrap();
+        let a1 = s1.answer(&q.key1).unwrap();
+        assert_eq!(TwoServerClient::combine(&a0, &a1).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn single_answer_is_pseudorandom_not_the_record() {
+        let p = params();
+        let entries = sample_entries(10, 16);
+        let s0 = PirServer::from_entries(p, 16, entries.clone()).unwrap();
+        let client = TwoServerClient::new(p, 16);
+        let q = client.query_slot(entries[0].0);
+        let a0 = s0.answer(&q.key0).unwrap();
+        // A single server's answer XORs a pseudorandom subset of records —
+        // overwhelmingly unlikely to equal the target record exactly.
+        assert_ne!(a0, entries[0].1);
+    }
+
+    #[test]
+    fn duplicate_slot_rejected() {
+        let p = params();
+        let entries = vec![(3u64, vec![0u8; 8]), (3u64, vec![1u8; 8])];
+        assert_eq!(
+            PirServer::from_entries(p, 8, entries).unwrap_err(),
+            PirError::DuplicateSlot(3)
+        );
+    }
+
+    #[test]
+    fn wrong_record_len_rejected() {
+        let p = params();
+        let entries = vec![(3u64, vec![0u8; 7])];
+        assert!(matches!(
+            PirServer::from_entries(p, 8, entries).unwrap_err(),
+            PirError::RecordLen { expected: 8, got: 7 }
+        ));
+    }
+
+    #[test]
+    fn slot_out_of_range_rejected() {
+        let p = params();
+        let entries = vec![(1 << 10, vec![0u8; 8])];
+        assert!(matches!(
+            PirServer::from_entries(p, 8, entries).unwrap_err(),
+            PirError::SlotOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn params_mismatch_rejected() {
+        let p = params();
+        let server = PirServer::from_entries(p, 8, sample_entries(3, 8)).unwrap();
+        let other = DpfParams::new(8, 2).unwrap();
+        let client = TwoServerClient::new(other, 8);
+        let q = client.query_slot(0);
+        assert_eq!(server.answer(&q.key0).unwrap_err(), PirError::ParamsMismatch);
+        assert_eq!(
+            server.answer_batch(&[q.key0]).unwrap_err(),
+            PirError::ParamsMismatch
+        );
+    }
+
+    #[test]
+    fn upsert_replaces_and_inserts() {
+        let p = params();
+        let mut server = PirServer::new(p, 4);
+        server.upsert(10, &[1, 2, 3, 4]).unwrap();
+        server.upsert(5, &[5, 6, 7, 8]).unwrap();
+        server.upsert(10, &[9, 9, 9, 9]).unwrap();
+        assert_eq!(server.len(), 2);
+        assert!(server.contains(5) && server.contains(10));
+
+        // Retrieval reflects the replacement.
+        let s1 = server.clone();
+        let client = TwoServerClient::new(p, 4);
+        let q = client.query_slot(10);
+        let got = TwoServerClient::combine(
+            &server.answer(&q.key0).unwrap(),
+            &s1.answer(&q.key1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(got, vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn remove_deletes_record() {
+        let p = params();
+        let mut server = PirServer::from_entries(p, 4, vec![(1, vec![1; 4]), (2, vec![2; 4])]).unwrap();
+        assert!(server.remove(1));
+        assert!(!server.remove(1));
+        assert_eq!(server.len(), 1);
+        assert_eq!(server.stored_bytes(), 4);
+        assert!(!server.contains(1));
+    }
+
+    #[test]
+    fn combine_length_mismatch_rejected() {
+        assert_eq!(
+            TwoServerClient::combine(&[0; 4], &[0; 5]).unwrap_err(),
+            PirError::AnswerLen
+        );
+    }
+
+    #[test]
+    fn upload_download_accounting() {
+        // At d = 22 the paper reports ~13.6 KiB total per request: two DPF
+        // keys up plus two 4 KiB buckets down. Check our accounting has the
+        // same structure (upload ~ hundreds of bytes, download = 2 buckets).
+        let p = DpfParams::new(22, 7).unwrap();
+        let client = TwoServerClient::new(p, 4096);
+        assert_eq!(client.download_bytes(), 8192);
+        let up = client.upload_bytes();
+        assert!(up > 300 && up < 1200, "upload {up} bytes");
+    }
+
+    #[test]
+    fn batch_of_one_matches_single() {
+        let p = params();
+        let server = PirServer::from_entries(p, 16, sample_entries(10, 16)).unwrap();
+        let client = TwoServerClient::new(p, 16);
+        let q = client.query_slot(5 % p.domain_size());
+        let batched = server.answer_batch(std::slice::from_ref(&q.key0)).unwrap();
+        assert_eq!(batched[0], server.answer(&q.key0).unwrap());
+    }
+}

@@ -1,0 +1,226 @@
+//! Access control and paywalls (paper §3.3–3.4).
+//!
+//! Lightweb lets a publisher restrict who can *read* content without the
+//! CDN learning each user's permissions: "the CDN can simply store an
+//! encryption of the data. When the client makes an account with the
+//! publisher outside of lightweb, it obtains cryptographic key(s)…The
+//! publisher can periodically rotate keys in order to revoke users'
+//! access."
+//!
+//! [`AccessKeyring`] is the publisher side: a sequence of epoch keys, the
+//! newest used to encrypt fresh content. [`ClientAccessPass`] is what a
+//! subscriber holds: the epoch keys the publisher has granted them.
+//! Revocation = rotate + re-encrypt + stop handing the new key to the
+//! revoked user. The protected payload format is
+//! `epoch(u32 BE) || nonce(12) || AEAD ciphertext`, with the path bound in
+//! as associated data so a (malicious) CDN cannot swap ciphertexts between
+//! paths undetected.
+
+use lightweb_crypto::aead::{ChaCha20Poly1305, AEAD_NONCE_LEN, AEAD_TAG_LEN};
+
+/// Overhead added by protection: epoch + nonce + tag.
+pub const ACCESS_OVERHEAD: usize = 4 + AEAD_NONCE_LEN + AEAD_TAG_LEN;
+
+/// Errors from the access-control layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccessError {
+    /// The pass has no key for the ciphertext's epoch — the subscription
+    /// lapsed (or never existed).
+    NoKeyForEpoch(u32),
+    /// The ciphertext failed to authenticate (corruption or path swap).
+    BadCiphertext,
+    /// The protected payload is structurally malformed.
+    Malformed,
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::NoKeyForEpoch(e) => write!(f, "no access key for epoch {e}"),
+            AccessError::BadCiphertext => write!(f, "protected blob failed to authenticate"),
+            AccessError::Malformed => write!(f, "malformed protected blob"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Publisher-side key management: one key per epoch.
+pub struct AccessKeyring {
+    keys: Vec<[u8; 32]>,
+}
+
+impl AccessKeyring {
+    /// Start a keyring at epoch 0 with a fresh key.
+    pub fn new() -> Self {
+        Self { keys: vec![lightweb_crypto::random_key()] }
+    }
+
+    /// Current epoch number.
+    pub fn current_epoch(&self) -> u32 {
+        (self.keys.len() - 1) as u32
+    }
+
+    /// Rotate to a new epoch (revocation step one; step two is
+    /// re-encrypting and re-publishing the protected content).
+    pub fn rotate(&mut self) -> u32 {
+        self.keys.push(lightweb_crypto::random_key());
+        self.current_epoch()
+    }
+
+    /// Encrypt `plaintext` for `path` under the current epoch.
+    pub fn protect(&self, path: &str, plaintext: &[u8]) -> Vec<u8> {
+        let epoch = self.current_epoch();
+        let aead = ChaCha20Poly1305::new(&self.keys[epoch as usize]);
+        let mut nonce = [0u8; AEAD_NONCE_LEN];
+        lightweb_crypto::fill_random(&mut nonce);
+        let ct = aead.seal(&nonce, path.as_bytes(), plaintext);
+        let mut out = Vec::with_capacity(4 + AEAD_NONCE_LEN + ct.len());
+        out.extend_from_slice(&epoch.to_be_bytes());
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(&ct);
+        out
+    }
+
+    /// Issue a pass granting epochs `from..=current` (a subscription that
+    /// started at `from`).
+    pub fn issue_pass(&self, from_epoch: u32) -> ClientAccessPass {
+        let from = from_epoch as usize;
+        ClientAccessPass {
+            first_epoch: from_epoch,
+            keys: self.keys[from.min(self.keys.len())..].to_vec(),
+        }
+    }
+}
+
+impl Default for AccessKeyring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The keys a subscriber holds.
+#[derive(Clone)]
+pub struct ClientAccessPass {
+    first_epoch: u32,
+    keys: Vec<[u8; 32]>,
+}
+
+impl ClientAccessPass {
+    /// Decrypt a protected payload fetched from `path`.
+    pub fn open(&self, path: &str, protected: &[u8]) -> Result<Vec<u8>, AccessError> {
+        if protected.len() < ACCESS_OVERHEAD {
+            return Err(AccessError::Malformed);
+        }
+        let epoch = u32::from_be_bytes(protected[..4].try_into().unwrap());
+        let idx = epoch
+            .checked_sub(self.first_epoch)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.keys.len())
+            .ok_or(AccessError::NoKeyForEpoch(epoch))?;
+        let nonce: [u8; AEAD_NONCE_LEN] = protected[4..4 + AEAD_NONCE_LEN].try_into().unwrap();
+        ChaCha20Poly1305::new(&self.keys[idx])
+            .open(&nonce, path.as_bytes(), &protected[4 + AEAD_NONCE_LEN..])
+            .map_err(|_| AccessError::BadCiphertext)
+    }
+
+    /// Extend the pass with newer keys fetched from the publisher ("clients
+    /// can query the publisher periodically for updated keys").
+    pub fn extend_from(&mut self, ring: &AccessKeyring) {
+        let have = self.first_epoch as usize + self.keys.len();
+        if have <= ring.keys.len() {
+            self.keys.extend_from_slice(&ring.keys[have..]);
+        }
+    }
+
+    /// Epochs this pass can decrypt.
+    pub fn epoch_range(&self) -> std::ops::Range<u32> {
+        self.first_epoch..self.first_epoch + self.keys.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscriber_reads_protected_content() {
+        let ring = AccessKeyring::new();
+        let pass = ring.issue_pass(0);
+        let protected = ring.protect("nyt.com/premium/article", b"the scoop");
+        assert_eq!(pass.open("nyt.com/premium/article", &protected).unwrap(), b"the scoop");
+    }
+
+    #[test]
+    fn non_subscriber_cannot_read() {
+        let ring_a = AccessKeyring::new();
+        let ring_b = AccessKeyring::new();
+        let protected = ring_a.protect("p", b"secret");
+        let wrong_pass = ring_b.issue_pass(0);
+        assert_eq!(wrong_pass.open("p", &protected), Err(AccessError::BadCiphertext));
+    }
+
+    #[test]
+    fn rotation_revokes_stale_passes() {
+        let mut ring = AccessKeyring::new();
+        let old_pass = ring.issue_pass(0);
+        ring.rotate();
+        let fresh = ring.protect("p", b"new content");
+        // Old pass lacks the epoch-1 key.
+        assert_eq!(old_pass.open("p", &fresh), Err(AccessError::NoKeyForEpoch(1)));
+        // A renewed subscriber can read.
+        let new_pass = ring.issue_pass(0);
+        assert_eq!(new_pass.open("p", &fresh).unwrap(), b"new content");
+    }
+
+    #[test]
+    fn pass_extension_restores_access() {
+        let mut ring = AccessKeyring::new();
+        let mut pass = ring.issue_pass(0);
+        ring.rotate();
+        let fresh = ring.protect("p", b"v2");
+        assert!(pass.open("p", &fresh).is_err());
+        pass.extend_from(&ring);
+        assert_eq!(pass.open("p", &fresh).unwrap(), b"v2");
+        assert_eq!(pass.epoch_range(), 0..2);
+    }
+
+    #[test]
+    fn late_subscriber_cannot_read_old_epochs() {
+        let mut ring = AccessKeyring::new();
+        let old = ring.protect("p", b"archive");
+        ring.rotate();
+        let late_pass = ring.issue_pass(1);
+        assert_eq!(late_pass.open("p", &old), Err(AccessError::NoKeyForEpoch(0)));
+    }
+
+    #[test]
+    fn path_binding_prevents_ciphertext_swaps() {
+        let ring = AccessKeyring::new();
+        let pass = ring.issue_pass(0);
+        let protected = ring.protect("site/cheap-article", b"cheap");
+        // A malicious CDN serving the cheap ciphertext at the premium path
+        // is detected.
+        assert_eq!(
+            pass.open("site/premium-article", &protected),
+            Err(AccessError::BadCiphertext)
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        let ring = AccessKeyring::new();
+        let pass = ring.issue_pass(0);
+        assert_eq!(pass.open("p", &[0u8; 3]), Err(AccessError::Malformed));
+        let mut protected = ring.protect("p", b"x");
+        protected.truncate(protected.len() - 1);
+        assert_eq!(pass.open("p", &protected), Err(AccessError::BadCiphertext));
+    }
+
+    #[test]
+    fn overhead_constant_is_accurate() {
+        let ring = AccessKeyring::new();
+        let protected = ring.protect("p", b"12345");
+        assert_eq!(protected.len(), 5 + ACCESS_OVERHEAD);
+    }
+}

@@ -1,0 +1,274 @@
+//! The fixed-size blob encoding.
+//!
+//! Every blob in a universe is exactly the universe's fixed size — that is
+//! the whole point (§3.1): a ZLTP response leaks nothing about which page
+//! was fetched partly *because* every page occupies an identical bucket.
+//! Inside the fixed envelope we need to know how much of it is real
+//! payload, and §5 adds: "any values longer than this can be broken up and
+//! retrieved separately (i.e. the user can click a 'next' link)". So a blob
+//! is:
+//!
+//! ```text
+//! byte 0      flags: bit 0 = a continuation blob follows
+//! bytes 1..5  u32 BE payload length within this blob
+//! bytes 5..   payload, then zero padding to the fixed size
+//! ```
+//!
+//! Continuations live at derived paths `path#part1`, `path#part2`, … so
+//! the reader can fetch the chain with ordinary private-GETs. Each link in
+//! the chain costs one fetch — which is why lightweb encourages small
+//! pages, and why the browser budget (fixed fetch count per page view)
+//! caps how long a chain a page may use.
+
+/// Blob header overhead in bytes.
+pub const BLOB_HEADER_LEN: usize = 5;
+
+const FLAG_HAS_NEXT: u8 = 0b0000_0001;
+
+/// Decoded blob header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlobHeader {
+    /// Whether a continuation blob follows at the next derived path.
+    pub has_next: bool,
+    /// Payload bytes present in this blob.
+    pub payload_len: usize,
+}
+
+/// Errors from blob encoding/decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlobError {
+    /// The value cannot fit in `max_parts` chained blobs of this size.
+    TooLarge {
+        /// The value's length in bytes.
+        value_len: usize,
+        /// Total payload capacity of the chain.
+        capacity: usize,
+    },
+    /// The blob is smaller than its header claims (corrupt or truncated).
+    Corrupt(String),
+    /// Blob size too small to hold the header.
+    BlobTooSmall(usize),
+}
+
+impl std::fmt::Display for BlobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlobError::TooLarge { value_len, capacity } => {
+                write!(f, "value of {value_len} bytes exceeds chain capacity {capacity}")
+            }
+            BlobError::Corrupt(m) => write!(f, "corrupt blob: {m}"),
+            BlobError::BlobTooSmall(n) => write!(f, "blob size {n} cannot hold a header"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+/// Payload capacity of a single blob of `blob_len` bytes.
+pub fn blob_capacity(blob_len: usize) -> usize {
+    blob_len.saturating_sub(BLOB_HEADER_LEN)
+}
+
+/// The derived path of continuation part `n` (n >= 1) of `path`.
+pub fn continuation_path(path: &str, n: usize) -> String {
+    format!("{path}#part{n}")
+}
+
+/// Encode a value that fits in one blob. Fails if it does not fit.
+pub fn encode_blob(value: &[u8], blob_len: usize) -> Result<Vec<u8>, BlobError> {
+    if blob_len < BLOB_HEADER_LEN {
+        return Err(BlobError::BlobTooSmall(blob_len));
+    }
+    if value.len() > blob_capacity(blob_len) {
+        return Err(BlobError::TooLarge { value_len: value.len(), capacity: blob_capacity(blob_len) });
+    }
+    let mut out = vec![0u8; blob_len];
+    out[0] = 0;
+    out[1..5].copy_from_slice(&(value.len() as u32).to_be_bytes());
+    out[BLOB_HEADER_LEN..BLOB_HEADER_LEN + value.len()].copy_from_slice(value);
+    Ok(out)
+}
+
+/// Encode a value of any size into a chain of fixed-size blobs, capped at
+/// `max_parts` blobs (the browser's fetch budget).
+///
+/// Returns the blobs in order; blob `i > 0` belongs at
+/// [`continuation_path`]`(path, i)`.
+pub fn encode_chain(value: &[u8], blob_len: usize, max_parts: usize) -> Result<Vec<Vec<u8>>, BlobError> {
+    if blob_len < BLOB_HEADER_LEN {
+        return Err(BlobError::BlobTooSmall(blob_len));
+    }
+    let cap = blob_capacity(blob_len);
+    let total_capacity = cap * max_parts;
+    if value.len() > total_capacity {
+        return Err(BlobError::TooLarge { value_len: value.len(), capacity: total_capacity });
+    }
+    let parts: Vec<&[u8]> = if value.is_empty() {
+        vec![&[][..]]
+    } else {
+        value.chunks(cap).collect()
+    };
+    let mut blobs = Vec::with_capacity(parts.len());
+    for (i, part) in parts.iter().enumerate() {
+        let mut blob = vec![0u8; blob_len];
+        blob[0] = if i + 1 < parts.len() { FLAG_HAS_NEXT } else { 0 };
+        blob[1..5].copy_from_slice(&(part.len() as u32).to_be_bytes());
+        blob[BLOB_HEADER_LEN..BLOB_HEADER_LEN + part.len()].copy_from_slice(part);
+        blobs.push(blob);
+    }
+    Ok(blobs)
+}
+
+/// Decode one blob into its header and payload slice.
+pub fn decode_blob(blob: &[u8]) -> Result<(BlobHeader, &[u8]), BlobError> {
+    if blob.len() < BLOB_HEADER_LEN {
+        return Err(BlobError::Corrupt(format!("{} bytes is below header size", blob.len())));
+    }
+    let flags = blob[0];
+    if flags & !FLAG_HAS_NEXT != 0 {
+        return Err(BlobError::Corrupt(format!("unknown flags {flags:#x}")));
+    }
+    let len = u32::from_be_bytes(blob[1..5].try_into().unwrap()) as usize;
+    if len > blob.len() - BLOB_HEADER_LEN {
+        return Err(BlobError::Corrupt(format!(
+            "payload length {len} exceeds blob capacity {}",
+            blob.len() - BLOB_HEADER_LEN
+        )));
+    }
+    Ok((
+        BlobHeader { has_next: flags & FLAG_HAS_NEXT != 0, payload_len: len },
+        &blob[BLOB_HEADER_LEN..BLOB_HEADER_LEN + len],
+    ))
+}
+
+/// Reassemble a chain fetched blob-by-blob. The `fetch` callback receives
+/// the part index (0 = the base path) and returns that blob's bytes.
+/// `max_parts` bounds the walk so a corrupt chain cannot loop forever.
+pub fn decode_chain(
+    max_parts: usize,
+    mut fetch: impl FnMut(usize) -> Result<Vec<u8>, BlobError>,
+) -> Result<Vec<u8>, BlobError> {
+    let mut out = Vec::new();
+    for i in 0..max_parts {
+        let blob = fetch(i)?;
+        let (header, payload) = decode_blob(&blob)?;
+        out.extend_from_slice(payload);
+        if !header.has_next {
+            return Ok(out);
+        }
+    }
+    Err(BlobError::Corrupt(format!("chain exceeds {max_parts} parts")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_blob_roundtrip() {
+        let blob = encode_blob(b"hello lightweb", 64).unwrap();
+        assert_eq!(blob.len(), 64);
+        let (header, payload) = decode_blob(&blob).unwrap();
+        assert!(!header.has_next);
+        assert_eq!(payload, b"hello lightweb");
+    }
+
+    #[test]
+    fn empty_value_roundtrip() {
+        let blob = encode_blob(b"", 16).unwrap();
+        let (header, payload) = decode_blob(&blob).unwrap();
+        assert_eq!(header.payload_len, 0);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn exact_fit_roundtrip() {
+        let value = vec![7u8; 59]; // 64 - 5
+        let blob = encode_blob(&value, 64).unwrap();
+        let (_, payload) = decode_blob(&blob).unwrap();
+        assert_eq!(payload, &value[..]);
+    }
+
+    #[test]
+    fn oversize_single_blob_rejected() {
+        assert!(matches!(
+            encode_blob(&[0u8; 60], 64),
+            Err(BlobError::TooLarge { value_len: 60, capacity: 59 })
+        ));
+    }
+
+    #[test]
+    fn chain_roundtrip_various_sizes() {
+        for value_len in [0usize, 1, 59, 60, 118, 200, 590] {
+            let value: Vec<u8> = (0..value_len).map(|i| (i % 251) as u8).collect();
+            let blobs = encode_chain(&value, 64, 16).unwrap();
+            assert!(blobs.iter().all(|b| b.len() == 64), "fixed size violated");
+            let got = decode_chain(16, |i| {
+                blobs.get(i).cloned().ok_or(BlobError::Corrupt("missing part".into()))
+            })
+            .unwrap();
+            assert_eq!(got, value, "value_len={value_len}");
+        }
+    }
+
+    #[test]
+    fn chain_part_count_is_minimal() {
+        let blobs = encode_chain(&[0u8; 118], 64, 16).unwrap(); // 2 * 59
+        assert_eq!(blobs.len(), 2);
+        let blobs = encode_chain(&[0u8; 119], 64, 16).unwrap();
+        assert_eq!(blobs.len(), 3);
+    }
+
+    #[test]
+    fn chain_budget_enforced() {
+        assert!(matches!(
+            encode_chain(&[0u8; 59 * 3 + 1], 64, 3),
+            Err(BlobError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        // Header claims more payload than the blob holds.
+        let mut blob = encode_blob(b"x", 16).unwrap();
+        blob[1..5].copy_from_slice(&100u32.to_be_bytes());
+        assert!(matches!(decode_blob(&blob), Err(BlobError::Corrupt(_))));
+        // Unknown flag bits.
+        let mut blob2 = encode_blob(b"x", 16).unwrap();
+        blob2[0] = 0x80;
+        assert!(matches!(decode_blob(&blob2), Err(BlobError::Corrupt(_))));
+        // Too short for a header.
+        assert!(matches!(decode_blob(&[0u8; 3]), Err(BlobError::Corrupt(_))));
+    }
+
+    #[test]
+    fn runaway_chain_detected() {
+        // Every blob claims a continuation; the walk must stop at the cap.
+        let mut blob = encode_blob(b"loop", 32).unwrap();
+        blob[0] = 0x01;
+        let err = decode_chain(5, |_| Ok(blob.clone())).unwrap_err();
+        assert!(matches!(err, BlobError::Corrupt(_)));
+    }
+
+    #[test]
+    fn continuation_paths_are_distinct() {
+        assert_eq!(continuation_path("a.com/x", 1), "a.com/x#part1");
+        assert_ne!(continuation_path("a.com/x", 1), continuation_path("a.com/x", 2));
+    }
+
+    #[test]
+    fn tiny_blob_sizes_rejected() {
+        assert!(matches!(encode_blob(b"", 4), Err(BlobError::BlobTooSmall(4))));
+        assert!(matches!(encode_chain(b"", 4, 2), Err(BlobError::BlobTooSmall(4))));
+    }
+
+    #[test]
+    fn padding_is_zeroed() {
+        // Deterministic padding matters: identical logical content must
+        // produce identical blobs (dedup, peering comparisons).
+        let a = encode_blob(b"same", 64).unwrap();
+        let b = encode_blob(b"same", 64).unwrap();
+        assert_eq!(a, b);
+        assert!(a[BLOB_HEADER_LEN + 4..].iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,132 @@
+#![warn(missing_docs)]
+
+//! # lightweb-universe
+//!
+//! The lightweb *content universe* (paper §3): the publisher-facing half of
+//! the system, layered on a ZLTP deployment.
+//!
+//! A universe is a collection of millions of fixed-size lightweb pages
+//! hosted by one CDN in one administrative domain. Publishers produce:
+//!
+//! * one **code blob** per domain — routing and rendering logic the client
+//!   caches aggressively (served from a *separate* ZLTP universe with its
+//!   own, larger fixed blob size, as §3.2 suggests), and
+//! * many **data blobs** — small JSON objects, all padded to the
+//!   universe-wide fixed size (e.g. 4 KiB).
+//!
+//! This crate implements everything §3 describes around those blobs:
+//!
+//! * [`json`] — a from-scratch minimal JSON value/parser/writer (data
+//!   blobs "contain arbitrary JSON objects", §3.2; `serde_json` is not in
+//!   the approved dependency set, so we built one).
+//! * [`blob`] — the fixed-size blob encoding: length-prefixed payloads,
+//!   zero padding, and *chaining* for oversized values — the paper's
+//!   "values longer than this can be broken up and retrieved separately
+//!   (i.e. the user can click a 'next' link)" (§5).
+//! * [`universe`] — the universe itself: domain-prefix ownership (§3.1:
+//!   "a single publisher controls all of the content beneath a particular
+//!   top-level path component"), publish/update flows to the two-server
+//!   deployment, and the small/medium/large size tiers of §3.5.
+//! * [`access`] — access control and paywalls (§3.3–3.4): the CDN stores
+//!   only ciphertexts; publishers hand epoch keys to authorized clients
+//!   and rotate them to revoke.
+//! * [`peering`] — multi-universe peering (§3.5): pushing published
+//!   content to peer universes that agree on domain ownership.
+//! * [`stats`] — privately counting per-domain queries for billing (§4)
+//!   with two-server additive secret sharing, Prio-style.
+
+pub mod access;
+pub mod blob;
+pub mod json;
+pub mod peering;
+pub mod stats;
+pub mod tiered;
+pub mod universe;
+
+pub use access::{AccessKeyring, ClientAccessPass};
+pub use blob::{decode_blob, decode_chain, encode_blob, encode_chain, BlobError, BlobHeader};
+pub use json::{parse_json, Value};
+pub use stats::{combine_reports, StatsClient, StatsServer};
+pub use tiered::TieredCdn;
+pub use universe::{Tier, Universe, UniverseConfig, UniverseError};
+
+#[cfg(test)]
+mod proptests {
+    use super::json::{parse_json, Value};
+    use proptest::prelude::*;
+
+    /// Strategy generating arbitrary JSON values (bounded depth).
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            // Finite, integer-friendly numbers (JSON has no NaN/Inf).
+            (-1e9f64..1e9).prop_map(|n| Value::Number((n * 100.0).round() / 100.0)),
+            "[a-zA-Z0-9 _\\-\\.\"\\\\/\n\t]{0,24}".prop_map(Value::String),
+        ];
+        leaf.prop_recursive(3, 24, 6, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+                prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any generated JSON value survives serialize → parse.
+        #[test]
+        fn json_roundtrip(v in value_strategy()) {
+            let text = v.to_json();
+            let back = parse_json(&text).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        /// The JSON parser is total over arbitrary input strings.
+        #[test]
+        fn json_parser_never_panics(s in "\\PC{0,128}") {
+            let _ = parse_json(&s);
+        }
+
+        /// Blob chains round-trip for any payload that fits the budget.
+        #[test]
+        fn blob_chain_roundtrip(
+            payload in prop::collection::vec(any::<u8>(), 0..600),
+            blob_len in 16usize..128,
+        ) {
+            let max_parts = 16;
+            match super::blob::encode_chain(&payload, blob_len, max_parts) {
+                Ok(blobs) => {
+                    prop_assert!(blobs.iter().all(|b| b.len() == blob_len));
+                    let got = super::blob::decode_chain(max_parts, |i| {
+                        blobs
+                            .get(i)
+                            .cloned()
+                            .ok_or(super::blob::BlobError::Corrupt("missing".into()))
+                    })
+                    .unwrap();
+                    prop_assert_eq!(got, payload);
+                }
+                Err(super::blob::BlobError::TooLarge { .. }) => {
+                    prop_assert!(payload.len() > (blob_len - 5) * max_parts);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            }
+        }
+
+        /// Blob decoding is total over arbitrary bytes.
+        #[test]
+        fn blob_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+            let _ = super::blob::decode_blob(&bytes);
+        }
+
+        /// Access-control opening is total over arbitrary ciphertexts.
+        #[test]
+        fn access_open_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+            let ring = super::access::AccessKeyring::new();
+            let pass = ring.issue_pass(0);
+            let _ = pass.open("p", &bytes);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Multi-universe peering (paper §3.5).
+//!
+//! "If a publisher uploads content to one CDN, the CDN would push the
+//! content to all of its peers. To make this possible, CDNs would have to
+//! agree on the assignment of lightweb domain names to owners."
+//!
+//! [`PeerGroup`] models a set of peered universes: publishing through the
+//! group fans out to every member, and [`push_domain`] replays an already-
+//! published domain from one universe to another — refusing when the
+//! destination has the domain registered to a *different* owner, the
+//! consistency rule the paper derives from today's domain-name system.
+
+use crate::universe::{Universe, UniverseError};
+use std::sync::Arc;
+
+/// Push everything under `domain` from `src` to `dst`.
+///
+/// Registers the domain at `dst` under the same owner (erroring if `dst`
+/// has it under a different owner), then republishes code and data.
+/// Returns the number of data values pushed.
+pub fn push_domain(src: &Universe, dst: &Universe, domain: &str) -> Result<usize, UniverseError> {
+    let export = src
+        .export_domain(domain)
+        .ok_or_else(|| UniverseError::InvalidDomain(format!("{domain} not present in {}", src.id())))?;
+    dst.register_domain(&export.domain, &export.owner)?;
+    if let Some(code) = &export.code {
+        dst.publish_code(&export.owner, &export.domain, code)?;
+    }
+    let mut pushed = 0;
+    for (path, value) in &export.values {
+        dst.publish_data(&export.owner, path, value)?;
+        pushed += 1;
+    }
+    Ok(pushed)
+}
+
+/// A set of peered universes sharing domain-ownership assignments.
+pub struct PeerGroup {
+    members: Vec<Arc<Universe>>,
+}
+
+impl PeerGroup {
+    /// Form a peer group.
+    pub fn new(members: Vec<Arc<Universe>>) -> Self {
+        Self { members }
+    }
+
+    /// The member universes.
+    pub fn members(&self) -> &[Arc<Universe>] {
+        &self.members
+    }
+
+    /// Register a domain across every member (the "agree on assignment"
+    /// step). Fails if any member has a conflicting owner; members
+    /// registered earlier in the same call keep the registration, matching
+    /// the paper's observation that peering piggybacks on a single global
+    /// registry.
+    pub fn register_domain(&self, domain: &str, publisher: &str) -> Result<(), UniverseError> {
+        for u in &self.members {
+            u.register_domain(domain, publisher)?;
+        }
+        Ok(())
+    }
+
+    /// Publish a data value to every member.
+    pub fn publish_data(
+        &self,
+        publisher: &str,
+        path: &str,
+        value: &[u8],
+    ) -> Result<(), UniverseError> {
+        for u in &self.members {
+            u.publish_data(publisher, path, value)?;
+        }
+        Ok(())
+    }
+
+    /// Publish code to every member.
+    pub fn publish_code(
+        &self,
+        publisher: &str,
+        domain: &str,
+        code: &str,
+    ) -> Result<(), UniverseError> {
+        for u in &self.members {
+            u.publish_code(publisher, domain, code)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseConfig;
+    use lightweb_core::TwoServerZltp;
+
+    fn two_universes() -> (Arc<Universe>, Arc<Universe>) {
+        (
+            Arc::new(Universe::new(UniverseConfig::small_test("akamai")).unwrap()),
+            Arc::new(Universe::new(UniverseConfig::small_test("cloudflare")).unwrap()),
+        )
+    }
+
+    #[test]
+    fn push_replicates_domain_content() {
+        let (a, b) = two_universes();
+        a.register_domain("news.com", "News").unwrap();
+        a.publish_code("News", "news.com", "code").unwrap();
+        a.publish_data("News", "news.com/front", b"front page").unwrap();
+        a.publish_data("News", "news.com/sports", b"sports page").unwrap();
+
+        let pushed = push_domain(&a, &b, "news.com").unwrap();
+        assert_eq!(pushed, 2);
+        assert_eq!(b.owner_of("news.com").as_deref(), Some("News"));
+        assert_eq!(b.num_data_values(), 2);
+
+        // Content is servable from the peer.
+        let (c0, c1) = b.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("news.com/front").unwrap();
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert_eq!(payload, b"front page");
+    }
+
+    #[test]
+    fn push_refuses_conflicting_ownership() {
+        let (a, b) = two_universes();
+        a.register_domain("news.com", "News").unwrap();
+        a.publish_data("News", "news.com/x", b"x").unwrap();
+        // The destination has the domain under a different owner.
+        b.register_domain("news.com", "Squatter").unwrap();
+        assert!(matches!(
+            push_domain(&a, &b, "news.com"),
+            Err(UniverseError::AlreadyRegistered { .. })
+        ));
+    }
+
+    #[test]
+    fn push_of_unknown_domain_fails() {
+        let (a, b) = two_universes();
+        assert!(matches!(
+            push_domain(&a, &b, "ghost.com"),
+            Err(UniverseError::InvalidDomain(_))
+        ));
+    }
+
+    #[test]
+    fn peer_group_fans_out_publishes() {
+        let (a, b) = two_universes();
+        let group = PeerGroup::new(vec![a.clone(), b.clone()]);
+        group.register_domain("wiki.org", "Wiki").unwrap();
+        group.publish_code("Wiki", "wiki.org", "wiki-code").unwrap();
+        group.publish_data("Wiki", "wiki.org/Uganda", b"article").unwrap();
+        assert_eq!(a.num_data_values(), 1);
+        assert_eq!(b.num_data_values(), 1);
+        assert_eq!(a.num_code_blobs(), 1);
+        assert_eq!(b.num_code_blobs(), 1);
+        assert_eq!(group.members().len(), 2);
+    }
+
+    #[test]
+    fn peer_group_registration_conflict_surfaces() {
+        let (a, b) = two_universes();
+        b.register_domain("wiki.org", "Other").unwrap();
+        let group = PeerGroup::new(vec![a.clone(), b]);
+        assert!(group.register_domain("wiki.org", "Wiki").is_err());
+        // First member may have registered before the failure — the paper's
+        // global-registry assumption is exactly what avoids this in
+        // practice.
+        assert_eq!(a.owner_of("wiki.org").as_deref(), Some("Wiki"));
+    }
+}

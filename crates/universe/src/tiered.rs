@@ -1,0 +1,177 @@
+//! Multiple universes per CDN with varying cost/coverage trade-offs
+//! (paper §3.5).
+//!
+//! "A single CDN could group its pages into 'small', 'medium', and 'large'
+//! universes where each universe has a different fixed page size. These
+//! different universes would allow a CDN to accommodate large pages
+//! without adding overhead for fetching small pages, although the CDN (and
+//! an attacker observing the network) would learn whether the user is
+//! fetching a page from the small, medium, or large universe."
+//!
+//! [`TieredCdn`] runs one universe per [`Tier`]. Publishing routes each
+//! value to the smallest tier whose fixed blob holds it without chaining
+//! (falling back to chaining in the largest tier); the client learns which
+//! tier a path lives in from public metadata — exactly the tier-level leak
+//! the paper accepts — and browses that universe.
+
+use crate::universe::{Tier, Universe, UniverseConfig, UniverseError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One CDN operating a universe per size tier.
+pub struct TieredCdn {
+    tiers: Vec<(Tier, Universe)>,
+    /// path -> tier placement. Public metadata: which tier a page lives in
+    /// is observable anyway (the client connects to that universe).
+    placement: RwLock<HashMap<String, Tier>>,
+}
+
+impl TieredCdn {
+    /// Stand up small/medium/large universes sharing an id prefix.
+    pub fn new(id_prefix: &str) -> Result<Self, UniverseError> {
+        let mut tiers = Vec::new();
+        for tier in [Tier::Small, Tier::Medium, Tier::Large] {
+            let mut cfg = UniverseConfig::small_test(&format!("{id_prefix}-{tier:?}"));
+            cfg.tier = tier;
+            tiers.push((tier, Universe::new(cfg)?));
+        }
+        Ok(Self { tiers, placement: RwLock::new(HashMap::new()) })
+    }
+
+    /// The universe serving `tier`.
+    pub fn universe(&self, tier: Tier) -> &Universe {
+        &self.tiers.iter().find(|(t, _)| *t == tier).expect("all tiers present").1
+    }
+
+    /// Register a domain across every tier (a publisher may end up with
+    /// pages in several).
+    pub fn register_domain(&self, domain: &str, publisher: &str) -> Result<(), UniverseError> {
+        for (_, u) in &self.tiers {
+            u.register_domain(domain, publisher)?;
+        }
+        Ok(())
+    }
+
+    /// Publish code to every tier the publisher's pages might land in.
+    pub fn publish_code(&self, publisher: &str, domain: &str, code: &str) -> Result<(), UniverseError> {
+        for (_, u) in &self.tiers {
+            u.publish_code(publisher, domain, code)?;
+        }
+        Ok(())
+    }
+
+    /// Publish a value into the smallest tier whose single blob holds it;
+    /// values too large even for one large blob are chained in the large
+    /// tier. Returns the chosen tier.
+    pub fn publish_auto(
+        &self,
+        publisher: &str,
+        path: &str,
+        value: &[u8],
+    ) -> Result<Tier, UniverseError> {
+        let chosen = self
+            .tiers
+            .iter()
+            .find(|(tier, _)| value.len() <= crate::blob::blob_capacity(tier.data_blob_len()))
+            .map(|(tier, _)| *tier)
+            .unwrap_or(Tier::Large);
+        self.universe(chosen).publish_data(publisher, path, value)?;
+        self.placement.write().insert(path.to_string(), chosen);
+        Ok(chosen)
+    }
+
+    /// Which tier a path was placed in (public routing metadata).
+    pub fn tier_of(&self, path: &str) -> Option<Tier> {
+        self.placement.read().get(path).copied()
+    }
+
+    /// Per-tier page counts — the CDN's cost/coverage dashboard.
+    pub fn tier_populations(&self) -> Vec<(Tier, usize)> {
+        self.tiers.iter().map(|(t, u)| (*t, u.num_data_values())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightweb_core::TwoServerZltp;
+
+    fn cdn() -> TieredCdn {
+        let cdn = TieredCdn::new("akamai").unwrap();
+        cdn.register_domain("mix.com", "Mix").unwrap();
+        cdn
+    }
+
+    #[test]
+    fn values_route_to_the_smallest_fitting_tier() {
+        let cdn = cdn();
+        assert_eq!(
+            cdn.publish_auto("Mix", "mix.com/tiny", &[1u8; 100]).unwrap(),
+            Tier::Small
+        );
+        assert_eq!(
+            cdn.publish_auto("Mix", "mix.com/middling", &[2u8; 2000]).unwrap(),
+            Tier::Medium
+        );
+        assert_eq!(
+            cdn.publish_auto("Mix", "mix.com/big", &[3u8; 10_000]).unwrap(),
+            Tier::Large
+        );
+        assert_eq!(cdn.tier_of("mix.com/tiny"), Some(Tier::Small));
+        assert_eq!(cdn.tier_of("mix.com/unknown"), None);
+        let pops = cdn.tier_populations();
+        assert_eq!(pops.iter().map(|(_, n)| n).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn oversized_values_chain_in_the_large_tier() {
+        let cdn = cdn();
+        // Larger than one 16 KiB blob: chained in Large.
+        let tier = cdn.publish_auto("Mix", "mix.com/epic", &vec![9u8; 40_000]).unwrap();
+        assert_eq!(tier, Tier::Large);
+    }
+
+    #[test]
+    fn each_tier_serves_its_content_via_zltp() {
+        let cdn = cdn();
+        cdn.publish_auto("Mix", "mix.com/tiny", b"small page").unwrap();
+        cdn.publish_auto("Mix", "mix.com/middling", &vec![7u8; 2000]).unwrap();
+
+        // Small tier.
+        let (c0, c1) = cdn.universe(Tier::Small).connect_data();
+        let mut small = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = small.private_get("mix.com/tiny").unwrap();
+        assert_eq!(blob.len(), Tier::Small.data_blob_len());
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert_eq!(payload, b"small page");
+
+        // Medium tier has the middling page; the small tier does not.
+        let (m0, m1) = cdn.universe(Tier::Medium).connect_data();
+        let mut medium = TwoServerZltp::connect(m0, m1).unwrap();
+        let blob = medium.private_get("mix.com/middling").unwrap();
+        assert_eq!(blob.len(), Tier::Medium.data_blob_len());
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert_eq!(payload.len(), 2000);
+
+        let zero = small.private_get("mix.com/middling").unwrap();
+        let (h, _) = crate::blob::decode_blob(&zero).unwrap();
+        assert_eq!(h.payload_len, 0, "middling page must not be in the small tier");
+    }
+
+    #[test]
+    fn tier_leak_is_only_the_tier() {
+        // Two same-size values in the same tier are indistinguishable: the
+        // tier placement reveals size class, never identity.
+        let cdn = cdn();
+        let t1 = cdn.publish_auto("Mix", "mix.com/a", &[1u8; 500]).unwrap();
+        let t2 = cdn.publish_auto("Mix", "mix.com/b", &[2u8; 900]).unwrap();
+        assert_eq!(t1, t2, "same size class, same universe");
+    }
+
+    #[test]
+    fn ownership_enforced_across_tiers() {
+        let cdn = cdn();
+        assert!(cdn.publish_auto("Mallory", "mix.com/evil", b"x").is_err());
+        assert!(cdn.register_domain("mix.com", "Mallory").is_err());
+    }
+}

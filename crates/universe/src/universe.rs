@@ -1,0 +1,579 @@
+//! The content universe: ownership, publishing, and serving (paper §3).
+//!
+//! A [`Universe`] bundles what one CDN runs for one universe:
+//!
+//! * **two** logical ZLTP servers for data blobs (the non-colluding pair of
+//!   the two-server PIR mode — in a real deployment these are operated by
+//!   different parties; here they are two independent server instances),
+//! * two more for **code blobs**, which live in "a separate 'universe' from
+//!   the other key-value pairs" with their own, larger fixed size (§3.2),
+//! * the **ownership registry** mapping each top-level domain to the single
+//!   publisher that controls all paths beneath it (§3.1), and
+//! * the raw-content book of record that peering (§3.5) replicates.
+//!
+//! Size tiers (§3.5): a CDN can run "small", "medium" and "large" universes
+//! with different fixed page sizes so big pages don't tax small fetches;
+//! [`Tier`] captures the three presets.
+
+use crate::blob::{continuation_path, encode_chain, BlobError};
+use lightweb_core::{InProcServer, MemDuplex, ServerConfig, ZltpServer};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// Universe size tiers (§3.5): different fixed data-blob sizes, different
+/// per-request cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// 1 KiB data blobs — text-only pages, cheapest requests.
+    Small,
+    /// 4 KiB data blobs — the paper's §5.1 operating point.
+    Medium,
+    /// 16 KiB data blobs — richer pages at higher per-request cost.
+    Large,
+}
+
+impl Tier {
+    /// The fixed data-blob size of this tier.
+    pub fn data_blob_len(self) -> usize {
+        match self {
+            Tier::Small => 1024,
+            Tier::Medium => 4096,
+            Tier::Large => 16384,
+        }
+    }
+}
+
+/// Configuration of one universe.
+#[derive(Clone, Debug)]
+pub struct UniverseConfig {
+    /// Universe identifier (unique per CDN).
+    pub id: String,
+    /// Size tier, fixing the data-blob size.
+    pub tier: Tier,
+    /// log2 of the data-blob slot domain.
+    pub data_domain_bits: u32,
+    /// log2 of the code-blob slot domain (one slot per domain; far fewer
+    /// needed).
+    pub code_domain_bits: u32,
+    /// Fixed code-blob size. The paper floats 1 MiB; tests use less.
+    pub code_blob_len: usize,
+    /// Maximum chained parts for one oversized value (bounded by the
+    /// browser's fixed fetch budget).
+    pub max_chain_parts: usize,
+    /// The universe-wide fixed number of data fetches per page view
+    /// (§3.2). Browsers pad to this with dummy queries.
+    pub fetches_per_page: usize,
+}
+
+impl UniverseConfig {
+    /// A compact test/example universe.
+    pub fn small_test(id: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            tier: Tier::Small,
+            data_domain_bits: 14,
+            code_domain_bits: 10,
+            code_blob_len: 8192,
+            max_chain_parts: 4,
+            fetches_per_page: 5,
+        }
+    }
+}
+
+/// Errors from universe operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UniverseError {
+    /// Domain syntax is invalid (must look like a DNS name).
+    InvalidDomain(String),
+    /// A path must start with a registered domain component.
+    InvalidPath(String),
+    /// The domain is already registered to someone else.
+    AlreadyRegistered {
+        /// The contested domain.
+        domain: String,
+        /// Its current owner.
+        owner: String,
+    },
+    /// The acting publisher does not own the path's domain.
+    NotOwner {
+        /// The domain in question.
+        domain: String,
+        /// Its registered owner, if any.
+        owner: Option<String>,
+    },
+    /// The keyword hashed onto an occupied slot; pick another name (§5.1).
+    KeywordCollision(String),
+    /// Value too large for the chain budget.
+    Blob(String),
+    /// Underlying ZLTP server failure.
+    Server(String),
+    /// Code blob exceeds the code universe's fixed size.
+    CodeTooLarge {
+        /// The offending code size in bytes.
+        len: usize,
+        /// The code universe's fixed blob size.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UniverseError::InvalidDomain(d) => write!(f, "invalid domain '{d}'"),
+            UniverseError::InvalidPath(p) => write!(f, "invalid path '{p}'"),
+            UniverseError::AlreadyRegistered { domain, owner } => {
+                write!(f, "domain '{domain}' is registered to '{owner}'")
+            }
+            UniverseError::NotOwner { domain, owner } => write!(
+                f,
+                "not the owner of '{domain}' (owner: {})",
+                owner.as_deref().unwrap_or("<unregistered>")
+            ),
+            UniverseError::KeywordCollision(m) => write!(f, "keyword collision: {m}"),
+            UniverseError::Blob(m) => write!(f, "blob encoding: {m}"),
+            UniverseError::Server(m) => write!(f, "server: {m}"),
+            UniverseError::CodeTooLarge { len, max } => {
+                write!(f, "code blob is {len} bytes; the code universe serves {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UniverseError {}
+
+impl From<BlobError> for UniverseError {
+    fn from(e: BlobError) -> Self {
+        UniverseError::Blob(e.to_string())
+    }
+}
+
+/// One CDN-operated lightweb universe.
+pub struct Universe {
+    config: UniverseConfig,
+    data: [InProcServer; 2],
+    code: [InProcServer; 2],
+    /// domain -> publisher id.
+    ownership: RwLock<HashMap<String, String>>,
+    /// Book of record: path -> raw (pre-chaining) value. What peering
+    /// replicates, and what re-publication after key rotation re-reads.
+    content: RwLock<BTreeMap<String, Vec<u8>>>,
+    /// domain -> raw code text.
+    code_content: RwLock<BTreeMap<String, String>>,
+}
+
+impl Universe {
+    /// Stand up a universe: four ZLTP server instances (data pair + code
+    /// pair) with consistent keyword hashing.
+    pub fn new(config: UniverseConfig) -> Result<Self, UniverseError> {
+        let mk = |universe_id: String, blob_len: usize, domain_bits: u32, party: u8| {
+            let mut c = ServerConfig::small(&universe_id, party);
+            c.blob_len = blob_len;
+            c.domain_bits = domain_bits;
+            c.term_bits = 7.min(domain_bits - 1);
+            ZltpServer::new(c).map_err(|e| UniverseError::Server(e.to_string()))
+        };
+        let data_id = format!("{}/data", config.id);
+        let code_id = format!("{}/code", config.id);
+        let data = [
+            InProcServer::new(mk(data_id.clone(), config.tier.data_blob_len(), config.data_domain_bits, 0)?),
+            InProcServer::new(mk(data_id, config.tier.data_blob_len(), config.data_domain_bits, 1)?),
+        ];
+        let code = [
+            InProcServer::new(mk(code_id.clone(), config.code_blob_len, config.code_domain_bits, 0)?),
+            InProcServer::new(mk(code_id, config.code_blob_len, config.code_domain_bits, 1)?),
+        ];
+        Ok(Self {
+            config,
+            data,
+            code,
+            ownership: RwLock::new(HashMap::new()),
+            content: RwLock::new(BTreeMap::new()),
+            code_content: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The universe configuration.
+    pub fn config(&self) -> &UniverseConfig {
+        &self.config
+    }
+
+    /// The universe id.
+    pub fn id(&self) -> &str {
+        &self.config.id
+    }
+
+    /// Extract the domain (top-level path component) of a lightweb path.
+    /// §3.1: "it must have a valid domain as the top-level path component;
+    /// otherwise, the path may have any format."
+    pub fn domain_of(path: &str) -> Result<&str, UniverseError> {
+        let domain = path.split('/').next().unwrap_or("");
+        if Self::is_valid_domain(domain) {
+            Ok(domain)
+        } else {
+            Err(UniverseError::InvalidPath(path.to_string()))
+        }
+    }
+
+    fn is_valid_domain(domain: &str) -> bool {
+        !domain.is_empty()
+            && domain.len() <= 253
+            && domain.contains('.')
+            && !domain.starts_with('.')
+            && !domain.ends_with('.')
+            && domain
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-')
+    }
+
+    // ------------------------------------------------------------------
+    // Ownership (§3.1: "The CDN is responsible for managing ownership of
+    // path prefixes within a universe.")
+    // ------------------------------------------------------------------
+
+    /// Register `domain` to `publisher`. First come, first served;
+    /// re-registration by the same publisher is a no-op.
+    pub fn register_domain(&self, domain: &str, publisher: &str) -> Result<(), UniverseError> {
+        if !Self::is_valid_domain(domain) {
+            return Err(UniverseError::InvalidDomain(domain.to_string()));
+        }
+        let mut owners = self.ownership.write();
+        match owners.get(domain) {
+            Some(owner) if owner != publisher => Err(UniverseError::AlreadyRegistered {
+                domain: domain.to_string(),
+                owner: owner.clone(),
+            }),
+            _ => {
+                owners.insert(domain.to_string(), publisher.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// Who owns `domain`, if anyone.
+    pub fn owner_of(&self, domain: &str) -> Option<String> {
+        self.ownership.read().get(domain).cloned()
+    }
+
+    fn check_owner(&self, domain: &str, publisher: &str) -> Result<(), UniverseError> {
+        match self.owner_of(domain) {
+            Some(o) if o == publisher => Ok(()),
+            owner => Err(UniverseError::NotOwner { domain: domain.to_string(), owner }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Publishing
+    // ------------------------------------------------------------------
+
+    /// Publish a domain's code blob (its routing/rendering program).
+    pub fn publish_code(&self, publisher: &str, domain: &str, code: &str) -> Result<(), UniverseError> {
+        self.check_owner(domain, publisher)?;
+        let encoded = crate::blob::encode_blob(code.as_bytes(), self.config.code_blob_len)
+            .map_err(|e| match e {
+                BlobError::TooLarge { value_len, .. } => {
+                    UniverseError::CodeTooLarge { len: value_len, max: self.config.code_blob_len }
+                }
+                other => other.into(),
+            })?;
+        for server in &self.code {
+            server
+                .server()
+                .publish(domain, &encoded)
+                .map_err(|e| map_publish_err(&e.to_string()))?;
+        }
+        self.code_content.write().insert(domain.to_string(), code.to_string());
+        Ok(())
+    }
+
+    /// Publish a data value at `path`, chaining across blobs if needed.
+    /// Returns the number of blobs written.
+    pub fn publish_data(&self, publisher: &str, path: &str, value: &[u8]) -> Result<usize, UniverseError> {
+        let domain = Self::domain_of(path)?;
+        self.check_owner(domain, publisher)?;
+        let blob_len = self.config.tier.data_blob_len();
+        let blobs = encode_chain(value, blob_len, self.config.max_chain_parts)?;
+        for (i, blob) in blobs.iter().enumerate() {
+            let part_path =
+                if i == 0 { path.to_string() } else { continuation_path(path, i) };
+            for server in &self.data {
+                server
+                    .server()
+                    .publish(&part_path, blob)
+                    .map_err(|e| map_publish_err(&e.to_string()))?;
+            }
+        }
+        self.content.write().insert(path.to_string(), value.to_vec());
+        Ok(blobs.len())
+    }
+
+    /// Publish a JSON value at `path` (the §3.2 data-blob convention).
+    pub fn publish_json(
+        &self,
+        publisher: &str,
+        path: &str,
+        value: &crate::json::Value,
+    ) -> Result<usize, UniverseError> {
+        self.publish_data(publisher, path, value.to_json().as_bytes())
+    }
+
+    /// Remove a data value and its continuation parts.
+    pub fn unpublish_data(&self, publisher: &str, path: &str) -> Result<bool, UniverseError> {
+        let domain = Self::domain_of(path)?;
+        self.check_owner(domain, publisher)?;
+        let existed = self.content.write().remove(path).is_some();
+        if existed {
+            for server in &self.data {
+                server.server().unpublish(path).map_err(|e| UniverseError::Server(e.to_string()))?;
+                for i in 1..=self.config.max_chain_parts {
+                    let p = continuation_path(path, i);
+                    if !server
+                        .server()
+                        .unpublish(&p)
+                        .map_err(|e| UniverseError::Server(e.to_string()))?
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(existed)
+    }
+
+    // ------------------------------------------------------------------
+    // Serving
+    // ------------------------------------------------------------------
+
+    /// Open a connection pair to the data universe (one per party).
+    pub fn connect_data(&self) -> (MemDuplex, MemDuplex) {
+        (self.data[0].connect(), self.data[1].connect())
+    }
+
+    /// Open a connection pair to the code universe.
+    pub fn connect_code(&self) -> (MemDuplex, MemDuplex) {
+        (self.code[0].connect(), self.code[1].connect())
+    }
+
+    /// The data-universe server pair (benchmark access).
+    pub fn data_servers(&self) -> [&ZltpServer; 2] {
+        [self.data[0].server(), self.data[1].server()]
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection & peering support
+    // ------------------------------------------------------------------
+
+    /// Number of published data values (pre-chaining).
+    pub fn num_data_values(&self) -> usize {
+        self.content.read().len()
+    }
+
+    /// Number of domains with code published.
+    pub fn num_code_blobs(&self) -> usize {
+        self.code_content.read().len()
+    }
+
+    /// Registered domains.
+    pub fn domains(&self) -> Vec<String> {
+        self.ownership.read().keys().cloned().collect()
+    }
+
+    /// Export everything under `domain` for peering: the owner, the code,
+    /// and all data values.
+    pub fn export_domain(&self, domain: &str) -> Option<DomainExport> {
+        let owner = self.owner_of(domain)?;
+        let code = self.code_content.read().get(domain).cloned();
+        let prefix = format!("{domain}/");
+        let values: Vec<(String, Vec<u8>)> = self
+            .content
+            .read()
+            .iter()
+            .filter(|(p, _)| p.as_str() == domain || p.starts_with(&prefix))
+            .map(|(p, v)| (p.clone(), v.clone()))
+            .collect();
+        Some(DomainExport { domain: domain.to_string(), owner, code, values })
+    }
+}
+
+/// A domain's full content, as shipped between peered universes (§3.5).
+#[derive(Clone, Debug)]
+pub struct DomainExport {
+    /// The domain.
+    pub domain: String,
+    /// Its registered owner.
+    pub owner: String,
+    /// The code blob text, if published.
+    pub code: Option<String>,
+    /// All data values under the domain.
+    pub values: Vec<(String, Vec<u8>)>,
+}
+
+fn map_publish_err(msg: &str) -> UniverseError {
+    if msg.contains("collision") {
+        UniverseError::KeywordCollision(msg.to_string())
+    } else {
+        UniverseError::Server(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightweb_core::TwoServerZltp;
+
+    fn universe() -> Universe {
+        Universe::new(UniverseConfig::small_test("test")).unwrap()
+    }
+
+    #[test]
+    fn domain_extraction_and_validation() {
+        assert_eq!(Universe::domain_of("nytimes.com/world/africa").unwrap(), "nytimes.com");
+        assert_eq!(Universe::domain_of("a.b/x").unwrap(), "a.b");
+        for bad in ["", "/x", "nodot/x", "UPPER.com/x", ".dot.com/x", "dot.com./x"] {
+            assert!(Universe::domain_of(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ownership_is_first_come_first_served() {
+        let u = universe();
+        u.register_domain("nytimes.com", "NYTimes").unwrap();
+        u.register_domain("nytimes.com", "NYTimes").unwrap(); // idempotent
+        assert_eq!(
+            u.register_domain("nytimes.com", "Imposter"),
+            Err(UniverseError::AlreadyRegistered {
+                domain: "nytimes.com".into(),
+                owner: "NYTimes".into()
+            })
+        );
+        assert_eq!(u.owner_of("nytimes.com").as_deref(), Some("NYTimes"));
+        assert_eq!(u.owner_of("cnn.com"), None);
+    }
+
+    #[test]
+    fn only_owner_can_publish_under_domain() {
+        let u = universe();
+        u.register_domain("cnn.com", "CNN").unwrap();
+        assert!(u.publish_data("CNN", "cnn.com/world", b"ok").is_ok());
+        assert!(matches!(
+            u.publish_data("Mallory", "cnn.com/world", b"evil"),
+            Err(UniverseError::NotOwner { .. })
+        ));
+        assert!(matches!(
+            u.publish_data("CNN", "unregistered.org/x", b"?"),
+            Err(UniverseError::NotOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn published_data_is_retrievable_via_zltp() {
+        let u = universe();
+        u.register_domain("example.com", "Ex").unwrap();
+        u.publish_data("Ex", "example.com/hello", b"hello world").unwrap();
+
+        let (c0, c1) = u.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("example.com/hello").unwrap();
+        let (header, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert!(!header.has_next);
+        assert_eq!(payload, b"hello world");
+    }
+
+    #[test]
+    fn chained_values_retrievable() {
+        let u = universe();
+        u.register_domain("big.com", "Big").unwrap();
+        let value: Vec<u8> = (0..2500u32).map(|i| (i % 251) as u8).collect();
+        let parts = u.publish_data("Big", "big.com/long-article", &value).unwrap();
+        assert!(parts > 1, "expected chaining for 2.5 KB in a 1 KiB-blob universe");
+
+        let (c0, c1) = u.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let got = crate::blob::decode_chain(u.config().max_chain_parts, |i| {
+            let p = if i == 0 {
+                "big.com/long-article".to_string()
+            } else {
+                continuation_path("big.com/long-article", i)
+            };
+            client
+                .private_get(&p)
+                .map_err(|e| crate::blob::BlobError::Corrupt(e.to_string()))
+        })
+        .unwrap();
+        assert_eq!(got, value);
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let u = universe();
+        u.register_domain("big.com", "Big").unwrap();
+        let cap = (u.config().tier.data_blob_len() - 5) * u.config().max_chain_parts;
+        assert!(matches!(
+            u.publish_data("Big", "big.com/too-big", &vec![0u8; cap + 1]),
+            Err(UniverseError::Blob(_))
+        ));
+    }
+
+    #[test]
+    fn code_blobs_publish_and_serve() {
+        let u = universe();
+        u.register_domain("site.org", "Site").unwrap();
+        u.publish_code("Site", "site.org", "route { \"/\" -> data \"site.org/home\" }")
+            .unwrap();
+        assert_eq!(u.num_code_blobs(), 1);
+
+        let (c0, c1) = u.connect_code();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("site.org").unwrap();
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert!(std::str::from_utf8(payload).unwrap().contains("route"));
+    }
+
+    #[test]
+    fn code_size_cap_enforced() {
+        let u = universe();
+        u.register_domain("site.org", "Site").unwrap();
+        let huge = "x".repeat(u.config().code_blob_len);
+        assert!(matches!(
+            u.publish_code("Site", "site.org", &huge),
+            Err(UniverseError::CodeTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unpublish_removes_all_parts() {
+        let u = universe();
+        u.register_domain("big.com", "Big").unwrap();
+        let value = vec![1u8; 2500];
+        u.publish_data("Big", "big.com/a", &value).unwrap();
+        assert!(u.unpublish_data("Big", "big.com/a").unwrap());
+        assert!(!u.unpublish_data("Big", "big.com/a").unwrap());
+        assert_eq!(u.num_data_values(), 0);
+        let [s0, _] = u.data_servers();
+        assert!(!s0.contains("big.com/a"));
+        assert!(!s0.contains("big.com/a#part1"));
+    }
+
+    #[test]
+    fn export_collects_domain_content() {
+        let u = universe();
+        u.register_domain("a.com", "A").unwrap();
+        u.register_domain("b.com", "B").unwrap();
+        u.publish_code("A", "a.com", "code-a").unwrap();
+        u.publish_data("A", "a.com/1", b"one").unwrap();
+        u.publish_data("A", "a.com/2", b"two").unwrap();
+        u.publish_data("B", "b.com/1", b"other").unwrap();
+
+        let export = u.export_domain("a.com").unwrap();
+        assert_eq!(export.owner, "A");
+        assert_eq!(export.code.as_deref(), Some("code-a"));
+        assert_eq!(export.values.len(), 2);
+        assert!(u.export_domain("c.com").is_none());
+    }
+
+    #[test]
+    fn tier_sizes_are_ordered() {
+        assert!(Tier::Small.data_blob_len() < Tier::Medium.data_blob_len());
+        assert!(Tier::Medium.data_blob_len() < Tier::Large.data_blob_len());
+        assert_eq!(Tier::Medium.data_blob_len(), 4096, "paper's 4 KiB operating point");
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic corpora matching the paper's dataset statistics.
+//!
+//! Page sizes follow a log-normal distribution (the classic fit for web
+//! object sizes) parameterized to hit the corpus's published mean. Pages
+//! are generated deterministically from a seed, so servers, clients, and
+//! benchmarks can reproduce the same corpus without storing it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of a corpus: how many pages, how big.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorpusSpec {
+    /// Human name for reports.
+    pub name: &'static str,
+    /// Total pages at full (paper) scale.
+    pub full_scale_pages: u64,
+    /// Mean compressed page size in bytes.
+    pub mean_page_bytes: f64,
+    /// Log-normal sigma controlling the size spread.
+    pub sigma: f64,
+}
+
+impl CorpusSpec {
+    /// The C4 corpus of §5: 360M pages, 0.9 KiB average (305 GiB total).
+    pub fn c4() -> Self {
+        Self { name: "C4", full_scale_pages: 360_000_000, mean_page_bytes: 0.9 * 1024.0, sigma: 0.8 }
+    }
+
+    /// The Wikipedia corpus of Table 2: 60M pages, 0.4 KiB average
+    /// (21 GiB total).
+    pub fn wikipedia() -> Self {
+        Self {
+            name: "Wikipedia",
+            full_scale_pages: 60_000_000,
+            mean_page_bytes: 0.4 * 1024.0,
+            sigma: 0.6,
+        }
+    }
+
+    /// Full-scale corpus size in bytes (pages × mean).
+    pub fn full_scale_bytes(&self) -> f64 {
+        self.full_scale_pages as f64 * self.mean_page_bytes
+    }
+
+    /// Generate `n` synthetic pages deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<SyntheticPage> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c69_6768_7477_6562);
+        // Log-normal with mean = mean_page_bytes: mu = ln(mean) - sigma²/2.
+        let mu = self.mean_page_bytes.ln() - self.sigma * self.sigma / 2.0;
+        (0..n)
+            .map(|i| {
+                let z: f64 = sample_standard_normal(&mut rng);
+                let size = (mu + self.sigma * z).exp().round().max(16.0) as usize;
+                let path = format!(
+                    "site-{:03}.example/page/{:08}",
+                    i % 997,
+                    i
+                );
+                let body = deterministic_body(i as u64 ^ seed, size);
+                SyntheticPage { path, body }
+            })
+            .collect()
+    }
+}
+
+/// One generated page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntheticPage {
+    /// Its lightweb path (domain + page path).
+    pub path: String,
+    /// Compressed-page stand-in bytes.
+    pub body: Vec<u8>,
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Filler bytes that are cheap to generate and deterministic.
+fn deterministic_body(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xFF) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_statistics_encoded() {
+        let c4 = CorpusSpec::c4();
+        assert_eq!(c4.full_scale_pages, 360_000_000);
+        // 360M × 0.9 KiB ≈ 309 GiB — the paper rounds to 305 GiB.
+        let gib = c4.full_scale_bytes() / (1024.0 * 1024.0 * 1024.0);
+        assert!((300.0..320.0).contains(&gib), "{gib}");
+
+        let wiki = CorpusSpec::wikipedia();
+        let wiki_gib = wiki.full_scale_bytes() / (1024.0 * 1024.0 * 1024.0);
+        assert!((20.0..25.0).contains(&wiki_gib), "{wiki_gib}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec::c4();
+        let a = spec.generate(50, 7);
+        let b = spec.generate(50, 7);
+        assert_eq!(a, b);
+        let c = spec.generate(50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_size_matches_spec() {
+        let spec = CorpusSpec::c4();
+        let pages = spec.generate(4000, 1);
+        let mean: f64 =
+            pages.iter().map(|p| p.body.len() as f64).sum::<f64>() / pages.len() as f64;
+        let target = spec.mean_page_bytes;
+        assert!(
+            (mean - target).abs() < target * 0.15,
+            "mean {mean:.0} vs target {target:.0}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_heterogeneous() {
+        // The fingerprinting experiment needs a real size spread.
+        let pages = CorpusSpec::c4().generate(1000, 2);
+        let min = pages.iter().map(|p| p.body.len()).min().unwrap();
+        let max = pages.iter().map(|p| p.body.len()).max().unwrap();
+        assert!(max > min * 4, "spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn paths_are_unique() {
+        let pages = CorpusSpec::wikipedia().generate(2000, 3);
+        let set: std::collections::HashSet<_> = pages.iter().map(|p| &p.path).collect();
+        assert_eq!(set.len(), pages.len());
+    }
+
+    #[test]
+    fn paths_have_valid_domains() {
+        for p in CorpusSpec::c4().generate(100, 4) {
+            let domain = p.path.split('/').next().unwrap();
+            assert!(domain.contains('.'), "{}", p.path);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # lightweb-workload
+//!
+//! Workload generation for the lightweb experiments.
+//!
+//! The paper evaluates against the C4 dataset ("a cleaned version of the
+//! common crawl … roughly 305 GiB compressed, contains 360M pages, and the
+//! average compressed page size is roughly 0.9 KiB") and a Wikipedia
+//! corpus (21 GiB, 60M pages, 0.4 KiB average). Neither corpus's *content*
+//! matters to a ZLTP server — per-request cost depends only on blob count
+//! and size — so this crate provides synthetic corpora matching those
+//! published statistics at any scale ([`corpus`]), Zipf popularity and
+//! browsing-trace generation for the §4 user model ([`trace`]), and the
+//! website-fingerprinting attacker from the paper's §1 motivation
+//! ([`fingerprint`]).
+
+pub mod corpus;
+pub mod fingerprint;
+pub mod timing;
+pub mod trace;
+pub mod zipf;
+
+pub use corpus::{CorpusSpec, SyntheticPage};
+pub use fingerprint::{
+    simulate_lightweb_flow, simulate_proxy_flow, synthetic_site, FlowObservation, NearestCentroid,
+};
+pub use timing::{extract_features, Archetype, TimingClassifier, TimingFeatures};
+pub use trace::{BrowsingTrace, UserModel};
+pub use zipf::Zipf;

@@ -1,0 +1,133 @@
+//! Browsing-trace generation: the paper's §4 user model.
+//!
+//! "For users who make on average 50 daily page requests where each page
+//! request results in 5 GET requests for data blobs, we estimate that the
+//! monthly per-user cost … to be roughly $15." [`UserModel`] encodes those
+//! constants and produces concrete visit sequences for benchmarks — with
+//! Zipf-skewed page choice and clustered visit times, so the §3.2 remark
+//! about timing leakage ("a user fetching a page every five minutes in the
+//! morning might be … reading the news") has something to bite on.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's user model constants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UserModel {
+    /// Average page views per day (paper: 50).
+    pub pages_per_day: f64,
+    /// Data-blob GETs per page view (paper: 5).
+    pub gets_per_page: usize,
+    /// Zipf exponent for page popularity.
+    pub zipf_exponent: f64,
+}
+
+impl Default for UserModel {
+    fn default() -> Self {
+        Self { pages_per_day: 50.0, gets_per_page: 5, zipf_exponent: 1.0 }
+    }
+}
+
+impl UserModel {
+    /// Total data GETs per 30-day month — the number the §4 cost estimate
+    /// multiplies by the per-request price.
+    pub fn monthly_gets(&self) -> f64 {
+        self.pages_per_day * 30.0 * self.gets_per_page as f64
+    }
+
+    /// Generate a `days`-long trace over a catalog of `num_pages` pages.
+    pub fn generate_trace(&self, num_pages: usize, days: usize, seed: u64) -> BrowsingTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf = Zipf::new(num_pages, self.zipf_exponent);
+        let mut visits = Vec::new();
+        for day in 0..days {
+            // Poisson-ish: sample a per-day count around the mean.
+            let count = ((self.pages_per_day
+                + rng.gen_range(-0.2..0.2) * self.pages_per_day)
+                .round() as usize)
+                .max(1);
+            for _ in 0..count {
+                // Cluster visit times into morning/evening humps.
+                let hump = if rng.gen_bool(0.5) { 8.0 * 3600.0 } else { 20.0 * 3600.0 };
+                let jitter: f64 = rng.gen_range(-2.0 * 3600.0..2.0 * 3600.0);
+                let t = day as f64 * 86_400.0 + hump + jitter;
+                visits.push(Visit { time_s: t, page_rank: zipf.sample(&mut rng) });
+            }
+        }
+        visits.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap());
+        BrowsingTrace { visits, gets_per_page: self.gets_per_page }
+    }
+}
+
+/// One page visit in a trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Visit {
+    /// Seconds since trace start.
+    pub time_s: f64,
+    /// Popularity rank of the visited page (0 = most popular).
+    pub page_rank: usize,
+}
+
+/// A generated browsing trace.
+#[derive(Clone, Debug)]
+pub struct BrowsingTrace {
+    /// Time-ordered visits.
+    pub visits: Vec<Visit>,
+    /// Fixed GETs per page view.
+    pub gets_per_page: usize,
+}
+
+impl BrowsingTrace {
+    /// Total data GETs in this trace.
+    pub fn total_gets(&self) -> usize {
+        self.visits.len() * self.gets_per_page
+    }
+
+    /// Pages per day actually realized.
+    pub fn pages_per_day(&self, days: usize) -> f64 {
+        self.visits.len() as f64 / days as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_default() {
+        let m = UserModel::default();
+        assert_eq!(m.pages_per_day, 50.0);
+        assert_eq!(m.gets_per_page, 5);
+        // 50 × 30 × 5 = 7500 GETs/month — the §4 multiplier.
+        assert_eq!(m.monthly_gets(), 7500.0);
+    }
+
+    #[test]
+    fn trace_matches_model_rates() {
+        let m = UserModel::default();
+        let trace = m.generate_trace(1000, 30, 42);
+        let rate = trace.pages_per_day(30);
+        assert!((40.0..60.0).contains(&rate), "pages/day {rate}");
+        assert_eq!(trace.total_gets(), trace.visits.len() * 5);
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_deterministic() {
+        let m = UserModel::default();
+        let a = m.generate_trace(100, 3, 7);
+        let b = m.generate_trace(100, 3, 7);
+        assert_eq!(a.visits, b.visits);
+        assert!(a.visits.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+    }
+
+    #[test]
+    fn popular_pages_dominate() {
+        let m = UserModel::default();
+        let trace = m.generate_trace(500, 60, 9);
+        let top10 = trace.visits.iter().filter(|v| v.page_rank < 10).count();
+        // Under Zipf(1.0) over 500 items, ranks 0..10 carry ~43% of mass.
+        let frac = top10 as f64 / trace.visits.len() as f64;
+        assert!(frac > 0.25, "top-10 fraction {frac}");
+    }
+}

@@ -1,0 +1,123 @@
+//! A Zipf sampler for page popularity.
+//!
+//! §4's economics point — "the cost of adding a page … is independent of
+//! the popularity of a page: adding a page to cnn.com is as costly to the
+//! system as adding a page to poodleclubofamerica.org, even if one site
+//! receives 1000× more traffic" — only bites because real traffic is
+//! heavily skewed. Browsing traces therefore sample pages Zipf-distributed,
+//! the standard model for web popularity.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative mass, normalized to 1.0 at the end.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n` items with exponent `s` (s = 1.0 is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Self { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never: `new` requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        // Classic Zipf: p(0)/p(9) ≈ 10.
+        let ratio = z.pmf(0) / z.pmf(9);
+        assert!((8.0..12.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn samples_match_distribution() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..10 {
+            let expected = z.pmf(k) * n as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expected).abs() < expected.mulf_max(0.15, 40.0),
+                "rank {k}: got {got}, expected {expected:.0}"
+            );
+        }
+    }
+
+    trait MulfMax {
+        fn mulf_max(self, f: f64, floor: f64) -> f64;
+    }
+    impl MulfMax for f64 {
+        fn mulf_max(self, f: f64, floor: f64) -> f64 {
+            (self * f).max(floor)
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

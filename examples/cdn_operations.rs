@@ -1,0 +1,78 @@
+//! CDN-side operations: multi-universe peering (§3.5), private per-domain
+//! billing statistics (§4), and the cost model behind Table 2 (§5.2).
+//!
+//! Run with: `cargo run --example cdn_operations`
+
+use lightweb::cost::economics::{self, UserCostInputs};
+use lightweb::cost::model::{estimate_deployment, paper_measurements, DatasetSpec, InstanceType};
+use lightweb::universe::peering::{push_domain, PeerGroup};
+use lightweb::universe::stats::{combine_reports, StatsClient, StatsServer};
+use lightweb::universe::{Universe, UniverseConfig};
+use std::sync::Arc;
+
+fn main() {
+    // --- Peering (§3.5): two CDNs share a publisher's content ---------
+    let akamai = Arc::new(Universe::new(UniverseConfig::small_test("akamai")).unwrap());
+    let fastly = Arc::new(Universe::new(UniverseConfig::small_test("fastly")).unwrap());
+
+    akamai.register_domain("wiki.org", "Wikimedia").unwrap();
+    akamai.publish_code("Wikimedia", "wiki.org", "route \"/\" {\n render \"wiki home\"\n }").unwrap();
+    akamai.publish_data("Wikimedia", "wiki.org/Uganda", b"Uganda article").unwrap();
+    akamai.publish_data("Wikimedia", "wiki.org/Rust", b"Rust article").unwrap();
+
+    let pushed = push_domain(&akamai, &fastly, "wiki.org").unwrap();
+    println!(
+        "peering: pushed {pushed} data values of wiki.org from {} to {} (owner: {:?})",
+        akamai.id(),
+        fastly.id(),
+        fastly.owner_of("wiki.org")
+    );
+
+    // New publishes can fan out to the whole peer group at once.
+    let group = PeerGroup::new(vec![akamai.clone(), fastly.clone()]);
+    group.publish_data("Wikimedia", "wiki.org/Lightweb", b"Lightweb article").unwrap();
+    println!(
+        "peer group publish: akamai={} values, fastly={} values",
+        akamai.num_data_values(),
+        fastly.num_data_values()
+    );
+
+    // --- Private billing statistics (§4) ------------------------------
+    // The CDN wants per-domain query counts to bill publishers, without
+    // learning which user queried which domain: clients secret-share
+    // one-hot reports between the two (non-colluding) stats servers.
+    let domains = ["wiki.org", "nytimes.com", "weather.com"];
+    let client = StatsClient::new(domains.len());
+    let mut s0 = StatsServer::new(domains.len());
+    let mut s1 = StatsServer::new(domains.len());
+    // 100 users' visits, heavily skewed toward wiki.org.
+    for i in 0..100usize {
+        let visited = if i % 10 < 7 { 0 } else if i % 10 < 9 { 1 } else { 2 };
+        let (a, b) = client.report(visited);
+        s0.absorb(&a).unwrap();
+        s1.absorb(&b).unwrap();
+    }
+    let histogram = combine_reports(&s0, &s1).unwrap();
+    println!("\nprivate per-domain query counts (for publisher billing):");
+    for (domain, count) in domains.iter().zip(&histogram) {
+        println!("  {domain:<14} {count} queries");
+    }
+    println!(
+        "  (either server alone sees only uniform noise, e.g. server 0's first cell = {:#018x})",
+        s0.accumulator()[0]
+    );
+
+    // --- Deployment economics (Table 2 / §4) --------------------------
+    println!("\nTable 2 estimates from the paper's published 1 GiB shard measurements:");
+    for dataset in [DatasetSpec::c4(), DatasetSpec::wikipedia()] {
+        let est = estimate_deployment(&dataset, &paper_measurements(), &InstanceType::c5_large(), 2.6);
+        println!(
+            "  {:<9}: {} shards, {:>6.1} vCPU-sec/request, ${:.4}/request, {:.1} KiB/request",
+            dataset.name, est.shards, est.vcpu_seconds, est.dollars_per_request, est.communication_kib
+        );
+    }
+    println!(
+        "per-user: ${:.2}/month at 50 pages/day x 5 GETs (the paper's 'Netflix membership' point)",
+        economics::monthly_user_cost(&UserCostInputs::paper())
+    );
+}

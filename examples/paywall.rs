@@ -1,0 +1,101 @@
+//! Paywalls and access control (paper §3.3–3.4).
+//!
+//! The CDN stores only *ciphertext* blobs for premium content. Subscribers
+//! obtain epoch keys from the publisher out of band; the publisher rotates
+//! keys to revoke lapsed subscriptions and re-encrypts fresh content. The
+//! CDN never learns which users can read which domains — and, thanks to
+//! private-GETs, not even which (encrypted) articles anyone fetches.
+//!
+//! Run with: `cargo run --example paywall`
+
+use lightweb::browser::{BrowserError, LightwebBrowser};
+use lightweb::universe::access::AccessKeyring;
+use lightweb::universe::{Universe, UniverseConfig};
+
+fn main() {
+    let universe = Universe::new(UniverseConfig::small_test("paywall-demo")).unwrap();
+    universe.register_domain("journal.com", "Journal").unwrap();
+    universe
+        .publish_code(
+            "Journal",
+            "journal.com",
+            r#"
+            route "/free" {
+                fetch "journal.com/free-article"
+                title "Free article"
+                render "{data.0}"
+            }
+            route "/premium" {
+                fetch "journal.com/premium-article"
+                title "Premium article"
+                render "{data.0}"
+            }
+            "#,
+        )
+        .unwrap();
+
+    // Free content is published in the clear; premium is encrypted under
+    // the publisher's current epoch key before upload.
+    let mut keyring = AccessKeyring::new();
+    universe
+        .publish_data("Journal", "journal.com/free-article", b"Anyone can read this.")
+        .unwrap();
+    universe
+        .publish_data(
+            "Journal",
+            "journal.com/premium-article",
+            &keyring.protect("journal.com/premium-article", b"Subscribers-only analysis."),
+        )
+        .unwrap();
+
+    let connect = |u: &Universe| {
+        LightwebBrowser::connect(
+            u.connect_code(),
+            u.connect_data(),
+            u.config().fetches_per_page,
+            u.config().max_chain_parts,
+        )
+        .unwrap()
+    };
+
+    // A subscriber: installs the pass the publisher issued at signup.
+    let mut subscriber = connect(&universe);
+    subscriber.install_pass("journal.com", keyring.issue_pass(0));
+    let page = subscriber.browse("journal.com/premium").unwrap();
+    println!("subscriber reads premium: {}", page.body);
+
+    // A non-subscriber sees ciphertext (rendered as mojibake here; a real
+    // code blob would detect the missing pass and show a signup page).
+    let mut visitor = connect(&universe);
+    let page = visitor.browse("journal.com/free").unwrap();
+    println!("visitor reads free:       {}", page.body);
+    let page = visitor.browse("journal.com/premium").unwrap();
+    println!(
+        "visitor reads premium:    <{} bytes of ciphertext, undecryptable>",
+        page.body.len()
+    );
+
+    // Revocation: the publisher rotates keys and re-encrypts new content.
+    // The old pass no longer opens it; a renewed pass does.
+    let old_pass = keyring.issue_pass(0);
+    keyring.rotate();
+    universe
+        .publish_data(
+            "Journal",
+            "journal.com/premium-article",
+            &keyring.protect("journal.com/premium-article", b"Post-rotation scoop."),
+        )
+        .unwrap();
+
+    let mut lapsed = connect(&universe);
+    lapsed.install_pass("journal.com", old_pass);
+    match lapsed.browse("journal.com/premium") {
+        Err(BrowserError::Access(e)) => println!("lapsed subscriber blocked:  {e}"),
+        other => println!("unexpected: {other:?}"),
+    }
+
+    let mut renewed = connect(&universe);
+    renewed.install_pass("journal.com", keyring.issue_pass(0));
+    let page = renewed.browse("journal.com/premium").unwrap();
+    println!("renewed subscriber reads:  {}", page.body);
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the Figure 1 walkthrough in ~60 lines.
+//!
+//! 0. A CDN stands up a lightweb universe (two non-colluding ZLTP server
+//!    pairs: code + data).
+//! 1. A publisher registers its domain, uploads a code blob and data blobs.
+//! 2. A client connects, asks for a path…
+//! 3. …the browser privately fetches the domain's code blob,
+//! 4. …the code names the data blobs, which are fetched via private-GET
+//!    (padded to the universe's fixed per-page count),
+//! 5. …and the page renders. Neither the network nor the CDN learned which
+//!    page was read.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lightweb::browser::LightwebBrowser;
+use lightweb::universe::json::Value;
+use lightweb::universe::{Universe, UniverseConfig};
+
+fn main() {
+    // 0. The CDN stands up a universe.
+    let universe = Universe::new(UniverseConfig::small_test("quickstart")).unwrap();
+
+    // 1. The publisher uploads content.
+    universe.register_domain("nytimes.com", "NYTimes").unwrap();
+    universe
+        .publish_code(
+            "NYTimes",
+            "nytimes.com",
+            r#"
+            route "/" {
+                fetch "nytimes.com/frontpage"
+                title "The Lightweb Times"
+                render "{data.0.headline} -- {data.0.teaser}"
+            }
+            route "/africa/:slug" {
+                fetch "nytimes.com/africa/{slug}"
+                title "{slug}"
+                render "{data.0.body}"
+            }
+            default {
+                render "404: no such page"
+            }
+            "#,
+        )
+        .unwrap();
+    universe
+        .publish_json(
+            "NYTimes",
+            "nytimes.com/frontpage",
+            &Value::object([
+                ("headline", "Lightweb launches".into()),
+                ("teaser", "Private browsing without all the baggage.".into()),
+            ]),
+        )
+        .unwrap();
+    universe
+        .publish_json(
+            "NYTimes",
+            "nytimes.com/africa/uganda",
+            &Value::object([("body", "Reporting from Kampala, privately.".into())]),
+        )
+        .unwrap();
+
+    // 2. A user connects the browser to the universe.
+    let mut browser = LightwebBrowser::connect(
+        universe.connect_code(),
+        universe.connect_data(),
+        universe.config().fetches_per_page,
+        universe.config().max_chain_parts,
+    )
+    .unwrap();
+
+    // 3–5. Browse. Every page view = (maybe) 1 code GET + exactly 5 data GETs.
+    for path in ["nytimes.com/", "nytimes.com/africa/uganda", "nytimes.com/nope"] {
+        let page = browser.browse(path).unwrap();
+        println!("=== {path}");
+        println!("    [{}] {}", page.title, page.body);
+        println!(
+            "    network saw: {} real + {} dummy data GETs (always {})",
+            page.real_fetches,
+            page.dummy_fetches,
+            page.real_fetches + page.dummy_fetches
+        );
+    }
+
+    let stats = browser.data_stats();
+    println!(
+        "\ntotal data-session traffic: {} GETs, {} B up, {} B down — identical for ANY three pages",
+        stats.requests, stats.bytes_sent, stats.bytes_received
+    );
+}

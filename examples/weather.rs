@@ -1,0 +1,86 @@
+//! Dynamic, personalized content (paper §3.3): the weather.com example.
+//!
+//! "The weather.com lightweb page could prompt the user for their postal
+//! code and cache it in local storage. Later on, when the user visits
+//! weather.com, the page could use the user's cached postal code to
+//! automatically fetch a per-postal-code data blob containing up-to-date
+//! weather information for their location."
+//!
+//! The CDN serves one blob per postal code; which one a user fetches is
+//! hidden by the private-GET, so the CDN never learns anyone's location.
+//!
+//! Run with: `cargo run --example weather`
+
+use lightweb::browser::LightwebBrowser;
+use lightweb::universe::json::Value;
+use lightweb::universe::{Universe, UniverseConfig};
+
+fn main() {
+    let universe = Universe::new(UniverseConfig::small_test("weather-demo")).unwrap();
+    universe.register_domain("weather.com", "WeatherCo").unwrap();
+    universe
+        .publish_code(
+            "WeatherCo",
+            "weather.com",
+            r#"
+            route "/" {
+                prompt postal "Enter your postal code:"
+                fetch "weather.com/by-postal/{store.postal}"
+                title "Weather for {store.postal}"
+                render "{data.0.forecast}, high {data.0.high}F low {data.0.low}F"
+            }
+            route "/reset" {
+                render "Visit / after clearing site data to change location."
+            }
+            "#,
+        )
+        .unwrap();
+
+    // The publisher pushes a blob per postal code (per-postal-code data is
+    // exactly the "not too much server state" dynamic content §3.3 allows).
+    for (postal, forecast, high, low) in [
+        ("94110", "Fog", 63, 52),
+        ("10001", "Humid sun", 88, 71),
+        ("60601", "Lake-effect snow", 28, 15),
+    ] {
+        universe
+            .publish_json(
+                "WeatherCo",
+                &format!("weather.com/by-postal/{postal}"),
+                &Value::object([
+                    ("forecast", forecast.into()),
+                    ("high", i64::from(high).into()),
+                    ("low", i64::from(low).into()),
+                ]),
+            )
+            .unwrap();
+    }
+
+    let mut browser = LightwebBrowser::connect(
+        universe.connect_code(),
+        universe.connect_data(),
+        universe.config().fetches_per_page,
+        universe.config().max_chain_parts,
+    )
+    .unwrap();
+
+    // First visit: the page prompts; the answer lands in domain-separated
+    // local storage. (A real browser pops a dialog; we simulate the user.)
+    browser.set_prompt_handler(|question| {
+        println!("page asks: {question} (user types 94110)");
+        "94110".to_string()
+    });
+    let page = browser.browse("weather.com/").unwrap();
+    println!("[{}] {}", page.title, page.body);
+
+    // Second visit: no prompt — the stored postal code drives the fetch.
+    browser.set_prompt_handler(|_| panic!("no second prompt expected"));
+    let page = browser.browse("weather.com/").unwrap();
+    println!("[{}] {} (no prompt this time)", page.title, page.body);
+
+    println!(
+        "\nlocal storage for weather.com: postal={:?} — invisible to every server; \
+the per-postal fetch was a private-GET, so the CDN cannot locate the user",
+        browser.storage().get("weather.com", "postal")
+    );
+}

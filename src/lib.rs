@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # lightweb
+//!
+//! Facade crate for the lightweb reproduction: re-exports the public API of
+//! every subsystem crate so that downstream users (and the examples and
+//! integration tests in this repository) can depend on a single crate.
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+//!
+//! ## One private page load, end to end
+//!
+//! ```
+//! use lightweb::browser::LightwebBrowser;
+//! use lightweb::universe::{Universe, UniverseConfig};
+//!
+//! // The CDN stands up a universe; a publisher uploads a page.
+//! let universe = Universe::new(UniverseConfig::small_test("doc")).unwrap();
+//! universe.register_domain("example.com", "Example").unwrap();
+//! universe
+//!     .publish_code(
+//!         "Example",
+//!         "example.com",
+//!         "route \"/\" {\n fetch \"example.com/home\"\n render \"{data.0}\"\n }",
+//!     )
+//!     .unwrap();
+//! universe.publish_data("Example", "example.com/home", b"hello, private web").unwrap();
+//!
+//! // A user browses. Neither the network nor the CDN learns which page.
+//! let mut browser = LightwebBrowser::connect(
+//!     universe.connect_code(),
+//!     universe.connect_data(),
+//!     universe.config().fetches_per_page,
+//!     universe.config().max_chain_parts,
+//! )
+//! .unwrap();
+//! let page = browser.browse("example.com/").unwrap();
+//! assert_eq!(page.body, "hello, private web");
+//! // Every page view issues the same fixed number of data GETs:
+//! assert_eq!(page.real_fetches + page.dummy_fetches, 5);
+//! ```
+
+pub use lightweb_browser as browser;
+pub use lightweb_core as zltp;
+pub use lightweb_cost as cost;
+pub use lightweb_crypto as crypto;
+pub use lightweb_dpf as dpf;
+pub use lightweb_oram as oram;
+pub use lightweb_pir as pir;
+pub use lightweb_universe as universe;
+pub use lightweb_workload as workload;

@@ -1,0 +1,165 @@
+//! Full-stack integration: universe → ZLTP → browser, over the in-memory
+//! transport. Covers the complete §3.2 browsing anatomy plus dynamic
+//! content, chaining, and access control interacting in one session.
+
+use lightweb::browser::LightwebBrowser;
+use lightweb::universe::access::AccessKeyring;
+use lightweb::universe::json::Value;
+use lightweb::universe::{Universe, UniverseConfig};
+
+fn full_universe() -> (Universe, AccessKeyring) {
+    let u = Universe::new(UniverseConfig::small_test("e2e")).unwrap();
+
+    // A news publisher.
+    u.register_domain("news.com", "News").unwrap();
+    u.publish_code(
+        "News",
+        "news.com",
+        r#"
+        route "/" {
+            fetch "news.com/front"
+            title "News"
+            render "{data.0.lead}"
+        }
+        route "/story/:id" {
+            fetch "news.com/story/{id}"
+            title "{data.0.headline}"
+            render "{data.0.body}"
+        }
+        default {
+            render "404"
+        }
+        "#,
+    )
+    .unwrap();
+    u.publish_json("News", "news.com/front", &Value::object([("lead", "Lead story".into())]))
+        .unwrap();
+    u.publish_json(
+        "News",
+        "news.com/story/42",
+        &Value::object([("headline", "Forty-two".into()), ("body", "The answer.".into())]),
+    )
+    .unwrap();
+
+    // A personalized weather publisher.
+    u.register_domain("wx.org", "Wx").unwrap();
+    u.publish_code(
+        "Wx",
+        "wx.org",
+        r#"
+        route "/" {
+            prompt zip "zip?"
+            fetch "wx.org/{store.zip}"
+            render "{data.0.t}"
+        }
+        "#,
+    )
+    .unwrap();
+    u.publish_json("Wx", "wx.org/94110", &Value::object([("t", "fog".into())])).unwrap();
+
+    // A paywalled publisher.
+    u.register_domain("paid.net", "Paid").unwrap();
+    u.publish_code(
+        "Paid",
+        "paid.net",
+        "route \"/p\" {\n fetch \"paid.net/secret\"\n render \"{data.0}\"\n }",
+    )
+    .unwrap();
+    let ring = AccessKeyring::new();
+    u.publish_data("Paid", "paid.net/secret", &ring.protect("paid.net/secret", b"classified"))
+        .unwrap();
+
+    // A long-read publisher exercising chaining.
+    u.register_domain("long.io", "Long").unwrap();
+    u.publish_code(
+        "Long",
+        "long.io",
+        "route \"/read\" {\n fetch \"long.io/book\"\n render \"{data.0}\"\n }",
+    )
+    .unwrap();
+    u.publish_data("Long", "long.io/book", "lorem ipsum ".repeat(200).as_bytes()).unwrap();
+
+    (u, ring)
+}
+
+fn browser_for(u: &Universe) -> LightwebBrowser<lightweb::zltp::MemDuplex> {
+    LightwebBrowser::connect(
+        u.connect_code(),
+        u.connect_data(),
+        u.config().fetches_per_page,
+        u.config().max_chain_parts,
+    )
+    .unwrap()
+}
+
+#[test]
+fn multi_domain_session_renders_everything() {
+    let (u, ring) = full_universe();
+    let mut b = browser_for(&u);
+    b.set_prompt_handler(|_| "94110".into());
+    b.install_pass("paid.net", ring.issue_pass(0));
+
+    assert_eq!(b.browse("news.com/").unwrap().body, "Lead story");
+    assert_eq!(b.browse("news.com/story/42").unwrap().body, "The answer.");
+    assert_eq!(b.browse("news.com/story/42").unwrap().title, "Forty-two");
+    assert_eq!(b.browse("wx.org/").unwrap().body, "fog");
+    assert_eq!(b.browse("paid.net/p").unwrap().body, "classified");
+    assert_eq!(b.browse("long.io/read").unwrap().body.len(), 2400);
+    assert_eq!(b.browse("news.com/missing").unwrap().body, "404");
+}
+
+#[test]
+fn traffic_shape_is_invariant_across_all_page_kinds() {
+    let (u, ring) = full_universe();
+    let budget = u.config().fetches_per_page;
+    let mut b = browser_for(&u);
+    b.set_prompt_handler(|_| "94110".into());
+    b.install_pass("paid.net", ring.issue_pass(0));
+
+    for path in [
+        "news.com/",
+        "news.com/story/42",
+        "wx.org/",
+        "paid.net/p",
+        "long.io/read",
+        "news.com/404/deep/path",
+    ] {
+        b.browse(path).unwrap();
+    }
+    // Every visit: exactly `budget` data GETs, regardless of page type,
+    // chain length, hit/miss, or paywall.
+    for v in b.visits() {
+        assert_eq!(v.data_fetches, budget, "path {}", v.path);
+    }
+    // Code fetches: exactly one per distinct domain (4 domains + 0 for the
+    // repeat visits).
+    let code_total: usize = b.visits().iter().map(|v| v.code_fetches).sum();
+    assert_eq!(code_total, 4);
+    assert_eq!(b.data_stats().requests, (b.visits().len() * budget) as u64);
+}
+
+#[test]
+fn byte_counts_are_page_independent() {
+    // Two browsers visiting different pages must transfer identical byte
+    // counts on the data session.
+    let (u, ring) = full_universe();
+    let mut b1 = browser_for(&u);
+    let mut b2 = browser_for(&u);
+    b1.install_pass("paid.net", ring.issue_pass(0));
+    b1.browse("news.com/").unwrap();
+    b2.browse("news.com/story/42").unwrap();
+    assert_eq!(b1.data_stats().bytes_sent, b2.data_stats().bytes_sent);
+    assert_eq!(b1.data_stats().bytes_received, b2.data_stats().bytes_received);
+}
+
+#[test]
+fn storage_survives_across_pages_but_not_domains() {
+    let (u, _) = full_universe();
+    let mut b = browser_for(&u);
+    b.set_prompt_handler(|_| "94110".into());
+    b.browse("wx.org/").unwrap();
+    b.browse("news.com/").unwrap();
+    b.browse("wx.org/").unwrap();
+    assert_eq!(b.storage().get("wx.org", "zip"), Some("94110"));
+    assert_eq!(b.storage().get("news.com", "zip"), None, "domain separation");
+}

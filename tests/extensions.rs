@@ -1,0 +1,118 @@
+//! Integration tests for the extension features (DESIGN.md X1–X9):
+//! tiered universes, cuckoo keyword PIR, recursive ORAM, incremental DPF,
+//! and their interaction with the core stack.
+
+use lightweb::dpf::gen_incremental;
+use lightweb::oram::RecursivePathOram;
+use lightweb::pir::cuckoo::CuckooHasher;
+use lightweb::pir::cuckoo_pir::{build_cuckoo_server, cuckoo_private_get};
+use lightweb::pir::{PirError, TwoServerClient};
+use lightweb::universe::{Tier, TieredCdn};
+
+#[test]
+fn tiered_cdn_places_a_mixed_site() {
+    let cdn = TieredCdn::new("edge").unwrap();
+    cdn.register_domain("mixed.org", "Mixed").unwrap();
+    cdn.publish_code("Mixed", "mixed.org", "route \"/\" {\n render \"home\"\n }").unwrap();
+
+    let placements = [
+        ("mixed.org/note", 200usize, Tier::Small),
+        ("mixed.org/article", 3000, Tier::Medium),
+        ("mixed.org/dataset", 12000, Tier::Large),
+    ];
+    for (path, size, want) in placements {
+        let got = cdn.publish_auto("Mixed", path, &vec![7u8; size]).unwrap();
+        assert_eq!(got, want, "{path}");
+        assert_eq!(cdn.tier_of(path), Some(want));
+    }
+    let total: usize = cdn.tier_populations().iter().map(|(_, n)| n).sum();
+    assert_eq!(total, 3);
+}
+
+#[test]
+fn cuckoo_pir_serves_a_dense_universe_end_to_end() {
+    // 45% load — impossible for the single-hash map, fine for cuckoo.
+    let domain_bits = 12u32;
+    let hasher = CuckooHasher::new(&[0x77; 16], domain_bits);
+    let params = lightweb::dpf::DpfParams::with_default_termination(domain_bits).unwrap();
+    let record_len = 96usize;
+    let pairs: Vec<(String, Vec<u8>)> = (0..1843usize)
+        .map(|i| (format!("dense.com/item/{i}"), format!("value-{i}").into_bytes()))
+        .collect();
+    let refs: Vec<(&[u8], &[u8])> =
+        pairs.iter().map(|(k, v)| (k.as_bytes(), v.as_slice())).collect();
+    let s0 = build_cuckoo_server(&hasher, params, record_len, &refs).unwrap();
+    let s1 = s0.clone();
+    let client = TwoServerClient::new(params, record_len);
+
+    for (key, value) in pairs.iter().step_by(251) {
+        let got = cuckoo_private_get(&hasher, &client, key.as_bytes(), |slot| {
+            let q = client.query_slot(slot);
+            let a0 = s0.answer(&q.key0)?;
+            let a1 = s1.answer(&q.key1)?;
+            TwoServerClient::combine(&a0, &a1)
+        })
+        .unwrap()
+        .unwrap_or_else(|| panic!("{key} not found"));
+        assert_eq!(&got[..value.len()], &value[..]);
+    }
+
+    // Misses stay misses.
+    let miss = cuckoo_private_get(
+        &hasher,
+        &client,
+        b"dense.com/item/99999",
+        |slot| -> Result<Vec<u8>, PirError> {
+            let q = client.query_slot(slot);
+            let a0 = s0.answer(&q.key0)?;
+            let a1 = s1.answer(&q.key1)?;
+            TwoServerClient::combine(&a0, &a1)
+        },
+    )
+    .unwrap();
+    assert_eq!(miss, None);
+}
+
+#[test]
+fn recursive_oram_behaves_like_flat_oram() {
+    use lightweb::oram::PathOram;
+    let mut flat = PathOram::with_seed(256, 24, [7; 32]).unwrap();
+    let mut rec = RecursivePathOram::with_seed(256, 24, [7; 32]).unwrap();
+    let mut x = 99u64;
+    for i in 0..400u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let addr = x % 256;
+        if i % 2 == 0 {
+            let data = vec![(x >> 16) as u8; 24];
+            flat.write(addr, &data).unwrap();
+            rec.write(addr, &data).unwrap();
+        } else {
+            assert_eq!(flat.read(addr).unwrap(), rec.read(addr).unwrap(), "step {i}");
+        }
+    }
+}
+
+#[test]
+fn incremental_dpf_supports_domain_level_billing() {
+    // §4 billing via prefixes: treat the top 2 bits of a 6-bit page index
+    // as the "domain"; servers tally per-domain membership from combined
+    // level-2 evaluations without seeing individual indices.
+    let visits: &[u64] = &[3, 9, 9, 17, 40, 41, 63];
+    let mut per_domain = [0u32; 4];
+    for &v in visits {
+        let mut one = vec![0u8; 4];
+        one[0] = 1;
+        let betas: Vec<Vec<u8>> = (0..6).map(|_| one.clone()).collect();
+        let (k0, k1) = gen_incremental(6, v, &betas, 4);
+        for d in 0..4u64 {
+            let a = k0.eval_prefix(d, 2);
+            let b = k1.eval_prefix(d, 2);
+            let combined: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            if combined == vec![1, 0, 0, 0] {
+                per_domain[d as usize] += 1;
+            }
+        }
+    }
+    // 3,9,9 -> domain 0; 17 -> domain 1; 40,41 -> domain 2; 63 -> domain 3.
+    assert_eq!(per_domain, [3, 1, 2, 1]);
+}

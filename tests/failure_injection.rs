@@ -1,0 +1,153 @@
+//! Failure injection: a production protocol engine must fail loudly and
+//! cleanly, never hang or serve garbage. These tests feed the ZLTP server
+//! malformed frames, wrong-mode requests, truncated streams, and hostile
+//! payloads.
+
+use lightweb::zltp::wire::Message;
+use lightweb::zltp::{
+    FramedConn, InProcServer, Mode, ModeSet, ServerConfig, TwoServerZltp, ZltpError, ZltpServer,
+    ZltpSession, PROTOCOL_VERSION,
+};
+use std::io::Write;
+
+fn test_server(modes: &[Mode]) -> InProcServer {
+    let mut cfg = ServerConfig::small("failures", 0);
+    cfg.blob_len = 64;
+    cfg.modes = ModeSet::new(modes.iter().copied());
+    let server = ZltpServer::new(cfg).unwrap();
+    server.publish("a.com/x", &[1u8; 64]).unwrap();
+    InProcServer::new(server)
+}
+
+#[test]
+fn garbage_get_payload_yields_protocol_error_not_hang() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let modes = ModeSet::new([Mode::TwoServerPir]);
+    let mut session = ZltpSession::connect(srv.connect(), &modes).unwrap();
+    // Not a DPF key at all.
+    let err = session.get_raw(vec![0xFF; 100]).unwrap_err();
+    assert!(matches!(err, ZltpError::ServerError { .. }), "{err}");
+    // The session is still usable afterwards.
+    let params = session.params();
+    let (k0, _) = lightweb::dpf::gen(&params, 0);
+    assert!(session.get_raw(k0.to_bytes().to_vec()).is_ok());
+}
+
+#[test]
+fn wrong_domain_dpf_key_rejected() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let modes = ModeSet::new([Mode::TwoServerPir]);
+    let mut session = ZltpSession::connect(srv.connect(), &modes).unwrap();
+    // Valid key, wrong parameters (domain 2^8 vs the server's 2^14).
+    let params = lightweb::dpf::DpfParams::new(8, 2).unwrap();
+    let (k0, _) = lightweb::dpf::gen(&params, 0);
+    let err = session.get_raw(k0.to_bytes().to_vec()).unwrap_err();
+    assert!(matches!(err, ZltpError::ServerError { .. }));
+}
+
+#[test]
+fn version_mismatch_rejected_with_error_frame() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let mut conn = FramedConn::new(srv.connect());
+    conn.send(&Message::ClientHello { version: 99, modes: vec![1] }).unwrap();
+    match conn.recv().unwrap() {
+        Message::Error { code, .. } => assert_eq!(code, 1),
+        other => panic!("expected Error, got {}", other.name()),
+    }
+}
+
+#[test]
+fn get_before_hello_is_a_state_error() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let mut conn = FramedConn::new(srv.connect());
+    conn.send(&Message::Get { request_id: 1, payload: vec![] }).unwrap();
+    match conn.recv().unwrap() {
+        Message::Error { code, message } => {
+            assert_eq!(code, 5);
+            assert!(message.contains("ClientHello"), "{message}");
+        }
+        other => panic!("expected Error, got {}", other.name()),
+    }
+}
+
+#[test]
+fn lwe_setup_outside_lwe_mode_is_rejected_in_session() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let mut conn = FramedConn::new(srv.connect());
+    conn.send(&Message::ClientHello { version: PROTOCOL_VERSION, modes: vec![1] }).unwrap();
+    assert!(matches!(conn.recv().unwrap(), Message::ServerHello { .. }));
+    conn.send(&Message::LweSetupRequest).unwrap();
+    match conn.recv().unwrap() {
+        Message::Error { code, .. } => assert_eq!(code, 5),
+        other => panic!("expected Error, got {}", other.name()),
+    }
+}
+
+#[test]
+fn raw_byte_garbage_drops_the_connection_cleanly() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let mut stream = srv.connect();
+    // A frame header claiming 1 GiB.
+    stream.write_all(&[0x40, 0x00, 0x00, 0x01, 0x03]).unwrap();
+    // Then a valid client reconnects fine: the server did not wedge.
+    let modes = ModeSet::new([Mode::TwoServerPir]);
+    let session = ZltpSession::connect(srv.connect(), &modes).unwrap();
+    assert_eq!(session.universe_id(), "failures");
+}
+
+#[test]
+fn client_disconnect_mid_session_leaves_server_usable() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    for _ in 0..5 {
+        let modes = ModeSet::new([Mode::TwoServerPir]);
+        let session = ZltpSession::connect(srv.connect(), &modes).unwrap();
+        drop(session); // vanish without Close
+    }
+    let modes = ModeSet::new([Mode::TwoServerPir]);
+    let mut session = ZltpSession::connect(srv.connect(), &modes).unwrap();
+    let (k0, _) = lightweb::dpf::gen(&session.params(), 0);
+    assert!(session.get_raw(k0.to_bytes().to_vec()).is_ok());
+}
+
+#[test]
+fn tampered_enclave_query_rejected() {
+    let srv = test_server(&[Mode::Enclave]);
+    let mut conn = FramedConn::new(srv.connect());
+    conn.send(&Message::ClientHello { version: PROTOCOL_VERSION, modes: vec![3] }).unwrap();
+    assert!(matches!(conn.recv().unwrap(), Message::ServerHello { .. }));
+    // A sealed payload under the wrong key (random bytes).
+    conn.send(&Message::Get { request_id: 1, payload: vec![0xAB; 60] }).unwrap();
+    match conn.recv().unwrap() {
+        Message::Error { code, .. } => assert_eq!(code, 3),
+        other => panic!("expected Error, got {}", other.name()),
+    }
+}
+
+#[test]
+fn mismatched_blob_sizes_between_pair_detected() {
+    let mut c0 = ServerConfig::small("pair", 0);
+    c0.blob_len = 64;
+    let mut c1 = ServerConfig::small("pair", 1);
+    c1.blob_len = 128;
+    let s0 = InProcServer::new(ZltpServer::new(c0).unwrap());
+    let s1 = InProcServer::new(ZltpServer::new(c1).unwrap());
+    let Err(err) = TwoServerZltp::connect(s0.connect(), s1.connect()) else {
+        panic!("mismatched pair accepted");
+    };
+    assert!(matches!(err, ZltpError::ServerPairMismatch(_)));
+}
+
+#[test]
+fn server_shutdown_ends_sessions() {
+    let srv = test_server(&[Mode::TwoServerPir]);
+    let modes = ModeSet::new([Mode::TwoServerPir]);
+    let mut session = ZltpSession::connect(srv.connect(), &modes).unwrap();
+    srv.server().shutdown();
+    // The next request either gets a Close/error or an I/O failure — never
+    // a hang (bounded by the test harness timeout) and never a bogus blob.
+    let (k0, _) = lightweb::dpf::gen(&session.params(), 0);
+    match session.get_raw(k0.to_bytes().to_vec()) {
+        Ok(blob) => assert_eq!(blob.len(), 64, "a well-formed final answer is acceptable"),
+        Err(_) => {}
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-mode integration: the same content served through all three ZLTP
+//! modes of operation must yield identical values, with each mode's
+//! characteristic cost/communication profile.
+
+use lightweb::zltp::{
+    EnclaveClient, InProcServer, LweClientSession, Mode, ModeSet, ServerConfig, TwoServerZltp,
+    ZltpServer,
+};
+
+const BLOB: usize = 96;
+
+fn server_with(modes: &[Mode], party: u8, n_pages: usize) -> InProcServer {
+    let mut cfg = ServerConfig::small("modes-test", party);
+    cfg.blob_len = BLOB;
+    cfg.modes = ModeSet::new(modes.iter().copied());
+    let server = ZltpServer::new(cfg).unwrap();
+    for i in 0..n_pages {
+        let mut blob = vec![0u8; BLOB];
+        blob[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        blob[8] = 0xEE;
+        server.publish(&format!("site.com/p/{i}"), &blob).unwrap();
+    }
+    InProcServer::new(server)
+}
+
+fn expected(i: usize) -> Vec<u8> {
+    let mut blob = vec![0u8; BLOB];
+    blob[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    blob[8] = 0xEE;
+    blob
+}
+
+#[test]
+fn all_modes_return_identical_content() {
+    let n = 16;
+    let s0 = server_with(&[Mode::TwoServerPir], 0, n);
+    let s1 = server_with(&[Mode::TwoServerPir], 1, n);
+    let lwe_srv = server_with(&[Mode::SingleServerLwe], 0, n);
+    let enc_srv = server_with(&[Mode::Enclave], 0, n);
+
+    let mut two = TwoServerZltp::connect(s0.connect(), s1.connect()).unwrap();
+    let mut lwe = LweClientSession::connect(lwe_srv.connect()).unwrap();
+    let mut enc = EnclaveClient::connect(enc_srv.connect()).unwrap();
+
+    for i in [0usize, 7, 15] {
+        let key = format!("site.com/p/{i}");
+        let want = expected(i);
+        assert_eq!(two.private_get(&key).unwrap(), want, "two-server, {key}");
+        assert_eq!(lwe.private_get(&key).unwrap().unwrap(), want, "lwe, {key}");
+        assert_eq!(enc.private_get(&key).unwrap().unwrap(), want, "enclave, {key}");
+    }
+}
+
+#[test]
+fn absent_keys_behave_per_mode() {
+    let n = 4;
+    let s0 = server_with(&[Mode::TwoServerPir], 0, n);
+    let s1 = server_with(&[Mode::TwoServerPir], 1, n);
+    let lwe_srv = server_with(&[Mode::SingleServerLwe], 0, n);
+    let enc_srv = server_with(&[Mode::Enclave], 0, n);
+
+    // PIR: zero blob (absence is not signaled — blob encoding handles it).
+    let mut two = TwoServerZltp::connect(s0.connect(), s1.connect()).unwrap();
+    assert_eq!(two.private_get("site.com/nope").unwrap(), vec![0u8; BLOB]);
+
+    // LWE: presence is public manifest metadata → None.
+    let mut lwe = LweClientSession::connect(lwe_srv.connect()).unwrap();
+    assert_eq!(lwe.private_get("site.com/nope").unwrap(), None);
+
+    // Enclave: dummy ORAM access, then None.
+    let mut enc = EnclaveClient::connect(enc_srv.connect()).unwrap();
+    assert_eq!(enc.private_get("site.com/nope").unwrap(), None);
+}
+
+#[test]
+fn communication_profiles_match_theory() {
+    let n = 64;
+    let s0 = server_with(&[Mode::TwoServerPir], 0, n);
+    let s1 = server_with(&[Mode::TwoServerPir], 1, n);
+    let lwe_srv = server_with(&[Mode::SingleServerLwe], 0, n);
+
+    let mut two = TwoServerZltp::connect(s0.connect(), s1.connect()).unwrap();
+    two.private_get("site.com/p/1").unwrap();
+    let pir_stats = two.stats();
+
+    let mut lwe = LweClientSession::connect(lwe_srv.connect()).unwrap();
+    lwe.private_get("site.com/p/1").unwrap();
+
+    // LWE's one-time offline download (hint) dwarfs a PIR query's upload.
+    assert!(
+        lwe.offline_bytes() as u64 > pir_stats.bytes_sent * 4,
+        "hint {} vs pir upload {}",
+        lwe.offline_bytes(),
+        pir_stats.bytes_sent
+    );
+}
+
+#[test]
+fn updates_propagate_to_every_mode() {
+    let n = 4;
+    let lwe_srv = server_with(&[Mode::SingleServerLwe], 0, n);
+    let enc_srv = server_with(&[Mode::Enclave], 0, n);
+
+    // Republish page 2 with new content on both servers.
+    let mut new_blob = vec![0u8; BLOB];
+    new_blob[0] = 0x99;
+    lwe_srv.server().publish("site.com/p/2", &new_blob).unwrap();
+    enc_srv.server().publish("site.com/p/2", &new_blob).unwrap();
+
+    // New sessions observe the update (the LWE hint is rebuilt lazily).
+    let mut lwe = LweClientSession::connect(lwe_srv.connect()).unwrap();
+    assert_eq!(lwe.private_get("site.com/p/2").unwrap().unwrap(), new_blob);
+    let mut enc = EnclaveClient::connect(enc_srv.connect()).unwrap();
+    assert_eq!(enc.private_get("site.com/p/2").unwrap().unwrap(), new_blob);
+}
+
+#[test]
+fn multi_mode_server_negotiates_each_client() {
+    // One server offering all three modes serves three differently-capable
+    // clients correctly.
+    let srv = server_with(&[Mode::TwoServerPir, Mode::SingleServerLwe, Mode::Enclave], 0, 8);
+
+    let mut lwe = LweClientSession::connect(srv.connect()).unwrap();
+    assert_eq!(lwe.private_get("site.com/p/3").unwrap().unwrap(), expected(3));
+
+    let mut enc = EnclaveClient::connect(srv.connect()).unwrap();
+    assert_eq!(enc.private_get("site.com/p/3").unwrap().unwrap(), expected(3));
+}

@@ -1,0 +1,172 @@
+//! Statistical privacy smoke tests: empirical checks that what each party
+//! *sees* is distributed independently of what the client *asked*. These
+//! are not proofs (the schemes' security arguments are cryptographic) but
+//! they catch the classic implementation bugs that void them — biased
+//! PRGs, non-uniform leaf choice, structured shares.
+
+use lightweb::dpf::{gen, DpfParams};
+use lightweb::oram::{audit_trace, SimulatedEnclave};
+use lightweb::pir::PirServer;
+use lightweb::universe::stats::StatsClient;
+
+/// Fraction of one-bits in a packed bit vector.
+fn ones_fraction(bits: &[u8]) -> f64 {
+    let ones: u32 = bits.iter().map(|b| b.count_ones()).sum();
+    ones as f64 / (bits.len() * 8) as f64
+}
+
+#[test]
+fn dpf_share_bit_density_is_independent_of_alpha() {
+    // A single server's full-domain evaluation must look like coin flips
+    // regardless of which point the key hides. Compare densities across
+    // extreme alphas over many keys.
+    let params = DpfParams::new(12, 3).unwrap();
+    let alphas = [0u64, params.domain_size() / 2, params.domain_size() - 1];
+    let mut means = Vec::new();
+    for &alpha in &alphas {
+        let mut total = 0.0;
+        let trials = 24;
+        for _ in 0..trials {
+            let (k0, _) = gen(&params, alpha);
+            total += ones_fraction(&k0.eval_full());
+        }
+        means.push(total / trials as f64);
+    }
+    for (i, m) in means.iter().enumerate() {
+        assert!((0.45..0.55).contains(m), "alpha[{i}] share density {m}");
+    }
+    let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+        - means.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.03, "densities vary with alpha: {means:?}");
+}
+
+#[test]
+fn pir_answers_look_uniform_regardless_of_slot() {
+    // One server's answer is an XOR of a pseudorandom subset of records;
+    // its byte distribution must not depend on the queried slot.
+    let params = DpfParams::new(10, 3).unwrap();
+    // Records with per-byte variety, so the XOR-combined answer has 64
+    // quasi-independent byte samples per trial.
+    let entries: Vec<(u64, Vec<u8>)> = (0..200u64)
+        .map(|i| {
+            let rec: Vec<u8> = (0..64u64).map(|j| ((i * 31 + j * 17) % 256) as u8).collect();
+            ((i * 5) % (1 << 10), rec)
+        })
+        .collect::<std::collections::BTreeMap<_, _>>()
+        .into_iter()
+        .collect();
+    let server = PirServer::from_entries(params, 64, entries.clone()).unwrap();
+
+    let mean_byte = |slot: u64| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..16 {
+            let (k0, _) = gen(&params, slot);
+            let a = server.answer(&k0).unwrap();
+            total += a.iter().map(|&b| b as f64).sum::<f64>() / a.len() as f64;
+        }
+        total / 16.0
+    };
+    let occupied = entries[0].0;
+    let empty = (0..(1 << 10)).find(|s| !entries.iter().any(|(e, _)| e == s)).unwrap();
+    let m1 = mean_byte(occupied);
+    let m2 = mean_byte(empty);
+    // Uniform bytes have mean 127.5; allow generous sampling noise.
+    assert!((100.0..155.0).contains(&m1), "occupied-slot answers skewed: {m1}");
+    assert!((100.0..155.0).contains(&m2), "empty-slot answers skewed: {m2}");
+    assert!((m1 - m2).abs() < 20.0, "answer distribution leaks slot occupancy: {m1} vs {m2}");
+}
+
+#[test]
+fn enclave_traces_from_different_workloads_are_alike() {
+    // Two maximally different request sequences (one hot key vs uniform
+    // sweep) must produce traces the auditor scores the same way.
+    let build = || {
+        let mut enc = SimulatedEnclave::new(512, 16).unwrap();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..256u32).map(|i| (format!("k{i}").into_bytes(), vec![i as u8; 16])).collect();
+        enc.load(entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))).unwrap();
+        enc
+    };
+
+    let mut hot = build();
+    hot.enable_trace();
+    for _ in 0..256 {
+        hot.get(b"k0").unwrap();
+    }
+    let hot_trace = hot.take_trace().unwrap();
+
+    let mut sweep = build();
+    sweep.enable_trace();
+    for i in 0..256u32 {
+        sweep.get(format!("k{i}").as_bytes()).unwrap();
+    }
+    let sweep_trace = sweep.take_trace().unwrap();
+
+    let hot_report = audit_trace(&hot_trace, hot.tree_height());
+    let sweep_report = audit_trace(&sweep_trace, sweep.tree_height());
+    assert!(hot_report.passed(), "hot workload failed audit: {:?}", hot_report.notes);
+    assert!(sweep_report.passed(), "sweep workload failed audit: {:?}", sweep_report.notes);
+    // Identical event counts: the trace length is workload-independent.
+    assert_eq!(hot_trace.len(), sweep_trace.len());
+}
+
+#[test]
+fn oram_stash_stays_small_over_long_runs() {
+    // Path ORAM's stash bound is the scheme's correctness linchpin; run a
+    // long adversarial-ish mix and check the high-water mark.
+    use lightweb::oram::PathOram;
+    let mut oram = PathOram::with_seed(1024, 16, [9; 32]).unwrap();
+    for a in 0..1024u64 {
+        oram.write(a, &[a as u8; 16]).unwrap();
+    }
+    // Skewed + sequential + random-ish phases.
+    for i in 0..4000u64 {
+        let addr = match i % 3 {
+            0 => 7,                               // hot
+            1 => i % 1024,                        // sweep
+            _ => (i * 2654435761) % 1024,         // scattered
+        };
+        oram.read(addr).unwrap();
+    }
+    assert!(
+        oram.max_stash_seen() < 96,
+        "stash high-water {} suggests broken eviction",
+        oram.max_stash_seen()
+    );
+}
+
+#[test]
+fn stats_shares_are_individually_uniform() {
+    // Each coordinate of a single share should be ~uniform u64; check the
+    // mean of the top byte across many reports sits near 127.5.
+    let client = StatsClient::new(4);
+    let mut sum_top = 0f64;
+    let n = 400;
+    for _ in 0..n {
+        let (a, _) = client.report(2);
+        for &x in &a {
+            sum_top += (x >> 56) as f64;
+        }
+    }
+    let mean = sum_top / (n * 4) as f64;
+    assert!((110.0..145.0).contains(&mean), "share bytes skewed: mean {mean}");
+}
+
+#[test]
+fn lwe_query_payloads_look_uniform_for_any_index() {
+    use lightweb::pir::lwe::{LweClient, LweParams, LweServer};
+    let params = LweParams::insecure_test();
+    let records: Vec<Vec<u8>> = (0..64).map(|i| vec![i as u8; 16]).collect();
+    let server = LweServer::new(params, 16, records).unwrap();
+    let client = LweClient::new(params, server.public_seed(), server.cols(), 16);
+    for idx in [0usize, 31, 63] {
+        let q = client.query(idx);
+        let mean: f64 = q
+            .payload
+            .iter()
+            .map(|&v| (v >> 24) as f64)
+            .sum::<f64>()
+            / q.payload.len() as f64;
+        assert!((95.0..160.0).contains(&mean), "index {idx} query skewed: {mean}");
+    }
+}
