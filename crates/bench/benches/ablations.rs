@@ -17,25 +17,27 @@ use std::time::Duration;
 
 fn a1_termination_width(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/a1_term_width");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let d = 16u32;
     for term in [0u32, 3, 5, 7, 9, 11] {
         let params = DpfParams::new(d, term).unwrap();
         let (k0, _) = gen(&params, 101);
         g.throughput(Throughput::Elements(params.domain_size()));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("nu={term}")), &k0, |b, k| {
-            b.iter(|| std::hint::black_box(k.eval_full()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("nu={term}")),
+            &k0,
+            |b, k| {
+                b.iter(|| std::hint::black_box(k.eval_full()));
+            },
+        );
     }
     g.finish();
 }
 
 /// The naïve scan: a branch per record instead of a broadcast mask.
-fn branchy_scan(
-    slots: &[(u64, Vec<u8>)],
-    bits: &[u8],
-    record_len: usize,
-) -> Vec<u8> {
+fn branchy_scan(slots: &[(u64, Vec<u8>)], bits: &[u8], record_len: usize) -> Vec<u8> {
     let mut acc = vec![0u8; record_len];
     for (slot, rec) in slots {
         if (bits[(slot / 8) as usize] >> (slot % 8)) & 1 == 1 {
@@ -49,7 +51,9 @@ fn branchy_scan(
 
 fn a2_scan_strategy(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/a2_scan_strategy");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let shard = build_shard(8, 1024);
     let (k0, _) = gen(&shard.params, 55);
     let bits = k0.eval_full();
@@ -88,24 +92,32 @@ fn a2_scan_strategy(c: &mut Criterion) {
 
 fn a3_prg_rounds(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/a3_prg_rounds");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let state = [0x42u32; 16];
     let mut out = [0u8; 64];
     for rounds in [8usize, 12, 20] {
         g.throughput(Throughput::Bytes(64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("chacha{rounds}")), &rounds, |b, &r| {
-            b.iter(|| {
-                chacha_permute(&state, r, &mut out);
-                std::hint::black_box(&out);
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("chacha{rounds}")),
+            &rounds,
+            |b, &r| {
+                b.iter(|| {
+                    chacha_permute(&state, r, &mut out);
+                    std::hint::black_box(&out);
+                });
+            },
+        );
     }
     g.finish();
 }
 
 fn a4_masked_xor_widths(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/a4_record_width");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for len in [256usize, 1024, 4096, 16384] {
         let src = vec![0x5Au8; len];
         let mut dst = vec![0u8; len];
@@ -125,7 +137,9 @@ fn a5_extension_engines(c: &mut Criterion) {
     use lightweb_oram::{PathOram, RecursivePathOram};
 
     let mut g = c.benchmark_group("ablation/a5_extensions");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
 
     // Incremental DPF: prefix evaluation cost at one level.
     let betas: Vec<Vec<u8>> = (0..16).map(|_| vec![1u8; 8]).collect();

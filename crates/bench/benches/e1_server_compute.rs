@@ -11,36 +11,50 @@ use std::time::Duration;
 
 fn bench_dpf_eval_full(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1/dpf_eval_full");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for domain_bits in [14u32, 16, 18] {
         let params = DpfParams::with_default_termination(domain_bits).unwrap();
         let (k0, _) = gen(&params, 7);
         g.throughput(Throughput::Elements(params.domain_size()));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("d={domain_bits}")), &k0, |b, k| {
-            b.iter(|| std::hint::black_box(k.eval_full()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d={domain_bits}")),
+            &k0,
+            |b, k| {
+                b.iter(|| std::hint::black_box(k.eval_full()));
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1/data_scan");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for mib in [4usize, 16] {
         let shard = build_shard(mib, 1024);
         let (k0, _) = gen(&shard.params, 3);
         let bits = k0.eval_full();
         g.throughput(Throughput::Bytes(shard.stored_bytes as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{mib}MiB")), &shard, |b, s| {
-            b.iter(|| std::hint::black_box(s.server.scan(&bits)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mib}MiB")),
+            &shard,
+            |b, s| {
+                b.iter(|| std::hint::black_box(s.server.scan(&bits)));
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_full_request(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1/full_request");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let shard = build_shard(16, 1024);
     let (k0, _) = gen(&shard.params, 3);
     g.throughput(Throughput::Bytes(shard.stored_bytes as u64));

@@ -10,18 +10,28 @@ use std::time::Duration;
 
 fn bench_batched_answers(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2/answer_batch");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let shard = build_shard(8, 1024);
     let client = TwoServerClient::new(shard.params, 1024);
     for batch in [1usize, 4, 16] {
         let keys: Vec<_> = (0..batch)
-            .map(|i| client.query_slot((i as u64 * 131) % shard.params.domain_size()).key0)
+            .map(|i| {
+                client
+                    .query_slot((i as u64 * 131) % shard.params.domain_size())
+                    .key0
+            })
             .collect();
         // Throughput in requests: criterion reports req/s directly.
         g.throughput(Throughput::Elements(batch as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("b={batch}")), &keys, |b, keys| {
-            b.iter(|| std::hint::black_box(shard.server.answer_batch(keys).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("b={batch}")),
+            &keys,
+            |b, keys| {
+                b.iter(|| std::hint::black_box(shard.server.answer_batch(keys).unwrap()));
+            },
+        );
     }
     g.finish();
 }

@@ -11,32 +11,51 @@ use std::time::Duration;
 
 fn bench_keygen_and_serialization(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3/dpf_key");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for d in [18u32, 22] {
         let params = DpfParams::with_default_termination(d).unwrap();
-        g.bench_with_input(BenchmarkId::new("gen", format!("d={d}")), &params, |b, p| {
-            b.iter(|| std::hint::black_box(gen(p, 12345 % p.domain_size())));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gen", format!("d={d}")),
+            &params,
+            |b, p| {
+                b.iter(|| std::hint::black_box(gen(p, 12345 % p.domain_size())));
+            },
+        );
         let (k0, _) = gen(&params, 1);
-        g.bench_with_input(BenchmarkId::new("serialize", format!("d={d}")), &k0, |b, k| {
-            b.iter(|| std::hint::black_box(k.to_bytes()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("serialize", format!("d={d}")),
+            &k0,
+            |b, k| {
+                b.iter(|| std::hint::black_box(k.to_bytes()));
+            },
+        );
         let bytes = k0.to_bytes();
-        g.bench_with_input(BenchmarkId::new("deserialize", format!("d={d}")), &bytes, |b, bs| {
-            b.iter(|| std::hint::black_box(DpfKey::from_bytes(bs).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("deserialize", format!("d={d}")),
+            &bytes,
+            |b, bs| {
+                b.iter(|| std::hint::black_box(DpfKey::from_bytes(bs).unwrap()));
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_framed_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3/framed_transport");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for payload_len in [357usize, 4096] {
         let (a, b_end) = mem_pair();
         let mut tx = FramedConn::new(a);
         let mut rx = FramedConn::new(b_end);
-        let msg = Message::Get { request_id: 1, payload: vec![0xAB; payload_len] };
+        let msg = Message::Get {
+            request_id: 1,
+            payload: vec![0xAB; payload_len],
+        };
         g.throughput(Throughput::Bytes(payload_len as u64));
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{payload_len}B")),
@@ -52,5 +71,9 @@ fn bench_framed_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_keygen_and_serialization, bench_framed_roundtrip);
+criterion_group!(
+    benches,
+    bench_keygen_and_serialization,
+    bench_framed_roundtrip
+);
 criterion_main!(benches);

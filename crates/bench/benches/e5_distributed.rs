@@ -24,7 +24,9 @@ fn entries(params: &DpfParams, n: usize, record_len: usize) -> Vec<(u64, Vec<u8>
 
 fn bench_sharded_answer(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5/sharded_answer");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let params = DpfParams::with_default_termination(16).unwrap();
     let es = entries(&params, 1 << 13, 256);
     let (key, _) = gen(&params, 99);
@@ -43,13 +45,19 @@ fn bench_sharded_answer(c: &mut Criterion) {
 
 fn bench_front_end_split(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5/front_end");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let params = DpfParams::with_default_termination(22).unwrap();
     let (key, _) = gen(&params, 1);
     for prefix in [4u32, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("prefix={prefix}")), &key, |b, k| {
-            b.iter(|| std::hint::black_box(k.eval_prefix(prefix)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("prefix={prefix}")),
+            &key,
+            |b, k| {
+                b.iter(|| std::hint::black_box(k.eval_prefix(prefix)));
+            },
+        );
     }
     g.finish();
 }

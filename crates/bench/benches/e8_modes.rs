@@ -15,29 +15,39 @@ const RECORD: usize = 256;
 
 fn bench_two_server_pir(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8/two_server_pir");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n_pow in [10u32, 12, 14] {
         let n = 1usize << n_pow;
         let params = DpfParams::with_default_termination(n_pow + 2).unwrap();
-        let entries: Vec<(u64, Vec<u8>)> =
-            (0..n as u64).map(|i| (i * 4 + 1, vec![i as u8; RECORD])).collect();
+        let entries: Vec<(u64, Vec<u8>)> = (0..n as u64)
+            .map(|i| (i * 4 + 1, vec![i as u8; RECORD]))
+            .collect();
         let server = PirServer::from_entries(params, RECORD, entries).unwrap();
         let (k0, _) = gen(&params, 5);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("N=2^{n_pow}")), &server, |b, s| {
-            b.iter(|| std::hint::black_box(s.answer(&k0).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("N=2^{n_pow}")),
+            &server,
+            |b, s| {
+                b.iter(|| std::hint::black_box(s.answer(&k0).unwrap()));
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_enclave_oram(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8/enclave_oram");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n_pow in [10u32, 12, 14] {
         let n = 1usize << n_pow;
         let mut kv = ObliviousKvStore::new(n as u64, RECORD).unwrap();
         for i in 0..n {
-            kv.put(format!("k{i}").as_bytes(), &vec![i as u8; RECORD]).unwrap();
+            kv.put(format!("k{i}").as_bytes(), &vec![i as u8; RECORD])
+                .unwrap();
         }
         g.bench_function(BenchmarkId::from_parameter(format!("N=2^{n_pow}")), |b| {
             b.iter(|| std::hint::black_box(kv.get(b"k7").unwrap()));
@@ -48,7 +58,9 @@ fn bench_enclave_oram(c: &mut Criterion) {
 
 fn bench_lwe(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8/single_server_lwe");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let params = LweParams { n: 256 };
     let records: Vec<Vec<u8>> = (0..N).map(|i| vec![i as u8; RECORD]).collect();
     let server = LweServer::new(params, RECORD, records).unwrap();

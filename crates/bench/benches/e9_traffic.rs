@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_fingerprinting(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9/fingerprint");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(5);
     let site = synthetic_site(40, &mut rng);
     let samples: Vec<(usize, FlowObservation)> = site

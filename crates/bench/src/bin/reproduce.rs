@@ -3,12 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10]
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|ablations]
+//!           [--telemetry] [--json]
 //! ```
 //!
 //! Each experiment prints the paper's reported numbers next to the values
 //! measured/estimated by this reproduction. `LIGHTWEB_SHARD_MIB` scales
 //! the shard (default 64 MiB; set 1024 for the paper's 1 GiB).
+//!
+//! `--telemetry` dumps the process-wide metric registry (counters,
+//! gauges, latency-histogram quantiles) after each experiment and resets
+//! it, so each dump is that experiment's marginal cost. `--json` routes
+//! all output through the telemetry event sink as JSON lines on stdout
+//! (one object per line) instead of human-readable tables.
 //!
 //! See EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
 //! discussion.
@@ -16,6 +23,7 @@
 use lightweb_bench::{
     build_shard, fmt_ms, render_table, shard_mib_from_env, time_mean, time_once, BenchShard,
 };
+use lightweb_core::{BatchConfig, InProcServer, ServerConfig, TwoServerZltp, ZltpServer};
 use lightweb_cost::economics::{self, UserCostInputs};
 use lightweb_cost::model::{
     estimate_deployment, paper_measurements, DatasetSpec, InstanceType, ShardMeasurement,
@@ -26,6 +34,7 @@ use lightweb_oram::ObliviousKvStore;
 use lightweb_pir::cuckoo::{build_assignment, CuckooHasher};
 use lightweb_pir::lwe::{LweClient, LweParams, LweServer};
 use lightweb_pir::{analytic_collision_probability, KeywordMap, PirServer, TwoServerClient};
+use lightweb_telemetry::events::{self, Field};
 use lightweb_workload::fingerprint::{
     simulate_lightweb_flow, simulate_proxy_flow, synthetic_site, FlowObservation, NearestCentroid,
 };
@@ -33,46 +42,168 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let run = |name: &str| arg == "all" || arg == name || (name == "e4" && arg == "table2");
-    println!("lightweb reproduction harness (shard = {} MiB; set LIGHTWEB_SHARD_MIB to rescale)\n", shard_mib_from_env());
+/// Output routing for the harness: human-readable tables on stdout, or
+/// JSON-lines through the telemetry event sink (`--json`). Experiments
+/// never call `println!` directly — everything flows through here so the
+/// two modes stay in sync.
+struct Reporter {
+    json: bool,
+}
 
-    if run("e1") {
-        e1_server_compute();
+impl Reporter {
+    /// An experiment heading (`== E1: ... ==`).
+    fn section(&self, title: &str) {
+        if self.json {
+            events::emit("reproduce.section", &[("title", Field::Str(title))]);
+        } else {
+            println!("== {title} ==");
+        }
     }
-    if run("e2") {
-        e2_batching();
+
+    /// A rendered table. JSON mode emits one event per row with
+    /// tab-separated cells (plus one header event).
+    fn table(&self, headers: &[&str], rows: &[Vec<String>]) {
+        if self.json {
+            let cols = headers.join("\t");
+            events::emit("reproduce.table.header", &[("columns", Field::Str(&cols))]);
+            for row in rows {
+                let cells = row.join("\t");
+                events::emit("reproduce.table.row", &[("cells", Field::Str(&cells))]);
+            }
+        } else {
+            println!("{}", render_table(headers, rows));
+        }
     }
-    if run("e3") {
-        e3_communication();
+
+    /// A free-form commentary line. A trailing `\n` in the text produces
+    /// a blank separator line in human mode (and is trimmed in JSON).
+    fn note(&self, text: &str) {
+        if self.json {
+            events::emit("reproduce.note", &[("text", Field::Str(text.trim_end()))]);
+        } else {
+            println!("{text}");
+        }
     }
-    if run("e4") {
-        e4_table2();
+}
+
+/// Print the registry snapshot accumulated by `experiment`, then reset
+/// so the next experiment's dump is marginal, not cumulative.
+fn dump_telemetry(r: &Reporter, experiment: &str) {
+    let snapshot = lightweb_telemetry::registry().snapshot();
+    if r.json {
+        for (name, v) in &snapshot.counters {
+            events::emit(
+                "telemetry.counter",
+                &[("name", Field::Str(name)), ("value", Field::U64(*v))],
+            );
+        }
+        for (name, g) in &snapshot.gauges {
+            events::emit(
+                "telemetry.gauge",
+                &[
+                    ("name", Field::Str(name)),
+                    ("value", Field::I64(g.value)),
+                    ("max", Field::I64(g.max)),
+                ],
+            );
+        }
+        for (name, h) in &snapshot.histograms {
+            events::emit(
+                "telemetry.histogram",
+                &[
+                    ("name", Field::Str(name)),
+                    ("count", Field::U64(h.count)),
+                    ("sum", Field::U64(h.sum)),
+                    ("max", Field::U64(h.max)),
+                    ("p50", Field::U64(h.p50)),
+                    ("p90", Field::U64(h.p90)),
+                    ("p99", Field::U64(h.p99)),
+                ],
+            );
+        }
+    } else {
+        println!("-- telemetry after {experiment} --");
+        print!("{}", lightweb_telemetry::render_text(&snapshot));
+        println!();
     }
-    if run("e5") {
-        e5_distributed_dpf();
+    lightweb_telemetry::registry().reset();
+}
+
+fn main() {
+    let mut which = "all".to_string();
+    let mut telemetry_dump = false;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--telemetry" => telemetry_dump = true,
+            "--json" => json = true,
+            other => which = other.to_string(),
+        }
     }
-    if run("e6") {
-        e6_economics();
+    const KNOWN: &[&str] = &[
+        "all",
+        "e1",
+        "e2",
+        "e3",
+        "e4",
+        "table2",
+        "e5",
+        "e6",
+        "e7",
+        "e8",
+        "e9",
+        "e10",
+        "e11",
+        "ablations",
+    ];
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!(
+            "error: unknown experiment '{which}' (expected one of: {})",
+            KNOWN.join(", ")
+        );
+        std::process::exit(2);
     }
-    if run("e7") {
-        e7_collisions();
+    if json {
+        events::install(Box::new(std::io::stdout()));
     }
-    if run("e8") {
-        e8_modes();
+    let r = Reporter { json };
+    let run = |name: &str| which == "all" || which == name || (name == "e4" && which == "table2");
+    r.note(&format!(
+        "lightweb reproduction harness (shard = {} MiB; set LIGHTWEB_SHARD_MIB to rescale)\n",
+        shard_mib_from_env()
+    ));
+
+    type Experiment = fn(&Reporter);
+    let experiments: &[(&str, Experiment)] = &[
+        ("e1", e1_server_compute),
+        ("e2", e2_batching),
+        ("e3", e3_communication),
+        ("e4", e4_table2),
+        ("e5", e5_distributed_dpf),
+        ("e6", e6_economics),
+        ("e7", e7_collisions),
+        ("e8", e8_modes),
+        ("e9", e9_traffic_analysis),
+        ("e10", e10_trend),
+        ("e11", e11_timing),
+    ];
+    for (name, experiment) in experiments {
+        if run(name) {
+            experiment(&r);
+            if telemetry_dump {
+                dump_telemetry(&r, name);
+            }
+        }
     }
-    if run("e9") {
-        e9_traffic_analysis();
+    if which == "all" || which == "ablations" {
+        ablations(&r);
+        if telemetry_dump {
+            dump_telemetry(&r, "ablations");
+        }
     }
-    if run("e10") {
-        e10_trend();
-    }
-    if run("e11") {
-        e11_timing();
-    }
-    if arg == "all" || arg == "ablations" {
-        ablations();
+    if json {
+        events::flush();
+        events::uninstall();
     }
 }
 
@@ -80,11 +211,11 @@ fn main() {
 // E11 (extension) - timing leakage (SS3.2's admitted residual leak) and
 // the constant-rate pacer that closes it.
 // =====================================================================
-fn e11_timing() {
+fn e11_timing(r: &Reporter) {
     use lightweb_workload::timing::{
         extract_features, paced_observation, Archetype, TimingClassifier, TimingFeatures,
     };
-    println!("== E11 (extension): visit-timing leakage and constant-rate cover ==");
+    r.section("E11 (extension): visit-timing leakage and constant-rate cover");
     let mut rng = StdRng::seed_from_u64(7);
     let mut dataset = |n: usize| -> Vec<(usize, TimingFeatures)> {
         let mut out = Vec::new();
@@ -99,26 +230,36 @@ fn e11_timing() {
     let raw_acc = clf.accuracy(&dataset(10));
 
     let paced = extract_features(&paced_observation(300.0, 15.0));
-    let paced_train: Vec<(usize, TimingFeatures)> =
-        (0..3).flat_map(|l| (0..10).map(move |_| (l, paced))).collect();
+    let paced_train: Vec<(usize, TimingFeatures)> = (0..3)
+        .flat_map(|l| (0..10).map(move |_| (l, paced)))
+        .collect();
     let paced_clf = TimingClassifier::train(&paced_train);
     let paced_test: Vec<(usize, TimingFeatures)> = (0..3).map(|l| (l, paced)).collect();
     let paced_acc = paced_clf.accuracy(&paced_test);
 
     let rows = vec![
-        vec!["raw lightweb (timing visible)".into(), format!("{:.0}%", raw_acc * 100.0)],
-        vec!["with constant-rate pacer (5-min slots)".into(), format!("{:.0}%", paced_acc * 100.0)],
+        vec![
+            "raw lightweb (timing visible)".into(),
+            format!("{:.0}%", raw_acc * 100.0),
+        ],
+        vec![
+            "with constant-rate pacer (5-min slots)".into(),
+            format!("{:.0}%", paced_acc * 100.0),
+        ],
         vec!["random guessing (3 archetypes)".into(), "33%".into()],
     ];
-    println!("{}", render_table(&["observation channel", "archetype-classification accuracy"], &rows));
-    println!("the paper's SS3.2 example ('a page every five minutes in the morning' = news reader) is real but fixable with cover traffic at constant rate\n");
+    r.table(
+        &["observation channel", "archetype-classification accuracy"],
+        &rows,
+    );
+    r.note("the paper's SS3.2 example ('a page every five minutes in the morning' = news reader) is real but fixable with cover traffic at constant rate\n");
 }
 
 // =====================================================================
 // Ablations - design choices DESIGN.md calls out (run: `reproduce ablations`).
 // =====================================================================
-fn ablations() {
-    println!("== A1: DPF early-termination width (full-domain eval at d=16) ==");
+fn ablations(r: &Reporter) {
+    r.section("A1: DPF early-termination width (full-domain eval at d=16)");
     let mut rows = Vec::new();
     for term in [0u32, 3, 5, 7, 9, 11] {
         let params = DpfParams::new(16, term).unwrap();
@@ -133,17 +274,23 @@ fn ablations() {
             fmt_ms(t),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["nu", "tree depth", "leaf block B", "eval_full (ms)"], &rows)
+    r.table(
+        &["nu", "tree depth", "leaf block B", "eval_full (ms)"],
+        &rows,
     );
-    println!("choice: nu=7 - deeper trees pay a PRG call per node; wider leaves pay conversion bytes\n");
+    r.note(
+        "choice: nu=7 - deeper trees pay a PRG call per node; wider leaves pay conversion bytes\n",
+    );
 
-    println!("== A2: universe size tiers (paper SS3.5) ==");
+    r.section("A2: universe size tiers (paper SS3.5)");
     // Per-request implications of the small/medium/large fixed blob sizes
     // for a fixed 64 MiB of content.
     let mut rows = Vec::new();
-    for (tier, blob) in [("small", 1024usize), ("medium (paper)", 4096), ("large", 16384)] {
+    for (tier, blob) in [
+        ("small", 1024usize),
+        ("medium (paper)", 4096),
+        ("large", 16384),
+    ] {
         let shard = build_shard(64, blob);
         let (k0, _) = gen(&shard.params, 9);
         let (_, t) = time_once(|| shard.server.answer(&k0).unwrap());
@@ -156,14 +303,18 @@ fn ablations() {
             format!("{:.1}", (2 * blob) as f64 / 1024.0),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &["tier", "blob B", "blobs (64 MiB)", "domain bits", "request (ms)", "download KiB"],
-            &rows
-        )
+    r.table(
+        &[
+            "tier",
+            "blob B",
+            "blobs (64 MiB)",
+            "domain bits",
+            "request (ms)",
+            "download KiB",
+        ],
+        &rows,
     );
-    println!("choice: same stored bytes scan in ~the same time; bigger blobs buy fewer slots and bigger downloads - the SS3.5 cost/coverage trade\n");
+    r.note("choice: same stored bytes scan in ~the same time; bigger blobs buy fewer slots and bigger downloads - the SS3.5 cost/coverage trade\n");
 }
 
 /// Shared measurement of the benchmark shard: per-request DPF and scan
@@ -195,15 +346,66 @@ fn measure_shard(mib: usize, record_len: usize) -> MeasuredShard {
         .collect();
     let (_, batch16_latency) = time_once(|| shard.server.answer_batch(&keys).unwrap());
 
-    MeasuredShard { shard, dpf, scan, batch16_latency }
+    MeasuredShard {
+        shard,
+        dpf,
+        scan,
+        batch16_latency,
+    }
+}
+
+/// Drive a real batched two-server ZLTP deployment end to end so the E1
+/// telemetry dump covers the whole stack (sessions, batcher, PIR scan,
+/// transport) rather than just the kernel microbenchmarks: four client
+/// threads issue overlapping GETs against a pair of in-process servers
+/// with a 16-request batch window.
+fn e1_drive_zltp_session() {
+    let servers: Vec<InProcServer> = (0..2u8)
+        .map(|party| {
+            let mut cfg = ServerConfig::small("e1-zltp", party);
+            cfg.blob_len = 1024;
+            cfg.batch = BatchConfig {
+                max_batch: 16,
+                window: Duration::from_millis(10),
+            };
+            let server = ZltpServer::new(cfg).unwrap();
+            for i in 0..8 {
+                server
+                    .publish(&format!("e1/page-{i}"), &[i as u8; 1024])
+                    .unwrap();
+            }
+            InProcServer::new(server)
+        })
+        .collect();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let c0 = servers[0].connect();
+            let c1 = servers[1].connect();
+            std::thread::spawn(move || {
+                let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+                for i in 0..4 {
+                    let key = format!("e1/page-{}", (t + i) % 8);
+                    let blob = client.private_get(&key).unwrap();
+                    assert_eq!(blob.len(), 1024);
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for s in &servers {
+        s.server().shutdown();
+    }
 }
 
 // =====================================================================
 // E1 — §5.1 server computation: 167 ms/request (64 DPF + 103 scan) on a
 // 1 GiB shard with domain 2^22.
 // =====================================================================
-fn e1_server_compute() {
-    println!("== E1: per-request server computation (paper §5.1) ==");
+fn e1_server_compute(r: &Reporter) {
+    r.section("E1: per-request server computation (paper §5.1)");
     let mib = shard_mib_from_env();
     let m = measure_shard(mib, 1024);
     let total = m.dpf + m.scan;
@@ -236,22 +438,34 @@ fn e1_server_compute() {
             "167.00".into(),
         ],
     ];
-    println!(
-        "{}",
-        render_table(&["configuration", "DPF eval (ms)", "data scan (ms)", "total (ms)"], &rows)
+    r.table(
+        &[
+            "configuration",
+            "DPF eval (ms)",
+            "data scan (ms)",
+            "total (ms)",
+        ],
+        &rows,
     );
-    println!(
-        "shape check: scan dominates DPF ({}); per-request cost is linear in shard size\n",
-        if m.scan > m.dpf { "yes, as in the paper" } else { "NO — differs from paper" }
-    );
+    r.note(&format!(
+        "shape check: scan dominates DPF ({}); per-request cost is linear in shard size",
+        if m.scan > m.dpf {
+            "yes, as in the paper"
+        } else {
+            "NO — differs from paper"
+        }
+    ));
+
+    e1_drive_zltp_session();
+    r.note("(drove 4 concurrent clients x 4 GETs through a batched two-server ZLTP pair; run with --telemetry for the full-stack metric dump)\n");
 }
 
 // =====================================================================
 // E2 — §5.1 batching: latency/throughput trade. Paper: b=1 → 0.51 s,
 // 2 req/s; b=16 → 2.6 s, 6 req/s.
 // =====================================================================
-fn e2_batching() {
-    println!("== E2: request batching (paper §5.1) ==");
+fn e2_batching(r: &Reporter) {
+    r.section("E2: request batching (paper §5.1)");
     let mib = shard_mib_from_env().min(64);
     let shard = build_shard(mib, 1024);
     let params = shard.params;
@@ -260,34 +474,43 @@ fn e2_batching() {
     let mut rows = Vec::new();
     for batch in [1usize, 2, 4, 8, 16, 32] {
         let keys: Vec<_> = (0..batch)
-            .map(|i| client.query_slot((i as u64 * 97) % params.domain_size()).key0)
+            .map(|i| {
+                client
+                    .query_slot((i as u64 * 97) % params.domain_size())
+                    .key0
+            })
             .collect();
         let (_, elapsed) = time_once(|| shard.server.answer_batch(&keys).unwrap());
         let throughput = batch as f64 / elapsed.as_secs_f64();
         rows.push(vec![
             batch.to_string(),
             fmt_ms(elapsed),
-            format!("{:.2}", fmt_ms(elapsed).parse::<f64>().unwrap() / batch as f64),
+            format!(
+                "{:.2}",
+                fmt_ms(elapsed).parse::<f64>().unwrap() / batch as f64
+            ),
             format!("{throughput:.1}"),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &["batch size", "latency (ms)", "amortized ms/req", "throughput (req/s)"],
-            &rows
-        )
+    r.table(
+        &[
+            "batch size",
+            "latency (ms)",
+            "amortized ms/req",
+            "throughput (req/s)",
+        ],
+        &rows,
     );
-    println!("paper (1 GiB shard): b=1 → 510 ms latency, 2 req/s; b=16 → 2600 ms, 6 req/s");
-    println!("shape check: batching trades latency for throughput because the scan is paid once per batch\n");
+    r.note("paper (1 GiB shard): b=1 → 510 ms latency, 2 req/s; b=16 → 2600 ms, 6 req/s");
+    r.note("shape check: batching trades latency for throughput because the scan is paid once per batch\n");
 }
 
 // =====================================================================
 // E3 — §5.1 communication: DPF key size (λ+2)·d; 13.6 KiB/request total
 // at d=22 with 4 KiB buckets (2 servers).
 // =====================================================================
-fn e3_communication() {
-    println!("== E3: communication per request (paper §5.1) ==");
+fn e3_communication(r: &Reporter) {
+    r.section("E3: communication per request (paper §5.1)");
     let bucket = 4096usize;
     let mut rows = Vec::new();
     for d in [16u32, 18, 20, 22, 24, 26, 28] {
@@ -309,30 +532,27 @@ fn e3_communication() {
             format!("{:.1}", (paper_bytes_up + download) as f64 / 1024.0),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "d",
-                "ours: upload B (2 keys)",
-                "paper (λ+2)d bits → B",
-                "paper arithmetic (130 B/level)",
-                "download B (2 buckets)",
-                "ours total KiB",
-                "paper total KiB",
-            ],
-            &rows
-        )
+    r.table(
+        &[
+            "d",
+            "ours: upload B (2 keys)",
+            "paper (λ+2)d bits → B",
+            "paper arithmetic (130 B/level)",
+            "download B (2 buckets)",
+            "ours total KiB",
+            "paper total KiB",
+        ],
+        &rows,
     );
-    println!("paper at d=22: 13.6 KiB per request (incl. 2× two-server overhead)");
-    println!("note: our keys are smaller because early termination shortens the tree\n");
+    r.note("paper at d=22: 13.6 KiB per request (incl. 2× two-server overhead)");
+    r.note("note: our keys are smaller because early termination shortens the tree\n");
 }
 
 // =====================================================================
 // E4 — Table 2: estimated deployment costs for C4 and Wikipedia.
 // =====================================================================
-fn e4_table2() {
-    println!("== E4: Table 2 — estimated costs of running ZLTP (paper §5.2) ==");
+fn e4_table2(r: &Reporter) {
+    r.section("E4: Table 2 — estimated costs of running ZLTP (paper §5.2)");
     let mib = shard_mib_from_env();
     let m = measure_shard(mib, 1024);
 
@@ -350,9 +570,7 @@ fn e4_table2() {
 
     let mut rows = Vec::new();
     for dataset in [DatasetSpec::c4(), DatasetSpec::wikipedia()] {
-        for (label, shard, lat) in
-            [("ours", &ours, batched_latency), ("paper", &paper, 2.6)]
-        {
+        for (label, shard, lat) in [("ours", &ours, batched_latency), ("paper", &paper, 2.6)] {
             let est = estimate_deployment(&dataset, shard, &inst, lat);
             rows.push(vec![
                 format!("{} ({label})", dataset.name),
@@ -366,31 +584,23 @@ fn e4_table2() {
             ]);
         }
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "dataset",
-                "GiB",
-                "pages",
-                "avg KiB",
-                "shards",
-                "vCPU sec",
-                "req cost",
-                "comm KiB",
-            ],
-            &rows
-        )
+    r.table(
+        &[
+            "dataset", "GiB", "pages", "avg KiB", "shards", "vCPU sec", "req cost", "comm KiB",
+        ],
+        &rows,
     );
-    println!("paper Table 2: C4 → 204 vCPU-sec, $0.002, 15.9 KiB; Wikipedia → 10 vCPU-sec, $0.0001, 14.9 KiB");
-    println!("(our 'shards' count uses this machine's shard unit; the estimation method is §5.2's)\n");
+    r.note("paper Table 2: C4 → 204 vCPU-sec, $0.002, 15.9 KiB; Wikipedia → 10 vCPU-sec, $0.0001, 14.9 KiB");
+    r.note(
+        "(our 'shards' count uses this machine's shard unit; the estimation method is §5.2's)\n",
+    );
 }
 
 // =====================================================================
 // E5 — §5.2 distributed DPF evaluation across shards.
 // =====================================================================
-fn e5_distributed_dpf() {
-    println!("== E5: front-end split of DPF evaluation (paper §5.2) ==");
+fn e5_distributed_dpf(r: &Reporter) {
+    r.section("E5: front-end split of DPF evaluation (paper §5.2)");
     let params = DpfParams::with_default_termination(18).unwrap();
     let record_len = 256usize;
     let n_records = 1 << 14;
@@ -431,29 +641,44 @@ fn e5_distributed_dpf() {
             front_nodes.len().to_string(),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &["shards", "front-end (ms)", "all shards seq. (ms)", "per-shard (ms)", "sub-trees shipped"],
-            &rows
-        )
+    r.table(
+        &[
+            "shards",
+            "front-end (ms)",
+            "all shards seq. (ms)",
+            "per-shard (ms)",
+            "sub-trees shipped",
+        ],
+        &rows,
     );
-    println!("shape check: per-shard work falls ~2x per prefix bit — a shard does exactly the small-domain work, as §5.2 argues\n");
+    r.note("shape check: per-shard work falls ~2x per prefix bit — a shard does exactly the small-domain work, as §5.2 argues\n");
 }
 
 // =====================================================================
 // E6 — §4 economics: $15/month, Google Fi comparison.
 // =====================================================================
-fn e6_economics() {
-    println!("== E6: who pays? (paper §4, §5.2) ==");
+fn e6_economics(r: &Reporter) {
+    r.section("E6: who pays? (paper §4, §5.2)");
     let paper_inputs = UserCostInputs::paper();
     let monthly = economics::monthly_user_cost(&paper_inputs);
     let nyt = economics::google_fi_cost(economics::NYT_HOMEPAGE_MIB * 1024.0 * 1024.0);
     let four_kib_fi = economics::google_fi_cost(4096.0);
     let rows = vec![
-        vec!["monthly user cost (50 pg/day × 5 GETs, $0.002/GET)".into(), format!("${monthly:.2}"), "$15 (≈ Netflix)".into()],
-        vec!["22.4 MiB NYT homepage over Google Fi".into(), format!("${nyt:.3}"), "$0.218".into()],
-        vec!["4 KiB over Google Fi".into(), format!("${four_kib_fi:.6}"), "$0.000038".into()],
+        vec![
+            "monthly user cost (50 pg/day × 5 GETs, $0.002/GET)".into(),
+            format!("${monthly:.2}"),
+            "$15 (≈ Netflix)".into(),
+        ],
+        vec![
+            "22.4 MiB NYT homepage over Google Fi".into(),
+            format!("${nyt:.3}"),
+            "$0.218".into(),
+        ],
+        vec![
+            "4 KiB over Google Fi".into(),
+            format!("${four_kib_fi:.6}"),
+            "$0.000038".into(),
+        ],
         vec!["4 KiB over ZLTP".into(), "$0.002".into(), "$0.002".into()],
         vec![
             "ZLTP / Fi overhead".into(),
@@ -461,73 +686,79 @@ fn e6_economics() {
             "~two orders of magnitude".into(),
         ],
     ];
-    println!("{}", render_table(&["quantity", "computed", "paper"], &rows));
-    println!();
+    r.table(&["quantity", "computed", "paper"], &rows);
+    r.note("");
 }
 
 // =====================================================================
 // E7 — §5.1 collision probability and mitigations.
 // =====================================================================
-fn e7_collisions() {
-    println!("== E7: keyword-to-slot collisions (paper §5.1) ==");
+fn e7_collisions(r: &Reporter) {
+    r.section("E7: keyword-to-slot collisions (paper §5.1)");
     let mut rows = Vec::new();
     for d in [20u32, 21, 22, 23, 24, 26] {
         let p = analytic_collision_probability(1 << 20, d);
         rows.push(vec![
             format!("2^{d}"),
-            format!("2^20"),
+            "2^20".to_string(),
             format!("{p:.3}"),
-            if d == 22 { "paper's operating point (≤ 1/4)".into() } else { String::new() },
+            if d == 22 {
+                "paper's operating point (≤ 1/4)".into()
+            } else {
+                String::new()
+            },
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["domain", "stored keys", "P(fresh key collides)", "note"], &rows)
+    r.table(
+        &["domain", "stored keys", "P(fresh key collides)", "note"],
+        &rows,
     );
 
     // Monte Carlo at a scaled-down but identically-loaded point.
     let map = KeywordMap::new(&[0x11; 16], 14);
-    let occupied: std::collections::HashSet<u64> =
-        (0..(1u32 << 12)).map(|i| map.slot(format!("stored-{i}").as_bytes())).collect();
+    let occupied: std::collections::HashSet<u64> = (0..(1u32 << 12))
+        .map(|i| map.slot(format!("stored-{i}").as_bytes()))
+        .collect();
     let probes = 4000;
     let hits = (0..probes)
         .filter(|i| occupied.contains(&map.slot(format!("fresh-{i}").as_bytes())))
         .count();
-    println!(
+    r.note(&format!(
         "Monte Carlo at the same 1/4 load (2^12 keys in 2^14 slots): measured {:.3}, analytic {:.3}",
         hits as f64 / probes as f64,
         analytic_collision_probability(occupied.len() as u64, 14)
-    );
+    ));
 
     // Cuckoo mitigation: survives 45% load where single-hash collides often.
     let hasher = CuckooHasher::new(&[0x22; 16], 13);
     let keys: Vec<Vec<u8>> = (0..3686u32).map(|i| format!("k{i}").into_bytes()).collect();
     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
     match build_assignment(&hasher, &refs) {
-        Ok(asg) => println!(
+        Ok(asg) => r.note(&format!(
             "cuckoo mitigation: {} keys placed at 45% load of 2^13 slots ({} evictions); single-hash P(collision) there would be {:.2}",
             asg.slots.len(),
             asg.evictions,
             analytic_collision_probability(3686, 13)
-        ),
-        Err(e) => println!("cuckoo build failed unexpectedly: {e}"),
+        )),
+        Err(e) => r.note(&format!("cuckoo build failed unexpectedly: {e}")),
     }
-    println!();
+    r.note("");
 }
 
 // =====================================================================
 // E8 — §2.2 mode comparison: PIR linear vs enclave/ORAM polylog.
 // =====================================================================
-fn e8_modes() {
-    println!("== E8: modes of operation — server cost scaling (paper §2.2) ==");
+fn e8_modes(r: &Reporter) {
+    r.section("E8: modes of operation — server cost scaling (paper §2.2)");
     let record_len = 256usize;
     let mut rows = Vec::new();
     for n_pow in [10u32, 12, 14] {
         let n = 1usize << n_pow;
         // Two-server PIR.
         let params = DpfParams::with_default_termination(n_pow + 2).unwrap();
-        let entries: Vec<(u64, Vec<u8>)> =
-            (0..n as u64).map(|i| (i * 4 + 1, vec![i as u8; record_len])).collect();
+        let entries: Vec<(u64, Vec<u8>)> = (0..n as u64)
+            .map(|i| (i * 4 + 1, vec![i as u8; record_len]))
+            .collect();
         let pir = PirServer::from_entries(params, record_len, entries).unwrap();
         let (k0, _) = gen(&params, 5);
         let pir_time = time_mean(3, || {
@@ -537,7 +768,8 @@ fn e8_modes() {
         // Enclave + Path ORAM.
         let mut kv = ObliviousKvStore::new(n as u64, record_len).unwrap();
         for i in 0..n {
-            kv.put(format!("k{i}").as_bytes(), &vec![i as u8; record_len]).unwrap();
+            kv.put(format!("k{i}").as_bytes(), &vec![i as u8; record_len])
+                .unwrap();
         }
         let oram_time = time_mean(20, || {
             std::hint::black_box(kv.get(b"k7").unwrap());
@@ -554,23 +786,30 @@ fn e8_modes() {
         });
 
         let us = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
-        rows.push(vec![format!("2^{n_pow}"), us(pir_time), us(lwe_time), us(oram_time)]);
+        rows.push(vec![
+            format!("2^{n_pow}"),
+            us(pir_time),
+            us(lwe_time),
+            us(oram_time),
+        ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &["pairs", "2-server PIR (us)", "1-server LWE (us)", "enclave ORAM (us)"],
-            &rows
-        )
+    r.table(
+        &[
+            "pairs",
+            "2-server PIR (us)",
+            "1-server LWE (us)",
+            "enclave ORAM (us)",
+        ],
+        &rows,
     );
-    println!("shape check: PIR and LWE grow linearly with the store; the enclave's ORAM cost is polylogarithmic (near-flat), as §2.2 claims\n");
+    r.note("shape check: PIR and LWE grow linearly with the store; the enclave's ORAM cost is polylogarithmic (near-flat), as §2.2 claims\n");
 }
 
 // =====================================================================
 // E9 — §1 motivation: traffic analysis defeats proxies, not lightweb.
 // =====================================================================
-fn e9_traffic_analysis() {
-    println!("== E9: website fingerprinting — proxy vs lightweb (paper §1) ==");
+fn e9_traffic_analysis(r: &Reporter) {
+    r.section("E9: website fingerprinting — proxy vs lightweb (paper §1)");
     let mut rng = StdRng::seed_from_u64(99);
     let pages = synthetic_site(40, &mut rng);
     let chance = 1.0 / pages.len() as f64;
@@ -580,7 +819,15 @@ fn e9_traffic_analysis() {
         .enumerate()
         .flat_map(|(label, objs)| {
             (0..8)
-                .map(|_| (label, simulate_proxy_flow(objs, &mut StdRng::seed_from_u64(label as u64 * 31 + 1))))
+                .map(|_| {
+                    (
+                        label,
+                        simulate_proxy_flow(
+                            objs,
+                            &mut StdRng::seed_from_u64(label as u64 * 31 + 1),
+                        ),
+                    )
+                })
                 .collect::<Vec<_>>()
         })
         .collect();
@@ -595,25 +842,32 @@ fn e9_traffic_analysis() {
     let lw_train: Vec<(usize, FlowObservation)> = (0..pages.len())
         .flat_map(|label| (0..8).map(move |_| (label, simulate_lightweb_flow(5, 1024))))
         .collect();
-    let lw_test: Vec<(usize, FlowObservation)> =
-        (0..pages.len()).map(|label| (label, simulate_lightweb_flow(5, 1024))).collect();
+    let lw_test: Vec<(usize, FlowObservation)> = (0..pages.len())
+        .map(|label| (label, simulate_lightweb_flow(5, 1024)))
+        .collect();
     let lw_clf = NearestCentroid::train(&lw_train);
     let lw_acc = lw_clf.accuracy(&lw_test);
 
     let rows = vec![
-        vec!["encrypting proxy (per-object sizes visible)".into(), format!("{:.0}%", proxy_acc * 100.0)],
-        vec!["lightweb (fixed 5 × 1 KiB fetches)".into(), format!("{:.0}%", lw_acc * 100.0)],
+        vec![
+            "encrypting proxy (per-object sizes visible)".into(),
+            format!("{:.0}%", proxy_acc * 100.0),
+        ],
+        vec![
+            "lightweb (fixed 5 × 1 KiB fetches)".into(),
+            format!("{:.0}%", lw_acc * 100.0),
+        ],
         vec!["random guessing".into(), format!("{:.0}%", chance * 100.0)],
     ];
-    println!("{}", render_table(&["channel", "fingerprinting accuracy (40 pages)"], &rows));
-    println!("shape check: the proxy leaks page identity through traffic shape; lightweb's fixed fetch schedule caps the attacker at chance\n");
+    r.table(&["channel", "fingerprinting accuracy (40 pages)"], &rows);
+    r.note("shape check: the proxy leaks page identity through traffic shape; lightweb's fixed fetch schedule caps the attacker at chance\n");
 }
 
 // =====================================================================
 // E10 — §5.2 "looking forward": compute-cost trend.
 // =====================================================================
-fn e10_trend() {
-    println!("== E10: cost trend (paper §5.2 'looking forward') ==");
+fn e10_trend(r: &Reporter) {
+    r.section("E10: cost trend (paper §5.2 'looking forward')");
     let now = 0.002f64;
     let mut rows = Vec::new();
     for years in [0.0f64, 5.0, 10.0] {
@@ -622,9 +876,12 @@ fn e10_trend() {
             format!("${:.6}", trend::cost_after_years(now, years)),
         ]);
     }
-    println!("{}", render_table(&["years from now", "$/request under 16x-per-5y trend"], &rows));
-    println!(
+    r.table(
+        &["years from now", "$/request under 16x-per-5y trend"],
+        &rows,
+    );
+    r.note(&format!(
         "order-of-magnitude (10x) reduction reached after {:.1} years — the paper's 'in 5 years … an order of magnitude' claim holds\n",
         trend::years_to_factor(10.0)
-    );
+    ));
 }

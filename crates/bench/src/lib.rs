@@ -69,7 +69,12 @@ pub fn build_shard(mib: usize, record_len: usize) -> BenchShard {
     }
     let server = PirServer::from_entries(params, record_len, entries).expect("valid entries");
     let stored_bytes = server.stored_bytes();
-    BenchShard { server, params, record_len, stored_bytes }
+    BenchShard {
+        server,
+        params,
+        record_len,
+        stored_bytes,
+    }
 }
 
 /// Time one closure invocation.
@@ -111,7 +116,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths, &mut out);
+    line(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
     out.push('|');
     for w in &widths {
         out.push_str(&"-".repeat(w + 2));

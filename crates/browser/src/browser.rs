@@ -51,7 +51,10 @@ impl std::fmt::Display for BrowserError {
             BrowserError::Script(e) => write!(f, "page code: {e}"),
             BrowserError::Blob(e) => write!(f, "data blob: {e}"),
             BrowserError::FetchBudget { wanted, budget } => {
-                write!(f, "page wants {wanted} fetches; universe budget is {budget}")
+                write!(
+                    f,
+                    "page wants {wanted} fetches; universe budget is {budget}"
+                )
             }
             BrowserError::Access(m) => write!(f, "access control: {m}"),
         }
@@ -129,7 +132,10 @@ impl<S: Read + Write> LightwebBrowser<S> {
         fetches_per_page: usize,
         max_chain_parts: usize,
     ) -> Result<Self, BrowserError> {
-        assert!(fetches_per_page >= 1, "budget must allow at least one fetch");
+        assert!(
+            fetches_per_page >= 1,
+            "budget must allow at least one fetch"
+        );
         Ok(Self {
             code_session: TwoServerZltp::connect(code.0, code.1)?,
             data_session: TwoServerZltp::connect(data.0, data.1)?,
@@ -186,11 +192,14 @@ impl<S: Read + Write> LightwebBrowser<S> {
     /// visit *timing* stops carrying information (§2.1/§3.2's residual
     /// leak).
     pub fn browse_cover(&mut self) -> Result<(), BrowserError> {
+        let _page = lightweb_telemetry::span!("browser.page.ns");
+        lightweb_telemetry::counter!("browser.page.cover").inc();
         let mut rng = rand::thread_rng();
         let domain_size = 1u64 << self.data_session_params_bits();
         for _ in 0..self.fetches_per_page {
             let slot = rng.gen_range(0..domain_size);
             let _ = self.data_session.private_get_slot(slot)?;
+            lightweb_telemetry::counter!("browser.fetch.dummy").inc();
         }
         self.visits.push(PageVisit {
             path: "about:cover".to_string(),
@@ -202,6 +211,8 @@ impl<S: Read + Write> LightwebBrowser<S> {
 
     /// Browse to a lightweb path and render the page.
     pub fn browse(&mut self, path: &str) -> Result<RenderedPage, BrowserError> {
+        let _page = lightweb_telemetry::span!("browser.page.ns");
+        lightweb_telemetry::counter!("browser.page.real").inc();
         let domain = path
             .split('/')
             .next()
@@ -215,6 +226,7 @@ impl<S: Read + Write> LightwebBrowser<S> {
         let mut code_fetches = 0;
         if !self.code_cache.contains_key(&domain) {
             code_fetches = 1;
+            lightweb_telemetry::counter!("browser.fetch.code").inc();
             let blob = self.code_session.private_get(&domain)?;
             let (_, payload) = decode_blob(&blob)?;
             if payload.is_empty() {
@@ -265,18 +277,24 @@ impl<S: Read + Write> LightwebBrowser<S> {
         // Dummy padding: uniformly random slots, indistinguishable from
         // real queries by construction of the PIR scheme.
         let real = data_fetches;
+        lightweb_telemetry::counter!("browser.fetch.real").add(real as u64);
         let mut rng = rand::thread_rng();
         let domain_size = 1u64 << self.data_session_params_bits();
         while data_fetches < self.fetches_per_page {
             let slot = rng.gen_range(0..domain_size);
             let _ = self.data_session.private_get_slot(slot)?;
             data_fetches += 1;
+            lightweb_telemetry::counter!("browser.fetch.dummy").inc();
         }
 
         // --- 4. Render ---
         let body = plan.render(&payloads)?;
         let title = plan.render_title(&payloads)?;
-        self.visits.push(PageVisit { path: path.to_string(), code_fetches, data_fetches });
+        self.visits.push(PageVisit {
+            path: path.to_string(),
+            code_fetches,
+            data_fetches,
+        });
         Ok(RenderedPage {
             title,
             body,
@@ -439,7 +457,10 @@ mod tests {
     fn bad_path_rejected() {
         let u = news_universe();
         let mut b = browser_for(&u);
-        assert!(matches!(b.browse("nodomain"), Err(BrowserError::BadPath(_))));
+        assert!(matches!(
+            b.browse("nodomain"),
+            Err(BrowserError::BadPath(_))
+        ));
     }
 
     #[test]
@@ -487,7 +508,8 @@ mod tests {
         )
         .unwrap();
         let long_text = "A".repeat(2500); // 3 parts in a 1 KiB universe
-        u.publish_data("L", "long.com/epic", long_text.as_bytes()).unwrap();
+        u.publish_data("L", "long.com/epic", long_text.as_bytes())
+            .unwrap();
 
         let mut b = browser_for(&u);
         let page = b.browse("long.com/").unwrap();
@@ -508,7 +530,8 @@ mod tests {
         .unwrap();
         let ring = AccessKeyring::new();
         let protected = ring.protect("paid.com/premium-data", b"exclusive scoop");
-        u.publish_data("Paid", "paid.com/premium-data", &protected).unwrap();
+        u.publish_data("Paid", "paid.com/premium-data", &protected)
+            .unwrap();
 
         // Without a pass the browser sees ciphertext and has no pass
         // installed — it renders the raw (garbled) payload.
@@ -536,11 +559,15 @@ mod tests {
         let mut ring = AccessKeyring::new();
         let old_pass = ring.issue_pass(0);
         ring.rotate();
-        u.publish_data("Paid", "paid.com/d", &ring.protect("paid.com/d", b"v2")).unwrap();
+        u.publish_data("Paid", "paid.com/d", &ring.protect("paid.com/d", b"v2"))
+            .unwrap();
 
         let mut b = browser_for(&u);
         b.install_pass("paid.com", old_pass);
-        assert!(matches!(b.browse("paid.com/p"), Err(BrowserError::Access(_))));
+        assert!(matches!(
+            b.browse("paid.com/p"),
+            Err(BrowserError::Access(_))
+        ));
     }
 
     #[test]
@@ -559,8 +586,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        u.publish_data("S", "serial.com/part/1", b"chapter one").unwrap();
-        u.publish_data("S", "serial.com/part/1x", b"chapter two").unwrap();
+        u.publish_data("S", "serial.com/part/1", b"chapter one")
+            .unwrap();
+        u.publish_data("S", "serial.com/part/1x", b"chapter two")
+            .unwrap();
 
         let mut b = browser_for(&u);
         let page = b.browse("serial.com/part/1").unwrap();
@@ -634,8 +663,9 @@ mod tests {
     fn over_budget_page_rejected() {
         let u = Universe::new(UniverseConfig::small_test("cdn")).unwrap();
         u.register_domain("greedy.com", "G").unwrap();
-        let fetches: String =
-            (0..6).map(|i| format!(" fetch \"greedy.com/d{i}\"\n")).collect();
+        let fetches: String = (0..6)
+            .map(|i| format!(" fetch \"greedy.com/d{i}\"\n"))
+            .collect();
         u.publish_code(
             "G",
             "greedy.com",
@@ -645,7 +675,10 @@ mod tests {
         let mut b = browser_for(&u);
         assert!(matches!(
             b.browse("greedy.com/"),
-            Err(BrowserError::FetchBudget { wanted: 6, budget: 5 })
+            Err(BrowserError::FetchBudget {
+                wanted: 6,
+                budget: 5
+            })
         ));
     }
 }

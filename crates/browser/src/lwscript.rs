@@ -74,12 +74,17 @@ pub enum ScriptError {
 impl std::fmt::Display for ScriptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScriptError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            ScriptError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             ScriptError::NoRoute(p) => write!(f, "no route matches '{p}'"),
             ScriptError::UnknownVar(v) => write!(f, "unknown template variable '{v}'"),
             ScriptError::DataOutOfRange(n) => write!(f, "data index {n} out of range"),
             ScriptError::BadDataPath(p) => write!(f, "JSON path '{p}' did not resolve"),
-            ScriptError::TooManyFetches(n) => write!(f, "route requests {n} fetches (max {MAX_FETCHES_PER_ROUTE})"),
+            ScriptError::TooManyFetches(n) => write!(
+                f,
+                "route requests {n} fetches (max {MAX_FETCHES_PER_ROUTE})"
+            ),
         }
     }
 }
@@ -149,7 +154,10 @@ pub fn parse_script(source: &str) -> Result<LwScript, ScriptError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let perr = |message: &str| ScriptError::Parse { line: ln + 1, message: message.into() };
+        let perr = |message: &str| ScriptError::Parse {
+            line: ln + 1,
+            message: message.into(),
+        };
         if let Some(rest) = line.strip_prefix("route ") {
             let (pattern_str, brace) =
                 split_quoted(rest).ok_or_else(|| perr("expected quoted pattern"))?;
@@ -157,7 +165,10 @@ pub fn parse_script(source: &str) -> Result<LwScript, ScriptError> {
                 return Err(perr("expected '{' after pattern"));
             }
             let body = parse_body(&lines, &mut i)?;
-            routes.push(Route { pattern: parse_pattern(&pattern_str), body });
+            routes.push(Route {
+                pattern: parse_pattern(&pattern_str),
+                body,
+            });
         } else if line.starts_with("default") {
             if !line.trim_start_matches("default").trim().starts_with('{') {
                 return Err(perr("expected '{' after default"));
@@ -167,7 +178,9 @@ pub fn parse_script(source: &str) -> Result<LwScript, ScriptError> {
                 return Err(perr("duplicate default block"));
             }
         } else {
-            return Err(perr(&format!("expected 'route' or 'default', got '{line}'")));
+            return Err(perr(&format!(
+                "expected 'route' or 'default', got '{line}'"
+            )));
         }
     }
     Ok(LwScript { routes, default })
@@ -181,7 +194,10 @@ fn parse_body(lines: &[(usize, &str)], i: &mut usize) -> Result<Vec<Stmt>, Scrip
         let (ln, raw) = lines[*i];
         *i += 1;
         let line = raw.trim();
-        let perr = |message: &str| ScriptError::Parse { line: ln + 1, message: message.into() };
+        let perr = |message: &str| ScriptError::Parse {
+            line: ln + 1,
+            message: message.into(),
+        };
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -189,15 +205,18 @@ fn parse_body(lines: &[(usize, &str)], i: &mut usize) -> Result<Vec<Stmt>, Scrip
             return Ok(body);
         }
         if let Some(rest) = line.strip_prefix("fetch ") {
-            let (tpl, tail) = split_quoted(rest).ok_or_else(|| perr("fetch needs a quoted template"))?;
+            let (tpl, tail) =
+                split_quoted(rest).ok_or_else(|| perr("fetch needs a quoted template"))?;
             ensure_empty(&tail, perr)?;
             body.push(Stmt::Fetch(tpl));
         } else if let Some(rest) = line.strip_prefix("render ") {
-            let (tpl, tail) = split_quoted(rest).ok_or_else(|| perr("render needs a quoted template"))?;
+            let (tpl, tail) =
+                split_quoted(rest).ok_or_else(|| perr("render needs a quoted template"))?;
             ensure_empty(&tail, perr)?;
             body.push(Stmt::Render(tpl));
         } else if let Some(rest) = line.strip_prefix("title ") {
-            let (tpl, tail) = split_quoted(rest).ok_or_else(|| perr("title needs a quoted template"))?;
+            let (tpl, tail) =
+                split_quoted(rest).ok_or_else(|| perr("title needs a quoted template"))?;
             ensure_empty(&tail, perr)?;
             body.push(Stmt::Title(tpl));
         } else if let Some(rest) = line.strip_prefix("prompt ") {
@@ -209,7 +228,10 @@ fn parse_body(lines: &[(usize, &str)], i: &mut usize) -> Result<Vec<Stmt>, Scrip
             let (question, tail) =
                 split_quoted(qrest).ok_or_else(|| perr("prompt needs a quoted question"))?;
             ensure_empty(&tail, perr)?;
-            body.push(Stmt::Prompt { key: key.to_string(), question });
+            body.push(Stmt::Prompt {
+                key: key.to_string(),
+                question,
+            });
         } else if let Some(rest) = line.strip_prefix("link ") {
             let (label, lrest) =
                 split_quoted(rest).ok_or_else(|| perr("link needs a quoted label and target"))?;
@@ -226,12 +248,18 @@ fn parse_body(lines: &[(usize, &str)], i: &mut usize) -> Result<Vec<Stmt>, Scrip
             let (template, tail) =
                 split_quoted(trest).ok_or_else(|| perr("store needs a quoted template"))?;
             ensure_empty(&tail, perr)?;
-            body.push(Stmt::Store { key: key.to_string(), template });
+            body.push(Stmt::Store {
+                key: key.to_string(),
+                template,
+            });
         } else {
             return Err(perr(&format!("unknown statement '{line}'")));
         }
     }
-    Err(ScriptError::Parse { line: lines.len(), message: "unterminated block (missing '}')".into() })
+    Err(ScriptError::Parse {
+        line: lines.len(),
+        message: "unterminated block (missing '}')".into(),
+    })
 }
 
 fn ensure_empty(tail: &str, perr: impl Fn(&str) -> ScriptError) -> Result<(), ScriptError> {
@@ -337,7 +365,8 @@ impl LwScript {
                     plan.stores.push((key.clone(), value));
                 }
                 Stmt::Fetch(template) => {
-                    plan.fetches.push(substitute(template, &vars, &store, None)?);
+                    plan.fetches
+                        .push(substitute(template, &vars, &store, None)?);
                 }
                 Stmt::Title(t) => plan.title_template = substitute_keep_data(t, &vars, &store)?,
                 Stmt::Render(t) => plan.render_template = substitute_keep_data(t, &vars, &store)?,
@@ -409,11 +438,15 @@ fn substitute(
     while let Some(start) = rest.find('{') {
         out.push_str(&rest[..start]);
         let after = &rest[start + 1..];
-        let end = after.find('}').ok_or_else(|| ScriptError::UnknownVar(after.to_string()))?;
+        let end = after
+            .find('}')
+            .ok_or_else(|| ScriptError::UnknownVar(after.to_string()))?;
         let name = &after[..end];
         if let Some(key) = name.strip_prefix("store.") {
             out.push_str(
-                store.get(key).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
+                store
+                    .get(key)
+                    .ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
             );
         } else if name == "data" || name.starts_with("data.") {
             match data {
@@ -421,7 +454,10 @@ fn substitute(
                 None => return Err(ScriptError::UnknownVar(name.to_string())),
             }
         } else {
-            out.push_str(vars.get(name).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?);
+            out.push_str(
+                vars.get(name)
+                    .ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
+            );
         }
         rest = &after[end + 1..];
     }
@@ -441,7 +477,9 @@ fn substitute_keep_data(
     while let Some(start) = rest.find('{') {
         out.push_str(&rest[..start]);
         let after = &rest[start + 1..];
-        let end = after.find('}').ok_or_else(|| ScriptError::UnknownVar(after.to_string()))?;
+        let end = after
+            .find('}')
+            .ok_or_else(|| ScriptError::UnknownVar(after.to_string()))?;
         let name = &after[..end];
         if name == "data" || name.starts_with("data.") {
             out.push('{');
@@ -449,10 +487,15 @@ fn substitute_keep_data(
             out.push('}');
         } else if let Some(key) = name.strip_prefix("store.") {
             out.push_str(
-                store.get(key).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
+                store
+                    .get(key)
+                    .ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
             );
         } else {
-            out.push_str(vars.get(name).ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?);
+            out.push_str(
+                vars.get(name)
+                    .ok_or_else(|| ScriptError::UnknownVar(name.to_string()))?,
+            );
         }
         rest = &after[end + 1..];
     }
@@ -540,17 +583,18 @@ mod tests {
         )
         .unwrap();
         let st = HashMap::new();
-        let plan = s.plan("/articles/2023/uganda", &st, &mut no_prompt).unwrap();
+        let plan = s
+            .plan("/articles/2023/uganda", &st, &mut no_prompt)
+            .unwrap();
         assert_eq!(plan.fetches, vec!["news.com/articles/2023/uganda"]);
         assert_eq!(plan.render_title(&[]).unwrap(), "Article: uganda");
     }
 
     #[test]
     fn rest_capture_matches_remainder() {
-        let s = parse_script(
-            "route \"/files/*rest\" {\n fetch \"d.com/{rest}\"\n render \"ok\"\n }",
-        )
-        .unwrap();
+        let s =
+            parse_script("route \"/files/*rest\" {\n fetch \"d.com/{rest}\"\n render \"ok\"\n }")
+                .unwrap();
         let st = HashMap::new();
         let plan = s.plan("/files/a/b/c", &st, &mut no_prompt).unwrap();
         assert_eq!(plan.fetches, vec!["d.com/a/b/c"]);
@@ -558,10 +602,8 @@ mod tests {
 
     #[test]
     fn default_route_catches_unmatched() {
-        let s = parse_script(
-            "route \"/x\" {\n render \"x\"\n }\ndefault {\n render \"404\"\n }",
-        )
-        .unwrap();
+        let s = parse_script("route \"/x\" {\n render \"x\"\n }\ndefault {\n render \"404\"\n }")
+            .unwrap();
         let st = HashMap::new();
         let plan = s.plan("/nope/nope", &st, &mut no_prompt).unwrap();
         assert_eq!(plan.render(&[]).unwrap(), "404");
@@ -601,7 +643,10 @@ mod tests {
             .unwrap();
         assert_eq!(asked, 1);
         assert_eq!(plan.fetches, vec!["weather.com/by-postal/94110"]);
-        assert_eq!(plan.stores, vec![("postal".to_string(), "94110".to_string())]);
+        assert_eq!(
+            plan.stores,
+            vec![("postal".to_string(), "94110".to_string())]
+        );
 
         // Second visit: storage has the key, no prompt.
         let mut st2 = HashMap::new();
@@ -619,7 +664,10 @@ mod tests {
         .unwrap();
         let st = HashMap::new();
         let plan = s.plan("/tag/rust", &st, &mut no_prompt).unwrap();
-        assert_eq!(plan.stores, vec![("last_tag".to_string(), "rust".to_string())]);
+        assert_eq!(
+            plan.stores,
+            vec![("last_tag".to_string(), "rust".to_string())]
+        );
         assert_eq!(plan.render(&[]).unwrap(), "tag rust");
     }
 
@@ -637,7 +685,8 @@ mod tests {
 
     #[test]
     fn bad_json_path_is_an_error() {
-        let s = parse_script("route \"/\" {\n fetch \"d.com/x\"\n render \"{data.0.missing}\"\n }").unwrap();
+        let s = parse_script("route \"/\" {\n fetch \"d.com/x\"\n render \"{data.0.missing}\"\n }")
+            .unwrap();
         let st = HashMap::new();
         let plan = s.plan("/", &st, &mut no_prompt).unwrap();
         assert!(matches!(
@@ -651,7 +700,10 @@ mod tests {
         let s = parse_script("route \"/\" {\n render \"{data.3}\"\n }").unwrap();
         let st = HashMap::new();
         let plan = s.plan("/", &st, &mut no_prompt).unwrap();
-        assert_eq!(plan.render(&[]).unwrap_err(), ScriptError::DataOutOfRange(3));
+        assert_eq!(
+            plan.render(&[]).unwrap_err(),
+            ScriptError::DataOutOfRange(3)
+        );
     }
 
     #[test]
@@ -707,7 +759,10 @@ mod tests {
         assert_eq!(
             plan.links,
             vec![
-                ("Next story".to_string(), "news.com/story/42-next".to_string()),
+                (
+                    "Next story".to_string(),
+                    "news.com/story/42-next".to_string()
+                ),
                 ("Home".to_string(), "news.com/".to_string()),
             ]
         );

@@ -56,8 +56,17 @@ impl Pacer {
         let slots = (horizon_s / self.interval_s).ceil() as usize;
         let mut out = Vec::with_capacity(slots);
         let mut next_visit = 0usize;
+        let queue_gauge = lightweb_telemetry::registry().gauge("browser.pacer.queue.depth");
+        let delay_hist = lightweb_telemetry::registry().histogram("browser.pacer.delay.ns");
         for s in 0..slots {
             let t = s as f64 * self.interval_s;
+            // Queue depth at this slot: navigations that have arrived but
+            // not yet been served (simulated time).
+            let arrived = visit_times[next_visit..]
+                .iter()
+                .take_while(|&&v| v <= t)
+                .count();
+            queue_gauge.set(arrived as i64);
             let real = if next_visit < visit_times.len() && visit_times[next_visit] <= t {
                 let idx = next_visit;
                 next_visit += 1;
@@ -65,8 +74,21 @@ impl Pacer {
             } else {
                 None
             };
+            lightweb_telemetry::counter!("browser.pacer.slots").inc();
+            if real.is_none() {
+                lightweb_telemetry::counter!("browser.pacer.cover").inc();
+            }
             let delay_s = real.map(|i| t - visit_times[i]).unwrap_or(0.0);
-            out.push(PacedSlot { time_s: t, real, delay_s });
+            if real.is_some() {
+                // Simulated queue wait, recorded in ns to match the
+                // duration-histogram convention.
+                delay_hist.record((delay_s * 1e9) as u64);
+            }
+            out.push(PacedSlot {
+                time_s: t,
+                real,
+                delay_s,
+            });
         }
         out
     }
@@ -82,8 +104,11 @@ impl Pacer {
 
     /// Mean queueing delay of the real visits in a schedule.
     pub fn mean_delay(schedule: &[PacedSlot]) -> f64 {
-        let reals: Vec<f64> =
-            schedule.iter().filter(|s| s.real.is_some()).map(|s| s.delay_s).collect();
+        let reals: Vec<f64> = schedule
+            .iter()
+            .filter(|s| s.real.is_some())
+            .map(|s| s.delay_s)
+            .collect();
         if reals.is_empty() {
             0.0
         } else {
@@ -126,8 +151,11 @@ mod tests {
         // Two visits arrive together at t=1: first served at t=10 (delay
         // 9), second at t=20 (delay 19).
         let sched = pacer.schedule(&[1.0, 1.0], 40.0);
-        let delays: Vec<f64> =
-            sched.iter().filter(|s| s.real.is_some()).map(|s| s.delay_s).collect();
+        let delays: Vec<f64> = sched
+            .iter()
+            .filter(|s| s.real.is_some())
+            .map(|s| s.delay_s)
+            .collect();
         assert_eq!(delays, vec![9.0, 19.0]);
         assert!((Pacer::mean_delay(&sched) - 14.0).abs() < 1e-9);
     }

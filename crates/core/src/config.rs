@@ -1,12 +1,11 @@
 //! Modes of operation and server configuration.
 
 use lightweb_dpf::DpfParams;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// A ZLTP mode of operation (paper §2.2). Numeric values are the on-wire
 /// identifiers used during negotiation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Mode {
     /// Two-server PIR over distributed point functions. Requires two
@@ -101,14 +100,20 @@ pub struct BatchConfig {
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch: 16, window: Duration::from_millis(10) }
+        Self {
+            max_batch: 16,
+            window: Duration::from_millis(10),
+        }
     }
 }
 
 impl BatchConfig {
     /// No batching: every request pays a full scan.
     pub fn unbatched() -> Self {
-        Self { max_batch: 1, window: Duration::ZERO }
+        Self {
+            max_batch: 1,
+            window: Duration::ZERO,
+        }
     }
 }
 
@@ -221,7 +226,10 @@ mod tests {
     #[test]
     fn configs_produce_valid_params() {
         assert_eq!(ServerConfig::small("u", 0).dpf_params().domain_bits(), 14);
-        assert_eq!(ServerConfig::paper_microbench(1).dpf_params().domain_bits(), 22);
+        assert_eq!(
+            ServerConfig::paper_microbench(1).dpf_params().domain_bits(),
+            22
+        );
     }
 
     #[test]

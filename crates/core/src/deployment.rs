@@ -75,7 +75,12 @@ impl ShardedDeployment {
             .map(|e| PirServer::from_entries(sub_params, record_len, e))
             .collect::<Result<Vec<_>, PirError>>()
             .map_err(|e| ZltpError::Engine(e.to_string()))?;
-        Ok(Self { params, prefix_bits, record_len, shards })
+        Ok(Self {
+            params,
+            prefix_bits,
+            record_len,
+            shards,
+        })
     }
 
     /// Number of data-server shards.
@@ -98,9 +103,16 @@ impl ShardedDeployment {
     pub fn answer(&self, key: &DpfKey) -> Result<(Vec<u8>, ShardedQueryStats), ZltpError> {
         let (nodes, shard_key) = self.front_end(key)?;
         let mut acc = vec![0u8; self.record_len];
-        let mut stats = ShardedQueryStats { shards: self.shards.len(), ..Default::default() };
+        let mut stats = ShardedQueryStats {
+            shards: self.shards.len(),
+            ..Default::default()
+        };
         for (shard, node) in self.shards.iter().zip(nodes.iter()) {
-            let partial = Self::shard_answer(shard, &shard_key, node);
+            let partial = {
+                let _answer = lightweb_telemetry::span!("zltp.shard.answer.ns");
+                Self::shard_answer(shard, &shard_key, node)
+            };
+            let _combine = lightweb_telemetry::span!("zltp.shard.combine.ns");
             lightweb_crypto::xor_in_place(&mut acc, &partial);
             stats.records_scanned.push(shard.len());
             stats.bytes_scanned.push(shard.stored_bytes());
@@ -120,12 +132,19 @@ impl ShardedDeployment {
                 .zip(nodes.iter())
                 .map(|(shard, node)| {
                     let sk = &shard_key;
-                    scope.spawn(move |_| Self::shard_answer(shard, sk, node))
+                    scope.spawn(move |_| {
+                        let _answer = lightweb_telemetry::span!("zltp.shard.answer.ns");
+                        Self::shard_answer(shard, sk, node)
+                    })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread"))
+                .collect()
         })
         .expect("shard scope");
+        let _combine = lightweb_telemetry::span!("zltp.shard.combine.ns");
         for partial in partials {
             lightweb_crypto::xor_in_place(&mut acc, &partial);
         }
@@ -138,6 +157,7 @@ impl ShardedDeployment {
         if key.params() != self.params {
             return Err(ZltpError::BadQuery("DPF parameters mismatch".into()));
         }
+        let _fe = lightweb_telemetry::span!("zltp.shard.front_end.ns");
         let nodes = key.eval_prefix(self.prefix_bits);
         let shard_key = key.shard_key(self.prefix_bits);
         Ok((nodes, shard_key))
@@ -183,7 +203,11 @@ mod tests {
             for &(slot, _) in es.iter().take(5) {
                 let (k0, _) = gen(&params, slot);
                 let (sharded, stats) = dep.answer(&k0).unwrap();
-                assert_eq!(sharded, mono.answer(&k0).unwrap(), "prefix={prefix} slot={slot}");
+                assert_eq!(
+                    sharded,
+                    mono.answer(&k0).unwrap(),
+                    "prefix={prefix} slot={slot}"
+                );
                 assert_eq!(stats.shards, 1 << prefix);
             }
         }
@@ -225,7 +249,11 @@ mod tests {
         let dep = ShardedDeployment::from_entries(params, 3, 8, es).unwrap();
         let (_, stats) = dep.answer(&gen(&params, 0).0).unwrap();
         let nonempty = stats.records_scanned.iter().filter(|&&n| n > 0).count();
-        assert_eq!(nonempty, 8, "records per shard: {:?}", stats.records_scanned);
+        assert_eq!(
+            nonempty, 8,
+            "records per shard: {:?}",
+            stats.records_scanned
+        );
     }
 
     #[test]

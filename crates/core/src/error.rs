@@ -68,7 +68,10 @@ impl std::fmt::Display for ZltpError {
             ZltpError::Engine(m) => write!(f, "engine failure: {m}"),
             ZltpError::ServerPairMismatch(m) => write!(f, "server pair mismatch: {m}"),
             ZltpError::WrongMode { have, need } => {
-                write!(f, "operation requires mode {need:?} but session uses {have:?}")
+                write!(
+                    f,
+                    "operation requires mode {need:?} but session uses {have:?}"
+                )
             }
             ZltpError::Closed => write!(f, "session closed"),
         }
@@ -96,7 +99,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ZltpError::ServerError { code: 404, message: "no such universe".into() };
+        let e = ZltpError::ServerError {
+            code: 404,
+            message: "no such universe".into(),
+        };
         assert!(e.to_string().contains("404"));
         assert!(e.to_string().contains("no such universe"));
         let v = ZltpError::VersionMismatch { ours: 1, theirs: 9 };

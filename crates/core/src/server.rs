@@ -25,10 +25,10 @@ use crate::wire::{Message, PROTOCOL_VERSION};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use lightweb_crypto::aead::{ChaCha20Poly1305, AEAD_NONCE_LEN};
 use lightweb_crypto::SipHash24;
+use lightweb_dpf::DpfKey;
 use lightweb_oram::SimulatedEnclave;
 use lightweb_pir::lwe::{LweParams, LweServer};
 use lightweb_pir::{KeywordMap, PirServer};
-use lightweb_dpf::DpfKey;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -54,9 +54,18 @@ pub mod error_code {
 struct BatchJob {
     key: DpfKey,
     reply: Sender<Result<Vec<u8>, String>>,
+    /// When the job entered the batcher queue, for queue-wait accounting.
+    enqueued_at: Instant,
 }
 
 /// Counters exposed by [`ZltpServer::stats`].
+///
+/// All fields are maintained with `Ordering::Relaxed` atomics: each
+/// counter is individually accurate, but a snapshot taken while the
+/// server is under load is not a consistent cut across fields (e.g.
+/// `batched_requests` may momentarily exceed what `batches` implies).
+/// Read them after quiescing, or treat cross-field arithmetic as
+/// approximate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Private-GETs answered (all modes).
@@ -67,6 +76,12 @@ pub struct ServerStats {
     pub batched_requests: u64,
     /// Sessions accepted.
     pub sessions: u64,
+    /// Total nanoseconds requests spent waiting in the batcher queue
+    /// (sum over all batched requests; divide by `batched_requests`
+    /// for the mean queue wait).
+    pub batch_wait_ns: u64,
+    /// Largest batch the batcher has ever dispatched in one scan pass.
+    pub max_batch_occupancy: u64,
 }
 
 #[derive(Default)]
@@ -75,6 +90,31 @@ struct AtomicStats {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     sessions: AtomicU64,
+    batch_wait_ns: AtomicU64,
+    max_batch_occupancy: AtomicU64,
+}
+
+/// Per-mode request-latency histogram name (`zltp.server.request.<mode>.ns`).
+fn mode_request_metric(mode: Mode) -> &'static str {
+    match mode {
+        Mode::TwoServerPir => "zltp.server.request.two_server_pir.ns",
+        Mode::SingleServerLwe => "zltp.server.request.single_server_lwe.ns",
+        Mode::Enclave => "zltp.server.request.enclave.ns",
+    }
+}
+
+/// Count a session-level failure and surface it through the telemetry
+/// event sink (a no-op unless a sink is installed). Replaces the former
+/// panic/ignore paths in the connection threads.
+fn log_session_error(stage: &str, err: &str) {
+    lightweb_telemetry::counter!("zltp.session.errors").inc();
+    lightweb_telemetry::events::emit(
+        "zltp.session.error",
+        &[
+            ("stage", lightweb_telemetry::events::Field::Str(stage)),
+            ("error", lightweb_telemetry::events::Field::Str(err)),
+        ],
+    );
 }
 
 /// Materialized single-server LWE state: the engine plus the manifest that
@@ -125,7 +165,7 @@ impl ZltpServer {
         // Enclave capacity: a quarter of the slot domain, matching the
         // paper's ~25% load factor, but at least 1024 so tiny test configs
         // still hold content.
-        let enclave_cap = (params.domain_size() / 4).max(1024).min(1 << 20);
+        let enclave_cap = (params.domain_size() / 4).clamp(1024, 1 << 20);
         let enclave = SimulatedEnclave::new(enclave_cap, config.blob_len)
             .map_err(|e| ZltpError::Engine(e.to_string()))?;
         let inner = Arc::new(ServerInner {
@@ -162,7 +202,8 @@ impl ZltpServer {
         &self.inner.config
     }
 
-    /// Snapshot of the server counters.
+    /// Snapshot of the server counters. See the [`ServerStats`] note on
+    /// relaxed-ordering consistency.
     pub fn stats(&self) -> ServerStats {
         let s = &self.inner.stats;
         ServerStats {
@@ -170,7 +211,19 @@ impl ZltpServer {
             batches: s.batches.load(Ordering::Relaxed),
             batched_requests: s.batched_requests.load(Ordering::Relaxed),
             sessions: s.sessions.load(Ordering::Relaxed),
+            batch_wait_ns: s.batch_wait_ns.load(Ordering::Relaxed),
+            max_batch_occupancy: s.max_batch_occupancy.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the process-wide telemetry registry (counters, gauges,
+    /// and latency histograms for every instrumented subsystem). The
+    /// registry is global, so in multi-server processes (tests, the
+    /// sharded simulation) the snapshot aggregates across servers; use
+    /// [`lightweb_telemetry::Snapshot::counter_delta`] against an earlier
+    /// snapshot to isolate a window.
+    pub fn telemetry(&self) -> lightweb_telemetry::Snapshot {
+        lightweb_telemetry::registry().snapshot()
     }
 
     /// Ask connection handlers and the batcher to wind down.
@@ -212,7 +265,10 @@ impl ZltpServer {
                 }
             }
         }
-        self.inner.master.write().insert(key.as_bytes().to_vec(), blob.to_vec());
+        self.inner
+            .master
+            .write()
+            .insert(key.as_bytes().to_vec(), blob.to_vec());
         self.inner
             .pir
             .write()
@@ -273,11 +329,16 @@ impl ZltpServer {
         let (tx, rx): (Sender<BatchJob>, Receiver<BatchJob>) = unbounded();
         *self.inner.batch_tx.lock() = Some(tx);
         let inner = Arc::downgrade(&self.inner);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("zltp-batcher".into())
             .spawn(move || {
                 while let Ok(first) = rx.recv() {
                     let Some(core) = inner.upgrade() else { break };
+                    // Depth of the queue behind the job we just picked up:
+                    // how far the batcher is lagging arrivals.
+                    lightweb_telemetry::registry()
+                        .gauge("zltp.server.batch.queue.depth")
+                        .set(rx.len() as i64);
                     let mut jobs = vec![first];
                     let deadline = Instant::now() + core.config.batch.window;
                     while jobs.len() < core.config.batch.max_batch {
@@ -286,12 +347,31 @@ impl ZltpServer {
                             Err(_) => break,
                         }
                     }
+                    let picked_up = Instant::now();
+                    let wait_hist =
+                        lightweb_telemetry::registry().histogram("zltp.server.batch.wait.ns");
+                    let mut wait_ns = 0u64;
+                    for job in &jobs {
+                        let w = picked_up.duration_since(job.enqueued_at).as_nanos() as u64;
+                        wait_ns += w;
+                        wait_hist.record(w);
+                    }
+                    lightweb_telemetry::registry()
+                        .histogram("zltp.server.batch.size")
+                        .record(jobs.len() as u64);
+                    lightweb_telemetry::counter!("zltp.server.batches").inc();
                     let keys: Vec<DpfKey> = jobs.iter().map(|j| j.key.clone()).collect();
                     let result = core.pir.read().answer_batch(&keys);
                     core.stats.batches.fetch_add(1, Ordering::Relaxed);
                     core.stats
                         .batched_requests
                         .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                    core.stats
+                        .batch_wait_ns
+                        .fetch_add(wait_ns, Ordering::Relaxed);
+                    core.stats
+                        .max_batch_occupancy
+                        .fetch_max(jobs.len() as u64, Ordering::Relaxed);
                     match result {
                         Ok(answers) => {
                             for (job, ans) in jobs.into_iter().zip(answers) {
@@ -305,8 +385,13 @@ impl ZltpServer {
                         }
                     }
                 }
-            })
-            .expect("spawn batcher thread");
+            });
+        if let Err(e) = spawned {
+            // No batcher thread: fall back to unbatched scans rather than
+            // killing the server at construction time.
+            log_session_error("spawn-batcher", &e.to_string());
+            *self.inner.batch_tx.lock() = None;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -324,7 +409,9 @@ impl ZltpServer {
             let key_hashes: Vec<u64> = hashed.iter().map(|(h, _)| *h).collect();
             let records: Vec<Vec<u8>> = hashed.iter().map(|(_, v)| (*v).clone()).collect();
             let server = LweServer::new(
-                LweParams { n: self.inner.config.lwe_n },
+                LweParams {
+                    n: self.inner.config.lwe_n,
+                },
                 self.inner.config.blob_len,
                 records,
             )
@@ -352,7 +439,7 @@ impl ZltpServer {
             *guard = Some(dep);
         }
         let dep = guard.as_ref().expect("just materialized");
-        Ok(dep.answer_parallel(key)?)
+        dep.answer_parallel(key)
     }
 
     // ------------------------------------------------------------------
@@ -365,6 +452,8 @@ impl ZltpServer {
     pub fn handle_connection<S: Read + Write>(&self, stream: S) -> Result<(), ZltpError> {
         let mut conn = FramedConn::new(stream);
         self.inner.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        lightweb_telemetry::counter!("zltp.server.sessions").inc();
+        let _session = lightweb_telemetry::span!("zltp.server.session.ns");
 
         // --- Hello exchange ---
         let hello = conn.recv()?;
@@ -386,7 +475,10 @@ impl ZltpServer {
                 code: error_code::VERSION,
                 message: format!("unsupported version {version}"),
             });
-            return Err(ZltpError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version });
+            return Err(ZltpError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            });
         }
         let client_set = ModeSet::new(client_modes.iter().filter_map(|m| Mode::from_wire(*m)));
         let Some(mode) = ModeSet::negotiate(&self.inner.config.modes, &client_set) else {
@@ -432,13 +524,30 @@ impl ZltpServer {
                 Err(e) => return Err(e),
             };
             match msg {
-                Message::Get { request_id, payload } => {
-                    match self.answer_get(mode, &payload) {
+                Message::Get {
+                    request_id,
+                    payload,
+                } => {
+                    let start = Instant::now();
+                    let answer = self.answer_get(mode, &payload);
+                    let elapsed_ns = start.elapsed().as_nanos() as u64;
+                    lightweb_telemetry::registry()
+                        .histogram("zltp.server.request.ns")
+                        .record(elapsed_ns);
+                    lightweb_telemetry::registry()
+                        .histogram(mode_request_metric(mode))
+                        .record(elapsed_ns);
+                    match answer {
                         Ok(response) => {
                             self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                            conn.send(&Message::GetResponse { request_id, payload: response })?;
+                            lightweb_telemetry::counter!("zltp.server.requests").inc();
+                            conn.send(&Message::GetResponse {
+                                request_id,
+                                payload: response,
+                            })?;
                         }
                         Err(e) => {
+                            log_session_error("answer-get", &e.to_string());
                             conn.send(&Message::Error {
                                 code: error_code::BAD_QUERY,
                                 message: e.to_string(),
@@ -454,8 +563,8 @@ impl ZltpServer {
                         })?;
                         continue;
                     }
-                    let (key_hashes, hint) = self
-                        .ensure_lwe(|b| (b.key_hashes.clone(), b.server.hint().to_vec()))?;
+                    let (key_hashes, hint) =
+                        self.ensure_lwe(|b| (b.key_hashes.clone(), b.server.hint().to_vec()))?;
                     conn.send(&Message::LweSetupResponse { key_hashes, hint })?;
                 }
                 Message::Close => {
@@ -476,8 +585,8 @@ impl ZltpServer {
     fn answer_get(&self, mode: Mode, payload: &[u8]) -> Result<Vec<u8>, ZltpError> {
         match mode {
             Mode::TwoServerPir => {
-                let key = DpfKey::from_bytes(payload)
-                    .map_err(|e| ZltpError::BadQuery(e.to_string()))?;
+                let key =
+                    DpfKey::from_bytes(payload).map_err(|e| ZltpError::BadQuery(e.to_string()))?;
                 if key.params() != self.inner.config.dpf_params() {
                     return Err(ZltpError::BadQuery("DPF parameters mismatch".into()));
                 }
@@ -489,8 +598,12 @@ impl ZltpServer {
                 let tx_opt = self.inner.batch_tx.lock().clone();
                 if let Some(tx) = tx_opt {
                     let (reply_tx, reply_rx) = bounded(1);
-                    tx.send(BatchJob { key, reply: reply_tx })
-                        .map_err(|_| ZltpError::Closed)?;
+                    tx.send(BatchJob {
+                        key,
+                        reply: reply_tx,
+                        enqueued_at: Instant::now(),
+                    })
+                    .map_err(|_| ZltpError::Closed)?;
                     reply_rx
                         .recv()
                         .map_err(|_| ZltpError::Closed)?
@@ -504,7 +617,7 @@ impl ZltpServer {
                 }
             }
             Mode::SingleServerLwe => {
-                if payload.len() % 4 != 0 {
+                if !payload.len().is_multiple_of(4) {
                     return Err(ZltpError::BadQuery("LWE query not a u32 vector".into()));
                 }
                 let query: Vec<u32> = payload
@@ -560,7 +673,11 @@ impl ZltpServer {
     /// thread's handle.
     pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::thread::JoinHandle<()> {
         let server = self.clone();
-        listener.set_nonblocking(true).expect("set_nonblocking");
+        if let Err(e) = listener.set_nonblocking(true) {
+            // Degraded mode: blocking accepts still serve connections, but
+            // shutdown is only observed after the next accept returns.
+            log_session_error("set-nonblocking", &e.to_string());
+        }
         std::thread::Builder::new()
             .name("zltp-accept".into())
             .spawn(move || loop {
@@ -571,17 +688,27 @@ impl ZltpServer {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
                         let s = server.clone();
-                        std::thread::Builder::new()
-                            .name("zltp-conn".into())
-                            .spawn(move || {
-                                let _ = s.handle_connection(stream);
-                            })
-                            .expect("spawn connection thread");
+                        let spawned =
+                            std::thread::Builder::new()
+                                .name("zltp-conn".into())
+                                .spawn(move || {
+                                    if let Err(e) = s.handle_connection(stream) {
+                                        log_session_error("tcp-session", &e.to_string());
+                                    }
+                                });
+                        if let Err(e) = spawned {
+                            // Out of threads: drop the stream (the peer sees
+                            // a reset) instead of taking down the acceptor.
+                            log_session_error("spawn-connection", &e.to_string());
+                        }
                     }
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(std::time::Duration::from_millis(5));
                     }
-                    Err(_) => return,
+                    Err(e) => {
+                        log_session_error("accept", &e.to_string());
+                        return;
+                    }
                 }
             })
             .expect("spawn accept thread")
@@ -612,12 +739,18 @@ impl InProcServer {
     pub fn connect(&self) -> MemDuplex {
         let (client_end, server_end) = mem_pair();
         let server = self.server.clone();
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("zltp-inproc-conn".into())
             .spawn(move || {
-                let _ = server.handle_connection(server_end);
-            })
-            .expect("spawn in-proc connection thread");
+                if let Err(e) = server.handle_connection(server_end) {
+                    log_session_error("inproc-session", &e.to_string());
+                }
+            });
+        if let Err(e) = spawned {
+            // The server end was dropped with the failed spawn, so the
+            // caller's reads report EOF — same shape as a refused socket.
+            log_session_error("spawn-inproc-connection", &e.to_string());
+        }
         client_end
     }
 }

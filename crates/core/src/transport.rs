@@ -37,8 +37,18 @@ pub fn mem_pair() -> (MemDuplex, MemDuplex) {
     let (tx_a, rx_b) = unbounded();
     let (tx_b, rx_a) = unbounded();
     (
-        MemDuplex { tx: tx_a, rx: rx_a, pending: Vec::new(), pending_pos: 0 },
-        MemDuplex { tx: tx_b, rx: rx_b, pending: Vec::new(), pending_pos: 0 },
+        MemDuplex {
+            tx: tx_a,
+            rx: rx_a,
+            pending: Vec::new(),
+            pending_pos: 0,
+        },
+        MemDuplex {
+            tx: tx_b,
+            rx: rx_b,
+            pending: Vec::new(),
+            pending_pos: 0,
+        },
     )
 }
 
@@ -88,7 +98,11 @@ pub struct FramedConn<S> {
 impl<S: Read + Write> FramedConn<S> {
     /// Wrap a stream.
     pub fn new(stream: S) -> Self {
-        Self { stream, bytes_sent: 0, bytes_received: 0 }
+        Self {
+            stream,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
     }
 
     /// Total bytes written (frames incl. headers).
@@ -114,7 +128,10 @@ impl<S: Read + Write> FramedConn<S> {
         self.stream.write_all(&header)?;
         self.stream.write_all(&frame.payload)?;
         self.stream.flush()?;
-        self.bytes_sent += 5 + frame.payload.len() as u64;
+        let n = 5 + frame.payload.len() as u64;
+        self.bytes_sent += n;
+        lightweb_telemetry::counter!("transport.bytes.sent").add(n);
+        lightweb_telemetry::counter!("transport.frames.sent").inc();
         Ok(())
     }
 
@@ -129,7 +146,10 @@ impl<S: Read + Write> FramedConn<S> {
         let msg_type = header[4];
         let mut payload = vec![0u8; len - 1];
         self.stream.read_exact(&mut payload)?;
-        self.bytes_received += 5 + payload.len() as u64;
+        let n = 5 + payload.len() as u64;
+        self.bytes_received += n;
+        lightweb_telemetry::counter!("transport.bytes.recv").add(n);
+        lightweb_telemetry::counter!("transport.frames.recv").inc();
         Message::from_frame(&Frame { msg_type, payload })
     }
 
@@ -181,7 +201,10 @@ mod tests {
         let (a, b) = mem_pair();
         let mut ca = FramedConn::new(a);
         let mut cb = FramedConn::new(b);
-        let msg = Message::Get { request_id: 3, payload: vec![7; 100] };
+        let msg = Message::Get {
+            request_id: 3,
+            payload: vec![7; 100],
+        };
         ca.send(&msg).unwrap();
         assert_eq!(cb.recv().unwrap(), msg);
         assert_eq!(ca.bytes_sent(), cb.bytes_received());
@@ -199,7 +222,10 @@ mod tests {
             conn.send(&msg).unwrap(); // echo
         });
         let mut conn = FramedConn::new(std::net::TcpStream::connect(addr).unwrap());
-        let msg = Message::GetResponse { request_id: 1, payload: vec![0xEE; 1024] };
+        let msg = Message::GetResponse {
+            request_id: 1,
+            payload: vec![0xEE; 1024],
+        };
         conn.send(&msg).unwrap();
         assert_eq!(conn.recv().unwrap(), msg);
         server.join().unwrap();

@@ -153,13 +153,19 @@ impl Message {
                 buf.put_slice(extra);
                 msg_type::SERVER_HELLO
             }
-            Message::Get { request_id, payload } => {
+            Message::Get {
+                request_id,
+                payload,
+            } => {
                 buf.put_u32(*request_id);
                 buf.put_u32(payload.len() as u32);
                 buf.put_slice(payload);
                 msg_type::GET
             }
-            Message::GetResponse { request_id, payload } => {
+            Message::GetResponse {
+                request_id,
+                payload,
+            } => {
                 buf.put_u32(*request_id);
                 buf.put_u32(payload.len() as u32);
                 buf.put_slice(payload);
@@ -184,7 +190,10 @@ impl Message {
             }
             Message::Close => msg_type::CLOSE,
         };
-        Frame { msg_type, payload: buf.to_vec() }
+        Frame {
+            msg_type,
+            payload: buf.to_vec(),
+        }
     }
 
     /// Decode a frame into a message.
@@ -224,13 +233,19 @@ impl Message {
                 let request_id = get_u32(&mut buf)?;
                 let n = get_u32(&mut buf)? as usize;
                 let payload = get_bytes(&mut buf, n)?;
-                Message::Get { request_id, payload }
+                Message::Get {
+                    request_id,
+                    payload,
+                }
             }
             msg_type::GET_RESPONSE => {
                 let request_id = get_u32(&mut buf)?;
                 let n = get_u32(&mut buf)? as usize;
                 let payload = get_bytes(&mut buf, n)?;
-                Message::GetResponse { request_id, payload }
+                Message::GetResponse {
+                    request_id,
+                    payload,
+                }
             }
             msg_type::LWE_SETUP_REQUEST => Message::LweSetupRequest,
             msg_type::LWE_SETUP_RESPONSE => {
@@ -325,7 +340,10 @@ mod tests {
 
     #[test]
     fn all_messages_roundtrip() {
-        roundtrip(Message::ClientHello { version: 1, modes: vec![1, 3] });
+        roundtrip(Message::ClientHello {
+            version: 1,
+            modes: vec![1, 3],
+        });
         roundtrip(Message::ServerHello {
             version: 1,
             universe_id: "main".into(),
@@ -336,28 +354,52 @@ mod tests {
             keyword_hash_key: [9; 16],
             extra: vec![1, 2, 3],
         });
-        roundtrip(Message::Get { request_id: 7, payload: vec![0xAB; 357] });
-        roundtrip(Message::GetResponse { request_id: 7, payload: vec![0xCD; 4096] });
+        roundtrip(Message::Get {
+            request_id: 7,
+            payload: vec![0xAB; 357],
+        });
+        roundtrip(Message::GetResponse {
+            request_id: 7,
+            payload: vec![0xCD; 4096],
+        });
         roundtrip(Message::LweSetupRequest);
         roundtrip(Message::LweSetupResponse {
             key_hashes: vec![u64::MAX, 0, 42],
             hint: vec![1, 2, 3, 4, u32::MAX],
         });
-        roundtrip(Message::Error { code: 500, message: "boom".into() });
+        roundtrip(Message::Error {
+            code: 500,
+            message: "boom".into(),
+        });
         roundtrip(Message::Close);
     }
 
     #[test]
     fn empty_payload_messages_roundtrip() {
-        roundtrip(Message::ClientHello { version: 0, modes: vec![] });
-        roundtrip(Message::Get { request_id: 0, payload: vec![] });
-        roundtrip(Message::LweSetupResponse { key_hashes: vec![], hint: vec![] });
+        roundtrip(Message::ClientHello {
+            version: 0,
+            modes: vec![],
+        });
+        roundtrip(Message::Get {
+            request_id: 0,
+            payload: vec![],
+        });
+        roundtrip(Message::LweSetupResponse {
+            key_hashes: vec![],
+            hint: vec![],
+        });
     }
 
     #[test]
     fn unknown_message_type_rejected() {
-        let frame = Frame { msg_type: 99, payload: vec![] };
-        assert!(matches!(Message::from_frame(&frame), Err(ZltpError::Wire(_))));
+        let frame = Frame {
+            msg_type: 99,
+            payload: vec![],
+        };
+        assert!(matches!(
+            Message::from_frame(&frame),
+            Err(ZltpError::Wire(_))
+        ));
     }
 
     #[test]
@@ -374,7 +416,10 @@ mod tests {
         }
         .to_frame();
         for len in 0..good.payload.len() {
-            let bad = Frame { msg_type: good.msg_type, payload: good.payload[..len].to_vec() };
+            let bad = Frame {
+                msg_type: good.msg_type,
+                payload: good.payload[..len].to_vec(),
+            };
             assert!(
                 Message::from_frame(&bad).is_err(),
                 "accepted truncation to {len} of {}",
@@ -387,7 +432,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut frame = Message::Close.to_frame();
         frame.payload.push(0);
-        assert!(matches!(Message::from_frame(&frame), Err(ZltpError::Wire(_))));
+        assert!(matches!(
+            Message::from_frame(&frame),
+            Err(ZltpError::Wire(_))
+        ));
     }
 
     #[test]
@@ -397,16 +445,30 @@ mod tests {
         payload.extend_from_slice(&500u16.to_be_bytes());
         payload.extend_from_slice(&2u16.to_be_bytes());
         payload.extend_from_slice(&[0xFF, 0xFE]);
-        let frame = Frame { msg_type: 7, payload };
-        assert!(matches!(Message::from_frame(&frame), Err(ZltpError::Wire(_))));
+        let frame = Frame {
+            msg_type: 7,
+            payload,
+        };
+        assert!(matches!(
+            Message::from_frame(&frame),
+            Err(ZltpError::Wire(_))
+        ));
     }
 
     #[test]
     fn get_responses_have_uniform_size_for_fixed_blobs() {
         // The traffic-shape property: responses for equal-size blobs encode
         // to equal-size frames regardless of content.
-        let a = Message::GetResponse { request_id: 1, payload: vec![0x00; 1024] }.to_frame();
-        let b = Message::GetResponse { request_id: 999, payload: vec![0xFF; 1024] }.to_frame();
+        let a = Message::GetResponse {
+            request_id: 1,
+            payload: vec![0x00; 1024],
+        }
+        .to_frame();
+        let b = Message::GetResponse {
+            request_id: 999,
+            payload: vec![0xFF; 1024],
+        }
+        .to_frame();
         assert_eq!(a.payload.len(), b.payload.len());
     }
 }

@@ -31,7 +31,11 @@ pub struct UserCostInputs {
 impl UserCostInputs {
     /// The paper's §4 operating point.
     pub fn paper() -> Self {
-        Self { pages_per_day: 50.0, gets_per_page: 5.0, dollars_per_get: 0.002 }
+        Self {
+            pages_per_day: 50.0,
+            gets_per_page: 5.0,
+            dollars_per_get: 0.002,
+        }
     }
 }
 

@@ -12,10 +12,8 @@
 //! doubles it to ≈ 204 vCPU-s and ≈ $0.002 — the numbers printed in
 //! Table 2.
 
-use serde::Serialize;
-
 /// An instance type with its pricing.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct InstanceType {
     /// Name for reports.
     pub name: &'static str,
@@ -30,12 +28,17 @@ pub struct InstanceType {
 impl InstanceType {
     /// The paper's c5.large: 2 vCPU, 4 GiB, $0.085/h.
     pub fn c5_large() -> Self {
-        Self { name: "c5.large", vcpus: 2, dollars_per_hour: 0.085, memory_gib: 4.0 }
+        Self {
+            name: "c5.large",
+            vcpus: 2,
+            dollars_per_hour: 0.085,
+            memory_gib: 4.0,
+        }
     }
 }
 
 /// One shard's measured per-request costs (the §5.1 microbenchmark).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ShardMeasurement {
     /// Shard size in GiB.
     pub shard_gib: f64,
@@ -66,7 +69,7 @@ pub fn paper_measurements() -> ShardMeasurement {
 }
 
 /// A dataset to serve.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DatasetSpec {
     /// Name for reports.
     pub name: &'static str,
@@ -81,17 +84,27 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Table 2's C4 row inputs.
     pub fn c4() -> Self {
-        Self { name: "C4", total_gib: 305.0, pages: 360_000_000, avg_page_kib: 0.9 }
+        Self {
+            name: "C4",
+            total_gib: 305.0,
+            pages: 360_000_000,
+            avg_page_kib: 0.9,
+        }
     }
 
     /// Table 2's Wikipedia row inputs.
     pub fn wikipedia() -> Self {
-        Self { name: "Wikipedia", total_gib: 21.0, pages: 60_000_000, avg_page_kib: 0.4 }
+        Self {
+            name: "Wikipedia",
+            total_gib: 21.0,
+            pages: 60_000_000,
+            avg_page_kib: 0.4,
+        }
     }
 }
 
 /// A complete per-request deployment estimate — one Table 2 row.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DeploymentEstimate {
     /// Data-server shards per logical server.
     pub shards: u32,
@@ -119,8 +132,7 @@ pub fn estimate_deployment(
 ) -> DeploymentEstimate {
     let shards = (dataset.total_gib / shard.shard_gib).ceil() as u32;
     // One server side: every shard computes for seconds_per_request.
-    let one_side_vcpu_seconds =
-        shards as f64 * shard.seconds_per_request * instance.vcpus as f64;
+    let one_side_vcpu_seconds = shards as f64 * shard.seconds_per_request * instance.vcpus as f64;
     let one_side_dollars =
         shards as f64 * shard.seconds_per_request / 3600.0 * instance.dollars_per_hour;
 
@@ -161,7 +173,11 @@ mod tests {
         );
         assert_eq!(est.shards, 305);
         // Table 2: 204 vCPU-sec.
-        assert!((est.vcpu_seconds - 204.0).abs() < 4.0, "vCPU-s {}", est.vcpu_seconds);
+        assert!(
+            (est.vcpu_seconds - 204.0).abs() < 4.0,
+            "vCPU-s {}",
+            est.vcpu_seconds
+        );
         // Table 2: $0.002.
         assert!(
             (est.dollars_per_request - 0.002).abs() < 0.0005,
@@ -190,7 +206,11 @@ mod tests {
         // the paper's own §5.2 method (21 shards × 167 ms × 2 vCPU × 2
         // servers) gives 14 vCPU-sec and $0.00017. We reproduce the method
         // and record the table's rounding gap in EXPERIMENTS.md.
-        assert!((10.0..=15.0).contains(&est.vcpu_seconds), "vCPU-s {}", est.vcpu_seconds);
+        assert!(
+            (10.0..=15.0).contains(&est.vcpu_seconds),
+            "vCPU-s {}",
+            est.vcpu_seconds
+        );
         assert!(
             (0.0001..=0.0002).contains(&est.dollars_per_request),
             "$ {}",
@@ -208,8 +228,18 @@ mod tests {
     fn costs_scale_linearly_with_dataset_size() {
         let shard = paper_measurements();
         let inst = InstanceType::c5_large();
-        let small = DatasetSpec { name: "x", total_gib: 10.0, pages: 1, avg_page_kib: 1.0 };
-        let large = DatasetSpec { name: "y", total_gib: 100.0, pages: 1, avg_page_kib: 1.0 };
+        let small = DatasetSpec {
+            name: "x",
+            total_gib: 10.0,
+            pages: 1,
+            avg_page_kib: 1.0,
+        };
+        let large = DatasetSpec {
+            name: "y",
+            total_gib: 100.0,
+            pages: 1,
+            avg_page_kib: 1.0,
+        };
         let a = estimate_deployment(&small, &shard, &inst, 2.6);
         let b = estimate_deployment(&large, &shard, &inst, 2.6);
         let ratio = b.vcpu_seconds / a.vcpu_seconds;
@@ -233,6 +263,9 @@ mod tests {
     fn paper_measurement_split_adds_up() {
         let m = paper_measurements();
         assert!((m.dpf_seconds + m.scan_seconds - m.seconds_per_request).abs() < 1e-9);
-        assert!(m.scan_seconds > m.dpf_seconds, "scan dominates in the paper");
+        assert!(
+            m.scan_seconds > m.dpf_seconds,
+            "scan dominates in the paper"
+        );
     }
 }

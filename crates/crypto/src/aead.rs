@@ -154,7 +154,11 @@ only one tip for the future, sunscreen would be it.";
             let pt: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
             let ct = aead.seal(&nonce, b"blob-path", &pt);
             assert_eq!(ct.len(), len + AEAD_TAG_LEN);
-            assert_eq!(aead.open(&nonce, b"blob-path", &ct).unwrap(), pt, "len={len}");
+            assert_eq!(
+                aead.open(&nonce, b"blob-path", &ct).unwrap(),
+                pt,
+                "len={len}"
+            );
         }
     }
 

@@ -48,7 +48,7 @@ fn double_round(state: &mut [u32; 16]) {
 /// `rounds` must be even (ChaCha is specified in double rounds).
 #[inline]
 pub fn chacha_permute(input: &[u32; 16], rounds: usize, out: &mut [u8; CHACHA_BLOCK_LEN]) {
-    debug_assert!(rounds % 2 == 0, "ChaCha round count must be even");
+    debug_assert!(rounds.is_multiple_of(2), "ChaCha round count must be even");
     let mut state = *input;
     for _ in 0..rounds / 2 {
         double_round(&mut state);
@@ -61,7 +61,11 @@ pub fn chacha_permute(input: &[u32; 16], rounds: usize, out: &mut [u8; CHACHA_BL
 
 /// Build the initial ChaCha state matrix from key / counter / nonce.
 #[inline]
-fn init_state(key: &[u8; CHACHA_KEY_LEN], counter: u32, nonce: &[u8; CHACHA_NONCE_LEN]) -> [u32; 16] {
+fn init_state(
+    key: &[u8; CHACHA_KEY_LEN],
+    counter: u32,
+    nonce: &[u8; CHACHA_NONCE_LEN],
+) -> [u32; 16] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
     for i in 0..8 {
@@ -90,8 +94,15 @@ pub struct ChaCha {
 impl ChaCha {
     /// Create a ChaCha instance with an explicit round count (must be even).
     pub fn new(key: &[u8; CHACHA_KEY_LEN], nonce: &[u8; CHACHA_NONCE_LEN], rounds: usize) -> Self {
-        assert!(rounds >= 2 && rounds % 2 == 0, "invalid ChaCha round count {rounds}");
-        Self { key: *key, nonce: *nonce, rounds }
+        assert!(
+            rounds >= 2 && rounds.is_multiple_of(2),
+            "invalid ChaCha round count {rounds}"
+        );
+        Self {
+            key: *key,
+            nonce: *nonce,
+            rounds,
+        }
     }
 
     /// RFC 8439 ChaCha20.

@@ -39,7 +39,13 @@ impl Poly1305 {
             (le(12) >> 8) & 0x000f_ffff,
         ];
         let pad = [le(16), le(20), le(24), le(28)];
-        Self { r, h: [0; 5], pad, buffer: [0; 16], leftover: 0 }
+        Self {
+            r,
+            h: [0; 5],
+            pad,
+            buffer: [0; 16],
+            leftover: 0,
+        }
     }
 
     /// Process one 16-byte block. `hibit` is `1 << 24` for full blocks and 0
@@ -203,12 +209,11 @@ mod tests {
     /// RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_mac_vector() {
-        let key: [u8; 32] = hex_decode(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .unwrap()
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            hex_decode("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .unwrap()
+                .try_into()
+                .unwrap();
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
         assert_eq!(hex_encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
     }
@@ -224,9 +229,7 @@ mod tests {
     #[test]
     fn rfc8439_a3_vector_2() {
         let mut key = [0u8; 32];
-        key[16..].copy_from_slice(
-            &hex_decode("36e5f6b5c5e06070f0efca96227a863e").unwrap(),
-        );
+        key[16..].copy_from_slice(&hex_decode("36e5f6b5c5e06070f0efca96227a863e").unwrap());
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
         let tag = Poly1305::mac(&key, msg);
         assert_eq!(hex_encode(&tag), "36e5f6b5c5e06070f0efca96227a863e");
@@ -236,9 +239,7 @@ mod tests {
     #[test]
     fn rfc8439_a3_vector_3() {
         let mut key = [0u8; 32];
-        key[..16].copy_from_slice(
-            &hex_decode("36e5f6b5c5e06070f0efca96227a863e").unwrap(),
-        );
+        key[..16].copy_from_slice(&hex_decode("36e5f6b5c5e06070f0efca96227a863e").unwrap());
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
         let tag = Poly1305::mac(&key, msg);
         assert_eq!(hex_encode(&tag), "f3477e7cd95417af89a6b8794c310cf0");

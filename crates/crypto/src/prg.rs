@@ -185,6 +185,9 @@ mod tests {
             right += e.right_bit as usize;
         }
         assert!((350..=674).contains(&left), "left bit biased: {left}/1024");
-        assert!((350..=674).contains(&right), "right bit biased: {right}/1024");
+        assert!(
+            (350..=674).contains(&right),
+            "right bit biased: {right}/1024"
+        );
     }
 }

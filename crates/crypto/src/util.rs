@@ -14,7 +14,7 @@ pub fn hex_encode(data: &[u8]) -> String {
 /// Decode a hex string (case-insensitive). Returns `None` on odd length or
 /// non-hex characters.
 pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let nibble = |c: u8| -> Option<u8> {
@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn hex_decode_accepts_uppercase() {
-        assert_eq!(hex_decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(
+            hex_decode("DEADBEEF").unwrap(),
+            vec![0xde, 0xad, 0xbe, 0xef]
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl DpfKey {
             "per-shard slice must cover at least 8 domain points"
         );
         let prg = DpfPrg::new();
-        let mut frontier = vec![NodeState { seed: self.root_seed, bit: self.party == 1 }];
+        let mut frontier = vec![NodeState {
+            seed: self.root_seed,
+            bit: self.party == 1,
+        }];
         for level in 0..prefix_bits {
             let cw = &self.cws[level as usize];
             let mut next = Vec::with_capacity(frontier.len() * 2);
@@ -65,7 +68,10 @@ impl DpfKey {
         }
         frontier
             .into_iter()
-            .map(|s| TreeNode { seed: s.seed, bit: s.bit })
+            .map(|s| TreeNode {
+                seed: s.seed,
+                bit: s.bit,
+            })
             .collect()
     }
 
@@ -97,14 +103,18 @@ impl ShardKey {
 
     /// Number of bytes of packed output each shard produces.
     pub fn shard_output_len(&self) -> usize {
-        ((self.params.domain_size() >> self.prefix_bits) as usize + 7) / 8
+        ((self.params.domain_size() >> self.prefix_bits) as usize).div_ceil(8)
     }
 
     /// Evaluate the sub-tree rooted at `node`, writing the shard's packed
     /// output bits into `out` (`out.len()` must equal
     /// [`ShardKey::shard_output_len`]).
     pub fn eval(&self, node: &TreeNode, out: &mut [u8]) {
-        assert_eq!(out.len(), self.shard_output_len(), "shard output buffer size");
+        assert_eq!(
+            out.len(),
+            self.shard_output_len(),
+            "shard output buffer size"
+        );
         // Reconstitute a DpfKey rooted at the sub-tree: same machinery, with
         // the sub-tree root as the key root. The `party` field only matters
         // at the true root (initial control bit), which `node.bit` replaces.
@@ -155,7 +165,12 @@ mod tests {
                     shard_key.eval(node, &mut out);
                     assembled.extend_from_slice(&out);
                 }
-                assert_eq!(assembled, key.eval_full(), "party {} prefix {prefix}", key.party());
+                assert_eq!(
+                    assembled,
+                    key.eval_full(),
+                    "party {} prefix {prefix}",
+                    key.party()
+                );
                 for (r, a) in reconstructed.iter_mut().zip(assembled.iter()) {
                     *r ^= *a;
                 }

@@ -53,7 +53,10 @@ pub(crate) fn convert_leaf(prg: &DpfPrg, state: NodeState, final_cw: &[u8], out:
 
 impl DpfKey {
     fn root(&self) -> NodeState {
-        NodeState { seed: self.root_seed, bit: self.party == 1 }
+        NodeState {
+            seed: self.root_seed,
+            bit: self.party == 1,
+        }
     }
 
     /// Evaluate this key's share at a single domain point.
@@ -112,7 +115,7 @@ impl DpfKey {
             let mut block = vec![0u8; self.params.leaf_block_len()];
             let mut acc = 0u8;
             let remaining = depth - level;
-            let points = (self.params.leaf_width() << remaining) as u64;
+            let points = self.params.leaf_width() << remaining;
             for i in 0..(1u64 << remaining) {
                 let mut st = state;
                 for l in 0..remaining {

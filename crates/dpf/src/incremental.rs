@@ -46,7 +46,10 @@ pub fn gen_incremental(
     assert!((1..=40).contains(&domain_bits), "domain_bits out of range");
     assert!(alpha < (1u64 << domain_bits), "alpha outside domain");
     assert_eq!(betas.len(), domain_bits as usize, "one beta per level");
-    assert!(betas.iter().all(|b| b.len() == value_len), "beta length mismatch");
+    assert!(
+        betas.iter().all(|b| b.len() == value_len),
+        "beta length mismatch"
+    );
 
     let prg = DpfPrg::new();
     let seed0 = lightweb_crypto::random_seed();
@@ -73,12 +76,28 @@ pub fn gen_incremental(
         }
         let cw_left = e0.left_bit ^ e1.left_bit ^ bit ^ true;
         let cw_right = e0.right_bit ^ e1.right_bit ^ bit;
-        cws.push(CorrectionWord { seed: cw_seed, left_bit: cw_left, right_bit: cw_right });
+        cws.push(CorrectionWord {
+            seed: cw_seed,
+            left_bit: cw_left,
+            right_bit: cw_right,
+        });
 
         let (ks0, kb0, ks1, kb1, cw_keep) = if bit {
-            (e0.right_seed, e0.right_bit, e1.right_seed, e1.right_bit, cw_right)
+            (
+                e0.right_seed,
+                e0.right_bit,
+                e1.right_seed,
+                e1.right_bit,
+                cw_right,
+            )
         } else {
-            (e0.left_seed, e0.left_bit, e1.left_seed, e1.left_bit, cw_left)
+            (
+                e0.left_seed,
+                e0.left_bit,
+                e1.left_seed,
+                e1.left_bit,
+                cw_left,
+            )
         };
         let m0 = mask_seed(&cw_seed, t0);
         let m1 = mask_seed(&cw_seed, t1);
@@ -143,7 +162,10 @@ impl IncrementalDpfKey {
             "prefix length {prefix_len} outside 1..={}",
             self.domain_bits
         );
-        assert!(prefix < (1u64 << prefix_len), "prefix wider than its length");
+        assert!(
+            prefix < (1u64 << prefix_len),
+            "prefix wider than its length"
+        );
         let prg = DpfPrg::new();
         let mut seed = self.root_seed;
         let mut t = self.party == 1;
@@ -157,8 +179,8 @@ impl IncrementalDpfKey {
             };
             if t {
                 let cw = &self.cws[level as usize];
-                for i in 0..SEED_LEN {
-                    s[i] ^= cw.seed[i];
+                for (si, ci) in s.iter_mut().zip(&cw.seed) {
+                    *si ^= *ci;
                 }
                 b ^= if go_right { cw.right_bit } else { cw.left_bit };
             }
@@ -168,7 +190,10 @@ impl IncrementalDpfKey {
         let mut out = vec![0u8; self.value_len];
         prg.convert(&seed, &mut out);
         if t {
-            for (o, c) in out.iter_mut().zip(&self.value_cws[(prefix_len - 1) as usize]) {
+            for (o, c) in out
+                .iter_mut()
+                .zip(&self.value_cws[(prefix_len - 1) as usize])
+            {
                 *o ^= *c;
             }
         }
@@ -179,7 +204,9 @@ impl IncrementalDpfKey {
     /// that length (exponential in `prefix_len`; used by aggregation
     /// servers walking short prefixes, as in private heavy hitters).
     pub fn eval_level(&self, prefix_len: u32) -> Vec<Vec<u8>> {
-        (0..(1u64 << prefix_len)).map(|p| self.eval_prefix(p, prefix_len)).collect()
+        (0..(1u64 << prefix_len))
+            .map(|p| self.eval_prefix(p, prefix_len))
+            .collect()
     }
 }
 
@@ -188,7 +215,9 @@ mod tests {
     use super::*;
 
     fn betas(domain_bits: u32, value_len: usize) -> Vec<Vec<u8>> {
-        (0..domain_bits).map(|i| vec![(i + 1) as u8; value_len]).collect()
+        (0..domain_bits)
+            .map(|i| vec![(i + 1) as u8; value_len])
+            .collect()
     }
 
     fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
@@ -249,11 +278,11 @@ mod tests {
     fn prefix_count_aggregation() {
         let domain_bits = 6u32;
         let value_len = 8usize; // u64 counter as XOR-share... use parity-free trick:
-        // XOR shares don't add, so encode the count contribution as a
-        // random-looking share pair whose XOR is 1 at the leaf; servers
-        // count reconstructed 1s after combining per client. (Additive
-        // aggregation over many clients needs arithmetic shares as in
-        // [11]; this test demonstrates the prefix *membership* primitive.)
+                                // XOR shares don't add, so encode the count contribution as a
+                                // random-looking share pair whose XOR is 1 at the leaf; servers
+                                // count reconstructed 1s after combining per client. (Additive
+                                // aggregation over many clients needs arithmetic shares as in
+                                // [11]; this test demonstrates the prefix *membership* primitive.)
         let visited = [5u64, 5, 20, 5, 63];
         let mut level3_counts = vec![0u64; 8];
         for &site in &visited {

@@ -29,7 +29,9 @@ impl std::fmt::Display for ParamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParamError::DomainBits(b) => write!(f, "domain_bits {b} out of range 1..=40"),
-            ParamError::TermBits(b) => write!(f, "term_bits {b} invalid (must be < domain_bits and <= 13)"),
+            ParamError::TermBits(b) => {
+                write!(f, "term_bits {b} invalid (must be < domain_bits and <= 13)")
+            }
         }
     }
 }
@@ -45,7 +47,10 @@ impl DpfParams {
         if term_bits >= domain_bits || term_bits > 13 {
             return Err(ParamError::TermBits(term_bits));
         }
-        Ok(Self { domain_bits, term_bits })
+        Ok(Self {
+            domain_bits,
+            term_bits,
+        })
     }
 
     /// Parameters with the default early-termination width used throughout
@@ -83,12 +88,12 @@ impl DpfParams {
 
     /// Size in bytes of one leaf output block (at least one byte).
     pub fn leaf_block_len(&self) -> usize {
-        ((self.leaf_width() as usize) + 7) / 8
+        (self.leaf_width() as usize).div_ceil(8)
     }
 
     /// Size in bytes of the packed full-domain output bit vector.
     pub fn output_len(&self) -> usize {
-        ((self.domain_size() as usize) + 7) / 8
+        (self.domain_size() as usize).div_ceil(8)
     }
 }
 
@@ -147,14 +152,24 @@ pub(crate) fn mask_seed(s: &Seed, bit: bool) -> Seed {
 /// Generate a DPF key pair for the point function that is 1 at `alpha`
 /// (and 0 everywhere else), using fresh OS randomness for the root seeds.
 pub fn gen(params: &DpfParams, alpha: u64) -> (DpfKey, DpfKey) {
-    gen_with_seeds(params, alpha, lightweb_crypto::random_seed(), lightweb_crypto::random_seed())
+    gen_with_seeds(
+        params,
+        alpha,
+        lightweb_crypto::random_seed(),
+        lightweb_crypto::random_seed(),
+    )
 }
 
 /// Deterministic key generation from caller-supplied root seeds.
 ///
 /// Exposed for reproducible tests and benchmarks; production callers should
 /// use [`gen`].
-pub fn gen_with_seeds(params: &DpfParams, alpha: u64, seed0: Seed, seed1: Seed) -> (DpfKey, DpfKey) {
+pub fn gen_with_seeds(
+    params: &DpfParams,
+    alpha: u64,
+    seed0: Seed,
+    seed1: Seed,
+) -> (DpfKey, DpfKey) {
     assert!(alpha < params.domain_size(), "alpha {alpha} outside domain");
     let prg = DpfPrg::new();
     let depth = params.tree_depth();
@@ -184,14 +199,30 @@ pub fn gen_with_seeds(params: &DpfParams, alpha: u64, seed0: Seed, seed1: Seed) 
         let cw_seed = xor_seed(&lose0, &lose1);
         let cw_left = e0.left_bit ^ e1.left_bit ^ bit ^ true;
         let cw_right = e0.right_bit ^ e1.right_bit ^ bit;
-        cws.push(CorrectionWord { seed: cw_seed, left_bit: cw_left, right_bit: cw_right });
+        cws.push(CorrectionWord {
+            seed: cw_seed,
+            left_bit: cw_left,
+            right_bit: cw_right,
+        });
 
         // Both parties descend toward alpha ("keep" side), applying the
         // correction word iff their control bit is set.
         let (keep_seed0, keep_bit0, keep_seed1, keep_bit1, cw_keep) = if bit {
-            (e0.right_seed, e0.right_bit, e1.right_seed, e1.right_bit, cw_right)
+            (
+                e0.right_seed,
+                e0.right_bit,
+                e1.right_seed,
+                e1.right_bit,
+                cw_right,
+            )
         } else {
-            (e0.left_seed, e0.left_bit, e1.left_seed, e1.left_bit, cw_left)
+            (
+                e0.left_seed,
+                e0.left_bit,
+                e1.left_seed,
+                e1.left_bit,
+                cw_left,
+            )
         };
         s0 = xor_seed(&keep_seed0, &mask_seed(&cw_seed, t0));
         s1 = xor_seed(&keep_seed1, &mask_seed(&cw_seed, t1));
@@ -219,8 +250,20 @@ pub fn gen_with_seeds(params: &DpfParams, alpha: u64, seed0: Seed, seed1: Seed) 
     // applied an odd number of times and the unit bit survives the XOR.
     debug_assert!(t0 ^ t1, "control-bit invariant broken at the leaf");
 
-    let k0 = DpfKey { params: *params, party: 0, root_seed: seed0, cws: cws.clone(), final_cw: final_cw.clone() };
-    let k1 = DpfKey { params: *params, party: 1, root_seed: seed1, cws, final_cw };
+    let k0 = DpfKey {
+        params: *params,
+        party: 0,
+        root_seed: seed0,
+        cws: cws.clone(),
+        final_cw: final_cw.clone(),
+    };
+    let k1 = DpfKey {
+        params: *params,
+        party: 1,
+        root_seed: seed1,
+        cws,
+        final_cw,
+    };
     (k0, k1)
 }
 
@@ -244,8 +287,14 @@ mod tests {
 
     #[test]
     fn default_termination_clamps_small_domains() {
-        assert_eq!(DpfParams::with_default_termination(3).unwrap().term_bits(), 2);
-        assert_eq!(DpfParams::with_default_termination(22).unwrap().term_bits(), 7);
+        assert_eq!(
+            DpfParams::with_default_termination(3).unwrap().term_bits(),
+            2
+        );
+        assert_eq!(
+            DpfParams::with_default_termination(22).unwrap().term_bits(),
+            7
+        );
     }
 
     #[test]

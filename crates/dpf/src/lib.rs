@@ -142,7 +142,7 @@ mod proptests {
             let nodes = k0.eval_prefix(prefix_bits);
             let shard_key = k0.shard_key(prefix_bits);
             let sub_bits = params.domain_size() >> prefix_bits;
-            let sub_bytes = ((sub_bits + 7) / 8) as usize;
+            let sub_bytes = sub_bits.div_ceil(8) as usize;
             let mut assembled = Vec::new();
             for node in nodes {
                 let mut out = vec![0u8; sub_bytes];

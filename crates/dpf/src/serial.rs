@@ -109,7 +109,13 @@ impl DpfKey {
         if !data.is_empty() {
             return Err(KeyDecodeError::TrailingBytes(data.len()));
         }
-        Ok(DpfKey { params, party, root_seed, cws, final_cw })
+        Ok(DpfKey {
+            params,
+            party,
+            root_seed,
+            cws,
+            final_cw,
+        })
     }
 }
 

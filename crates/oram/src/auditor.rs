@@ -90,7 +90,9 @@ pub fn audit_trace(trace: &[TraceEvent], height: u32) -> AuditReport {
                 || !writes.iter().all(|e| e.kind == AccessKind::Write)
             {
                 uniform_shape = false;
-                notes.push(format!("op {op_idx}: reads and writes interleave unexpectedly"));
+                notes.push(format!(
+                    "op {op_idx}: reads and writes interleave unexpectedly"
+                ));
                 continue;
             }
             // Reads must walk root -> leaf: each index is the parent of the
@@ -110,7 +112,9 @@ pub fn audit_trace(trace: &[TraceEvent], height: u32) -> AuditReport {
             }
             if !ok {
                 paths_well_formed = false;
-                notes.push(format!("op {op_idx}: access does not walk a root-to-leaf path"));
+                notes.push(format!(
+                    "op {op_idx}: access does not walk a root-to-leaf path"
+                ));
             }
             // The leaf is the last read location, minus the leaf offset.
             leaves.push(reads[path_len - 1].location - (1 << height));
@@ -131,13 +135,18 @@ pub fn audit_trace(trace: &[TraceEvent], height: u32) -> AuditReport {
     }
     let expected = leaves.len() as f64 / bins as f64;
     let leaf_chi2 = if expected > 0.0 {
-        counts.iter().map(|c| (c - expected).powi(2) / expected).sum()
+        counts
+            .iter()
+            .map(|c| (c - expected).powi(2) / expected)
+            .sum()
     } else {
         0.0
     };
     let leaves_uniform = leaf_chi2 < CHI2_CRIT_7DF;
     if !leaves_uniform {
-        notes.push(format!("leaf histogram chi2 = {leaf_chi2:.2} exceeds {CHI2_CRIT_7DF}"));
+        notes.push(format!(
+            "leaf histogram chi2 = {leaf_chi2:.2} exceeds {CHI2_CRIT_7DF}"
+        ));
     }
 
     AuditReport {
@@ -203,8 +212,14 @@ mod tests {
     fn non_oblivious_trace_fails_shape_check() {
         // A fabricated "direct lookup" trace: one read, no path.
         let trace = vec![
-            TraceEvent { kind: AccessKind::OpStart, location: 0 },
-            TraceEvent { kind: AccessKind::Read, location: 42 },
+            TraceEvent {
+                kind: AccessKind::OpStart,
+                location: 0,
+            },
+            TraceEvent {
+                kind: AccessKind::Read,
+                location: 42,
+            },
         ];
         let report = audit_trace(&trace, 7);
         assert!(!report.uniform_shape);
@@ -219,16 +234,25 @@ mod tests {
         let path_len = (height + 1) as usize;
         let mut trace = Vec::new();
         for _ in 0..256 {
-            trace.push(TraceEvent { kind: AccessKind::OpStart, location: 0 });
+            trace.push(TraceEvent {
+                kind: AccessKind::OpStart,
+                location: 0,
+            });
             let mut locs = Vec::new();
             for level in 0..=height {
-                locs.push(((1u64 << height) + 0) >> (height - level));
+                locs.push((1u64 << height) >> (height - level));
             }
             for &l in &locs {
-                trace.push(TraceEvent { kind: AccessKind::Read, location: l });
+                trace.push(TraceEvent {
+                    kind: AccessKind::Read,
+                    location: l,
+                });
             }
             for &l in locs.iter().rev() {
-                trace.push(TraceEvent { kind: AccessKind::Write, location: l });
+                trace.push(TraceEvent {
+                    kind: AccessKind::Write,
+                    location: l,
+                });
             }
             assert_eq!(locs.len(), path_len);
         }
@@ -243,12 +267,21 @@ mod tests {
     fn wrong_writeback_path_fails() {
         // Reads walk a path but writes go somewhere else.
         let height = 2u32;
-        let mut trace = vec![TraceEvent { kind: AccessKind::OpStart, location: 0 }];
+        let mut trace = vec![TraceEvent {
+            kind: AccessKind::OpStart,
+            location: 0,
+        }];
         for l in [1u64, 2, 4] {
-            trace.push(TraceEvent { kind: AccessKind::Read, location: l });
+            trace.push(TraceEvent {
+                kind: AccessKind::Read,
+                location: l,
+            });
         }
         for l in [5u64, 2, 1] {
-            trace.push(TraceEvent { kind: AccessKind::Write, location: l });
+            trace.push(TraceEvent {
+                kind: AccessKind::Write,
+                location: l,
+            });
         }
         let report = audit_trace(&trace, height);
         assert!(!report.paths_well_formed);

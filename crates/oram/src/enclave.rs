@@ -47,7 +47,10 @@ pub struct UntrustedStorage<T> {
 impl<T: Clone> UntrustedStorage<T> {
     /// Allocate `n` cells initialized to `init`.
     pub fn new(n: usize, init: T) -> Self {
-        Self { cells: vec![init; n], trace: None }
+        Self {
+            cells: vec![init; n],
+            trace: None,
+        }
     }
 
     /// Number of cells.
@@ -73,14 +76,20 @@ impl<T: Clone> UntrustedStorage<T> {
     /// Record an operation boundary (no memory touched).
     pub fn mark_op_start(&mut self) {
         if let Some(t) = &mut self.trace {
-            t.push(TraceEvent { kind: AccessKind::OpStart, location: 0 });
+            t.push(TraceEvent {
+                kind: AccessKind::OpStart,
+                location: 0,
+            });
         }
     }
 
     /// Read cell `i`.
     pub fn read(&mut self, i: u64) -> T {
         if let Some(t) = &mut self.trace {
-            t.push(TraceEvent { kind: AccessKind::Read, location: i });
+            t.push(TraceEvent {
+                kind: AccessKind::Read,
+                location: i,
+            });
         }
         self.cells[i as usize].clone()
     }
@@ -88,7 +97,10 @@ impl<T: Clone> UntrustedStorage<T> {
     /// Write cell `i`.
     pub fn write(&mut self, i: u64, value: T) {
         if let Some(t) = &mut self.trace {
-            t.push(TraceEvent { kind: AccessKind::Write, location: i });
+            t.push(TraceEvent {
+                kind: AccessKind::Write,
+                location: i,
+            });
         }
         self.cells[i as usize] = value;
     }
@@ -110,7 +122,9 @@ impl SimulatedEnclave {
     /// Create an enclave able to hold `capacity` values of `value_len`
     /// bytes each.
     pub fn new(capacity: u64, value_len: usize) -> Result<Self, OramError> {
-        Ok(Self { store: ObliviousKvStore::new(capacity, value_len)? })
+        Ok(Self {
+            store: ObliviousKvStore::new(capacity, value_len)?,
+        })
     }
 
     /// Bulk-load key-value pairs (the publisher-upload phase; not private).
@@ -199,9 +213,18 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                TraceEvent { kind: AccessKind::OpStart, location: 0 },
-                TraceEvent { kind: AccessKind::Read, location: 1 },
-                TraceEvent { kind: AccessKind::Write, location: 3 },
+                TraceEvent {
+                    kind: AccessKind::OpStart,
+                    location: 0
+                },
+                TraceEvent {
+                    kind: AccessKind::Read,
+                    location: 1
+                },
+                TraceEvent {
+                    kind: AccessKind::Write,
+                    location: 3
+                },
             ]
         );
         // Tracing stopped.
@@ -239,7 +262,8 @@ mod tests {
     #[test]
     fn miss_and_hit_have_identical_trace_shape() {
         let mut enc = SimulatedEnclave::new(64, 8).unwrap();
-        enc.load([(b"present".as_slice(), [1u8; 8].as_slice())]).unwrap();
+        enc.load([(b"present".as_slice(), [1u8; 8].as_slice())])
+            .unwrap();
 
         enc.enable_trace();
         enc.get(b"present").unwrap();
@@ -249,9 +273,7 @@ mod tests {
         enc.get(b"absent").unwrap();
         let miss = enc.take_trace().unwrap();
 
-        let shape = |t: &[TraceEvent]| {
-            t.iter().map(|e| e.kind).collect::<Vec<_>>()
-        };
+        let shape = |t: &[TraceEvent]| t.iter().map(|e| e.kind).collect::<Vec<_>>();
         assert_eq!(shape(&hit), shape(&miss), "hit/miss trace shapes differ");
     }
 }

@@ -71,13 +71,18 @@ impl ObliviousKvStore {
     /// Insert or update `key`. Values must have the fixed length.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), OramError> {
         if value.len() != self.value_len {
-            return Err(OramError::BlockLen { expected: self.value_len, got: value.len() });
+            return Err(OramError::BlockLen {
+                expected: self.value_len,
+                got: value.len(),
+            });
         }
         let addr = match self.key_table.get(key) {
             Some(&a) => a,
             None => {
                 if self.next_addr >= self.oram.capacity() {
-                    return Err(OramError::CapacityExceeded { capacity: self.oram.capacity() });
+                    return Err(OramError::CapacityExceeded {
+                        capacity: self.oram.capacity(),
+                    });
                 }
                 let a = self.next_addr;
                 self.next_addr += 1;
@@ -148,7 +153,10 @@ mod tests {
         let mut kv = ObliviousKvStore::with_seed(4, 4, [4; 32]).unwrap();
         assert!(matches!(
             kv.put(b"a", &[0; 5]),
-            Err(OramError::BlockLen { expected: 4, got: 5 })
+            Err(OramError::BlockLen {
+                expected: 4,
+                got: 5
+            })
         ));
     }
 
@@ -167,7 +175,8 @@ mod tests {
     fn many_keys_roundtrip() {
         let mut kv = ObliviousKvStore::with_seed(256, 8, [6; 32]).unwrap();
         for i in 0..200u32 {
-            kv.put(format!("key-{i}").as_bytes(), &i.to_le_bytes().repeat(2)).unwrap();
+            kv.put(format!("key-{i}").as_bytes(), &i.to_le_bytes().repeat(2))
+                .unwrap();
         }
         for i in (0..200u32).rev() {
             assert_eq!(

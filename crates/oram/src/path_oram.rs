@@ -226,7 +226,10 @@ impl PathOram {
     /// Write a block (insert or overwrite).
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), OramError> {
         if data.len() != self.block_len {
-            return Err(OramError::BlockLen { expected: self.block_len, got: data.len() });
+            return Err(OramError::BlockLen {
+                expected: self.block_len,
+                got: data.len(),
+            });
         }
         self.access(addr, Some(data)).map(|_| ())
     }
@@ -244,9 +247,16 @@ impl PathOram {
     /// The core access: one path read, optional block update, one path
     /// write-back. Identical untrusted-memory footprint for reads, writes,
     /// hits, and misses.
-    fn access(&mut self, addr: u64, write_data: Option<&[u8]>) -> Result<Option<Vec<u8>>, OramError> {
+    fn access(
+        &mut self,
+        addr: u64,
+        write_data: Option<&[u8]>,
+    ) -> Result<Option<Vec<u8>>, OramError> {
         if addr >= self.capacity {
-            return Err(OramError::AddrOutOfRange { addr, capacity: self.capacity });
+            return Err(OramError::AddrOutOfRange {
+                addr,
+                capacity: self.capacity,
+            });
         }
         // Leaf to read: the block's current assignment, or a uniform dummy
         // for never-written addresses.
@@ -272,14 +282,20 @@ impl PathOram {
         write_data: Option<&[u8]>,
     ) -> Result<Option<Vec<u8>>, OramError> {
         if addr >= self.capacity {
-            return Err(OramError::AddrOutOfRange { addr, capacity: self.capacity });
+            return Err(OramError::AddrOutOfRange {
+                addr,
+                capacity: self.capacity,
+            });
         }
         if read_leaf >= self.num_leaves() || new_leaf >= self.num_leaves() {
             return Err(OramError::BadParams("leaf outside the tree"));
         }
         if let Some(data) = write_data {
             if data.len() != self.block_len {
-                return Err(OramError::BlockLen { expected: self.block_len, got: data.len() });
+                return Err(OramError::BlockLen {
+                    expected: self.block_len,
+                    got: data.len(),
+                });
             }
         }
 
@@ -304,7 +320,11 @@ impl PathOram {
         if found {
             self.position.insert(addr, new_leaf);
         } else if let Some(data) = write_data {
-            self.stash.push(Block { addr, leaf: new_leaf, data: data.to_vec() });
+            self.stash.push(Block {
+                addr,
+                leaf: new_leaf,
+                data: data.to_vec(),
+            });
             self.position.insert(addr, new_leaf);
         }
         // A read miss leaves no trace in the position map — the dummy path
@@ -317,6 +337,7 @@ impl PathOram {
 
     /// Read every bucket on the path to `leaf` into the stash.
     fn read_path_to_stash(&mut self, leaf: u64) {
+        let _read = lightweb_telemetry::span!("oram.path.read.ns");
         for level in 0..=self.height {
             let idx = self.path_bucket(leaf, level);
             let bucket = self.storage.read(idx);
@@ -328,6 +349,7 @@ impl PathOram {
     /// allowed to live in the bucket (its own path passes through it) back
     /// into the tree, up to Z per bucket.
     fn evict_along_path(&mut self, leaf: u64) -> Result<(), OramError> {
+        let _write = lightweb_telemetry::span!("oram.path.write.ns");
         for level in (0..=self.height).rev() {
             let idx = self.path_bucket(leaf, level);
             let mut bucket = Bucket::new();
@@ -342,8 +364,16 @@ impl PathOram {
             self.storage.write(idx, bucket);
         }
         self.max_stash_seen = self.max_stash_seen.max(self.stash.len());
+        // Gauge tracks the current occupancy; its max mirrors
+        // `max_stash_seen` but aggregated across every ORAM instance in
+        // the process.
+        lightweb_telemetry::registry()
+            .gauge("oram.stash.depth")
+            .set(self.stash.len() as i64);
         if self.stash.len() > STASH_LIMIT {
-            return Err(OramError::StashOverflow { size: self.stash.len() });
+            return Err(OramError::StashOverflow {
+                size: self.stash.len(),
+            });
         }
         Ok(())
     }
@@ -388,16 +418,27 @@ mod tests {
         }
         for round in 0..2 {
             for a in 0..cap {
-                assert_eq!(oram.read(a).unwrap(), Some(vec![a as u8; 8]), "round {round} addr {a}");
+                assert_eq!(
+                    oram.read(a).unwrap(),
+                    Some(vec![a as u8; 8]),
+                    "round {round} addr {a}"
+                );
             }
         }
         for a in (0..cap).rev() {
             oram.write(a, &[(a as u8).wrapping_add(1); 8]).unwrap();
         }
         for a in 0..cap {
-            assert_eq!(oram.read(a).unwrap(), Some(vec![(a as u8).wrapping_add(1); 8]));
+            assert_eq!(
+                oram.read(a).unwrap(),
+                Some(vec![(a as u8).wrapping_add(1); 8])
+            );
         }
-        assert!(oram.max_stash_seen() < 64, "stash grew to {}", oram.max_stash_seen());
+        assert!(
+            oram.max_stash_seen() < 64,
+            "stash grew to {}",
+            oram.max_stash_seen()
+        );
     }
 
     #[test]
@@ -410,7 +451,11 @@ mod tests {
         for _ in 0..2000 {
             oram.read(42).unwrap();
         }
-        assert!(oram.max_stash_seen() < 64, "stash grew to {}", oram.max_stash_seen());
+        assert!(
+            oram.max_stash_seen() < 64,
+            "stash grew to {}",
+            oram.max_stash_seen()
+        );
     }
 
     #[test]
@@ -420,11 +465,17 @@ mod tests {
         let mut oram = PathOram::with_seed(8, 4, [0; 32]).unwrap();
         assert!(matches!(
             oram.read(8),
-            Err(OramError::AddrOutOfRange { addr: 8, capacity: 8 })
+            Err(OramError::AddrOutOfRange {
+                addr: 8,
+                capacity: 8
+            })
         ));
         assert!(matches!(
             oram.write(0, &[0; 3]),
-            Err(OramError::BlockLen { expected: 4, got: 3 })
+            Err(OramError::BlockLen {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 

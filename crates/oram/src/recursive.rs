@@ -49,7 +49,11 @@ impl RecursivePathOram {
         let map = PathOram::with_seed(map_blocks, (ENTRIES_PER_BLOCK * 8) as usize, map_seed)?;
         let mut rng_seed = seed;
         rng_seed[1] ^= 0x5A;
-        Ok(Self { data, map, rng: StdRng::from_seed(rng_seed) })
+        Ok(Self {
+            data,
+            map,
+            rng: StdRng::from_seed(rng_seed),
+        })
     }
 
     /// Capacity in blocks.
@@ -96,11 +100,17 @@ impl RecursivePathOram {
 
     fn access(&mut self, addr: u64, write: Option<&[u8]>) -> Result<Option<Vec<u8>>, OramError> {
         if addr >= self.data.capacity() {
-            return Err(OramError::AddrOutOfRange { addr, capacity: self.data.capacity() });
+            return Err(OramError::AddrOutOfRange {
+                addr,
+                capacity: self.data.capacity(),
+            });
         }
         if let Some(d) = write {
             if d.len() != self.data.block_len() {
-                return Err(OramError::BlockLen { expected: self.data.block_len(), got: d.len() });
+                return Err(OramError::BlockLen {
+                    expected: self.data.block_len(),
+                    got: d.len(),
+                });
             }
         }
         let new_leaf = self.rng.gen_range(0..self.data.num_leaves());
@@ -108,7 +118,9 @@ impl RecursivePathOram {
         // A never-written address still performs a full (dummy-path) data
         // access at a uniform leaf.
         let read_leaf = stored.unwrap_or_else(|| self.rng.gen_range(0..self.data.num_leaves()));
-        let result = self.data.access_with_position(addr, read_leaf, new_leaf, write)?;
+        let result = self
+            .data
+            .access_with_position(addr, read_leaf, new_leaf, write)?;
         // Note: if this was a read miss, the map now records a leaf for an
         // address holding no block. That is harmless: the next access
         // reads that (empty) path — indistinguishable from a dummy.
@@ -137,7 +149,10 @@ impl RecursivePathOram {
     /// Take `(map_trace, data_trace)`.
     pub fn take_traces(
         &mut self,
-    ) -> (Option<Vec<crate::enclave::TraceEvent>>, Option<Vec<crate::enclave::TraceEvent>>) {
+    ) -> (
+        Option<Vec<crate::enclave::TraceEvent>>,
+        Option<Vec<crate::enclave::TraceEvent>>,
+    ) {
         (self.map.take_trace(), self.data.take_trace())
     }
 
@@ -187,7 +202,11 @@ mod tests {
                 oram.write(addr, &data).unwrap();
                 model.insert(addr, data);
             } else {
-                assert_eq!(oram.read(addr).unwrap().as_ref(), model.get(&addr), "step {i}");
+                assert_eq!(
+                    oram.read(addr).unwrap().as_ref(),
+                    model.get(&addr),
+                    "step {i}"
+                );
             }
         }
     }
@@ -255,14 +274,26 @@ mod tests {
         };
         let map_ops = count_events(&map_trace.unwrap());
         let data_ops = count_events(&data_trace.unwrap());
-        assert_eq!(map_ops[0], map_ops[1], "map access count differs hit vs miss");
-        assert_eq!(data_ops[0], data_ops[1], "data access count differs hit vs miss");
+        assert_eq!(
+            map_ops[0], map_ops[1],
+            "map access count differs hit vs miss"
+        );
+        assert_eq!(
+            data_ops[0], data_ops[1],
+            "data access count differs hit vs miss"
+        );
     }
 
     #[test]
     fn rejects_bad_arguments() {
         let mut oram = RecursivePathOram::with_seed(8, 4, [6; 32]).unwrap();
-        assert!(matches!(oram.read(8), Err(OramError::AddrOutOfRange { .. })));
-        assert!(matches!(oram.write(0, &[0; 5]), Err(OramError::BlockLen { .. })));
+        assert!(matches!(
+            oram.read(8),
+            Err(OramError::AddrOutOfRange { .. })
+        ));
+        assert!(matches!(
+            oram.write(0, &[0; 5]),
+            Err(OramError::BlockLen { .. })
+        ));
     }
 }

@@ -100,7 +100,10 @@ pub struct CuckooAssignment {
 ///
 /// Classic random-walk insertion: place each key in one of its candidates,
 /// evicting the current occupant to its alternate slot when both are full.
-pub fn build_assignment(hasher: &CuckooHasher, keys: &[&[u8]]) -> Result<CuckooAssignment, CuckooError> {
+pub fn build_assignment(
+    hasher: &CuckooHasher,
+    keys: &[&[u8]],
+) -> Result<CuckooAssignment, CuckooError> {
     // slot -> index of key occupying it
     let mut occupant: HashMap<u64, usize> = HashMap::with_capacity(keys.len() * 2);
     let mut assigned: Vec<Option<u64>> = vec![None; keys.len()];
@@ -147,7 +150,10 @@ pub fn build_assignment(hasher: &CuckooHasher, keys: &[&[u8]]) -> Result<CuckooA
     }
 
     Ok(CuckooAssignment {
-        slots: assigned.into_iter().map(|s| s.expect("all keys placed")).collect(),
+        slots: assigned
+            .into_iter()
+            .map(|s| s.expect("all keys placed"))
+            .collect(),
         evictions: total_evictions,
     })
 }
@@ -168,7 +174,9 @@ mod tests {
     use super::*;
 
     fn keys(n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("example.com/page/{i}").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("example.com/page/{i}").into_bytes())
+            .collect()
     }
 
     #[test]

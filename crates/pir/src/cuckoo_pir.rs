@@ -60,7 +60,10 @@ pub fn build_cuckoo_server(
     record_len: usize,
     pairs: &[(&[u8], &[u8])],
 ) -> Result<PirServer, CuckooPirError> {
-    assert!(record_len > FINGERPRINT_LEN, "record too small for a fingerprint");
+    assert!(
+        record_len > FINGERPRINT_LEN,
+        "record too small for a fingerprint"
+    );
     assert_eq!(
         hasher.domain_bits(),
         params.domain_bits(),
@@ -73,7 +76,10 @@ pub fn build_cuckoo_server(
     let mut entries = Vec::with_capacity(pairs.len());
     for ((key, value), slot) in pairs.iter().zip(assignment.slots.iter()) {
         if value.len() > max_payload {
-            return Err(CuckooPirError::PayloadLen { max: max_payload, got: value.len() });
+            return Err(CuckooPirError::PayloadLen {
+                max: max_payload,
+                got: value.len(),
+            });
         }
         let mut rec = vec![0u8; record_len];
         rec[..FINGERPRINT_LEN].copy_from_slice(&key_fingerprint(hasher, key));
@@ -114,16 +120,31 @@ mod tests {
 
     const RECORD: usize = 64;
 
-    fn setup(n: usize) -> (CuckooHasher, DpfParams, PirServer, PirServer, Vec<(String, Vec<u8>)>) {
+    type Setup = (
+        CuckooHasher,
+        DpfParams,
+        PirServer,
+        PirServer,
+        Vec<(String, Vec<u8>)>,
+    );
+
+    fn setup(n: usize) -> Setup {
         // 45% load: n keys in ~2.2n slots.
         let domain_bits = (64 - (n as u64 * 2 + n as u64 / 5).leading_zeros()).max(6);
         let hasher = CuckooHasher::new(&[0x33; 16], domain_bits);
         let params = DpfParams::new(domain_bits, 2.min(domain_bits - 1)).unwrap();
         let pairs: Vec<(String, Vec<u8>)> = (0..n)
-            .map(|i| (format!("site.com/page/{i}"), format!("payload {i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("site.com/page/{i}"),
+                    format!("payload {i}").into_bytes(),
+                )
+            })
             .collect();
-        let refs: Vec<(&[u8], &[u8])> =
-            pairs.iter().map(|(k, v)| (k.as_bytes(), v.as_slice())).collect();
+        let refs: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(k, v)| (k.as_bytes(), v.as_slice()))
+            .collect();
         let s0 = build_cuckoo_server(&hasher, params, RECORD, &refs).unwrap();
         let s1 = s0.clone();
         (hasher, params, s0, s1, pairs)

@@ -25,8 +25,11 @@ pub struct KeywordMap {
 impl KeywordMap {
     /// Create a map onto a domain of size `2^domain_bits`.
     pub fn new(hash_key: &[u8; 16], domain_bits: u32) -> Self {
-        assert!(domain_bits >= 1 && domain_bits <= 40, "domain_bits out of range");
-        Self { sip: SipHash24::new(hash_key), domain_bits }
+        assert!((1..=40).contains(&domain_bits), "domain_bits out of range");
+        Self {
+            sip: SipHash24::new(hash_key),
+            domain_bits,
+        }
     }
 
     /// The slot a keyword maps to.
@@ -128,8 +131,14 @@ mod tests {
     #[test]
     fn paper_operating_point_is_below_one_quarter() {
         let p = analytic_collision_probability(1 << 20, 22);
-        assert!(p <= 0.25, "P(collision) = {p} exceeds the paper's 1/4 bound");
-        assert!(p > 0.2, "P(collision) = {p} suspiciously small for n/D = 1/4");
+        assert!(
+            p <= 0.25,
+            "P(collision) = {p} exceeds the paper's 1/4 bound"
+        );
+        assert!(
+            p > 0.2,
+            "P(collision) = {p} suspiciously small for n/D = 1/4"
+        );
     }
 
     #[test]
@@ -151,8 +160,9 @@ mod tests {
         // collision rate over 2000 probes; should match the analytic value
         // (~0.221) within Monte-Carlo noise.
         let map = KeywordMap::new(&[9u8; 16], 14);
-        let occupied: std::collections::HashSet<u64> =
-            (0..(1 << 12)).map(|i: u32| map.slot(format!("stored-{i}").as_bytes())).collect();
+        let occupied: std::collections::HashSet<u64> = (0..(1 << 12))
+            .map(|i: u32| map.slot(format!("stored-{i}").as_bytes()))
+            .collect();
         let probes = 2000;
         let hits = (0..probes)
             .filter(|i| occupied.contains(&map.slot(format!("fresh-{i}").as_bytes())))

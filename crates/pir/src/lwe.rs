@@ -104,7 +104,9 @@ impl std::fmt::Display for LweError {
             LweError::RecordLen { expected, got } => write!(f, "record length {got} != {expected}"),
             LweError::QueryLen { expected, got } => write!(f, "query length {got} != {expected}"),
             LweError::AnswerLen { expected, got } => write!(f, "answer length {got} != {expected}"),
-            LweError::IndexOutOfRange { index, cols } => write!(f, "record {index} out of range ({cols} records)"),
+            LweError::IndexOutOfRange { index, cols } => {
+                write!(f, "record {index} out of range ({cols} records)")
+            }
             LweError::HintLen { expected, got } => write!(f, "hint length {got} != {expected}"),
         }
     }
@@ -153,14 +155,21 @@ pub struct LweServer {
 impl LweServer {
     /// Build a server over `records` (all of length `record_len`),
     /// precomputing the hint (the offline phase).
-    pub fn new(params: LweParams, record_len: usize, records: Vec<Vec<u8>>) -> Result<Self, LweError> {
+    pub fn new(
+        params: LweParams,
+        record_len: usize,
+        records: Vec<Vec<u8>>,
+    ) -> Result<Self, LweError> {
         assert!(record_len > 0, "record_len must be positive");
         let cols = records.len();
         let rows = record_len;
         let mut db = vec![0u8; rows * cols];
         for (c, rec) in records.iter().enumerate() {
             if rec.len() != record_len {
-                return Err(LweError::RecordLen { expected: record_len, got: rec.len() });
+                return Err(LweError::RecordLen {
+                    expected: record_len,
+                    got: rec.len(),
+                });
             }
             for (r, &byte) in rec.iter().enumerate() {
                 db[r * cols + c] = byte;
@@ -185,7 +194,14 @@ impl LweServer {
             }
         }
 
-        Ok(Self { params, record_len, cols, db, seed, hint })
+        Ok(Self {
+            params,
+            record_len,
+            cols,
+            db,
+            seed,
+            hint,
+        })
     }
 
     /// The LWE parameters this server was built with.
@@ -218,17 +234,20 @@ impl LweServer {
     /// multiply-accumulate instead of XOR.
     pub fn answer(&self, query: &[u32]) -> Result<Vec<u32>, LweError> {
         if query.len() != self.cols {
-            return Err(LweError::QueryLen { expected: self.cols, got: query.len() });
+            return Err(LweError::QueryLen {
+                expected: self.cols,
+                got: query.len(),
+            });
         }
         let rows = self.record_len;
         let mut ans = vec![0u32; rows];
-        for r in 0..rows {
+        for (r, a) in ans.iter_mut().enumerate() {
             let row = &self.db[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0u32;
             for (d, q) in row.iter().zip(query.iter()) {
                 acc = acc.wrapping_add((*d as u32).wrapping_mul(*q));
             }
-            ans[r] = acc;
+            *a = acc;
         }
         Ok(ans)
     }
@@ -261,7 +280,12 @@ pub struct LweClient {
 impl LweClient {
     /// Create a client from the server's published metadata.
     pub fn new(params: LweParams, seed: [u8; 32], cols: usize, record_len: usize) -> Self {
-        Self { params, seed, cols, record_len }
+        Self {
+            params,
+            seed,
+            cols,
+            record_len,
+        }
     }
 
     /// Build a query for record `index`.
@@ -271,7 +295,7 @@ impl LweClient {
         let secret: Vec<u32> = (0..self.params.n).map(|_| rng.gen()).collect();
         let mut payload = vec![0u32; self.cols];
         let mut row = vec![0u32; self.params.n];
-        for c in 0..self.cols {
+        for (c, p) in payload.iter_mut().enumerate() {
             a_row(&self.seed, c, self.params.n, &mut row);
             let mut acc = 0u32;
             for (a, s) in row.iter().zip(secret.iter()) {
@@ -287,19 +311,34 @@ impl LweClient {
             if c == index {
                 acc = acc.wrapping_add(1u32 << DELTA_SHIFT);
             }
-            payload[c] = acc;
+            *p = acc;
         }
-        LweQuery { payload, secret, index }
+        LweQuery {
+            payload,
+            secret,
+            index,
+        }
     }
 
     /// Decrypt the server's answer into the record bytes.
-    pub fn decode(&self, query: &LweQuery, hint: &[u32], answer: &[u32]) -> Result<Vec<u8>, LweError> {
+    pub fn decode(
+        &self,
+        query: &LweQuery,
+        hint: &[u32],
+        answer: &[u32],
+    ) -> Result<Vec<u8>, LweError> {
         let rows = self.record_len;
         if hint.len() != rows * self.params.n {
-            return Err(LweError::HintLen { expected: rows * self.params.n, got: hint.len() });
+            return Err(LweError::HintLen {
+                expected: rows * self.params.n,
+                got: hint.len(),
+            });
         }
         if answer.len() != rows {
-            return Err(LweError::AnswerLen { expected: rows, got: answer.len() });
+            return Err(LweError::AnswerLen {
+                expected: rows,
+                got: answer.len(),
+            });
         }
         let mut out = vec![0u8; rows];
         for r in 0..rows {
@@ -341,7 +380,10 @@ mod tests {
         for idx in [0usize, 1, 15, 31] {
             let q = client.query(idx);
             let ans = server.answer(&q.payload).unwrap();
-            assert_eq!(client.decode(&q, server.hint(), &ans).unwrap(), records[idx]);
+            assert_eq!(
+                client.decode(&q, server.hint(), &ans).unwrap(),
+                records[idx]
+            );
         }
     }
 
@@ -364,18 +406,24 @@ mod tests {
         let server = LweServer::new(params, 8, make_records(4, 8)).unwrap();
         assert!(matches!(
             server.answer(&[0u32; 3]),
-            Err(LweError::QueryLen { expected: 4, got: 3 })
+            Err(LweError::QueryLen {
+                expected: 4,
+                got: 3
+            })
         ));
         let client = LweClient::new(params, server.public_seed(), 4, 8);
         let q = client.query(0);
         let ans = server.answer(&q.payload).unwrap();
         assert!(matches!(
-            client.decode(&q, &ans[..1].iter().map(|&x| x).collect::<Vec<_>>(), &ans),
+            client.decode(&q, &ans[..1], &ans),
             Err(LweError::HintLen { .. })
         ));
         assert!(matches!(
             client.decode(&q, server.hint(), &ans[..7]),
-            Err(LweError::AnswerLen { expected: 8, got: 7 })
+            Err(LweError::AnswerLen {
+                expected: 8,
+                got: 7
+            })
         ));
     }
 
@@ -386,7 +434,10 @@ mod tests {
         records[2].pop();
         assert!(matches!(
             LweServer::new(params, 8, records),
-            Err(LweError::RecordLen { expected: 8, got: 7 })
+            Err(LweError::RecordLen {
+                expected: 8,
+                got: 7
+            })
         ));
     }
 
@@ -399,10 +450,10 @@ mod tests {
         let server = LweServer::new(params, 16, records.clone()).unwrap();
         let client = LweClient::new(params, server.public_seed(), server.cols(), 16);
         let hint = server.hint().to_vec();
-        for idx in 0..10 {
+        for (idx, record) in records.iter().enumerate() {
             let q = client.query(idx);
             let ans = server.answer(&q.payload).unwrap();
-            assert_eq!(client.decode(&q, &hint, &ans).unwrap(), records[idx]);
+            assert_eq!(&client.decode(&q, &hint, &ans).unwrap(), record);
         }
     }
 

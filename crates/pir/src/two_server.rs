@@ -52,7 +52,10 @@ impl std::fmt::Display for PirError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PirError::RecordLen { expected, got } => {
-                write!(f, "record length {got} != database record length {expected}")
+                write!(
+                    f,
+                    "record length {got} != database record length {expected}"
+                )
             }
             PirError::SlotOutOfRange { slot, domain } => {
                 write!(f, "slot {slot} outside domain of size {domain}")
@@ -84,7 +87,12 @@ impl PirServer {
     /// Create an empty server for the given domain and record size.
     pub fn new(params: DpfParams, record_len: usize) -> Self {
         assert!(record_len > 0, "record_len must be positive");
-        Self { params, record_len, slots: Vec::new(), data: Vec::new() }
+        Self {
+            params,
+            record_len,
+            slots: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Build a server from `(slot, record)` entries.
@@ -111,10 +119,16 @@ impl PirServer {
 
     fn insert_sorted(&mut self, slot: u64, record: &[u8]) -> Result<(), PirError> {
         if slot >= self.params.domain_size() {
-            return Err(PirError::SlotOutOfRange { slot, domain: self.params.domain_size() });
+            return Err(PirError::SlotOutOfRange {
+                slot,
+                domain: self.params.domain_size(),
+            });
         }
         if record.len() != self.record_len {
-            return Err(PirError::RecordLen { expected: self.record_len, got: record.len() });
+            return Err(PirError::RecordLen {
+                expected: self.record_len,
+                got: record.len(),
+            });
         }
         self.slots.push(slot);
         self.data.extend_from_slice(record);
@@ -124,10 +138,16 @@ impl PirServer {
     /// Insert or replace the record at `slot`.
     pub fn upsert(&mut self, slot: u64, record: &[u8]) -> Result<(), PirError> {
         if slot >= self.params.domain_size() {
-            return Err(PirError::SlotOutOfRange { slot, domain: self.params.domain_size() });
+            return Err(PirError::SlotOutOfRange {
+                slot,
+                domain: self.params.domain_size(),
+            });
         }
         if record.len() != self.record_len {
-            return Err(PirError::RecordLen { expected: self.record_len, got: record.len() });
+            return Err(PirError::RecordLen {
+                expected: self.record_len,
+                got: record.len(),
+            });
         }
         match self.slots.binary_search(&slot) {
             Ok(i) => {
@@ -186,10 +206,12 @@ impl PirServer {
     /// Used when re-materializing the store into another layout (e.g.
     /// splitting it across deployment shards).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .map(move |(i, &slot)| (slot, &self.data[i * self.record_len..(i + 1) * self.record_len]))
+        self.slots.iter().enumerate().map(move |(i, &slot)| {
+            (
+                slot,
+                &self.data[i * self.record_len..(i + 1) * self.record_len],
+            )
+        })
     }
 
     /// The fixed record (bucket) size in bytes.
@@ -202,7 +224,10 @@ impl PirServer {
         if key.params() != self.params {
             return Err(PirError::ParamsMismatch);
         }
-        let bits = key.eval_full();
+        let bits = {
+            let _eval = lightweb_telemetry::span!("pir.eval.ns");
+            key.eval_full()
+        };
         Ok(self.scan(&bits))
     }
 
@@ -213,6 +238,7 @@ impl PirServer {
     /// `bits` is the packed full-domain share bit vector.
     pub fn scan(&self, bits: &[u8]) -> Vec<u8> {
         debug_assert_eq!(bits.len(), self.params.output_len());
+        let _scan = lightweb_telemetry::span!("pir.scan.ns");
         let mut acc = vec![0u8; self.record_len];
         for (i, &slot) in self.slots.iter().enumerate() {
             let bit = (bits[(slot / 8) as usize] >> (slot % 8)) & 1;
@@ -236,7 +262,11 @@ impl PirServer {
                 return Err(PirError::ParamsMismatch);
             }
         }
-        let bit_vecs: Vec<Vec<u8>> = keys.iter().map(|k| k.eval_full()).collect();
+        let bit_vecs: Vec<Vec<u8>> = {
+            let _eval = lightweb_telemetry::span!("pir.eval.ns");
+            keys.iter().map(|k| k.eval_full()).collect()
+        };
+        let _scan = lightweb_telemetry::span!("pir.scan.ns");
         let mut accs = vec![vec![0u8; self.record_len]; keys.len()];
         for (i, &slot) in self.slots.iter().enumerate() {
             let rec = &self.data[i * self.record_len..(i + 1) * self.record_len];
@@ -298,7 +328,11 @@ impl TwoServerClient {
         if answer0.len() != answer1.len() {
             return Err(PirError::AnswerLen);
         }
-        Ok(answer0.iter().zip(answer1.iter()).map(|(a, b)| a ^ b).collect())
+        Ok(answer0
+            .iter()
+            .zip(answer1.iter())
+            .map(|(a, b)| a ^ b)
+            .collect())
     }
 
     /// Upload bytes for one query (both servers' keys).
@@ -356,7 +390,9 @@ mod tests {
         let s0 = PirServer::from_entries(p, 16, entries.clone()).unwrap();
         let s1 = s0.clone();
         let client = TwoServerClient::new(p, 16);
-        let empty_slot = (0..p.domain_size()).find(|s| !occupied.contains(s)).unwrap();
+        let empty_slot = (0..p.domain_size())
+            .find(|s| !occupied.contains(s))
+            .unwrap();
         let q = client.query_slot(empty_slot);
         let a0 = s0.answer(&q.key0).unwrap();
         let a1 = s1.answer(&q.key1).unwrap();
@@ -392,7 +428,10 @@ mod tests {
         let entries = vec![(3u64, vec![0u8; 7])];
         assert!(matches!(
             PirServer::from_entries(p, 8, entries).unwrap_err(),
-            PirError::RecordLen { expected: 8, got: 7 }
+            PirError::RecordLen {
+                expected: 8,
+                got: 7
+            }
         ));
     }
 
@@ -413,7 +452,10 @@ mod tests {
         let other = DpfParams::new(8, 2).unwrap();
         let client = TwoServerClient::new(other, 8);
         let q = client.query_slot(0);
-        assert_eq!(server.answer(&q.key0).unwrap_err(), PirError::ParamsMismatch);
+        assert_eq!(
+            server.answer(&q.key0).unwrap_err(),
+            PirError::ParamsMismatch
+        );
         assert_eq!(
             server.answer_batch(&[q.key0]).unwrap_err(),
             PirError::ParamsMismatch
@@ -445,7 +487,8 @@ mod tests {
     #[test]
     fn remove_deletes_record() {
         let p = params();
-        let mut server = PirServer::from_entries(p, 4, vec![(1, vec![1; 4]), (2, vec![2; 4])]).unwrap();
+        let mut server =
+            PirServer::from_entries(p, 4, vec![(1, vec![1; 4]), (2, vec![2; 4])]).unwrap();
         assert!(server.remove(1));
         assert!(!server.remove(1));
         assert_eq!(server.len(), 1);

@@ -1,0 +1,732 @@
+#![warn(missing_docs)]
+
+//! # lightweb-telemetry
+//!
+//! Observability substrate for the lightweb stack: a global [`Registry`]
+//! of named **counters**, **gauges**, and **log₂-bucketed latency
+//! histograms**, RAII **spans** that record wall time ([`span!`]), an
+//! optional JSON-lines **event sink** ([`events`]), and a Prometheus-style
+//! **text exporter** with a parse-back [`Snapshot`] API for tests.
+//!
+//! ## Design constraints
+//!
+//! * **Hot path is lock-free and allocation-free.** `Counter::inc`,
+//!   `Gauge::set`, and `Histogram::record` are single relaxed atomic
+//!   operations on pre-registered handles; the registry lock is touched
+//!   only at handle-creation time. The [`span!`] macro caches its
+//!   histogram handle in a `static OnceLock`, so steady-state span entry
+//!   and exit are a clock read plus one histogram record.
+//! * **Relaxed ordering caveat.** All metric atomics use
+//!   `Ordering::Relaxed`: values are individually exact (increments are
+//!   never lost) but a [`Snapshot`] taken while writers run is not a
+//!   consistent cut across metrics — e.g. `requests` may momentarily
+//!   exceed the sum of `batch.size` observations. Quiesce writers before
+//!   snapshotting when cross-metric equalities must hold exactly.
+//! * **Naming convention.** `<crate>.<subsystem>.<metric>`, e.g.
+//!   `zltp.server.requests`, `pir.scan.ns`, `transport.bytes.sent`.
+//!   Durations are recorded in nanoseconds and suffixed `.ns`.
+//!
+//! ## Example
+//!
+//! ```
+//! use lightweb_telemetry::{registry, span};
+//!
+//! let reqs = registry().counter("doc.server.requests");
+//! reqs.inc();
+//! {
+//!     let _guard = span!("doc.scan.ns");
+//!     // ... timed work ...
+//! }
+//! let snap = registry().snapshot();
+//! assert_eq!(snap.counters["doc.server.requests"], 1);
+//! assert_eq!(snap.histograms["doc.scan.ns"].count, 1);
+//! let text = lightweb_telemetry::render_text(&snap);
+//! let back = lightweb_telemetry::Snapshot::parse_text(&text).unwrap();
+//! assert_eq!(snap, back);
+//! ```
+
+pub mod events;
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Metric primitives.
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing counter. Cloning shares the same cell.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge with a high-water mark. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<GaugeCell>,
+}
+
+struct GaugeCell {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the current value (also advances the high-water mark).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.value.store(v, Ordering::Relaxed);
+        self.cell.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the current value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let v = self.cell.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.cell.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    #[inline]
+    pub fn max(&self) -> i64 {
+        self.cell.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds value 0, bucket `i` holds
+/// values with `i-1` = floor(log₂ v), i.e. `v` in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// nanoseconds). Recording is one relaxed `fetch_add` per cell — no
+/// locks, no allocation. Cloning shares the cells.
+#[derive(Clone)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &*self.cells;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let c = &*self.cells;
+        let buckets: Vec<u64> = c
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = c.sum.load(Ordering::Relaxed);
+        let max = c.max.load(Ordering::Relaxed);
+        let q = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the observation at quantile p (1-based).
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Midpoint-ish of bucket i's value range [2^(i-1), 2^i),
+                    // clamped to the observed max.
+                    let est = match i {
+                        0 => 0,
+                        1 => 1,
+                        _ => (1u64 << (i - 1)) + (1u64 << (i - 2)),
+                    };
+                    return est.min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+/// A namespace of metrics. Most code uses the global [`registry()`];
+/// independent registries exist for tests.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`. Takes the registry lock — call
+    /// once and keep the (cheaply cloneable) handle on hot paths.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge {
+                cell: Arc::new(GaugeCell {
+                    value: AtomicI64::new(0),
+                    max: AtomicI64::new(0),
+                }),
+            })
+            .clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram {
+                cells: Arc::new(HistogramCells {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    max: AtomicU64::new(0),
+                }),
+            })
+            .clone()
+    }
+
+    /// Capture every metric's current value. See the module docs for the
+    /// relaxed-ordering caveat: per-metric values are exact, cross-metric
+    /// consistency requires quiescent writers.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        GaugeSnapshot {
+                            value: v.get(),
+                            max: v.max(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zero every registered metric (handles stay valid). Intended for
+    /// per-experiment isolation in benches; racing writers may land
+    /// increments on either side of the reset.
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.cell.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.read().values() {
+            g.cell.value.store(0, Ordering::Relaxed);
+            g.cell.max.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.read().values() {
+            for b in &h.cells.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.cells.count.store(0, Ordering::Relaxed);
+            h.cells.sum.store(0, Ordering::Relaxed);
+            h.cells.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-wide registry all lightweb crates record into.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------
+
+/// RAII guard created by [`span!`]: records wall time into a histogram
+/// (and an event, if a sink is installed) when dropped.
+pub struct SpanGuard {
+    name: &'static str,
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Start a span now. Prefer the [`span!`] macro, which caches the
+    /// histogram handle.
+    pub fn new(name: &'static str, histogram: Histogram) -> Self {
+        SpanGuard {
+            name,
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.histogram.record(ns);
+        if events::enabled() {
+            events::emit(self.name, &[("ns", events::Field::U64(ns))]);
+        }
+    }
+}
+
+/// Open a timed span recording into the named global histogram:
+/// `let _g = span!("pir.scan.ns");`. The histogram handle is resolved
+/// once per call site and cached in a `static`, so steady-state cost is
+/// two clock reads and one atomic record — no registry lock.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        let h = HANDLE.get_or_init(|| $crate::registry().histogram($name));
+        $crate::SpanGuard::new($name, h.clone())
+    }};
+}
+
+/// Fetch a cached counter handle for a call site:
+/// `counter!("zltp.session.errors").inc()`. Same caching scheme as
+/// [`span!`] — the registry lock is taken only on first use.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+// ---------------------------------------------------------------------
+// Snapshot + exporter.
+// ---------------------------------------------------------------------
+
+/// Point-in-time gauge value and high-water mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Last value set.
+    pub value: i64,
+    /// Highest value ever set.
+    pub max: i64,
+}
+
+/// Point-in-time histogram summary. Quantiles are log₂-bucket estimates
+/// (geometric bucket midpoints, clamped to `max`); `count`, `sum`, and
+/// `max` are exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+/// All metric values at one instant. Round-trips through the text
+/// exporter: `Snapshot::parse_text(&render_text(&s)) == Ok(s)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter delta against an earlier snapshot (missing-then = 0).
+    pub fn counter_delta(&self, earlier: &Snapshot, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+            - earlier.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Parse exporter text back into a snapshot. Accepts exactly the
+    /// format produced by [`render_text`].
+    pub fn parse_text(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("line {}: bad value {v:?}: {e}", lineno + 1))
+            };
+            let parse_i64 = |v: &str| {
+                v.parse::<i64>()
+                    .map_err(|e| format!("line {}: bad value {v:?}: {e}", lineno + 1))
+            };
+            if let Some((name, label)) = key.split_once('{') {
+                // Histogram quantile line: name{q="0.5"} value
+                let q = label
+                    .strip_suffix("\"}")
+                    .and_then(|l| l.strip_prefix("q=\""))
+                    .ok_or_else(|| format!("line {}: bad label {label:?}", lineno + 1))?;
+                let h = snap
+                    .histograms
+                    .entry(name.to_string())
+                    .or_insert(EMPTY_HIST);
+                let v = parse_u64(value)?;
+                match q {
+                    "0.5" => h.p50 = v,
+                    "0.9" => h.p90 = v,
+                    "0.99" => h.p99 = v,
+                    other => {
+                        return Err(format!("line {}: unknown quantile {other:?}", lineno + 1))
+                    }
+                }
+            } else if let Some(name) = key.strip_suffix("_count") {
+                snap.histograms
+                    .entry(name.to_string())
+                    .or_insert(EMPTY_HIST)
+                    .count = parse_u64(value)?;
+            } else if let Some(name) = key.strip_suffix("_sum") {
+                snap.histograms
+                    .entry(name.to_string())
+                    .or_insert(EMPTY_HIST)
+                    .sum = parse_u64(value)?;
+            } else if let Some(name) = key.strip_suffix("_max") {
+                if let Some(g) = key.strip_suffix("_gauge_max") {
+                    snap.gauges.entry(g.to_string()).or_insert(EMPTY_GAUGE).max = parse_i64(value)?;
+                } else {
+                    snap.histograms
+                        .entry(name.to_string())
+                        .or_insert(EMPTY_HIST)
+                        .max = parse_u64(value)?;
+                }
+            } else if let Some(name) = key.strip_suffix("_gauge") {
+                snap.gauges
+                    .entry(name.to_string())
+                    .or_insert(EMPTY_GAUGE)
+                    .value = parse_i64(value)?;
+            } else {
+                snap.counters.insert(key.to_string(), parse_u64(value)?);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+const EMPTY_HIST: HistogramSnapshot = HistogramSnapshot {
+    count: 0,
+    sum: 0,
+    max: 0,
+    p50: 0,
+    p90: 0,
+    p99: 0,
+};
+const EMPTY_GAUGE: GaugeSnapshot = GaugeSnapshot { value: 0, max: 0 };
+
+/// Render a snapshot in the Prometheus-style text format:
+///
+/// ```text
+/// # counters
+/// zltp.server.requests 128
+/// # gauges (value, then high-water mark)
+/// oram.stash.depth_gauge 3
+/// oram.stash.depth_gauge_max 11
+/// # histograms (quantiles, then count/sum/max)
+/// pir.scan.ns{q="0.5"} 104857600
+/// pir.scan.ns_count 128
+/// ```
+pub fn render_text(snap: &Snapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("# counters\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("# gauges\n");
+        for (name, g) in &snap.gauges {
+            let _ = writeln!(out, "{name}_gauge {}", g.value);
+            let _ = writeln!(out, "{name}_gauge_max {}", g.max);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("# histograms\n");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "{name}{{q=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{name}{{q=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "{name}{{q=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_max {}", h.max);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_basics() {
+        let r = Registry::new();
+        let c = r.counter("t.c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name -> same cell.
+        r.counter("t.c").inc();
+        assert_eq!(c.get(), 6);
+
+        let g = r.gauge("t.g");
+        g.set(10);
+        g.add(-3);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 10);
+
+        let h = r.histogram("t.h");
+        for v in [0u64, 1, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 101_106);
+        assert_eq!(s.max, 100_000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_right() {
+        let r = Registry::new();
+        let h = r.histogram("t.q");
+        // 90 fast observations ~1µs, 10 slow ~1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 >= 512 && s.p50 <= 2048, "p50 = {}", s.p50);
+        assert!(s.p99 >= 512 * 1024 && s.p99 <= 1_000_000, "p99 = {}", s.p99);
+        assert_eq!(s.max, 1_000_000);
+    }
+
+    #[test]
+    fn exporter_round_trips() {
+        let r = Registry::new();
+        r.counter("a.b.c").add(42);
+        r.counter("transport.bytes.sent").add(13_926);
+        let g = r.gauge("oram.stash.depth");
+        g.set(7);
+        g.set(3);
+        let h = r.histogram("pir.scan.ns");
+        for v in [5u64, 900, 1_048_576, 3_000_000] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let text = render_text(&snap);
+        let back = Snapshot::parse_text(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Registry::new().snapshot();
+        assert_eq!(Snapshot::parse_text(&render_text(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Snapshot::parse_text("no-value-line\n").is_err());
+        assert!(Snapshot::parse_text("x{bad=\"l\"} 1\n").is_err());
+        assert!(Snapshot::parse_text("c notanumber\n").is_err());
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("t.r");
+        let h = r.histogram("t.rh");
+        c.add(5);
+        h.record(99);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counters["t.r"], 1);
+    }
+
+    #[test]
+    fn span_macro_records_into_global() {
+        let before = registry().snapshot();
+        {
+            let _g = span!("telemetry.test.span.ns");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let after = registry().snapshot();
+        let h = after.histograms["telemetry.test.span.ns"];
+        let before_count = before
+            .histograms
+            .get("telemetry.test.span.ns")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert_eq!(h.count, before_count + 1);
+        assert!(h.max >= 2_000_000, "span recorded {} ns", h.max);
+    }
+
+    #[test]
+    fn concurrent_recording_from_many_threads_loses_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50_000;
+        let r = Registry::new();
+        // Handles created up front: the hot loop below must touch no lock.
+        let c = r.counter("t.mt.count");
+        let h = r.histogram("t.mt.hist");
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record((t as u64) << 32 | i);
+                    }
+                });
+            }
+        });
+        let total = THREADS as u64 * PER_THREAD;
+        assert_eq!(c.get(), total);
+        let s = h.snapshot();
+        assert_eq!(s.count, total);
+    }
+}

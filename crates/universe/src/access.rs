@@ -53,7 +53,9 @@ pub struct AccessKeyring {
 impl AccessKeyring {
     /// Start a keyring at epoch 0 with a fresh key.
     pub fn new() -> Self {
-        Self { keys: vec![lightweb_crypto::random_key()] }
+        Self {
+            keys: vec![lightweb_crypto::random_key()],
+        }
     }
 
     /// Current epoch number.
@@ -148,7 +150,10 @@ mod tests {
         let ring = AccessKeyring::new();
         let pass = ring.issue_pass(0);
         let protected = ring.protect("nyt.com/premium/article", b"the scoop");
-        assert_eq!(pass.open("nyt.com/premium/article", &protected).unwrap(), b"the scoop");
+        assert_eq!(
+            pass.open("nyt.com/premium/article", &protected).unwrap(),
+            b"the scoop"
+        );
     }
 
     #[test]
@@ -157,7 +162,10 @@ mod tests {
         let ring_b = AccessKeyring::new();
         let protected = ring_a.protect("p", b"secret");
         let wrong_pass = ring_b.issue_pass(0);
-        assert_eq!(wrong_pass.open("p", &protected), Err(AccessError::BadCiphertext));
+        assert_eq!(
+            wrong_pass.open("p", &protected),
+            Err(AccessError::BadCiphertext)
+        );
     }
 
     #[test]
@@ -167,7 +175,10 @@ mod tests {
         ring.rotate();
         let fresh = ring.protect("p", b"new content");
         // Old pass lacks the epoch-1 key.
-        assert_eq!(old_pass.open("p", &fresh), Err(AccessError::NoKeyForEpoch(1)));
+        assert_eq!(
+            old_pass.open("p", &fresh),
+            Err(AccessError::NoKeyForEpoch(1))
+        );
         // A renewed subscriber can read.
         let new_pass = ring.issue_pass(0);
         assert_eq!(new_pass.open("p", &fresh).unwrap(), b"new content");
@@ -191,7 +202,10 @@ mod tests {
         let old = ring.protect("p", b"archive");
         ring.rotate();
         let late_pass = ring.issue_pass(1);
-        assert_eq!(late_pass.open("p", &old), Err(AccessError::NoKeyForEpoch(0)));
+        assert_eq!(
+            late_pass.open("p", &old),
+            Err(AccessError::NoKeyForEpoch(0))
+        );
     }
 
     #[test]

@@ -53,8 +53,14 @@ pub enum BlobError {
 impl std::fmt::Display for BlobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BlobError::TooLarge { value_len, capacity } => {
-                write!(f, "value of {value_len} bytes exceeds chain capacity {capacity}")
+            BlobError::TooLarge {
+                value_len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "value of {value_len} bytes exceeds chain capacity {capacity}"
+                )
             }
             BlobError::Corrupt(m) => write!(f, "corrupt blob: {m}"),
             BlobError::BlobTooSmall(n) => write!(f, "blob size {n} cannot hold a header"),
@@ -80,7 +86,10 @@ pub fn encode_blob(value: &[u8], blob_len: usize) -> Result<Vec<u8>, BlobError> 
         return Err(BlobError::BlobTooSmall(blob_len));
     }
     if value.len() > blob_capacity(blob_len) {
-        return Err(BlobError::TooLarge { value_len: value.len(), capacity: blob_capacity(blob_len) });
+        return Err(BlobError::TooLarge {
+            value_len: value.len(),
+            capacity: blob_capacity(blob_len),
+        });
     }
     let mut out = vec![0u8; blob_len];
     out[0] = 0;
@@ -94,14 +103,21 @@ pub fn encode_blob(value: &[u8], blob_len: usize) -> Result<Vec<u8>, BlobError> 
 ///
 /// Returns the blobs in order; blob `i > 0` belongs at
 /// [`continuation_path`]`(path, i)`.
-pub fn encode_chain(value: &[u8], blob_len: usize, max_parts: usize) -> Result<Vec<Vec<u8>>, BlobError> {
+pub fn encode_chain(
+    value: &[u8],
+    blob_len: usize,
+    max_parts: usize,
+) -> Result<Vec<Vec<u8>>, BlobError> {
     if blob_len < BLOB_HEADER_LEN {
         return Err(BlobError::BlobTooSmall(blob_len));
     }
     let cap = blob_capacity(blob_len);
     let total_capacity = cap * max_parts;
     if value.len() > total_capacity {
-        return Err(BlobError::TooLarge { value_len: value.len(), capacity: total_capacity });
+        return Err(BlobError::TooLarge {
+            value_len: value.len(),
+            capacity: total_capacity,
+        });
     }
     let parts: Vec<&[u8]> = if value.is_empty() {
         vec![&[][..]]
@@ -111,7 +127,11 @@ pub fn encode_chain(value: &[u8], blob_len: usize, max_parts: usize) -> Result<V
     let mut blobs = Vec::with_capacity(parts.len());
     for (i, part) in parts.iter().enumerate() {
         let mut blob = vec![0u8; blob_len];
-        blob[0] = if i + 1 < parts.len() { FLAG_HAS_NEXT } else { 0 };
+        blob[0] = if i + 1 < parts.len() {
+            FLAG_HAS_NEXT
+        } else {
+            0
+        };
         blob[1..5].copy_from_slice(&(part.len() as u32).to_be_bytes());
         blob[BLOB_HEADER_LEN..BLOB_HEADER_LEN + part.len()].copy_from_slice(part);
         blobs.push(blob);
@@ -122,7 +142,10 @@ pub fn encode_chain(value: &[u8], blob_len: usize, max_parts: usize) -> Result<V
 /// Decode one blob into its header and payload slice.
 pub fn decode_blob(blob: &[u8]) -> Result<(BlobHeader, &[u8]), BlobError> {
     if blob.len() < BLOB_HEADER_LEN {
-        return Err(BlobError::Corrupt(format!("{} bytes is below header size", blob.len())));
+        return Err(BlobError::Corrupt(format!(
+            "{} bytes is below header size",
+            blob.len()
+        )));
     }
     let flags = blob[0];
     if flags & !FLAG_HAS_NEXT != 0 {
@@ -136,7 +159,10 @@ pub fn decode_blob(blob: &[u8]) -> Result<(BlobHeader, &[u8]), BlobError> {
         )));
     }
     Ok((
-        BlobHeader { has_next: flags & FLAG_HAS_NEXT != 0, payload_len: len },
+        BlobHeader {
+            has_next: flags & FLAG_HAS_NEXT != 0,
+            payload_len: len,
+        },
         &blob[BLOB_HEADER_LEN..BLOB_HEADER_LEN + len],
     ))
 }
@@ -157,7 +183,9 @@ pub fn decode_chain(
             return Ok(out);
         }
     }
-    Err(BlobError::Corrupt(format!("chain exceeds {max_parts} parts")))
+    Err(BlobError::Corrupt(format!(
+        "chain exceeds {max_parts} parts"
+    )))
 }
 
 #[cfg(test)]
@@ -193,7 +221,10 @@ mod tests {
     fn oversize_single_blob_rejected() {
         assert!(matches!(
             encode_blob(&[0u8; 60], 64),
-            Err(BlobError::TooLarge { value_len: 60, capacity: 59 })
+            Err(BlobError::TooLarge {
+                value_len: 60,
+                capacity: 59
+            })
         ));
     }
 
@@ -204,7 +235,10 @@ mod tests {
             let blobs = encode_chain(&value, 64, 16).unwrap();
             assert!(blobs.iter().all(|b| b.len() == 64), "fixed size violated");
             let got = decode_chain(16, |i| {
-                blobs.get(i).cloned().ok_or(BlobError::Corrupt("missing part".into()))
+                blobs
+                    .get(i)
+                    .cloned()
+                    .ok_or(BlobError::Corrupt("missing part".into()))
             })
             .unwrap();
             assert_eq!(got, value, "value_len={value_len}");
@@ -253,13 +287,22 @@ mod tests {
     #[test]
     fn continuation_paths_are_distinct() {
         assert_eq!(continuation_path("a.com/x", 1), "a.com/x#part1");
-        assert_ne!(continuation_path("a.com/x", 1), continuation_path("a.com/x", 2));
+        assert_ne!(
+            continuation_path("a.com/x", 1),
+            continuation_path("a.com/x", 2)
+        );
     }
 
     #[test]
     fn tiny_blob_sizes_rejected() {
-        assert!(matches!(encode_blob(b"", 4), Err(BlobError::BlobTooSmall(4))));
-        assert!(matches!(encode_chain(b"", 4, 2), Err(BlobError::BlobTooSmall(4))));
+        assert!(matches!(
+            encode_blob(b"", 4),
+            Err(BlobError::BlobTooSmall(4))
+        ));
+        assert!(matches!(
+            encode_chain(b"", 4, 2),
+            Err(BlobError::BlobTooSmall(4))
+        ));
     }
 
     #[test]

@@ -203,7 +203,10 @@ impl std::error::Error for JsonError {}
 
 /// Parse a JSON document. Trailing non-whitespace is an error.
 pub fn parse_json(input: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value(0)?;
     p.skip_ws();
@@ -224,7 +227,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { message: message.to_string(), offset: self.pos }
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -299,7 +305,10 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Value::Number)
-            .map_err(|_| JsonError { message: "invalid number".into(), offset: start })
+            .map_err(|_| JsonError {
+                message: "invalid number".into(),
+                offset: start,
+            })
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
@@ -334,8 +343,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
@@ -466,25 +474,36 @@ mod tests {
 
     #[test]
     fn unicode_and_surrogates() {
-        assert_eq!(
-            parse_json(r#""é""#).unwrap(),
-            Value::String("é".into())
-        );
+        assert_eq!(parse_json(r#""é""#).unwrap(), Value::String("é".into()));
         // U+1F600 as a surrogate pair.
-        assert_eq!(
-            parse_json(r#""😀""#).unwrap(),
-            Value::String("😀".into())
-        );
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Value::String("😀".into()));
         // Raw UTF-8 passes through.
-        assert_eq!(parse_json("\"héllo\"").unwrap(), Value::String("héllo".into()));
+        assert_eq!(
+            parse_json("\"héllo\"").unwrap(),
+            Value::String("héllo".into())
+        );
     }
 
     #[test]
     fn malformed_inputs_rejected() {
         for bad in [
-            "", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "tru", "nul",
-            "\"unterminated", "01x", "[1],", "{\"a\":1,}", "\"\\q\"", "\"\\u12\"",
-            "\"\\ud800\"", "--1",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "\"unterminated",
+            "01x",
+            "[1],",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "--1",
         ] {
             assert!(parse_json(bad).is_err(), "accepted {bad:?}");
         }

@@ -19,9 +19,9 @@ use std::sync::Arc;
 /// has it under a different owner), then republishes code and data.
 /// Returns the number of data values pushed.
 pub fn push_domain(src: &Universe, dst: &Universe, domain: &str) -> Result<usize, UniverseError> {
-    let export = src
-        .export_domain(domain)
-        .ok_or_else(|| UniverseError::InvalidDomain(format!("{domain} not present in {}", src.id())))?;
+    let export = src.export_domain(domain).ok_or_else(|| {
+        UniverseError::InvalidDomain(format!("{domain} not present in {}", src.id()))
+    })?;
     dst.register_domain(&export.domain, &export.owner)?;
     if let Some(code) = &export.code {
         dst.publish_code(&export.owner, &export.domain, code)?;
@@ -107,8 +107,10 @@ mod tests {
         let (a, b) = two_universes();
         a.register_domain("news.com", "News").unwrap();
         a.publish_code("News", "news.com", "code").unwrap();
-        a.publish_data("News", "news.com/front", b"front page").unwrap();
-        a.publish_data("News", "news.com/sports", b"sports page").unwrap();
+        a.publish_data("News", "news.com/front", b"front page")
+            .unwrap();
+        a.publish_data("News", "news.com/sports", b"sports page")
+            .unwrap();
 
         let pushed = push_domain(&a, &b, "news.com").unwrap();
         assert_eq!(pushed, 2);
@@ -151,7 +153,9 @@ mod tests {
         let group = PeerGroup::new(vec![a.clone(), b.clone()]);
         group.register_domain("wiki.org", "Wiki").unwrap();
         group.publish_code("Wiki", "wiki.org", "wiki-code").unwrap();
-        group.publish_data("Wiki", "wiki.org/Uganda", b"article").unwrap();
+        group
+            .publish_data("Wiki", "wiki.org/Uganda", b"article")
+            .unwrap();
         assert_eq!(a.num_data_values(), 1);
         assert_eq!(b.num_data_values(), 1);
         assert_eq!(a.num_code_blobs(), 1);

@@ -35,12 +35,20 @@ impl TieredCdn {
             cfg.tier = tier;
             tiers.push((tier, Universe::new(cfg)?));
         }
-        Ok(Self { tiers, placement: RwLock::new(HashMap::new()) })
+        Ok(Self {
+            tiers,
+            placement: RwLock::new(HashMap::new()),
+        })
     }
 
     /// The universe serving `tier`.
     pub fn universe(&self, tier: Tier) -> &Universe {
-        &self.tiers.iter().find(|(t, _)| *t == tier).expect("all tiers present").1
+        &self
+            .tiers
+            .iter()
+            .find(|(t, _)| *t == tier)
+            .expect("all tiers present")
+            .1
     }
 
     /// Register a domain across every tier (a publisher may end up with
@@ -53,7 +61,12 @@ impl TieredCdn {
     }
 
     /// Publish code to every tier the publisher's pages might land in.
-    pub fn publish_code(&self, publisher: &str, domain: &str, code: &str) -> Result<(), UniverseError> {
+    pub fn publish_code(
+        &self,
+        publisher: &str,
+        domain: &str,
+        code: &str,
+    ) -> Result<(), UniverseError> {
         for (_, u) in &self.tiers {
             u.publish_code(publisher, domain, code)?;
         }
@@ -87,7 +100,10 @@ impl TieredCdn {
 
     /// Per-tier page counts — the CDN's cost/coverage dashboard.
     pub fn tier_populations(&self) -> Vec<(Tier, usize)> {
-        self.tiers.iter().map(|(t, u)| (*t, u.num_data_values())).collect()
+        self.tiers
+            .iter()
+            .map(|(t, u)| (*t, u.num_data_values()))
+            .collect()
     }
 }
 
@@ -106,15 +122,18 @@ mod tests {
     fn values_route_to_the_smallest_fitting_tier() {
         let cdn = cdn();
         assert_eq!(
-            cdn.publish_auto("Mix", "mix.com/tiny", &[1u8; 100]).unwrap(),
+            cdn.publish_auto("Mix", "mix.com/tiny", &[1u8; 100])
+                .unwrap(),
             Tier::Small
         );
         assert_eq!(
-            cdn.publish_auto("Mix", "mix.com/middling", &[2u8; 2000]).unwrap(),
+            cdn.publish_auto("Mix", "mix.com/middling", &[2u8; 2000])
+                .unwrap(),
             Tier::Medium
         );
         assert_eq!(
-            cdn.publish_auto("Mix", "mix.com/big", &[3u8; 10_000]).unwrap(),
+            cdn.publish_auto("Mix", "mix.com/big", &[3u8; 10_000])
+                .unwrap(),
             Tier::Large
         );
         assert_eq!(cdn.tier_of("mix.com/tiny"), Some(Tier::Small));
@@ -127,15 +146,19 @@ mod tests {
     fn oversized_values_chain_in_the_large_tier() {
         let cdn = cdn();
         // Larger than one 16 KiB blob: chained in Large.
-        let tier = cdn.publish_auto("Mix", "mix.com/epic", &vec![9u8; 40_000]).unwrap();
+        let tier = cdn
+            .publish_auto("Mix", "mix.com/epic", &vec![9u8; 40_000])
+            .unwrap();
         assert_eq!(tier, Tier::Large);
     }
 
     #[test]
     fn each_tier_serves_its_content_via_zltp() {
         let cdn = cdn();
-        cdn.publish_auto("Mix", "mix.com/tiny", b"small page").unwrap();
-        cdn.publish_auto("Mix", "mix.com/middling", &vec![7u8; 2000]).unwrap();
+        cdn.publish_auto("Mix", "mix.com/tiny", b"small page")
+            .unwrap();
+        cdn.publish_auto("Mix", "mix.com/middling", &vec![7u8; 2000])
+            .unwrap();
 
         // Small tier.
         let (c0, c1) = cdn.universe(Tier::Small).connect_data();
@@ -155,7 +178,10 @@ mod tests {
 
         let zero = small.private_get("mix.com/middling").unwrap();
         let (h, _) = crate::blob::decode_blob(&zero).unwrap();
-        assert_eq!(h.payload_len, 0, "middling page must not be in the small tier");
+        assert_eq!(
+            h.payload_len, 0,
+            "middling page must not be in the small tier"
+        );
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl std::fmt::Display for UniverseError {
             UniverseError::Blob(m) => write!(f, "blob encoding: {m}"),
             UniverseError::Server(m) => write!(f, "server: {m}"),
             UniverseError::CodeTooLarge { len, max } => {
-                write!(f, "code blob is {len} bytes; the code universe serves {max}")
+                write!(
+                    f,
+                    "code blob is {len} bytes; the code universe serves {max}"
+                )
             }
         }
     }
@@ -175,12 +178,32 @@ impl Universe {
         let data_id = format!("{}/data", config.id);
         let code_id = format!("{}/code", config.id);
         let data = [
-            InProcServer::new(mk(data_id.clone(), config.tier.data_blob_len(), config.data_domain_bits, 0)?),
-            InProcServer::new(mk(data_id, config.tier.data_blob_len(), config.data_domain_bits, 1)?),
+            InProcServer::new(mk(
+                data_id.clone(),
+                config.tier.data_blob_len(),
+                config.data_domain_bits,
+                0,
+            )?),
+            InProcServer::new(mk(
+                data_id,
+                config.tier.data_blob_len(),
+                config.data_domain_bits,
+                1,
+            )?),
         ];
         let code = [
-            InProcServer::new(mk(code_id.clone(), config.code_blob_len, config.code_domain_bits, 0)?),
-            InProcServer::new(mk(code_id, config.code_blob_len, config.code_domain_bits, 1)?),
+            InProcServer::new(mk(
+                code_id.clone(),
+                config.code_blob_len,
+                config.code_domain_bits,
+                0,
+            )?),
+            InProcServer::new(mk(
+                code_id,
+                config.code_blob_len,
+                config.code_domain_bits,
+                1,
+            )?),
         ];
         Ok(Self {
             config,
@@ -257,7 +280,10 @@ impl Universe {
     fn check_owner(&self, domain: &str, publisher: &str) -> Result<(), UniverseError> {
         match self.owner_of(domain) {
             Some(o) if o == publisher => Ok(()),
-            owner => Err(UniverseError::NotOwner { domain: domain.to_string(), owner }),
+            owner => Err(UniverseError::NotOwner {
+                domain: domain.to_string(),
+                owner,
+            }),
         }
     }
 
@@ -266,13 +292,19 @@ impl Universe {
     // ------------------------------------------------------------------
 
     /// Publish a domain's code blob (its routing/rendering program).
-    pub fn publish_code(&self, publisher: &str, domain: &str, code: &str) -> Result<(), UniverseError> {
+    pub fn publish_code(
+        &self,
+        publisher: &str,
+        domain: &str,
+        code: &str,
+    ) -> Result<(), UniverseError> {
         self.check_owner(domain, publisher)?;
         let encoded = crate::blob::encode_blob(code.as_bytes(), self.config.code_blob_len)
             .map_err(|e| match e {
-                BlobError::TooLarge { value_len, .. } => {
-                    UniverseError::CodeTooLarge { len: value_len, max: self.config.code_blob_len }
-                }
+                BlobError::TooLarge { value_len, .. } => UniverseError::CodeTooLarge {
+                    len: value_len,
+                    max: self.config.code_blob_len,
+                },
                 other => other.into(),
             })?;
         for server in &self.code {
@@ -281,20 +313,30 @@ impl Universe {
                 .publish(domain, &encoded)
                 .map_err(|e| map_publish_err(&e.to_string()))?;
         }
-        self.code_content.write().insert(domain.to_string(), code.to_string());
+        self.code_content
+            .write()
+            .insert(domain.to_string(), code.to_string());
         Ok(())
     }
 
     /// Publish a data value at `path`, chaining across blobs if needed.
     /// Returns the number of blobs written.
-    pub fn publish_data(&self, publisher: &str, path: &str, value: &[u8]) -> Result<usize, UniverseError> {
+    pub fn publish_data(
+        &self,
+        publisher: &str,
+        path: &str,
+        value: &[u8],
+    ) -> Result<usize, UniverseError> {
         let domain = Self::domain_of(path)?;
         self.check_owner(domain, publisher)?;
         let blob_len = self.config.tier.data_blob_len();
         let blobs = encode_chain(value, blob_len, self.config.max_chain_parts)?;
         for (i, blob) in blobs.iter().enumerate() {
-            let part_path =
-                if i == 0 { path.to_string() } else { continuation_path(path, i) };
+            let part_path = if i == 0 {
+                path.to_string()
+            } else {
+                continuation_path(path, i)
+            };
             for server in &self.data {
                 server
                     .server()
@@ -302,7 +344,9 @@ impl Universe {
                     .map_err(|e| map_publish_err(&e.to_string()))?;
             }
         }
-        self.content.write().insert(path.to_string(), value.to_vec());
+        self.content
+            .write()
+            .insert(path.to_string(), value.to_vec());
         Ok(blobs.len())
     }
 
@@ -323,7 +367,10 @@ impl Universe {
         let existed = self.content.write().remove(path).is_some();
         if existed {
             for server in &self.data {
-                server.server().unpublish(path).map_err(|e| UniverseError::Server(e.to_string()))?;
+                server
+                    .server()
+                    .unpublish(path)
+                    .map_err(|e| UniverseError::Server(e.to_string()))?;
                 for i in 1..=self.config.max_chain_parts {
                     let p = continuation_path(path, i);
                     if !server
@@ -390,7 +437,12 @@ impl Universe {
             .filter(|(p, _)| p.as_str() == domain || p.starts_with(&prefix))
             .map(|(p, v)| (p.clone(), v.clone()))
             .collect();
-        Some(DomainExport { domain: domain.to_string(), owner, code, values })
+        Some(DomainExport {
+            domain: domain.to_string(),
+            owner,
+            code,
+            values,
+        })
     }
 }
 
@@ -426,9 +478,19 @@ mod tests {
 
     #[test]
     fn domain_extraction_and_validation() {
-        assert_eq!(Universe::domain_of("nytimes.com/world/africa").unwrap(), "nytimes.com");
+        assert_eq!(
+            Universe::domain_of("nytimes.com/world/africa").unwrap(),
+            "nytimes.com"
+        );
         assert_eq!(Universe::domain_of("a.b/x").unwrap(), "a.b");
-        for bad in ["", "/x", "nodot/x", "UPPER.com/x", ".dot.com/x", "dot.com./x"] {
+        for bad in [
+            "",
+            "/x",
+            "nodot/x",
+            "UPPER.com/x",
+            ".dot.com/x",
+            "dot.com./x",
+        ] {
             assert!(Universe::domain_of(bad).is_err(), "accepted {bad:?}");
         }
     }
@@ -468,7 +530,8 @@ mod tests {
     fn published_data_is_retrievable_via_zltp() {
         let u = universe();
         u.register_domain("example.com", "Ex").unwrap();
-        u.publish_data("Ex", "example.com/hello", b"hello world").unwrap();
+        u.publish_data("Ex", "example.com/hello", b"hello world")
+            .unwrap();
 
         let (c0, c1) = u.connect_data();
         let mut client = TwoServerZltp::connect(c0, c1).unwrap();
@@ -483,8 +546,13 @@ mod tests {
         let u = universe();
         u.register_domain("big.com", "Big").unwrap();
         let value: Vec<u8> = (0..2500u32).map(|i| (i % 251) as u8).collect();
-        let parts = u.publish_data("Big", "big.com/long-article", &value).unwrap();
-        assert!(parts > 1, "expected chaining for 2.5 KB in a 1 KiB-blob universe");
+        let parts = u
+            .publish_data("Big", "big.com/long-article", &value)
+            .unwrap();
+        assert!(
+            parts > 1,
+            "expected chaining for 2.5 KB in a 1 KiB-blob universe"
+        );
 
         let (c0, c1) = u.connect_data();
         let mut client = TwoServerZltp::connect(c0, c1).unwrap();
@@ -517,8 +585,12 @@ mod tests {
     fn code_blobs_publish_and_serve() {
         let u = universe();
         u.register_domain("site.org", "Site").unwrap();
-        u.publish_code("Site", "site.org", "route { \"/\" -> data \"site.org/home\" }")
-            .unwrap();
+        u.publish_code(
+            "Site",
+            "site.org",
+            "route { \"/\" -> data \"site.org/home\" }",
+        )
+        .unwrap();
         assert_eq!(u.num_code_blobs(), 1);
 
         let (c0, c1) = u.connect_code();
@@ -574,6 +646,10 @@ mod tests {
     fn tier_sizes_are_ordered() {
         assert!(Tier::Small.data_blob_len() < Tier::Medium.data_blob_len());
         assert!(Tier::Medium.data_blob_len() < Tier::Large.data_blob_len());
-        assert_eq!(Tier::Medium.data_blob_len(), 4096, "paper's 4 KiB operating point");
+        assert_eq!(
+            Tier::Medium.data_blob_len(),
+            4096,
+            "paper's 4 KiB operating point"
+        );
     }
 }

@@ -24,7 +24,12 @@ pub struct CorpusSpec {
 impl CorpusSpec {
     /// The C4 corpus of §5: 360M pages, 0.9 KiB average (305 GiB total).
     pub fn c4() -> Self {
-        Self { name: "C4", full_scale_pages: 360_000_000, mean_page_bytes: 0.9 * 1024.0, sigma: 0.8 }
+        Self {
+            name: "C4",
+            full_scale_pages: 360_000_000,
+            mean_page_bytes: 0.9 * 1024.0,
+            sigma: 0.8,
+        }
     }
 
     /// The Wikipedia corpus of Table 2: 60M pages, 0.4 KiB average
@@ -52,11 +57,7 @@ impl CorpusSpec {
             .map(|i| {
                 let z: f64 = sample_standard_normal(&mut rng);
                 let size = (mu + self.sigma * z).exp().round().max(16.0) as usize;
-                let path = format!(
-                    "site-{:03}.example/page/{:08}",
-                    i % 997,
-                    i
-                );
+                let path = format!("site-{:03}.example/page/{:08}", i % 997, i);
                 let body = deterministic_body(i as u64 ^ seed, size);
                 SyntheticPage { path, body }
             })
@@ -125,8 +126,7 @@ mod tests {
     fn mean_size_matches_spec() {
         let spec = CorpusSpec::c4();
         let pages = spec.generate(4000, 1);
-        let mean: f64 =
-            pages.iter().map(|p| p.body.len() as f64).sum::<f64>() / pages.len() as f64;
+        let mean: f64 = pages.iter().map(|p| p.body.len() as f64).sum::<f64>() / pages.len() as f64;
         let target = spec.mean_page_bytes;
         assert!(
             (mean - target).abs() < target * 0.15,

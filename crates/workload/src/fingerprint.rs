@@ -56,7 +56,11 @@ pub fn simulate_proxy_flow(page_objects: &[usize], rng: &mut impl Rng) -> FlowOb
         total += seen;
         max = max.max(seen);
     }
-    FlowObservation { num_requests: page_objects.len() as f64, total_bytes: total, max_response: max }
+    FlowObservation {
+        num_requests: page_objects.len() as f64,
+        total_bytes: total,
+        max_response: max,
+    }
 }
 
 /// The traffic signature of loading *any* lightweb page: exactly
@@ -104,7 +108,9 @@ impl NearestCentroid {
         self.centroids
             .iter()
             .min_by(|(_, a), (_, b)| {
-                dist(a, &f).partial_cmp(&dist(b, &f)).expect("finite features")
+                dist(a, &f)
+                    .partial_cmp(&dist(b, &f))
+                    .expect("finite features")
             })
             .map(|(label, _)| *label)
             .expect("classifier trained on at least one class")
@@ -191,9 +197,7 @@ mod tests {
         // collapse to (at best) guessing one fixed class.
         let classes = 20usize;
         let train: Vec<(usize, FlowObservation)> = (0..classes)
-            .flat_map(|label| {
-                (0..8).map(move |_| (label, simulate_lightweb_flow(5, 1024)))
-            })
+            .flat_map(|label| (0..8).map(move |_| (label, simulate_lightweb_flow(5, 1024))))
             .collect();
         let test: Vec<(usize, FlowObservation)> = (0..classes)
             .map(|label| (label, simulate_lightweb_flow(5, 1024)))
@@ -230,7 +234,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 38, "homepage/article separation failed: {correct}/40");
+        assert!(
+            correct >= 38,
+            "homepage/article separation failed: {correct}/40"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub enum Archetype {
 impl Archetype {
     /// All archetypes.
     pub fn all() -> [Archetype; 3] {
-        [Archetype::MorningNewsReader, Archetype::AllDayBrowser, Archetype::EveningResearcher]
+        [
+            Archetype::MorningNewsReader,
+            Archetype::AllDayBrowser,
+            Archetype::EveningResearcher,
+        ]
     }
 
     /// Generate one day of visit times (seconds since midnight).
@@ -82,11 +86,18 @@ pub struct TimingFeatures {
 /// Extract features from a day of observed page-load times.
 pub fn extract_features(times: &[f64]) -> TimingFeatures {
     if times.is_empty() {
-        return TimingFeatures { count: 0.0, mean_gap: 0.0, morning_fraction: 0.0 };
+        return TimingFeatures {
+            count: 0.0,
+            mean_gap: 0.0,
+            morning_fraction: 0.0,
+        };
     }
     let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
-    let mean_gap =
-        if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+    let mean_gap = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
     let morning = times.iter().filter(|&&t| t < 12.0 * 3600.0).count() as f64;
     TimingFeatures {
         count: times.len() as f64,
@@ -103,7 +114,11 @@ pub struct TimingClassifier {
 
 fn feature_vec(f: &TimingFeatures) -> [f64; 3] {
     // Normalize scales: counts ~tens, gaps ~hundreds of seconds.
-    [f.count / 10.0, (f.mean_gap + 1.0).ln(), f.morning_fraction * 5.0]
+    [
+        f.count / 10.0,
+        (f.mean_gap + 1.0).ln(),
+        f.morning_fraction * 5.0,
+    ]
 }
 
 impl TimingClassifier {
@@ -145,7 +160,10 @@ impl TimingClassifier {
         if samples.is_empty() {
             return 0.0;
         }
-        samples.iter().filter(|(l, f)| self.classify(f) == *l).count() as f64
+        samples
+            .iter()
+            .filter(|(l, f)| self.classify(f) == *l)
+            .count() as f64
             / samples.len() as f64
     }
 }
@@ -155,7 +173,9 @@ impl TimingClassifier {
 /// slot, every slot, regardless of the real visit pattern.
 pub fn paced_observation(interval_s: f64, hours: f64) -> Vec<f64> {
     let slots = (hours * 3600.0 / interval_s) as usize;
-    (0..slots).map(|i| 8.0 * 3600.0 + i as f64 * interval_s).collect()
+    (0..slots)
+        .map(|i| 8.0 * 3600.0 + i as f64 * interval_s)
+        .collect()
 }
 
 #[cfg(test)]

@@ -25,7 +25,11 @@ pub struct UserModel {
 
 impl Default for UserModel {
     fn default() -> Self {
-        Self { pages_per_day: 50.0, gets_per_page: 5, zipf_exponent: 1.0 }
+        Self {
+            pages_per_day: 50.0,
+            gets_per_page: 5,
+            zipf_exponent: 1.0,
+        }
     }
 }
 
@@ -43,20 +47,29 @@ impl UserModel {
         let mut visits = Vec::new();
         for day in 0..days {
             // Poisson-ish: sample a per-day count around the mean.
-            let count = ((self.pages_per_day
-                + rng.gen_range(-0.2..0.2) * self.pages_per_day)
+            let count = ((self.pages_per_day + rng.gen_range(-0.2..0.2) * self.pages_per_day)
                 .round() as usize)
                 .max(1);
             for _ in 0..count {
                 // Cluster visit times into morning/evening humps.
-                let hump = if rng.gen_bool(0.5) { 8.0 * 3600.0 } else { 20.0 * 3600.0 };
+                let hump = if rng.gen_bool(0.5) {
+                    8.0 * 3600.0
+                } else {
+                    20.0 * 3600.0
+                };
                 let jitter: f64 = rng.gen_range(-2.0 * 3600.0..2.0 * 3600.0);
                 let t = day as f64 * 86_400.0 + hump + jitter;
-                visits.push(Visit { time_s: t, page_rank: zipf.sample(&mut rng) });
+                visits.push(Visit {
+                    time_s: t,
+                    page_rank: zipf.sample(&mut rng),
+                });
             }
         }
         visits.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap());
-        BrowsingTrace { visits, gets_per_page: self.gets_per_page }
+        BrowsingTrace {
+            visits,
+            gets_per_page: self.gets_per_page,
+        }
     }
 }
 

@@ -88,9 +88,9 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
+        for (k, &count) in counts.iter().enumerate() {
             let expected = z.pmf(k) * n as f64;
-            let got = counts[k] as f64;
+            let got = count as f64;
             assert!(
                 (got - expected).abs() < expected.mulf_max(0.15, 40.0),
                 "rank {k}: got {got}, expected {expected:.0}"

@@ -16,9 +16,19 @@ fn main() {
     let fastly = Arc::new(Universe::new(UniverseConfig::small_test("fastly")).unwrap());
 
     akamai.register_domain("wiki.org", "Wikimedia").unwrap();
-    akamai.publish_code("Wikimedia", "wiki.org", "route \"/\" {\n render \"wiki home\"\n }").unwrap();
-    akamai.publish_data("Wikimedia", "wiki.org/Uganda", b"Uganda article").unwrap();
-    akamai.publish_data("Wikimedia", "wiki.org/Rust", b"Rust article").unwrap();
+    akamai
+        .publish_code(
+            "Wikimedia",
+            "wiki.org",
+            "route \"/\" {\n render \"wiki home\"\n }",
+        )
+        .unwrap();
+    akamai
+        .publish_data("Wikimedia", "wiki.org/Uganda", b"Uganda article")
+        .unwrap();
+    akamai
+        .publish_data("Wikimedia", "wiki.org/Rust", b"Rust article")
+        .unwrap();
 
     let pushed = push_domain(&akamai, &fastly, "wiki.org").unwrap();
     println!(
@@ -30,7 +40,9 @@ fn main() {
 
     // New publishes can fan out to the whole peer group at once.
     let group = PeerGroup::new(vec![akamai.clone(), fastly.clone()]);
-    group.publish_data("Wikimedia", "wiki.org/Lightweb", b"Lightweb article").unwrap();
+    group
+        .publish_data("Wikimedia", "wiki.org/Lightweb", b"Lightweb article")
+        .unwrap();
     println!(
         "peer group publish: akamai={} values, fastly={} values",
         akamai.num_data_values(),
@@ -47,7 +59,13 @@ fn main() {
     let mut s1 = StatsServer::new(domains.len());
     // 100 users' visits, heavily skewed toward wiki.org.
     for i in 0..100usize {
-        let visited = if i % 10 < 7 { 0 } else if i % 10 < 9 { 1 } else { 2 };
+        let visited = if i % 10 < 7 {
+            0
+        } else if i % 10 < 9 {
+            1
+        } else {
+            2
+        };
         let (a, b) = client.report(visited);
         s0.absorb(&a).unwrap();
         s1.absorb(&b).unwrap();
@@ -65,10 +83,19 @@ fn main() {
     // --- Deployment economics (Table 2 / §4) --------------------------
     println!("\nTable 2 estimates from the paper's published 1 GiB shard measurements:");
     for dataset in [DatasetSpec::c4(), DatasetSpec::wikipedia()] {
-        let est = estimate_deployment(&dataset, &paper_measurements(), &InstanceType::c5_large(), 2.6);
+        let est = estimate_deployment(
+            &dataset,
+            &paper_measurements(),
+            &InstanceType::c5_large(),
+            2.6,
+        );
         println!(
             "  {:<9}: {} shards, {:>6.1} vCPU-sec/request, ${:.4}/request, {:.1} KiB/request",
-            dataset.name, est.shards, est.vcpu_seconds, est.dollars_per_request, est.communication_kib
+            dataset.name,
+            est.shards,
+            est.vcpu_seconds,
+            est.dollars_per_request,
+            est.communication_kib
         );
     }
     println!(

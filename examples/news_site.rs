@@ -17,7 +17,9 @@ use lightweb::universe::{Universe, UniverseConfig};
 
 fn main() {
     let universe = Universe::new(UniverseConfig::small_test("news-demo")).unwrap();
-    universe.register_domain("lightweb-times.com", "LWT").unwrap();
+    universe
+        .register_domain("lightweb-times.com", "LWT")
+        .unwrap();
 
     universe
         .publish_code(
@@ -89,7 +91,11 @@ fn main() {
     // spends one fetch of its fixed budget per part.
     let long_read = "All of this text travels in fixed-size blobs. ".repeat(60);
     universe
-        .publish_data("LWT", "lightweb-times.com/longread/deep-dive", long_read.as_bytes())
+        .publish_data(
+            "LWT",
+            "lightweb-times.com/longread/deep-dive",
+            long_read.as_bytes(),
+        )
         .unwrap();
 
     let mut browser = LightwebBrowser::connect(

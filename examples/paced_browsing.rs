@@ -54,7 +54,9 @@ fn main() {
         for slot in &schedule {
             match slot.real {
                 Some(i) => {
-                    browser.browse(&format!("news.com/story/{}", i % 6)).unwrap();
+                    browser
+                        .browse(&format!("news.com/story/{}", i % 6))
+                        .unwrap();
                 }
                 None => browser.browse_cover().unwrap(),
             }
@@ -77,7 +79,11 @@ fn main() {
     let b = run("idle user", &idle_visits);
     println!(
         "\nnetwork observables identical: {}",
-        if a == b { "YES — timing carries no information" } else { "NO (bug!)" }
+        if a == b {
+            "YES — timing carries no information"
+        } else {
+            "NO (bug!)"
+        }
     );
     println!("cost of the defense: idle slots still burn a page-load of bandwidth, and real navigations wait up to one slot interval.");
 }

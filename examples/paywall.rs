@@ -38,7 +38,11 @@ fn main() {
     // the publisher's current epoch key before upload.
     let mut keyring = AccessKeyring::new();
     universe
-        .publish_data("Journal", "journal.com/free-article", b"Anyone can read this.")
+        .publish_data(
+            "Journal",
+            "journal.com/free-article",
+            b"Anyone can read this.",
+        )
         .unwrap();
     universe
         .publish_data(

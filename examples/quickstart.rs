@@ -71,7 +71,11 @@ fn main() {
     .unwrap();
 
     // 3–5. Browse. Every page view = (maybe) 1 code GET + exactly 5 data GETs.
-    for path in ["nytimes.com/", "nytimes.com/africa/uganda", "nytimes.com/nope"] {
+    for path in [
+        "nytimes.com/",
+        "nytimes.com/africa/uganda",
+        "nytimes.com/nope",
+    ] {
         let page = browser.browse(path).unwrap();
         println!("=== {path}");
         println!("    [{}] {}", page.title, page.body);

@@ -17,7 +17,9 @@ use lightweb::universe::{Universe, UniverseConfig};
 
 fn main() {
     let universe = Universe::new(UniverseConfig::small_test("weather-demo")).unwrap();
-    universe.register_domain("weather.com", "WeatherCo").unwrap();
+    universe
+        .register_domain("weather.com", "WeatherCo")
+        .unwrap();
     universe
         .publish_code(
             "WeatherCo",

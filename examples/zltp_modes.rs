@@ -17,7 +17,13 @@ use lightweb::zltp::{
 fn main() {
     const BLOB: usize = 64;
     let pages: Vec<(String, Vec<u8>)> = (0..24)
-        .map(|i| (format!("site.com/page/{i}"), format!("content of page {i:02} {}", "x".repeat(30)).into_bytes()[..BLOB.min(44)].to_vec()))
+        .map(|i| {
+            (
+                format!("site.com/page/{i}"),
+                format!("content of page {i:02} {}", "x".repeat(30)).into_bytes()[..BLOB.min(44)]
+                    .to_vec(),
+            )
+        })
         .map(|(k, mut v)| {
             v.resize(BLOB, b' ');
             (k, v)
@@ -73,10 +79,13 @@ fn main() {
     // Audit a raw simulated enclave's memory trace (the property the mode
     // rests on): every GET is one uniform ORAM path, hit or miss.
     let mut raw = SimulatedEnclave::new(256, BLOB).unwrap();
-    raw.load(pages.iter().map(|(k, v)| (k.as_bytes(), v.as_slice()))).unwrap();
+    raw.load(pages.iter().map(|(k, v)| (k.as_bytes(), v.as_slice())))
+        .unwrap();
     raw.enable_trace();
     for i in 0..128 {
-        let _ = raw.get(format!("site.com/page/{}", i % 24).as_bytes()).unwrap();
+        let _ = raw
+            .get(format!("site.com/page/{}", i % 24).as_bytes())
+            .unwrap();
     }
     let trace = raw.take_trace().unwrap();
     let report = audit_trace(&trace, raw.tree_height());

@@ -1,0 +1,353 @@
+//! Offline shim for the `criterion` API surface used by this workspace's
+//! benches. It is a real (if minimal) timing harness: each benchmark runs
+//! a short warm-up, then timed batches until the measurement budget is
+//! spent, and prints `name  time: <mean>/iter`.
+//!
+//! The measurement budget is capped at `LIGHTWEB_BENCH_MS` milliseconds
+//! per benchmark (default 300) so full `cargo bench` sweeps stay fast;
+//! raise it for more stable numbers. No statistical analysis, HTML
+//! reports, or regression detection — numbers are indicative only.
+
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement marker types.
+
+    /// Wall-clock time measurement (the only kind the shim supports).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn budget_ms() -> u64 {
+    std::env::var("LIGHTWEB_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+#[derive(Clone, Copy)]
+struct RunConfig {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(budget_ms()),
+        }
+    }
+}
+
+fn run_one(
+    prefix: &str,
+    id: &str,
+    cfg: RunConfig,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warm_up: cfg.warm_up,
+        measure: cfg.measure,
+        mean_ns: None,
+    };
+    f(&mut b);
+    let full = if prefix.is_empty() {
+        id.to_string()
+    } else {
+        format!("{prefix}/{id}")
+    };
+    match b.mean_ns {
+        Some(ns) => {
+            let mut line = format!("{full:<48} time: {:>12}/iter", fmt_time(ns));
+            if let Some(tp) = throughput {
+                let per_sec = match tp {
+                    Throughput::Bytes(n) => {
+                        format!("{:.1} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+                    }
+                    Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / ns * 1e9),
+                };
+                let _ = write!(line, "  thrpt: {per_sec}");
+            }
+            println!("{line}");
+        }
+        None => println!("{full:<48} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    cfg: RunConfig,
+    throughput: Option<Throughput>,
+    _parent: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d.min(Duration::from_millis(budget_ms()));
+        self
+    }
+
+    /// Set the measurement duration (capped by `LIGHTWEB_BENCH_MS`).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measure = d.min(Duration::from_millis(budget_ms()));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.name, &id.into_id(), self.cfg, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into_id(), self.cfg, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (printing-only in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: RunConfig::default(),
+            throughput: None,
+            _parent: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one("", &id.into_id(), RunConfig::default(), None, f);
+        self
+    }
+
+    /// Run one stand-alone benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one("", &id.into_id(), RunConfig::default(), None, |b| {
+            f(b, input)
+        });
+        self
+    }
+}
+
+/// Define a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function(BenchmarkId::new("xor", 64), |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc ^= black_box(0x5aa5_5aa5);
+                acc
+            });
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("b=4"), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(12.0).contains("ns"));
+        assert!(fmt_time(12_000.0).contains("µs"));
+        assert!(fmt_time(12_000_000.0).contains("ms"));
+        assert!(fmt_time(2.0e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,389 @@
+//! Offline shim for the `crossbeam` API surface used by this workspace.
+//!
+//! Provides MPMC channels (`channel::{bounded, unbounded}`) and scoped
+//! threads (`thread::scope`) on top of `std::sync` and `std::thread`.
+//! Semantics mirror crossbeam where the workspace depends on them:
+//!
+//! * both [`channel::Sender`] and [`channel::Receiver`] are cloneable;
+//! * `recv` returns `Err` once every sender is dropped and the queue has
+//!   drained (EOF), `send` returns `Err` once every receiver is dropped;
+//! * `recv_deadline` waits until an [`std::time::Instant`];
+//! * `thread::scope` joins all spawned threads before returning and
+//!   surfaces child panics as an `Err` result.
+
+pub mod channel {
+    //! MPMC channels with crossbeam's disconnect semantics.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Instant;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        // Signalled on: item enqueued, item dequeued, endpoint dropped.
+        cond: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by deadline/timeout receives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message available.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.cond.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, blocking until one arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.cond.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue a message, giving up at `deadline`.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.cond.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .cond
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Dequeue a message, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Dequeue a message if one is already queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.cond.notify_all();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers += 1;
+            drop(st);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            let last = st.receivers == 0;
+            drop(st);
+            if last {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cond: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Create a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Create a channel that holds at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        // cap = 0 (rendezvous) is approximated by capacity 1; the workspace
+        // only uses small positive capacities.
+        with_cap(Some(cap.max(1)))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure signature
+    //! (`spawn(|scope| ...)`) on top of `std::thread::scope`.
+
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`] and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, yielding its result or its panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// itself (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned.
+    /// All threads are joined before this returns. Returns `Err` with the
+    /// first panic payload if any unjoined child panicked; `Ok` otherwise.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope propagates unjoined-child panics by panicking;
+        // catch that to reproduce crossbeam's Result-based interface.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_eof_after_senders_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(7u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1u8).is_err());
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let (_tx, rx) = bounded::<u8>(1);
+        let start = Instant::now();
+        let r = rx.recv_deadline(Instant::now() + Duration::from_millis(30));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv().unwrap();
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|d| scope.spawn(move |_| d * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,852 @@
+//! Offline shim for the `proptest` API surface used by this workspace.
+//!
+//! A minimal property-testing harness: strategies generate random values
+//! deterministically (seeded per test name, varied per case), the
+//! `proptest!` macro runs each property over `ProptestConfig::cases`
+//! generated inputs, and `prop_assert!` / `prop_assert_eq!` report
+//! failures with the offending values. Unlike upstream proptest there is
+//! **no shrinking** and no persisted failure corpus — a failing case
+//! prints its case number; rerunning reproduces it because generation is
+//! deterministic.
+//!
+//! Strategy combinators covered: `any`, integer/float ranges, regex-lite
+//! string literals (char classes, `{m,n}` repetition, `\PC`), `Just`,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, tuples,
+//! `prop::collection::{vec, btree_map}`, and `prop::sample::Index`.
+
+use std::sync::Arc;
+
+/// Deterministic generator driving all strategies (SplitMix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name and case index: deterministic per (test, case).
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64) << 32 | 0x9e37_79b9),
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a property-test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion or explicit failure with a message.
+    Fail(String),
+    /// Input rejected (unused by this workspace, kept for API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An explicit failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf; `branch` lifts a
+    /// strategy for subtrees into a strategy for the next level. `_size`
+    /// and `_branch_hint` are accepted for API parity; recursion depth is
+    /// honored exactly.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch_hint: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Each level is leaf-or-branch-over-previous-level, biased
+            // toward leaves so generated structures stay small.
+            let next = branch(level).boxed();
+            level = Union {
+                arms: vec![leaf.clone(), leaf.clone(), next],
+            }
+            .boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a cloneable [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+trait DynStrategy<V> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Arc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        self.inner.gen_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice among boxed arms (backs `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the given arms; at least one is required.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].gen_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: any::<T>(), ranges, string regex-lite literals.
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies generate tuples of values.
+macro_rules! impl_strategy_tuple {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A / 0);
+impl_strategy_tuple!(A / 0, B / 1);
+impl_strategy_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+// --------------------------- regex-lite ------------------------------
+
+#[derive(Clone, Debug)]
+enum PatAtom {
+    Literal(char),
+    Class(Vec<char>),
+    AnyPrintable,
+}
+
+#[derive(Clone, Debug)]
+struct PatPiece {
+    atom: PatAtom,
+    min: u32,
+    max: u32,
+}
+
+/// Characters `\PC` may produce: printable ASCII plus a few multi-byte
+/// code points so UTF-8 handling gets exercised.
+const EXOTIC: &[char] = &['é', 'Ω', 'λ', '中', '🦀', '\u{a0}', 'ß', '→'];
+
+fn parse_pattern(pat: &str) -> Vec<PatPiece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut pieces: Vec<PatPiece> = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // `\PC` / `\pC`: any non-control character.
+                        i += 2;
+                        PatAtom::AnyPrintable
+                    }
+                    Some('n') => {
+                        i += 1;
+                        PatAtom::Literal('\n')
+                    }
+                    Some('t') => {
+                        i += 1;
+                        PatAtom::Literal('\t')
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        PatAtom::Literal(c)
+                    }
+                    None => panic!("trailing backslash in pattern {pat:?}"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut set: Vec<char> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` if a dash follows and is not class-final.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for cc in c..=hi {
+                            set.push(cc);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated char class in pattern {pat:?}"
+                );
+                i += 1; // consume ']'
+                assert!(!set.is_empty(), "empty char class in pattern {pat:?}");
+                PatAtom::Class(set)
+            }
+            c => {
+                i += 1;
+                PatAtom::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} repetition suffix.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pat:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatPiece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_from_pattern(pieces: &[PatPiece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+        for _ in 0..n {
+            match &piece.atom {
+                PatAtom::Literal(c) => out.push(*c),
+                PatAtom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                PatAtom::AnyPrintable => {
+                    if rng.below(10) == 0 {
+                        out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                    } else {
+                        out.push((0x20 + rng.below(0x5f) as u8) as char);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// `prop::` namespace: collections and samples.
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with ~`len` entries.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            // Duplicate keys collapse, so maps may come out smaller than n —
+            // same as upstream proptest.
+            (0..n)
+                .map(|_| (self.key.gen_value(rng), self.value.gen_value(rng)))
+                .collect()
+        }
+    }
+
+    /// Map of `key` → `value` entries, entry count drawn from `len`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index: resolve against a concrete length with
+    /// [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Map onto `[0, len)`; `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index {
+                raw: rng.next_u64(),
+            }
+        }
+    }
+}
+
+/// `proptest::prelude`-style namespace re-exporting the `prop::` modules.
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+}
+
+/// Namespace mirror of upstream's `proptest::test_runner`.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError};
+}
+
+/// The glob-import surface used by workspace tests.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not panicking
+/// the harness) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn` runs its body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_respects_class_and_bounds() {
+        let mut rng = crate::TestRng::for_case("pat", 0);
+        for case in 0..200 {
+            let mut r = crate::TestRng::for_case("pat", case);
+            let s = "[a-z0-9./-]{0,40}".gen_value(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "./-".contains(c)));
+        }
+        let fixed = "[a-z]{8}".gen_value(&mut rng);
+        assert_eq!(fixed.chars().count(), 8);
+        let pc = "\\PC{0,128}".gen_value(&mut rng);
+        assert!(pc.chars().all(|c| !c.is_control()));
+    }
+
+    #[test]
+    fn escaped_class_members_parse() {
+        // The literal class used by the universe JSON tests.
+        let mut rng = crate::TestRng::for_case("esc", 3);
+        let s = "[a-zA-Z0-9 _\\-\\.\"\\\\/\n\t]{0,24}".gen_value(&mut rng);
+        for c in s.chars() {
+            assert!(
+                c.is_ascii_alphanumeric() || " _-.\"\\/\n\t".contains(c),
+                "unexpected char {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = "[a-z]{1,8}".gen_value(&mut crate::TestRng::for_case("d", 7));
+        let b = "[a-z]{1,8}".gen_value(&mut crate::TestRng::for_case("d", 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_tuples_collections_and_oneof() {
+        let mut rng = crate::TestRng::for_case("mix", 1);
+        let strat = prop::collection::vec((0u64..32, 0u8..=255, any::<bool>()), 1..200);
+        let v = strat.gen_value(&mut rng);
+        assert!((1..200).contains(&v.len()));
+        assert!(v.iter().all(|(a, _, _)| *a < 32));
+
+        let m = prop::collection::btree_map("[a-z]{1,8}", 0i64..10, 0..6).gen_value(&mut rng);
+        assert!(m.len() < 6);
+
+        let choice = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)];
+        for _ in 0..50 {
+            let c = choice.gen_value(&mut rng);
+            assert!(c == 1 || c == 2 || c == 5 || c == 6);
+        }
+
+        let idx: prop::sample::Index = any::<prop::sample::Index>().gen_value(&mut rng);
+        assert!(idx.index(13) < 13);
+
+        let f = (-1e9f64..1e9).gen_value(&mut rng);
+        assert!((-1e9..1e9).contains(&f));
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::for_case("tree", 2);
+        for _ in 0..100 {
+            let t = strat.gen_value(&mut rng);
+            fn depth(t: &Tree) -> u32 {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 3);
+        }
+    }
+
+    // The macro itself, exercised end to end (including config form).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(
+            x in 0u32..100,
+            s in "[a-z]{1,4}",
+        ) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), s.chars().count(), "ascii only: {}", s);
+            if s.is_empty() {
+                return Err(TestCaseError::fail("impossible: min length 1"));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in prop::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(v.len() < 16);
+        }
+    }
+}

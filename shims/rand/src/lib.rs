@@ -1,0 +1,379 @@
+//! Offline shim for the `rand` 0.8 API surface used by this workspace.
+//!
+//! Provides the `RngCore` / `Rng` / `SeedableRng` traits, a deterministic
+//! [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64), the OS entropy
+//! source [`rngs::OsRng`], and [`thread_rng`]. The statistical contract the
+//! workspace relies on is: deterministic per seed, uniform enough for
+//! tests/benchmarks, and cryptographically seeded where `OsRng` is used.
+//! (Key material in `lightweb-crypto` is drawn from `OsRng`, which reads
+//! the operating system's entropy pool directly.)
+
+use std::cell::RefCell;
+
+/// Core random-number source: 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Next uniform `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable between two bounds (mirrors rand's
+/// `SampleUniform`; a single blanket `SampleRange` impl per range shape
+/// keeps float-literal inference working, e.g. `gen_range(0.0..600.0)`).
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                lo + <$t as Standard>::sample(rng) * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                Self::sample_exclusive(lo, hi, rng)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Rngs constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte-array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let w = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Construct from operating-system entropy.
+    fn from_entropy() -> Self {
+        let mut seed = Self::Seed::default();
+        rngs::OsRng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    //! Concrete rng implementations.
+
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// Deterministic xoshiro256** generator (the shim's `StdRng`).
+    ///
+    /// Deterministic per seed; not the same stream as upstream `StdRng`
+    /// (ChaCha12) — workspace code only relies on per-seed determinism.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_raw() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0; 4] {
+                // xoshiro must not start at the all-zero state.
+                let mut sm = SplitMix64 {
+                    state: 0x6c62_272e_07bb_0142,
+                };
+                for w in &mut s {
+                    *w = sm.next();
+                }
+            }
+            StdRng { s }
+        }
+    }
+
+    /// The operating system's entropy source (`/dev/urandom`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            self.fill_bytes(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            use std::io::Read;
+            let mut f =
+                std::fs::File::open("/dev/urandom").expect("OsRng: /dev/urandom unavailable");
+            f.read_exact(dest)
+                .expect("OsRng: short read from /dev/urandom");
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: RefCell<rngs::StdRng> = RefCell::new(rngs::StdRng::from_entropy());
+}
+
+/// Handle to a per-thread, entropy-seeded generator.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadRng;
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u32())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        THREAD_RNG.with(|r| r.borrow_mut().fill_bytes(dest))
+    }
+}
+
+/// The per-thread generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0u8..=255);
+            let _ = w;
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn from_seed_all_zero_is_escaped() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn os_and_thread_rng_produce_bytes() {
+        let mut buf = [0u8; 32];
+        super::rngs::OsRng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let x: u64 = super::thread_rng().gen();
+        let y: u64 = super::thread_rng().gen();
+        // Astronomically unlikely to collide twice in a row.
+        assert!(x != y || x != 0);
+    }
+}

@@ -32,12 +32,19 @@ fn full_universe() -> (Universe, AccessKeyring) {
         "#,
     )
     .unwrap();
-    u.publish_json("News", "news.com/front", &Value::object([("lead", "Lead story".into())]))
-        .unwrap();
+    u.publish_json(
+        "News",
+        "news.com/front",
+        &Value::object([("lead", "Lead story".into())]),
+    )
+    .unwrap();
     u.publish_json(
         "News",
         "news.com/story/42",
-        &Value::object([("headline", "Forty-two".into()), ("body", "The answer.".into())]),
+        &Value::object([
+            ("headline", "Forty-two".into()),
+            ("body", "The answer.".into()),
+        ]),
     )
     .unwrap();
 
@@ -55,7 +62,8 @@ fn full_universe() -> (Universe, AccessKeyring) {
         "#,
     )
     .unwrap();
-    u.publish_json("Wx", "wx.org/94110", &Value::object([("t", "fog".into())])).unwrap();
+    u.publish_json("Wx", "wx.org/94110", &Value::object([("t", "fog".into())]))
+        .unwrap();
 
     // A paywalled publisher.
     u.register_domain("paid.net", "Paid").unwrap();
@@ -66,8 +74,12 @@ fn full_universe() -> (Universe, AccessKeyring) {
     )
     .unwrap();
     let ring = AccessKeyring::new();
-    u.publish_data("Paid", "paid.net/secret", &ring.protect("paid.net/secret", b"classified"))
-        .unwrap();
+    u.publish_data(
+        "Paid",
+        "paid.net/secret",
+        &ring.protect("paid.net/secret", b"classified"),
+    )
+    .unwrap();
 
     // A long-read publisher exercising chaining.
     u.register_domain("long.io", "Long").unwrap();
@@ -77,7 +89,12 @@ fn full_universe() -> (Universe, AccessKeyring) {
         "route \"/read\" {\n fetch \"long.io/book\"\n render \"{data.0}\"\n }",
     )
     .unwrap();
-    u.publish_data("Long", "long.io/book", "lorem ipsum ".repeat(200).as_bytes()).unwrap();
+    u.publish_data(
+        "Long",
+        "long.io/book",
+        "lorem ipsum ".repeat(200).as_bytes(),
+    )
+    .unwrap();
 
     (u, ring)
 }
@@ -149,7 +166,10 @@ fn byte_counts_are_page_independent() {
     b1.browse("news.com/").unwrap();
     b2.browse("news.com/story/42").unwrap();
     assert_eq!(b1.data_stats().bytes_sent, b2.data_stats().bytes_sent);
-    assert_eq!(b1.data_stats().bytes_received, b2.data_stats().bytes_received);
+    assert_eq!(
+        b1.data_stats().bytes_received,
+        b2.data_stats().bytes_received
+    );
 }
 
 #[test]
@@ -161,5 +181,9 @@ fn storage_survives_across_pages_but_not_domains() {
     b.browse("news.com/").unwrap();
     b.browse("wx.org/").unwrap();
     assert_eq!(b.storage().get("wx.org", "zip"), Some("94110"));
-    assert_eq!(b.storage().get("news.com", "zip"), None, "domain separation");
+    assert_eq!(
+        b.storage().get("news.com", "zip"),
+        None,
+        "domain separation"
+    );
 }

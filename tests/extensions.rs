@@ -13,7 +13,8 @@ use lightweb::universe::{Tier, TieredCdn};
 fn tiered_cdn_places_a_mixed_site() {
     let cdn = TieredCdn::new("edge").unwrap();
     cdn.register_domain("mixed.org", "Mixed").unwrap();
-    cdn.publish_code("Mixed", "mixed.org", "route \"/\" {\n render \"home\"\n }").unwrap();
+    cdn.publish_code("Mixed", "mixed.org", "route \"/\" {\n render \"home\"\n }")
+        .unwrap();
 
     let placements = [
         ("mixed.org/note", 200usize, Tier::Small),
@@ -37,10 +38,17 @@ fn cuckoo_pir_serves_a_dense_universe_end_to_end() {
     let params = lightweb::dpf::DpfParams::with_default_termination(domain_bits).unwrap();
     let record_len = 96usize;
     let pairs: Vec<(String, Vec<u8>)> = (0..1843usize)
-        .map(|i| (format!("dense.com/item/{i}"), format!("value-{i}").into_bytes()))
+        .map(|i| {
+            (
+                format!("dense.com/item/{i}"),
+                format!("value-{i}").into_bytes(),
+            )
+        })
         .collect();
-    let refs: Vec<(&[u8], &[u8])> =
-        pairs.iter().map(|(k, v)| (k.as_bytes(), v.as_slice())).collect();
+    let refs: Vec<(&[u8], &[u8])> = pairs
+        .iter()
+        .map(|(k, v)| (k.as_bytes(), v.as_slice()))
+        .collect();
     let s0 = build_cuckoo_server(&hasher, params, record_len, &refs).unwrap();
     let s1 = s0.clone();
     let client = TwoServerClient::new(params, record_len);
@@ -80,14 +88,20 @@ fn recursive_oram_behaves_like_flat_oram() {
     let mut rec = RecursivePathOram::with_seed(256, 24, [7; 32]).unwrap();
     let mut x = 99u64;
     for i in 0..400u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let addr = x % 256;
         if i % 2 == 0 {
             let data = vec![(x >> 16) as u8; 24];
             flat.write(addr, &data).unwrap();
             rec.write(addr, &data).unwrap();
         } else {
-            assert_eq!(flat.read(addr).unwrap(), rec.read(addr).unwrap(), "step {i}");
+            assert_eq!(
+                flat.read(addr).unwrap(),
+                rec.read(addr).unwrap(),
+                "step {i}"
+            );
         }
     }
 }

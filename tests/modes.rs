@@ -47,7 +47,11 @@ fn all_modes_return_identical_content() {
         let want = expected(i);
         assert_eq!(two.private_get(&key).unwrap(), want, "two-server, {key}");
         assert_eq!(lwe.private_get(&key).unwrap().unwrap(), want, "lwe, {key}");
-        assert_eq!(enc.private_get(&key).unwrap().unwrap(), want, "enclave, {key}");
+        assert_eq!(
+            enc.private_get(&key).unwrap().unwrap(),
+            want,
+            "enclave, {key}"
+        );
     }
 }
 
@@ -118,11 +122,21 @@ fn updates_propagate_to_every_mode() {
 fn multi_mode_server_negotiates_each_client() {
     // One server offering all three modes serves three differently-capable
     // clients correctly.
-    let srv = server_with(&[Mode::TwoServerPir, Mode::SingleServerLwe, Mode::Enclave], 0, 8);
+    let srv = server_with(
+        &[Mode::TwoServerPir, Mode::SingleServerLwe, Mode::Enclave],
+        0,
+        8,
+    );
 
     let mut lwe = LweClientSession::connect(srv.connect()).unwrap();
-    assert_eq!(lwe.private_get("site.com/p/3").unwrap().unwrap(), expected(3));
+    assert_eq!(
+        lwe.private_get("site.com/p/3").unwrap().unwrap(),
+        expected(3)
+    );
 
     let mut enc = EnclaveClient::connect(srv.connect()).unwrap();
-    assert_eq!(enc.private_get("site.com/p/3").unwrap().unwrap(), expected(3));
+    assert_eq!(
+        enc.private_get("site.com/p/3").unwrap().unwrap(),
+        expected(3)
+    );
 }

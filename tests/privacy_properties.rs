@@ -49,7 +49,9 @@ fn pir_answers_look_uniform_regardless_of_slot() {
     // quasi-independent byte samples per trial.
     let entries: Vec<(u64, Vec<u8>)> = (0..200u64)
         .map(|i| {
-            let rec: Vec<u8> = (0..64u64).map(|j| ((i * 31 + j * 17) % 256) as u8).collect();
+            let rec: Vec<u8> = (0..64u64)
+                .map(|j| ((i * 31 + j * 17) % 256) as u8)
+                .collect();
             ((i * 5) % (1 << 10), rec)
         })
         .collect::<std::collections::BTreeMap<_, _>>()
@@ -67,13 +69,24 @@ fn pir_answers_look_uniform_regardless_of_slot() {
         total / 16.0
     };
     let occupied = entries[0].0;
-    let empty = (0..(1 << 10)).find(|s| !entries.iter().any(|(e, _)| e == s)).unwrap();
+    let empty = (0..(1 << 10))
+        .find(|s| !entries.iter().any(|(e, _)| e == s))
+        .unwrap();
     let m1 = mean_byte(occupied);
     let m2 = mean_byte(empty);
     // Uniform bytes have mean 127.5; allow generous sampling noise.
-    assert!((100.0..155.0).contains(&m1), "occupied-slot answers skewed: {m1}");
-    assert!((100.0..155.0).contains(&m2), "empty-slot answers skewed: {m2}");
-    assert!((m1 - m2).abs() < 20.0, "answer distribution leaks slot occupancy: {m1} vs {m2}");
+    assert!(
+        (100.0..155.0).contains(&m1),
+        "occupied-slot answers skewed: {m1}"
+    );
+    assert!(
+        (100.0..155.0).contains(&m2),
+        "empty-slot answers skewed: {m2}"
+    );
+    assert!(
+        (m1 - m2).abs() < 20.0,
+        "answer distribution leaks slot occupancy: {m1} vs {m2}"
+    );
 }
 
 #[test]
@@ -82,9 +95,11 @@ fn enclave_traces_from_different_workloads_are_alike() {
     // sweep) must produce traces the auditor scores the same way.
     let build = || {
         let mut enc = SimulatedEnclave::new(512, 16).unwrap();
-        let entries: Vec<(Vec<u8>, Vec<u8>)> =
-            (0..256u32).map(|i| (format!("k{i}").into_bytes(), vec![i as u8; 16])).collect();
-        enc.load(entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))).unwrap();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..256u32)
+            .map(|i| (format!("k{i}").into_bytes(), vec![i as u8; 16]))
+            .collect();
+        enc.load(entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice())))
+            .unwrap();
         enc
     };
 
@@ -104,8 +119,16 @@ fn enclave_traces_from_different_workloads_are_alike() {
 
     let hot_report = audit_trace(&hot_trace, hot.tree_height());
     let sweep_report = audit_trace(&sweep_trace, sweep.tree_height());
-    assert!(hot_report.passed(), "hot workload failed audit: {:?}", hot_report.notes);
-    assert!(sweep_report.passed(), "sweep workload failed audit: {:?}", sweep_report.notes);
+    assert!(
+        hot_report.passed(),
+        "hot workload failed audit: {:?}",
+        hot_report.notes
+    );
+    assert!(
+        sweep_report.passed(),
+        "sweep workload failed audit: {:?}",
+        sweep_report.notes
+    );
     // Identical event counts: the trace length is workload-independent.
     assert_eq!(hot_trace.len(), sweep_trace.len());
 }
@@ -122,9 +145,9 @@ fn oram_stash_stays_small_over_long_runs() {
     // Skewed + sequential + random-ish phases.
     for i in 0..4000u64 {
         let addr = match i % 3 {
-            0 => 7,                               // hot
-            1 => i % 1024,                        // sweep
-            _ => (i * 2654435761) % 1024,         // scattered
+            0 => 7,                       // hot
+            1 => i % 1024,                // sweep
+            _ => (i * 2654435761) % 1024, // scattered
         };
         oram.read(addr).unwrap();
     }
@@ -149,7 +172,10 @@ fn stats_shares_are_individually_uniform() {
         }
     }
     let mean = sum_top / (n * 4) as f64;
-    assert!((110.0..145.0).contains(&mean), "share bytes skewed: mean {mean}");
+    assert!(
+        (110.0..145.0).contains(&mean),
+        "share bytes skewed: mean {mean}"
+    );
 }
 
 #[test]
@@ -161,12 +187,11 @@ fn lwe_query_payloads_look_uniform_for_any_index() {
     let client = LweClient::new(params, server.public_seed(), server.cols(), 16);
     for idx in [0usize, 31, 63] {
         let q = client.query(idx);
-        let mean: f64 = q
-            .payload
-            .iter()
-            .map(|&v| (v >> 24) as f64)
-            .sum::<f64>()
-            / q.payload.len() as f64;
-        assert!((95.0..160.0).contains(&mean), "index {idx} query skewed: {mean}");
+        let mean: f64 =
+            q.payload.iter().map(|&v| (v >> 24) as f64).sum::<f64>() / q.payload.len() as f64;
+        assert!(
+            (95.0..160.0).contains(&mean),
+            "index {idx} query skewed: {mean}"
+        );
     }
 }

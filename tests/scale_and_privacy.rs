@@ -48,15 +48,22 @@ fn sharded_deployment_serves_a_synthetic_c4_shard() {
         let q = client.query_slot(*slot);
         let (a0, _) = dep0.answer(&q.key0).unwrap();
         let a1 = dep1.answer_parallel(&q.key1).unwrap();
-        assert_eq!(&TwoServerClient::combine(&a0, &a1).unwrap(), rec, "path {path}");
+        assert_eq!(
+            &TwoServerClient::combine(&a0, &a1).unwrap(),
+            rec,
+            "path {path}"
+        );
     }
 }
 
 #[test]
 fn sharding_degree_does_not_change_answers() {
     let params = DpfParams::with_default_termination(12).unwrap();
-    let entries: Vec<(u64, Vec<u8>)> =
-        (0..512u64).map(|i| (i * 7 % (1 << 12), vec![i as u8; 64])).collect::<std::collections::BTreeMap<_, _>>().into_iter().collect();
+    let entries: Vec<(u64, Vec<u8>)> = (0..512u64)
+        .map(|i| (i * 7 % (1 << 12), vec![i as u8; 64]))
+        .collect::<std::collections::BTreeMap<_, _>>()
+        .into_iter()
+        .collect();
     let mono = PirServer::from_entries(params, 64, entries.clone()).unwrap();
     let (key, _) = gen(&params, 333);
     let reference = mono.answer(&key).unwrap();
@@ -77,7 +84,9 @@ fn fingerprinting_attack_succeeds_on_proxy_fails_on_lightweb() {
         .iter()
         .enumerate()
         .flat_map(|(l, objs)| {
-            (0..6).map(|_| (l, simulate_proxy_flow(objs, &mut rng))).collect::<Vec<_>>()
+            (0..6)
+                .map(|_| (l, simulate_proxy_flow(objs, &mut rng)))
+                .collect::<Vec<_>>()
         })
         .collect();
     let test: Vec<(usize, FlowObservation)> = site
@@ -87,17 +96,24 @@ fn fingerprinting_attack_succeeds_on_proxy_fails_on_lightweb() {
         .collect();
     let clf = NearestCentroid::train(&train);
     let proxy_acc = clf.accuracy(&test);
-    assert!(proxy_acc > 10.0 * chance, "proxy attack should crush chance: {proxy_acc}");
+    assert!(
+        proxy_acc > 10.0 * chance,
+        "proxy attack should crush chance: {proxy_acc}"
+    );
 
     // Lightweb channel: identical flows for every page → at most chance.
     let lw_train: Vec<(usize, FlowObservation)> = (0..site.len())
         .flat_map(|l| (0..6).map(move |_| (l, simulate_lightweb_flow(5, 1024))))
         .collect();
-    let lw_test: Vec<(usize, FlowObservation)> =
-        (0..site.len()).map(|l| (l, simulate_lightweb_flow(5, 1024))).collect();
+    let lw_test: Vec<(usize, FlowObservation)> = (0..site.len())
+        .map(|l| (l, simulate_lightweb_flow(5, 1024)))
+        .collect();
     let lw_clf = NearestCentroid::train(&lw_train);
     let lw_acc = lw_clf.accuracy(&lw_test);
-    assert!(lw_acc <= chance + 1e-9, "lightweb leaked page identity: {lw_acc}");
+    assert!(
+        lw_acc <= chance + 1e-9,
+        "lightweb leaked page identity: {lw_acc}"
+    );
 }
 
 #[test]
@@ -107,9 +123,8 @@ fn corpus_scales_track_paper_statistics() {
     let spec = CorpusSpec::c4();
     let dataset = lightweb::cost::model::DatasetSpec::c4();
     let pages = spec.generate(2000, 9);
-    let mean_kib = pages.iter().map(|p| p.body.len() as f64).sum::<f64>()
-        / pages.len() as f64
-        / 1024.0;
+    let mean_kib =
+        pages.iter().map(|p| p.body.len() as f64).sum::<f64>() / pages.len() as f64 / 1024.0;
     assert!(
         (mean_kib - dataset.avg_page_kib).abs() < 0.25,
         "generator mean {mean_kib:.2} KiB vs spec {} KiB",

@@ -9,7 +9,11 @@ use std::net::{TcpListener, TcpStream};
 
 /// Stand up a two-server pair on loopback TCP, pre-publish content, and
 /// return connect addresses.
-fn tcp_pair(universe_id: &str, blob_len: usize, publish: &[(&str, Vec<u8>)]) -> (std::net::SocketAddr, std::net::SocketAddr, Vec<ZltpServer>) {
+fn tcp_pair(
+    universe_id: &str,
+    blob_len: usize,
+    publish: &[(&str, Vec<u8>)],
+) -> (std::net::SocketAddr, std::net::SocketAddr, Vec<ZltpServer>) {
     let mut servers = Vec::new();
     let mut addrs = Vec::new();
     for party in 0..2u8 {
@@ -96,12 +100,17 @@ fn full_browser_over_tcp() {
     let home_blob = lightweb::universe::blob::encode_blob(home_json.as_bytes(), 1024).unwrap();
 
     let (c0, c1, code_servers) = tcp_pair("tcp-code", 8192, &[("tcp-site.com", code_blob)]);
-    let (d0, d1, data_servers) =
-        tcp_pair("tcp-data", 1024, &[("tcp-site.com/home", home_blob)]);
+    let (d0, d1, data_servers) = tcp_pair("tcp-data", 1024, &[("tcp-site.com/home", home_blob)]);
 
     let mut browser = LightwebBrowser::connect(
-        (TcpStream::connect(c0).unwrap(), TcpStream::connect(c1).unwrap()),
-        (TcpStream::connect(d0).unwrap(), TcpStream::connect(d1).unwrap()),
+        (
+            TcpStream::connect(c0).unwrap(),
+            TcpStream::connect(c1).unwrap(),
+        ),
+        (
+            TcpStream::connect(d0).unwrap(),
+            TcpStream::connect(d1).unwrap(),
+        ),
         5,
         4,
     )
@@ -149,8 +158,7 @@ fn batching_server_survives_bursts_over_tcp() {
                     let (k0, k1) = gen(&params, slot);
                     let a0 = session.get_raw(k0.to_bytes().to_vec()).unwrap();
                     let a1 = session.get_raw(k1.to_bytes().to_vec()).unwrap();
-                    let blob: Vec<u8> =
-                        a0.iter().zip(a1.iter()).map(|(x, y)| x ^ y).collect();
+                    let blob: Vec<u8> = a0.iter().zip(a1.iter()).map(|(x, y)| x ^ y).collect();
                     assert_eq!(blob, vec![((t * 8 + i) % 32) as u8; 64], "key {key_name}");
                 }
             })
@@ -171,8 +179,9 @@ fn sharded_wire_server_matches_monolithic() {
     // the §5.2 front-end + 8-shard deployment. Wire-level answers must be
     // byte-identical.
     use lightweb::zltp::ServerConfig;
-    let pages: Vec<(String, Vec<u8>)> =
-        (0..64).map(|i| (format!("s.com/p/{i}"), vec![i as u8; 256])).collect();
+    let pages: Vec<(String, Vec<u8>)> = (0..64)
+        .map(|i| (format!("s.com/p/{i}"), vec![i as u8; 256]))
+        .collect();
 
     let make = |party: u8, prefix: u32| {
         let mut cfg = ServerConfig::small("shard-wire", party);
