@@ -3,13 +3,21 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|ablations]
-//!           [--telemetry] [--json]
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|ablations|persist]
+//!           [--telemetry] [--json] [--state-dir DIR] [--kill-after N]
 //! ```
 //!
 //! Each experiment prints the paper's reported numbers next to the values
 //! measured/estimated by this reproduction. `LIGHTWEB_SHARD_MIB` scales
 //! the shard (default 64 MiB; set 1024 for the paper's 1 GiB).
+//!
+//! `persist` is the durability smoke test (not a paper experiment): it
+//! opens a durable universe at `--state-dir`, recovers whatever a prior
+//! run journaled, publishes any of its fixed content set still missing,
+//! and verifies every recovered byte through a live two-server ZLTP
+//! session. `--kill-after N` aborts the process (as SIGABRT, simulating
+//! a crash) after N new publishes, so CI can run publish → kill →
+//! restart → verify against the same state directory.
 //!
 //! `--telemetry` dumps the process-wide metric registry (counters,
 //! gauges, latency-histogram quantiles) after each experiment and resets
@@ -133,10 +141,27 @@ fn main() {
     let mut which = "all".to_string();
     let mut telemetry_dump = false;
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut state_dir: Option<std::path::PathBuf> = None;
+    let mut kill_after: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--telemetry" => telemetry_dump = true,
             "--json" => json = true,
+            "--state-dir" => match args.next() {
+                Some(dir) => state_dir = Some(dir.into()),
+                None => {
+                    eprintln!("error: --state-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--kill-after" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => kill_after = Some(n),
+                None => {
+                    eprintln!("error: --kill-after requires an integer argument");
+                    std::process::exit(2);
+                }
+            },
             other => which = other.to_string(),
         }
     }
@@ -155,6 +180,7 @@ fn main() {
         "e10",
         "e11",
         "ablations",
+        "persist",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!(
@@ -167,6 +193,21 @@ fn main() {
         events::install(Box::new(std::io::stdout()));
     }
     let r = Reporter { json };
+    if which == "persist" {
+        let Some(dir) = state_dir else {
+            eprintln!("error: persist requires --state-dir <DIR>");
+            std::process::exit(2);
+        };
+        persist_experiment(&r, &dir, kill_after);
+        if telemetry_dump {
+            dump_telemetry(&r, "persist");
+        }
+        if json {
+            events::flush();
+            events::uninstall();
+        }
+        return;
+    }
     let run = |name: &str| which == "all" || which == name || (name == "e4" && which == "table2");
     r.note(&format!(
         "lightweb reproduction harness (shard = {} MiB; set LIGHTWEB_SHARD_MIB to rescale)\n",
@@ -205,6 +246,169 @@ fn main() {
         events::flush();
         events::uninstall();
     }
+}
+
+// =====================================================================
+// persist — durability & crash recovery smoke (lightweb-store). Not a
+// paper experiment: drives the WAL → snapshot → recovery path end to
+// end against a real state directory so CI can publish, kill the
+// process mid-run, restart, and verify the recovered universe serves
+// byte-identical blobs through a two-server ZLTP session.
+// =====================================================================
+
+/// The fixed content set the persist smoke converges on across runs.
+const PERSIST_DOMAIN: &str = "persist.site";
+const PERSIST_PUBLISHER: &str = "Repro";
+const PERSIST_PAGES: usize = 8;
+
+/// Deterministic payload for page `i`. Later pages exceed the 1 KiB
+/// small-tier blob and chain across continuation parts.
+fn persist_payload(i: usize) -> Vec<u8> {
+    (0..120 + i * 450)
+        .map(|j| ((i * 31 + j * 7) % 251) as u8)
+        .collect()
+}
+
+fn persist_experiment(r: &Reporter, state_dir: &std::path::Path, kill_after: Option<usize>) {
+    use lightweb_store::StoreConfig;
+    use lightweb_universe::blob::continuation_path;
+    use lightweb_universe::{decode_chain, BlobError, Universe, UniverseConfig};
+
+    r.section("persist: durability & crash recovery smoke (lightweb-store)");
+    let store_cfg = StoreConfig {
+        snapshot_every_ops: 6,
+        ..StoreConfig::default()
+    };
+    let u = Universe::open_durable(UniverseConfig::small_test("persist"), state_dir, store_cfg)
+        .expect("open durable universe");
+    let backend = u.backend().expect("durable backend");
+    let recovered = u.num_data_values();
+    r.note(&format!(
+        "recovered {} data value(s), {} code blob(s) from {} (seq {}, snapshot seq {})",
+        recovered,
+        u.num_code_blobs(),
+        state_dir.display(),
+        backend.seq(),
+        backend.snapshot_seq(),
+    ));
+
+    // Converge on the fixed content set, journaling every mutation. With
+    // --kill-after N, abort() after N new publishes: no destructors, no
+    // graceful shutdown — the next run must recover from WAL + snapshot.
+    let published = u.store_state();
+    let mut new_publishes = 0usize;
+    let kill_check = |count: &mut usize| {
+        *count += 1;
+        if kill_after == Some(*count) {
+            // Flush human output so CI logs show how far we got.
+            eprintln!("persist: aborting after {count} publish(es) to simulate a crash");
+            std::process::abort();
+        }
+    };
+    if u.owner_of(PERSIST_DOMAIN).is_none() {
+        u.register_domain(PERSIST_DOMAIN, PERSIST_PUBLISHER)
+            .unwrap();
+        kill_check(&mut new_publishes);
+    }
+    if !published.code.contains_key(PERSIST_DOMAIN) {
+        u.publish_code(
+            PERSIST_PUBLISHER,
+            PERSIST_DOMAIN,
+            "route \"/\" {\n fetch \"persist.site/page-0\"\n render \"{data.0}\"\n }",
+        )
+        .unwrap();
+        kill_check(&mut new_publishes);
+    }
+    for i in 0..PERSIST_PAGES {
+        let path = format!("{PERSIST_DOMAIN}/page-{i}");
+        if !published.data.contains_key(&path) {
+            u.publish_data(PERSIST_PUBLISHER, &path, &persist_payload(i))
+                .unwrap();
+            kill_check(&mut new_publishes);
+        }
+    }
+
+    // Verify every page byte-for-byte through a live two-server session —
+    // both the values recovered from disk and the ones just published.
+    let (c0, c1) = u.connect_data();
+    let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+    let max_parts = u.config().max_chain_parts;
+    let mut rows = Vec::new();
+    for i in 0..PERSIST_PAGES {
+        let path = format!("{PERSIST_DOMAIN}/page-{i}");
+        let got = decode_chain(max_parts, |part| {
+            let p = if part == 0 {
+                path.clone()
+            } else {
+                continuation_path(&path, part)
+            };
+            client
+                .private_get(&p)
+                .map_err(|e| BlobError::Corrupt(e.to_string()))
+        })
+        .unwrap();
+        let want = persist_payload(i);
+        assert_eq!(got, want, "recovered payload mismatch at {path}");
+        rows.push(vec![
+            path,
+            format!("{}", want.len()),
+            format!(
+                "{}",
+                want.len()
+                    .div_ceil(u.config().tier.data_blob_len() - 5)
+                    .max(1)
+            ),
+            "ok".into(),
+        ]);
+    }
+    client.close().unwrap();
+    r.table(&["path", "bytes", "parts", "private-GET"], &rows);
+
+    // Exercise the sharded-deployment persistence path too: persist the
+    // front-end split's inputs beside the universe journal, rebuild it
+    // from disk, and check a private answer against the live build.
+    let dep_dir = state_dir.join("deployment");
+    let params = DpfParams::with_default_termination(12).unwrap();
+    let record_len = 128usize;
+    let entries: Vec<(u64, Vec<u8>)> = (0..PERSIST_PAGES as u64)
+        .map(|i| {
+            (
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % params.domain_size(),
+                persist_payload(i as usize % 3)[..record_len.min(120)]
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat(0))
+                    .take(record_len)
+                    .collect(),
+            )
+        })
+        .collect();
+    lightweb_core::deployment::ShardedDeployment::persist_entries(
+        &dep_dir, params, 2, record_len, &entries,
+    )
+    .unwrap();
+    let (recovered_dep, recovered_entries) =
+        lightweb_core::deployment::ShardedDeployment::from_state_dir(&dep_dir).unwrap();
+    assert_eq!(recovered_entries, entries, "deployment entries round-trip");
+    let live_dep =
+        lightweb_core::deployment::ShardedDeployment::from_entries(params, 2, record_len, entries)
+            .unwrap();
+    let (key, _) = gen(&params, 99);
+    assert_eq!(
+        recovered_dep.answer(&key).unwrap().0,
+        live_dep.answer(&key).unwrap().0,
+        "recovered sharded deployment answers differently"
+    );
+
+    u.snapshot_now().unwrap();
+    let backend = u.backend().unwrap();
+    r.note(&format!(
+        "published {} new value(s) this run; all {} pages verified over ZLTP; sharded deployment \
+         recovered from disk answers identically; compacted to snapshot seq {}\n",
+        new_publishes,
+        PERSIST_PAGES,
+        backend.snapshot_seq(),
+    ));
 }
 
 // =====================================================================

@@ -6,8 +6,33 @@
 //! hands the browser a copy scoped to one domain, and writes flow back
 //! through [`LocalStorage::set`] with the domain pinned by the browser,
 //! not by the page.
+//!
+//! Storage optionally persists across browser restarts: [`LocalStorage::save_to`]
+//! writes one checksummed file per domain through the store's atomic-file
+//! helper (tmp → fsync → rename), and [`LocalStorage::load_from`] reads
+//! them back, failing loudly on corruption. Domain separation extends to
+//! disk — each domain's map lives in its own file, named by a keyed hash
+//! of the domain so arbitrary domain strings map to safe file names.
 
+use lightweb_store::atomic_file::{
+    content_hash, read_checksummed, remove_stale_temps, write_checksummed,
+};
+use lightweb_store::record::{get_str, get_u32, put_str, put_u32};
+use lightweb_store::StoreError;
 use std::collections::HashMap;
+use std::path::Path;
+
+/// Prefix of per-domain storage files.
+const FILE_PREFIX: &str = "ls-";
+/// Suffix of per-domain storage files.
+const FILE_SUFFIX: &str = ".db";
+
+fn domain_file_name(domain: &str) -> String {
+    format!(
+        "{FILE_PREFIX}{:016x}{FILE_SUFFIX}",
+        content_hash(domain.as_bytes())
+    )
+}
 
 /// Client-side storage, partitioned by domain.
 #[derive(Clone, Debug, Default)]
@@ -55,6 +80,80 @@ impl LocalStorage {
     /// Number of keys stored for a domain.
     pub fn domain_len(&self, domain: &str) -> usize {
         self.by_domain.get(domain).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Persist every domain's map under `dir`, one atomic checksummed
+    /// file per domain. Files for domains cleared since the last save are
+    /// removed, so `load_from` always reflects exactly this state.
+    pub fn save_to(&self, dir: &Path) -> Result<(), StoreError> {
+        let _t = lightweb_telemetry::span!("browser.storage.save.ns");
+        std::fs::create_dir_all(dir)?;
+        remove_stale_temps(dir)?;
+        let mut live = std::collections::HashSet::new();
+        for (domain, map) in &self.by_domain {
+            let name = domain_file_name(domain);
+            let mut body = Vec::new();
+            put_str(&mut body, domain);
+            put_u32(&mut body, map.len() as u32);
+            let mut entries: Vec<_> = map.iter().collect();
+            entries.sort();
+            for (k, v) in entries {
+                put_str(&mut body, k);
+                put_str(&mut body, v);
+            }
+            write_checksummed(&dir.join(&name), &body)?;
+            live.insert(name);
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(FILE_PREFIX) && name.ends_with(FILE_SUFFIX) && !live.contains(&name)
+            {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        lightweb_telemetry::counter!("browser.storage.saves").inc();
+        Ok(())
+    }
+
+    /// Load storage persisted by [`LocalStorage::save_to`]. A missing
+    /// directory is an empty storage; a torn or bit-rotted file is a loud
+    /// [`StoreError::Corrupt`], never silently dropped data.
+    pub fn load_from(dir: &Path) -> Result<Self, StoreError> {
+        let _t = lightweb_telemetry::span!("browser.storage.load.ns");
+        let mut storage = Self::new();
+        if !dir.is_dir() {
+            return Ok(storage);
+        }
+        remove_stale_temps(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with(FILE_PREFIX) || !name.ends_with(FILE_SUFFIX) {
+                continue;
+            }
+            let body = read_checksummed(&entry.path())?;
+            let mut buf = body.as_slice();
+            let domain = get_str(&mut buf)?;
+            if domain_file_name(&domain) != name {
+                return Err(StoreError::Corrupt(format!(
+                    "storage file {name} claims domain {domain}"
+                )));
+            }
+            let n = get_u32(&mut buf)?;
+            let map = storage.by_domain.entry(domain).or_default();
+            for _ in 0..n {
+                let k = get_str(&mut buf)?;
+                let v = get_str(&mut buf)?;
+                map.insert(k, v);
+            }
+            if !buf.is_empty() {
+                return Err(StoreError::Corrupt(format!(
+                    "trailing bytes in storage file {name}"
+                )));
+            }
+        }
+        Ok(storage)
     }
 }
 
@@ -114,5 +213,87 @@ mod tests {
         s.set("a.com", "k", "new");
         assert_eq!(s.get("a.com", "k"), Some("new"));
         assert_eq!(s.domain_len("a.com"), 1);
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lightweb-browser-storage-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_domain_separation() {
+        let dir = scratch("roundtrip");
+        let mut s = LocalStorage::new();
+        s.set("a.com", "token", "secret-a");
+        s.set("a.com", "theme", "dark");
+        s.set("b.com", "token", "secret-b");
+        s.save_to(&dir).unwrap();
+
+        let loaded = LocalStorage::load_from(&dir).unwrap();
+        assert_eq!(loaded.get("a.com", "token"), Some("secret-a"));
+        assert_eq!(loaded.get("a.com", "theme"), Some("dark"));
+        assert_eq!(loaded.get("b.com", "token"), Some("secret-b"));
+        assert_eq!(loaded.domain_len("a.com"), 2);
+        // One file per domain; names don't expose the domain string.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().all(|n| !n.contains("a.com")));
+    }
+
+    #[test]
+    fn resave_drops_cleared_domains() {
+        let dir = scratch("resave");
+        let mut s = LocalStorage::new();
+        s.set("a.com", "k", "v");
+        s.set("b.com", "k", "v");
+        s.save_to(&dir).unwrap();
+        s.clear_domain("b.com");
+        s.save_to(&dir).unwrap();
+        let loaded = LocalStorage::load_from(&dir).unwrap();
+        assert_eq!(loaded.domain_len("a.com"), 1);
+        assert_eq!(loaded.domain_len("b.com"), 0);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn load_from_missing_dir_is_empty() {
+        let dir = scratch("missing");
+        let loaded = LocalStorage::load_from(&dir).unwrap();
+        assert_eq!(loaded.domain_len("a.com"), 0);
+    }
+
+    #[test]
+    fn corrupted_file_fails_loudly_and_debris_is_ignored() {
+        let dir = scratch("corrupt");
+        let mut s = LocalStorage::new();
+        s.set("a.com", "k", "v");
+        s.save_to(&dir).unwrap();
+        // Crash debris is swept, not loaded.
+        std::fs::write(dir.join("ls-deadbeef.db.tmp"), b"half").unwrap();
+        assert_eq!(
+            LocalStorage::load_from(&dir).unwrap().get("a.com", "k"),
+            Some("v")
+        );
+        // Bit rot in a real file is a loud error.
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "db"))
+            .unwrap();
+        let mut raw = std::fs::read(&file).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&file, &raw).unwrap();
+        assert!(matches!(
+            LocalStorage::load_from(&dir),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 }

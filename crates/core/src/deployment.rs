@@ -20,6 +20,18 @@
 use crate::error::ZltpError;
 use lightweb_dpf::{DpfKey, DpfParams, ShardKey, TreeNode};
 use lightweb_pir::{PirError, PirServer};
+use std::path::Path;
+
+/// The raw `(slot, record)` inputs a deployment is built from, as
+/// recovered from a state directory.
+pub type DeploymentEntries = Vec<(u64, Vec<u8>)>;
+
+/// File name of a persisted deployment inside a state directory.
+const DEPLOYMENT_FILE: &str = "deployment.bin";
+/// Magic tag of the persisted-deployment format ("LWDP").
+const DEPLOYMENT_MAGIC: u32 = 0x4C57_4450;
+/// Version of the persisted-deployment format.
+const DEPLOYMENT_VERSION: u32 = 1;
 
 /// Per-query accounting from a sharded answer.
 #[derive(Clone, Debug, Default)]
@@ -81,6 +93,80 @@ impl ShardedDeployment {
             record_len,
             shards,
         })
+    }
+
+    /// Persist a deployment's inputs under `state_dir` so
+    /// [`ShardedDeployment::from_state_dir`] can rebuild it after a
+    /// restart. The file is one checksummed record written atomically, so
+    /// a crash mid-write leaves the previous version (or nothing), never
+    /// a torn file.
+    pub fn persist_entries(
+        state_dir: &Path,
+        params: DpfParams,
+        prefix_bits: u32,
+        record_len: usize,
+        entries: &[(u64, Vec<u8>)],
+    ) -> Result<(), ZltpError> {
+        use lightweb_store::record::{put_bytes, put_u32, put_u64};
+        let _t = lightweb_telemetry::span!("zltp.deployment.persist.ns");
+        std::fs::create_dir_all(state_dir).map_err(|e| ZltpError::Engine(e.to_string()))?;
+        let mut body = Vec::new();
+        put_u32(&mut body, DEPLOYMENT_MAGIC);
+        put_u32(&mut body, DEPLOYMENT_VERSION);
+        put_u32(&mut body, params.domain_bits());
+        put_u32(&mut body, params.term_bits());
+        put_u32(&mut body, prefix_bits);
+        put_u32(&mut body, record_len as u32);
+        put_u64(&mut body, entries.len() as u64);
+        for (slot, rec) in entries {
+            put_u64(&mut body, *slot);
+            put_bytes(&mut body, rec);
+        }
+        lightweb_telemetry::counter!("zltp.deployment.persist.bytes").add(body.len() as u64);
+        lightweb_store::atomic_file::write_checksummed(&state_dir.join(DEPLOYMENT_FILE), &body)
+            .map_err(|e| ZltpError::Engine(e.to_string()))
+    }
+
+    /// Rebuild a deployment from a state directory written by
+    /// [`ShardedDeployment::persist_entries`], together with the raw
+    /// entries (callers re-seed clients/manifests from them). Fails
+    /// loudly on a missing, torn, or version-skewed file.
+    pub fn from_state_dir(state_dir: &Path) -> Result<(Self, DeploymentEntries), ZltpError> {
+        use lightweb_store::record::{get_bytes, get_u32, get_u64};
+        let _t = lightweb_telemetry::span!("zltp.deployment.recover.ns");
+        let body = lightweb_store::atomic_file::read_checksummed(&state_dir.join(DEPLOYMENT_FILE))
+            .map_err(|e| ZltpError::Engine(e.to_string()))?;
+        let corrupt = |e: lightweb_store::StoreError| ZltpError::Engine(e.to_string());
+        let mut buf = body.as_slice();
+        if get_u32(&mut buf).map_err(corrupt)? != DEPLOYMENT_MAGIC {
+            return Err(ZltpError::Engine("not a persisted deployment".into()));
+        }
+        let version = get_u32(&mut buf).map_err(corrupt)?;
+        if version != DEPLOYMENT_VERSION {
+            return Err(ZltpError::Engine(format!(
+                "persisted deployment version {version}, expected {DEPLOYMENT_VERSION}"
+            )));
+        }
+        let domain_bits = get_u32(&mut buf).map_err(corrupt)?;
+        let term_bits = get_u32(&mut buf).map_err(corrupt)?;
+        let prefix_bits = get_u32(&mut buf).map_err(corrupt)?;
+        let record_len = get_u32(&mut buf).map_err(corrupt)? as usize;
+        let count = get_u64(&mut buf).map_err(corrupt)?;
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let slot = get_u64(&mut buf).map_err(corrupt)?;
+            let rec = get_bytes(&mut buf).map_err(corrupt)?;
+            entries.push((slot, rec));
+        }
+        if !buf.is_empty() {
+            return Err(ZltpError::Engine(
+                "trailing bytes in persisted deployment".into(),
+            ));
+        }
+        let params =
+            DpfParams::new(domain_bits, term_bits).map_err(|e| ZltpError::Engine(e.to_string()))?;
+        let dep = Self::from_entries(params, prefix_bits, record_len, entries.clone())?;
+        Ok((dep, entries))
     }
 
     /// Number of data-server shards.
@@ -270,6 +356,45 @@ mod tests {
         let other = DpfParams::new(10, 3).unwrap();
         let (k, _) = gen(&other, 0);
         assert!(dep.answer(&k).is_err());
+    }
+
+    #[test]
+    fn persist_and_recover_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "lightweb-deployment-{}-persist",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = DpfParams::new(12, 3).unwrap();
+        let es = entries(64, 1 << 12, 16);
+        ShardedDeployment::persist_entries(&dir, params, 2, 16, &es).unwrap();
+        let (dep, recovered) = ShardedDeployment::from_state_dir(&dir).unwrap();
+        assert_eq!(recovered, es);
+        assert_eq!(dep.shard_count(), 4);
+        // The recovered deployment answers exactly like a fresh one.
+        let fresh = ShardedDeployment::from_entries(params, 2, 16, es.clone()).unwrap();
+        for &(slot, _) in es.iter().take(4) {
+            let (k0, _) = gen(&params, slot);
+            assert_eq!(dep.answer(&k0).unwrap().0, fresh.answer(&k0).unwrap().0);
+        }
+    }
+
+    #[test]
+    fn recover_detects_corruption_and_absence() {
+        let dir = std::env::temp_dir().join(format!(
+            "lightweb-deployment-{}-corrupt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(ShardedDeployment::from_state_dir(&dir).is_err(), "absent");
+        let params = DpfParams::new(12, 3).unwrap();
+        ShardedDeployment::persist_entries(&dir, params, 2, 16, &entries(16, 1 << 12, 16)).unwrap();
+        let file = dir.join("deployment.bin");
+        let mut raw = std::fs::read(&file).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x20;
+        std::fs::write(&file, &raw).unwrap();
+        assert!(ShardedDeployment::from_state_dir(&dir).is_err(), "torn");
     }
 
     #[test]

@@ -456,6 +456,21 @@ mod tests {
     }
 
     #[test]
+    fn max_frame_payload_roundtrips() {
+        // The largest legitimate frame: a response whose payload fills the
+        // frame cap exactly (minus the type byte and the 8-byte
+        // request-id/length header of a GetResponse).
+        let payload = vec![0x5A; MAX_FRAME_LEN - 1 - 8];
+        let msg = Message::GetResponse {
+            request_id: u32::MAX,
+            payload,
+        };
+        let frame = msg.to_frame();
+        assert!(frame.payload.len() < MAX_FRAME_LEN, "within cap");
+        assert_eq!(Message::from_frame(&frame).unwrap(), msg);
+    }
+
+    #[test]
     fn get_responses_have_uniform_size_for_fixed_blobs() {
         // The traffic-shape property: responses for equal-size blobs encode
         // to equal-size frames regardless of content.
@@ -470,5 +485,77 @@ mod tests {
         }
         .to_frame();
         assert_eq!(a.payload.len(), b.payload.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: Message) -> Result<(), TestCaseError> {
+        let frame = msg.to_frame();
+        let back = Message::from_frame(&frame)
+            .map_err(|e| TestCaseError::fail(format!("{} failed to decode: {e}", msg.name())))?;
+        prop_assert_eq!(back, msg);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Every message variant round-trips for arbitrary field values,
+        /// including zero-length payloads (the length ranges start at 0).
+        #[test]
+        fn any_message_roundtrips(
+            version in any::<u16>(),
+            modes in prop::collection::vec(any::<u8>(), 0..9),
+            universe_id in "[a-z0-9\\-\\./]{0,32}",
+            mode in any::<u8>(),
+            blob_len in any::<u32>(),
+            domain_bits in any::<u8>(),
+            term_bits in any::<u8>(),
+            khk in prop::collection::vec(any::<u8>(), 16..17),
+            request_id in any::<u32>(),
+            payload in prop::collection::vec(any::<u8>(), 0..4097),
+            key_hashes in prop::collection::vec(any::<u64>(), 0..65),
+            hint in prop::collection::vec(any::<u32>(), 0..65),
+            code in any::<u16>(),
+            error_text in "[ -~]{0,64}",
+        ) {
+            let mut keyword_hash_key = [0u8; 16];
+            keyword_hash_key.copy_from_slice(&khk);
+            roundtrip(Message::ClientHello { version, modes })?;
+            roundtrip(Message::ServerHello {
+                version,
+                universe_id,
+                mode,
+                blob_len,
+                domain_bits,
+                term_bits,
+                keyword_hash_key,
+                extra: payload.clone(),
+            })?;
+            roundtrip(Message::Get { request_id, payload: payload.clone() })?;
+            roundtrip(Message::GetResponse { request_id, payload })?;
+            roundtrip(Message::LweSetupRequest)?;
+            roundtrip(Message::LweSetupResponse { key_hashes, hint })?;
+            roundtrip(Message::Error { code, message: error_text })?;
+            roundtrip(Message::Close)?;
+        }
+
+        /// Decoding is total: arbitrary frames never panic, and whatever
+        /// decodes must re-encode to the same frame (decode is injective
+        /// on the valid subset).
+        #[test]
+        fn arbitrary_frames_never_panic_and_reencode(
+            msg_type in any::<u8>(),
+            payload in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let frame = Frame { msg_type, payload };
+            if let Ok(msg) = Message::from_frame(&frame) {
+                prop_assert_eq!(msg.to_frame(), frame);
+            }
+        }
     }
 }

@@ -1,0 +1,150 @@
+//! Atomic file replacement: write-to-temp, fsync, rename.
+//!
+//! Snapshots, the browser's persisted `LocalStorage`, and anything else
+//! that must never be observed half-written go through
+//! [`write_atomic`]: the bytes land in a `.tmp` sibling, the temp file is
+//! fsynced, and only then renamed over the destination. On POSIX the
+//! rename is atomic, so a crash at any point leaves either the old file
+//! or the new file — never a torn mixture. Leftover `.tmp` files from a
+//! crash mid-write are ignored by every reader and swept by
+//! [`remove_stale_temps`].
+
+use crate::error::StoreError;
+use crate::record::{checksum, RECORD_HEADER_LEN};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// Suffix given to in-flight temp files.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Atomically replace `path` with `contents`.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), StoreError> {
+    let _t = lightweb_telemetry::span!("store.atomic_file.write.ns");
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself: fsync the containing directory where the
+    // platform allows opening directories (POSIX does; on others the
+    // rename alone is the best available).
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically replace `path` with a checksummed wrapper of `payload`,
+/// readable with [`read_checksummed`]. The wrapper is the store's standard
+/// record framing (`u32 len | u64 siphash | payload`).
+pub fn write_checksummed(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
+    let mut framed = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    crate::record::write_record(&mut framed, payload);
+    write_atomic(path, &framed)
+}
+
+/// Read a file written by [`write_checksummed`], failing loudly on any
+/// length or checksum mismatch.
+pub fn read_checksummed(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let bytes = fs::read(path)?;
+    match crate::record::read_record(&bytes, 0) {
+        crate::record::RecordRead::Valid { payload, consumed } if consumed == bytes.len() => {
+            Ok(payload)
+        }
+        crate::record::RecordRead::Valid { .. } => Err(StoreError::Corrupt(format!(
+            "{}: trailing bytes after checksummed payload",
+            path.display()
+        ))),
+        crate::record::RecordRead::End => Err(StoreError::Corrupt(format!(
+            "{}: empty checksummed file",
+            path.display()
+        ))),
+        crate::record::RecordRead::Invalid { reason } => {
+            Err(StoreError::Corrupt(format!("{}: {reason}", path.display())))
+        }
+    }
+}
+
+/// Delete leftover `.tmp` files in `dir` (crash debris from interrupted
+/// atomic writes). Returns how many were removed.
+pub fn remove_stale_temps(dir: &Path) -> Result<usize, StoreError> {
+    let mut removed = 0;
+    if !dir.is_dir() {
+        return Ok(0);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(TMP_SUFFIX) {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        lightweb_telemetry::counter!("store.atomic_file.stale_temps").add(removed as u64);
+    }
+    Ok(removed)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Expose the checksum for callers wanting to label content-addressed
+/// files (e.g. per-domain LocalStorage file names).
+pub fn content_hash(payload: &[u8]) -> u64 {
+    checksum(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lightweb-atomic-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = scratch("replace");
+        let p = dir.join("f");
+        write_atomic(&p, b"first version, rather long").unwrap();
+        write_atomic(&p, b"second").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"second");
+        assert!(!tmp_path(&p).exists());
+    }
+
+    #[test]
+    fn checksummed_roundtrip_and_corruption() {
+        let dir = scratch("sum");
+        let p = dir.join("f");
+        write_checksummed(&p, b"precious state").unwrap();
+        assert_eq!(read_checksummed(&p).unwrap(), b"precious state");
+
+        let mut raw = fs::read(&p).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&p, &raw).unwrap();
+        assert!(matches!(read_checksummed(&p), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stale_temps_are_swept() {
+        let dir = scratch("sweep");
+        fs::write(dir.join("a.tmp"), b"debris").unwrap();
+        fs::write(dir.join("keep"), b"real").unwrap();
+        assert_eq!(remove_stale_temps(&dir).unwrap(), 1);
+        assert!(dir.join("keep").exists());
+        assert!(!dir.join("a.tmp").exists());
+    }
+}

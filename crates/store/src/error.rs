@@ -1,0 +1,56 @@
+//! Store error type.
+
+/// Errors raised by the durable store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// On-disk data failed validation in a way recovery must not paper
+    /// over: a checksum mismatch in the middle of a log, a segment record
+    /// that does not match its reference, an unreadable snapshot with no
+    /// older fallback. Recovery is exact-or-fails-loudly; this is the
+    /// fails-loudly half.
+    Corrupt(String),
+    /// A record or snapshot was written by a format version this build
+    /// does not understand.
+    Version {
+        /// Version found on disk.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The caller handed the store something it cannot journal (e.g. a
+    /// value longer than the segment record format can address).
+    InvalidOp(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::Version { found, expected } => {
+                write!(
+                    f,
+                    "store format version {found} (this build writes {expected})"
+                )
+            }
+            StoreError::InvalidOp(m) => write!(f, "invalid store op: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # lightweb-store
+//!
+//! Durable storage for the lightweb content universe. The paper's
+//! deployment story (§3, §5.3) assumes CDN-scale servers whose universes
+//! survive restarts and outlive RAM; this crate supplies that layer for
+//! the reproduction:
+//!
+//! * [`record`] — the shared on-disk record format: length-prefixed,
+//!   SipHash-2-4-checksummed payloads with torn-write detection.
+//! * [`wal`] — the append-only write-ahead log of universe mutations
+//!   (`register_domain` / `publish_code` / `publish_data` /
+//!   `unpublish_data`), with torn-tail truncation on replay.
+//! * [`segment`] — paged blob segment files holding values too large to
+//!   ride inline in a WAL record.
+//! * [`snapshot`] — atomic, checksummed full-state snapshots enabling log
+//!   compaction.
+//! * [`store`] — [`DurableStore`]: the engine gluing the above together,
+//!   with an `open` path that recovers exactly or fails loudly.
+//! * [`atomic_file`] — write-to-temp-fsync-rename replacement, also used
+//!   by the browser to persist per-domain `LocalStorage`.
+//!
+//! Every operation is instrumented through `lightweb-telemetry`
+//! (`store.wal.append.ns`, `store.wal.fsync.ns`, `store.snapshot.bytes`,
+//! `store.segment.append.ns`, `store.wal.torn_tail`, …).
+
+pub mod atomic_file;
+pub mod error;
+pub mod ops;
+pub mod record;
+pub mod segment;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::StoreError;
+pub use ops::{BlobRef, StoreOp, StoreState, ValueRepr};
+pub use segment::SegmentStore;
+pub use store::{DurableStore, StoreConfig};
+pub use wal::Wal;

@@ -1,0 +1,339 @@
+//! The journaled operation vocabulary and the logical state it folds into.
+//!
+//! The WAL records exactly the four universe mutations the paper's
+//! publisher flow produces: `register_domain`, `publish_code`,
+//! `publish_data`, and `unpublish_data`. Replaying a prefix of the log
+//! over a snapshot reconstructs the universe's book of record
+//! ([`StoreState`]); re-publishing that state through the ZLTP servers
+//! re-seeds the PIR/DPF databases, so a recovered universe answers
+//! queries identically to the one that crashed.
+//!
+//! Large data values are spilled to paged segment files by the store; the
+//! WAL record then carries a [`BlobRef`] instead of inline bytes.
+
+use crate::error::StoreError;
+use crate::record::{
+    get_bytes, get_str, get_u32, get_u64, get_u8, put_bytes, put_str, put_u32, put_u64,
+};
+use std::collections::BTreeMap;
+
+/// Location of a value spilled into a segment file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlobRef {
+    /// Segment file id.
+    pub segment: u32,
+    /// Byte offset of the record inside the segment file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+/// A data value as journaled: small values ride inline in the WAL record,
+/// large ones are a reference into a segment file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueRepr {
+    /// The bytes themselves.
+    Inline(Vec<u8>),
+    /// A pointer into a paged segment file.
+    Blob(BlobRef),
+}
+
+impl ValueRepr {
+    /// Length of the value in bytes, wherever it lives.
+    pub fn len(&self) -> usize {
+        match self {
+            ValueRepr::Inline(b) => b.len(),
+            ValueRepr::Blob(r) => r.len as usize,
+        }
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One durable universe mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreOp {
+    /// `Universe::register_domain`.
+    RegisterDomain {
+        /// The claimed domain.
+        domain: String,
+        /// The claiming publisher.
+        publisher: String,
+    },
+    /// `Universe::publish_code`.
+    PublishCode {
+        /// Acting publisher.
+        publisher: String,
+        /// Domain whose code blob is replaced.
+        domain: String,
+        /// The code text.
+        code: String,
+    },
+    /// `Universe::publish_data`.
+    PublishData {
+        /// Acting publisher.
+        publisher: String,
+        /// Full lightweb path.
+        path: String,
+        /// The raw (pre-chaining) value.
+        value: ValueRepr,
+    },
+    /// `Universe::unpublish_data` — the tombstone.
+    UnpublishData {
+        /// Acting publisher.
+        publisher: String,
+        /// Path being removed.
+        path: String,
+    },
+}
+
+mod op_type {
+    pub const REGISTER_DOMAIN: u8 = 1;
+    pub const PUBLISH_CODE: u8 = 2;
+    pub const PUBLISH_DATA_INLINE: u8 = 3;
+    pub const PUBLISH_DATA_BLOB: u8 = 4;
+    pub const UNPUBLISH_DATA: u8 = 5;
+}
+
+/// Encode `(seq, op)` into a WAL record payload.
+pub fn encode_op(seq: u64, op: &StoreOp) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, seq);
+    match op {
+        StoreOp::RegisterDomain { domain, publisher } => {
+            out.push(op_type::REGISTER_DOMAIN);
+            put_str(&mut out, domain);
+            put_str(&mut out, publisher);
+        }
+        StoreOp::PublishCode {
+            publisher,
+            domain,
+            code,
+        } => {
+            out.push(op_type::PUBLISH_CODE);
+            put_str(&mut out, publisher);
+            put_str(&mut out, domain);
+            put_str(&mut out, code);
+        }
+        StoreOp::PublishData {
+            publisher,
+            path,
+            value,
+        } => match value {
+            ValueRepr::Inline(bytes) => {
+                out.push(op_type::PUBLISH_DATA_INLINE);
+                put_str(&mut out, publisher);
+                put_str(&mut out, path);
+                put_bytes(&mut out, bytes);
+            }
+            ValueRepr::Blob(r) => {
+                out.push(op_type::PUBLISH_DATA_BLOB);
+                put_str(&mut out, publisher);
+                put_str(&mut out, path);
+                put_u32(&mut out, r.segment);
+                put_u64(&mut out, r.offset);
+                put_u32(&mut out, r.len);
+            }
+        },
+        StoreOp::UnpublishData { publisher, path } => {
+            out.push(op_type::UNPUBLISH_DATA);
+            put_str(&mut out, publisher);
+            put_str(&mut out, path);
+        }
+    }
+    out
+}
+
+/// Decode a WAL record payload back into `(seq, op)`.
+pub fn decode_op(payload: &[u8]) -> Result<(u64, StoreOp), StoreError> {
+    let mut buf = payload;
+    let seq = get_u64(&mut buf)?;
+    let tag = get_u8(&mut buf)?;
+    let op = match tag {
+        op_type::REGISTER_DOMAIN => StoreOp::RegisterDomain {
+            domain: get_str(&mut buf)?,
+            publisher: get_str(&mut buf)?,
+        },
+        op_type::PUBLISH_CODE => StoreOp::PublishCode {
+            publisher: get_str(&mut buf)?,
+            domain: get_str(&mut buf)?,
+            code: get_str(&mut buf)?,
+        },
+        op_type::PUBLISH_DATA_INLINE => StoreOp::PublishData {
+            publisher: get_str(&mut buf)?,
+            path: get_str(&mut buf)?,
+            value: ValueRepr::Inline(get_bytes(&mut buf)?),
+        },
+        op_type::PUBLISH_DATA_BLOB => StoreOp::PublishData {
+            publisher: get_str(&mut buf)?,
+            path: get_str(&mut buf)?,
+            value: ValueRepr::Blob(BlobRef {
+                segment: get_u32(&mut buf)?,
+                offset: get_u64(&mut buf)?,
+                len: get_u32(&mut buf)?,
+            }),
+        },
+        op_type::UNPUBLISH_DATA => StoreOp::UnpublishData {
+            publisher: get_str(&mut buf)?,
+            path: get_str(&mut buf)?,
+        },
+        t => return Err(StoreError::Corrupt(format!("unknown op type {t}"))),
+    };
+    if !buf.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after op",
+            buf.len()
+        )));
+    }
+    Ok((seq, op))
+}
+
+/// The logical content of a universe, as reconstructed by recovery and
+/// serialized by snapshots. This is exactly the universe's book of
+/// record: ownership, per-domain code text, and raw (pre-chaining) data
+/// values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreState {
+    /// domain → owning publisher.
+    pub domains: BTreeMap<String, String>,
+    /// domain → code text.
+    pub code: BTreeMap<String, String>,
+    /// path → raw value.
+    pub data: BTreeMap<String, Vec<u8>>,
+}
+
+impl StoreState {
+    /// Fold one op into the state. `value` must be the resolved bytes for
+    /// `PublishData` ops (inline or read back from a segment); other ops
+    /// ignore it.
+    pub fn apply(&mut self, op: &StoreOp, resolved_value: Option<Vec<u8>>) {
+        match op {
+            StoreOp::RegisterDomain { domain, publisher } => {
+                self.domains.insert(domain.clone(), publisher.clone());
+            }
+            StoreOp::PublishCode { domain, code, .. } => {
+                self.code.insert(domain.clone(), code.clone());
+            }
+            StoreOp::PublishData { path, value, .. } => {
+                let bytes = match (resolved_value, value) {
+                    (Some(b), _) => b,
+                    (None, ValueRepr::Inline(b)) => b.clone(),
+                    (None, ValueRepr::Blob(_)) => {
+                        unreachable!("blob refs must be resolved before apply")
+                    }
+                };
+                self.data.insert(path.clone(), bytes);
+            }
+            StoreOp::UnpublishData { path, .. } => {
+                // The tombstone: replay must end with the value absent.
+                self.data.remove(path);
+            }
+        }
+    }
+
+    /// Total number of logical entries (domains + code blobs + values).
+    pub fn entries(&self) -> usize {
+        self.domains.len() + self.code.len() + self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(op: StoreOp) {
+        let payload = encode_op(42, &op);
+        let (seq, back) = decode_op(&payload).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(back, op);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        roundtrip(StoreOp::RegisterDomain {
+            domain: "nytimes.com".into(),
+            publisher: "NYTimes".into(),
+        });
+        roundtrip(StoreOp::PublishCode {
+            publisher: "NYTimes".into(),
+            domain: "nytimes.com".into(),
+            code: "route { \"/\" -> data \"nytimes.com/home\" }".into(),
+        });
+        roundtrip(StoreOp::PublishData {
+            publisher: "p".into(),
+            path: "a.com/x".into(),
+            value: ValueRepr::Inline(vec![0, 1, 2, 255]),
+        });
+        roundtrip(StoreOp::PublishData {
+            publisher: "p".into(),
+            path: "a.com/big".into(),
+            value: ValueRepr::Blob(BlobRef {
+                segment: 3,
+                offset: 8192,
+                len: 1 << 20,
+            }),
+        });
+        roundtrip(StoreOp::UnpublishData {
+            publisher: "p".into(),
+            path: "a.com/x".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_or_trailing_payloads_rejected() {
+        let payload = encode_op(
+            7,
+            &StoreOp::RegisterDomain {
+                domain: "a.com".into(),
+                publisher: "A".into(),
+            },
+        );
+        for cut in 0..payload.len() {
+            assert!(decode_op(&payload[..cut]).is_err(), "accepted cut {cut}");
+        }
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_op(&trailing).is_err());
+    }
+
+    #[test]
+    fn state_fold_applies_tombstones() {
+        let mut s = StoreState::default();
+        s.apply(
+            &StoreOp::RegisterDomain {
+                domain: "a.com".into(),
+                publisher: "A".into(),
+            },
+            None,
+        );
+        s.apply(
+            &StoreOp::PublishData {
+                publisher: "A".into(),
+                path: "a.com/x".into(),
+                value: ValueRepr::Inline(b"v1".to_vec()),
+            },
+            None,
+        );
+        s.apply(
+            &StoreOp::PublishData {
+                publisher: "A".into(),
+                path: "a.com/x".into(),
+                value: ValueRepr::Inline(b"v2".to_vec()),
+            },
+            None,
+        );
+        assert_eq!(s.data["a.com/x"], b"v2");
+        s.apply(
+            &StoreOp::UnpublishData {
+                publisher: "A".into(),
+                path: "a.com/x".into(),
+            },
+            None,
+        );
+        assert!(!s.data.contains_key("a.com/x"));
+        assert_eq!(s.entries(), 1);
+    }
+}

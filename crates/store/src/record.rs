@@ -1,0 +1,263 @@
+//! The on-disk record format shared by the WAL and the segment files.
+//!
+//! Every durable record travels as
+//!
+//! ```text
+//! | u32 len (BE) | u64 checksum (BE) | payload (len bytes) |
+//! ```
+//!
+//! where the checksum is SipHash-2-4 (from `lightweb-crypto`) over the
+//! payload under a fixed key. The checksum is an *integrity* check against
+//! torn writes and bit rot, not an authenticity check — anyone with the
+//! file can rewrite it; the store's threat model is crashes, not tampering.
+//!
+//! A record is **valid** iff the full header fits, `len` is within bounds,
+//! the full payload fits, and the checksum matches. [`read_record`]
+//! distinguishes three outcomes so callers can implement torn-tail
+//! truncation (WAL) versus fail-loudly (segments): a valid record, a clean
+//! end of input, or an invalid tail.
+
+use crate::error::StoreError;
+use lightweb_crypto::SipHash24;
+
+/// Fixed integrity key. Changing it invalidates every store on disk, so it
+/// is part of the format (bumping it requires a format-version bump).
+const CHECKSUM_KEY: [u8; 16] = *b"lightweb-store/1";
+
+/// Hard cap on one record's payload: 256 MiB, far above any legitimate
+/// blob but small enough that a garbage length field cannot drive an
+/// unbounded allocation.
+pub const MAX_RECORD_LEN: usize = 256 * 1024 * 1024;
+
+/// Bytes of framing around a payload: u32 length + u64 checksum.
+pub const RECORD_HEADER_LEN: usize = 4 + 8;
+
+/// Checksum a payload with the store's fixed SipHash-2-4 key.
+pub fn checksum(payload: &[u8]) -> u64 {
+    SipHash24::new(&CHECKSUM_KEY).hash(payload)
+}
+
+/// Frame a payload into `out` as one record.
+pub fn write_record(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_RECORD_LEN);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&checksum(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Outcome of pulling one record off a byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecordRead {
+    /// A record passed validation; the payload and the number of bytes
+    /// consumed (header + payload).
+    Valid {
+        /// The record payload.
+        payload: Vec<u8>,
+        /// Total bytes this record occupied.
+        consumed: usize,
+    },
+    /// Input ended exactly on a record boundary.
+    End,
+    /// The bytes at this offset are not a valid record: truncated header,
+    /// truncated payload, out-of-bounds length, or checksum mismatch.
+    /// `reason` says which.
+    Invalid {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+/// Validate and read the record starting at `buf[offset..]`.
+pub fn read_record(buf: &[u8], offset: usize) -> RecordRead {
+    let rest = &buf[offset.min(buf.len())..];
+    if rest.is_empty() {
+        return RecordRead::End;
+    }
+    if rest.len() < RECORD_HEADER_LEN {
+        return RecordRead::Invalid {
+            reason: format!(
+                "truncated header: {} of {RECORD_HEADER_LEN} bytes",
+                rest.len()
+            ),
+        };
+    }
+    let len = u32::from_be_bytes(rest[..4].try_into().unwrap()) as usize;
+    if len > MAX_RECORD_LEN {
+        return RecordRead::Invalid {
+            reason: format!("record length {len} exceeds cap {MAX_RECORD_LEN}"),
+        };
+    }
+    let want = u64::from_be_bytes(rest[4..12].try_into().unwrap());
+    if rest.len() < RECORD_HEADER_LEN + len {
+        return RecordRead::Invalid {
+            reason: format!(
+                "truncated payload: {} of {len} bytes",
+                rest.len() - RECORD_HEADER_LEN
+            ),
+        };
+    }
+    let payload = &rest[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len];
+    if checksum(payload) != want {
+        return RecordRead::Invalid {
+            reason: "checksum mismatch".into(),
+        };
+    }
+    RecordRead::Valid {
+        payload: payload.to_vec(),
+        consumed: RECORD_HEADER_LEN + len,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little payload-encoding helpers shared by ops, snapshots, and segments.
+// All integers are big-endian; strings and byte strings are u32
+// length-prefixed.
+// ---------------------------------------------------------------------
+
+/// Append a u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Read a u8, advancing the slice.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, StoreError> {
+    let (&b, rest) = buf
+        .split_first()
+        .ok_or_else(|| StoreError::Corrupt("truncated payload (u8)".into()))?;
+    *buf = rest;
+    Ok(b)
+}
+
+/// Read a u32, advancing the slice.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, StoreError> {
+    if buf.len() < 4 {
+        return Err(StoreError::Corrupt("truncated payload (u32)".into()));
+    }
+    let v = u32::from_be_bytes(buf[..4].try_into().unwrap());
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+/// Read a u64, advancing the slice.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, StoreError> {
+    if buf.len() < 8 {
+        return Err(StoreError::Corrupt("truncated payload (u64)".into()));
+    }
+    let v = u64::from_be_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+/// Read a length-prefixed byte string, advancing the slice.
+pub fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, StoreError> {
+    let n = get_u32(buf)? as usize;
+    if buf.len() < n {
+        return Err(StoreError::Corrupt(format!(
+            "truncated payload (bytes: {n} wanted, {} left)",
+            buf.len()
+        )));
+    }
+    let out = buf[..n].to_vec();
+    *buf = &buf[n..];
+    Ok(out)
+}
+
+/// Read a length-prefixed UTF-8 string, advancing the slice.
+pub fn get_str(buf: &mut &[u8]) -> Result<String, StoreError> {
+    String::from_utf8(get_bytes(buf)?)
+        .map_err(|_| StoreError::Corrupt("invalid UTF-8 string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip_and_boundaries() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"alpha");
+        write_record(&mut buf, b"");
+        write_record(&mut buf, &[0xAB; 300]);
+        let mut off = 0;
+        let mut seen = Vec::new();
+        loop {
+            match read_record(&buf, off) {
+                RecordRead::Valid { payload, consumed } => {
+                    seen.push(payload);
+                    off += consumed;
+                }
+                RecordRead::End => break,
+                RecordRead::Invalid { reason } => panic!("invalid: {reason}"),
+            }
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], b"alpha");
+        assert!(seen[1].is_empty());
+        assert_eq!(seen[2], vec![0xAB; 300]);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_invalid_not_a_panic() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"payload-bytes");
+        for cut in 1..buf.len() {
+            match read_record(&buf[..cut], 0) {
+                RecordRead::Invalid { .. } => {}
+                other => panic!("cut at {cut}: expected Invalid, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitflip_is_detected() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"sensitive");
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                matches!(read_record(&bad, 0), RecordRead::Invalid { .. }),
+                "flip at byte {i} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0xFF]; // 4 GiB length
+        buf.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(read_record(&buf, 0), RecordRead::Invalid { .. }));
+    }
+
+    #[test]
+    fn scalar_helpers_roundtrip() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        put_u64(&mut out, u64::MAX);
+        put_str(&mut out, "a/b");
+        put_bytes(&mut out, &[1, 2, 3]);
+        let mut buf = out.as_slice();
+        assert_eq!(get_u32(&mut buf).unwrap(), 7);
+        assert_eq!(get_u64(&mut buf).unwrap(), u64::MAX);
+        assert_eq!(get_str(&mut buf).unwrap(), "a/b");
+        assert_eq!(get_bytes(&mut buf).unwrap(), vec![1, 2, 3]);
+        assert!(buf.is_empty());
+        assert!(get_u8(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Paged blob segment files.
+//!
+//! Values too large to ride inline in a WAL record are appended to
+//! segment files (`segments/seg-<id>.seg`). Each value is framed with the
+//! store's standard checksummed record format and the file is then padded
+//! to the next page boundary, so every record starts page-aligned — reads
+//! touch only whole pages, and a torn final page can never bleed into an
+//! earlier record.
+//!
+//! Segments are immutable once written; the only mutations are appends to
+//! the active segment, rotation to a new file, and whole-file deletion
+//! during compaction (after a snapshot has inlined every live value, no
+//! WAL record references any segment, so all closed segments are dead).
+//! Reads go through [`SegmentStore::read`], which validates the record
+//! checksum and the reference length and fails loudly on any mismatch.
+
+use crate::error::StoreError;
+use crate::ops::BlobRef;
+use crate::record::{read_record, write_record, RecordRead, MAX_RECORD_LEN};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default page size: 4 KiB, matching the paper's medium-tier blob.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+fn segment_file_name(id: u32) -> String {
+    format!("seg-{id:08}.seg")
+}
+
+fn parse_segment_id(name: &str) -> Option<u32> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// The collection of segment files under one store directory.
+pub struct SegmentStore {
+    dir: PathBuf,
+    page_size: usize,
+    active_id: u32,
+    active: Option<File>,
+    active_len: u64,
+}
+
+impl SegmentStore {
+    /// Open (or create) the segment directory. A fresh active segment is
+    /// always started, so a torn tail left by a crash in an older segment
+    /// is never appended to.
+    pub fn open(dir: &Path, page_size: usize) -> Result<Self, StoreError> {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        fs::create_dir_all(dir)?;
+        crate::atomic_file::remove_stale_temps(dir)?;
+        let max_id = Self::segment_ids(dir)?.into_iter().max();
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            page_size,
+            active_id: max_id.map_or(0, |m| m + 1),
+            active: None,
+            active_len: 0,
+        })
+    }
+
+    fn segment_ids(dir: &Path) -> Result<Vec<u32>, StoreError> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(id) = parse_segment_id(&entry?.file_name().to_string_lossy()) {
+                ids.push(id);
+            }
+        }
+        Ok(ids)
+    }
+
+    fn path_of(&self, id: u32) -> PathBuf {
+        self.dir.join(segment_file_name(id))
+    }
+
+    /// Append one value to the active segment, fsync it, and return its
+    /// reference. The fsync *before* the WAL record is written is what
+    /// makes a `PublishData` blob ref safe to replay.
+    pub fn append(&mut self, payload: &[u8]) -> Result<BlobRef, StoreError> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(StoreError::InvalidOp(format!(
+                "value of {} bytes exceeds the segment record cap",
+                payload.len()
+            )));
+        }
+        let _t = lightweb_telemetry::span!("store.segment.append.ns");
+        if self.active.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path_of(self.active_id))?;
+            self.active_len = file.metadata()?.len();
+            self.active = Some(file);
+        }
+        let offset = self.active_len;
+        let mut framed = Vec::with_capacity(payload.len() + 64);
+        write_record(&mut framed, payload);
+        // Pad to the next page boundary so the following record starts
+        // page-aligned.
+        let mask = self.page_size as u64 - 1;
+        let padded = (framed.len() as u64 + mask) & !mask;
+        framed.resize(padded as usize, 0);
+        let file = self.active.as_mut().unwrap();
+        file.write_all(&framed)?;
+        {
+            let _s = lightweb_telemetry::span!("store.segment.fsync.ns");
+            file.sync_all()?;
+        }
+        self.active_len += padded;
+        lightweb_telemetry::counter!("store.segment.bytes").add(padded);
+        lightweb_telemetry::counter!("store.segment.records").inc();
+        Ok(BlobRef {
+            segment: self.active_id,
+            offset,
+            len: payload.len() as u32,
+        })
+    }
+
+    /// Read a value back through its reference, failing loudly if the
+    /// record is missing, torn, or does not match the reference.
+    pub fn read(&self, r: &BlobRef) -> Result<Vec<u8>, StoreError> {
+        let _t = lightweb_telemetry::span!("store.segment.read.ns");
+        let path = self.path_of(r.segment);
+        let mut file = File::open(&path).map_err(|e| {
+            StoreError::Corrupt(format!(
+                "segment {} referenced by the WAL is unreadable: {e}",
+                path.display()
+            ))
+        })?;
+        file.seek(SeekFrom::Start(r.offset))?;
+        let mut framed = vec![0u8; crate::record::RECORD_HEADER_LEN + r.len as usize];
+        file.read_exact(&mut framed).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "segment {} truncated under record at offset {}",
+                path.display(),
+                r.offset
+            ))
+        })?;
+        match read_record(&framed, 0) {
+            RecordRead::Valid { payload, .. } if payload.len() == r.len as usize => Ok(payload),
+            RecordRead::Valid { payload, .. } => Err(StoreError::Corrupt(format!(
+                "segment record length {} does not match reference {}",
+                payload.len(),
+                r.len
+            ))),
+            RecordRead::End | RecordRead::Invalid { .. } => Err(StoreError::Corrupt(format!(
+                "segment {} record at offset {} failed validation",
+                path.display(),
+                r.offset
+            ))),
+        }
+    }
+
+    /// Close the active segment and start a new one. Returns the id every
+    /// segment older than which is now closed.
+    pub fn rotate(&mut self) -> u32 {
+        if self.active.is_some() || self.active_len > 0 {
+            self.active = None;
+            self.active_len = 0;
+            self.active_id += 1;
+        }
+        self.active_id
+    }
+
+    /// Delete every closed segment with id strictly below `id`. Called
+    /// after compaction, when no WAL record can reference them.
+    pub fn delete_below(&mut self, id: u32) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        for seg in Self::segment_ids(&self.dir)? {
+            if seg < id {
+                fs::remove_file(self.path_of(seg))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Id of the segment new appends go to.
+    pub fn active_id(&self) -> u32 {
+        self.active_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lightweb-segment-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_read_roundtrip_page_aligned() {
+        let dir = scratch("roundtrip");
+        let mut s = SegmentStore::open(&dir, 4096).unwrap();
+        let a = s.append(&[1u8; 100]).unwrap();
+        let b = s.append(&vec![2u8; 5000]).unwrap();
+        let c = s.append(b"").unwrap();
+        assert_eq!(a.offset % 4096, 0);
+        assert_eq!(b.offset, 4096, "first record pads to one page");
+        assert_eq!(c.offset % 4096, 0);
+        assert_eq!(s.read(&a).unwrap(), vec![1u8; 100]);
+        assert_eq!(s.read(&b).unwrap(), vec![2u8; 5000]);
+        assert_eq!(s.read(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn reopen_starts_a_fresh_segment() {
+        let dir = scratch("reopen");
+        let r = {
+            let mut s = SegmentStore::open(&dir, 4096).unwrap();
+            s.append(b"survives").unwrap()
+        };
+        let mut s2 = SegmentStore::open(&dir, 4096).unwrap();
+        assert!(s2.active_id() > r.segment);
+        // Old record still readable through its ref.
+        assert_eq!(s2.read(&r).unwrap(), b"survives");
+        let r2 = s2.append(b"new").unwrap();
+        assert_ne!(r2.segment, r.segment);
+    }
+
+    #[test]
+    fn corruption_fails_loudly() {
+        let dir = scratch("corrupt");
+        let mut s = SegmentStore::open(&dir, 4096).unwrap();
+        let r = s.append(&vec![7u8; 256]).unwrap();
+        let path = dir.join(segment_file_name(r.segment));
+        let mut raw = fs::read(&path).unwrap();
+        raw[crate::record::RECORD_HEADER_LEN + 10] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(s.read(&r), Err(StoreError::Corrupt(_))));
+        // A dangling ref (bad segment id) also fails loudly.
+        let dangling = BlobRef {
+            segment: r.segment + 99,
+            offset: 0,
+            len: 1,
+        };
+        assert!(matches!(s.read(&dangling), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rotation_and_deletion() {
+        let dir = scratch("rotate");
+        let mut s = SegmentStore::open(&dir, 4096).unwrap();
+        let r = s.append(b"old").unwrap();
+        let active = s.rotate();
+        assert!(active > r.segment);
+        assert_eq!(s.delete_below(active).unwrap(), 1);
+        assert!(matches!(s.read(&r), Err(StoreError::Corrupt(_))));
+    }
+}

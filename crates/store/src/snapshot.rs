@@ -1,0 +1,188 @@
+//! Snapshots: a full serialization of the logical state, atomically
+//! written, checksummed, and named by the sequence number it covers.
+//!
+//! `snapshot-<seq>.snap` holds the state after applying ops `[0, seq)`;
+//! replaying the WAL records with sequence numbers `>= seq` on top of it
+//! reconstructs the exact pre-crash state. Snapshots inline every value
+//! (including ones the WAL had spilled to segments), which is what makes
+//! compaction free to delete old WAL files *and* old segments in one
+//! sweep.
+
+use crate::atomic_file::{read_checksummed, write_checksummed};
+use crate::error::StoreError;
+use crate::ops::StoreState;
+use crate::record::{get_bytes, get_str, get_u32, get_u64, put_bytes, put_str, put_u32, put_u64};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Snapshot body magic: "LWSN".
+const MAGIC: u32 = 0x4C57_534E;
+/// Format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File name of the snapshot covering ops `[0, seq)`.
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("snapshot-{seq:016x}.snap")
+}
+
+/// Parse a snapshot file name back into its covered sequence number.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    u64::from_str_radix(name.strip_prefix("snapshot-")?.strip_suffix(".snap")?, 16).ok()
+}
+
+/// Serialize and atomically write `state` as the snapshot covering
+/// `[0, seq)`. Returns the encoded size in bytes.
+pub fn write_snapshot(dir: &Path, seq: u64, state: &StoreState) -> Result<usize, StoreError> {
+    let _t = lightweb_telemetry::span!("store.snapshot.ns");
+    let mut body = Vec::new();
+    put_u32(&mut body, MAGIC);
+    put_u32(&mut body, SNAPSHOT_VERSION);
+    put_u64(&mut body, seq);
+    put_u32(&mut body, state.domains.len() as u32);
+    for (domain, owner) in &state.domains {
+        put_str(&mut body, domain);
+        put_str(&mut body, owner);
+    }
+    put_u32(&mut body, state.code.len() as u32);
+    for (domain, code) in &state.code {
+        put_str(&mut body, domain);
+        put_str(&mut body, code);
+    }
+    put_u32(&mut body, state.data.len() as u32);
+    for (path, value) in &state.data {
+        put_str(&mut body, path);
+        put_bytes(&mut body, value);
+    }
+    let len = body.len();
+    write_checksummed(&dir.join(snapshot_file_name(seq)), &body)?;
+    lightweb_telemetry::counter!("store.snapshot.bytes").add(len as u64);
+    lightweb_telemetry::counter!("store.snapshot.count").inc();
+    Ok(len)
+}
+
+/// Read and validate the snapshot covering `[0, seq)`.
+pub fn read_snapshot(dir: &Path, seq: u64) -> Result<StoreState, StoreError> {
+    let path = dir.join(snapshot_file_name(seq));
+    let body = read_checksummed(&path)?;
+    let mut buf = body.as_slice();
+    if get_u32(&mut buf)? != MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{}: bad magic",
+            path.display()
+        )));
+    }
+    let version = get_u32(&mut buf)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::Version {
+            found: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    let stamped = get_u64(&mut buf)?;
+    if stamped != seq {
+        return Err(StoreError::Corrupt(format!(
+            "{}: body stamped seq {stamped}, file named {seq}",
+            path.display()
+        )));
+    }
+    let mut state = StoreState::default();
+    for _ in 0..get_u32(&mut buf)? {
+        let domain = get_str(&mut buf)?;
+        let owner = get_str(&mut buf)?;
+        state.domains.insert(domain, owner);
+    }
+    for _ in 0..get_u32(&mut buf)? {
+        let domain = get_str(&mut buf)?;
+        let code = get_str(&mut buf)?;
+        state.code.insert(domain, code);
+    }
+    for _ in 0..get_u32(&mut buf)? {
+        let path = get_str(&mut buf)?;
+        let value = get_bytes(&mut buf)?;
+        state.data.insert(path, value);
+    }
+    if !buf.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{}: {} trailing bytes",
+            path.display(),
+            buf.len()
+        )));
+    }
+    Ok(state)
+}
+
+/// All snapshot sequence numbers present in `dir`, sorted ascending.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<u64>, StoreError> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        if let Some(s) = parse_snapshot_name(&entry?.file_name().to_string_lossy()) {
+            seqs.push(s);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Path of the snapshot covering `[0, seq)` (for tests and compaction).
+pub fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(snapshot_file_name(seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lightweb-snap-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state() -> StoreState {
+        let mut s = StoreState::default();
+        s.domains.insert("a.com".into(), "A".into());
+        s.domains.insert("b.org".into(), "B".into());
+        s.code.insert("a.com".into(), "route {}".into());
+        s.data.insert("a.com/x".into(), vec![1, 2, 3]);
+        s.data.insert("a.com/empty".into(), vec![]);
+        s.data.insert("b.org/big".into(), vec![0xEE; 9000]);
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = scratch("roundtrip");
+        let state = sample_state();
+        let n = write_snapshot(&dir, 17, &state).unwrap();
+        assert!(n > 9000);
+        assert_eq!(read_snapshot(&dir, 17).unwrap(), state);
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![17]);
+    }
+
+    #[test]
+    fn corrupt_snapshot_fails_loudly() {
+        let dir = scratch("corrupt");
+        write_snapshot(&dir, 3, &sample_state()).unwrap();
+        let path = snapshot_path(&dir, 3);
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir, 3),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn mislabeled_snapshot_rejected() {
+        let dir = scratch("mislabel");
+        write_snapshot(&dir, 5, &sample_state()).unwrap();
+        fs::rename(snapshot_path(&dir, 5), snapshot_path(&dir, 9)).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir, 9),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

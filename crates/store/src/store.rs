@@ -1,0 +1,422 @@
+//! The durable store: WAL + segments + snapshots, glued into one engine
+//! with a crash-recovery `open` path.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <state-dir>/
+//!   wal-<start_seq>.log        append-only op log (checksummed records)
+//!   snapshot-<seq>.snap        atomic full-state snapshots
+//!   segments/seg-<id>.seg      paged blob segments for large values
+//! ```
+//!
+//! ## Write path
+//!
+//! `append(op)`: a `PublishData` whose value is at least
+//! [`StoreConfig::segment_threshold`] bytes is first written to the
+//! active segment and fsynced; the WAL record then carries the
+//! [`BlobRef`]. The WAL record itself is fsynced (by default) before
+//! `append` returns — that is the durability point.
+//!
+//! ## Snapshot + compaction
+//!
+//! `snapshot(state)` writes `snapshot-<seq>.snap` atomically, starts
+//! `wal-<seq>.log`, then deletes the superseded WAL files, older
+//! snapshots, and all closed segments (the snapshot inlines every live
+//! value, so nothing references them). A crash between any two of those
+//! steps is recoverable: recovery prefers the newest valid snapshot and
+//! skips WAL records it already covers.
+//!
+//! ## Recovery
+//!
+//! `open` sweeps stale temp files, loads the newest snapshot that
+//! validates, picks the WAL covering that sequence point, truncates a
+//! torn WAL tail back to the last valid record, replays the remainder
+//! (resolving segment refs, failing loudly on any non-tail corruption),
+//! and returns the reconstructed [`StoreState`].
+
+use crate::error::StoreError;
+use crate::ops::{encode_op, BlobRef, StoreOp, StoreState, ValueRepr};
+use crate::segment::{SegmentStore, DEFAULT_PAGE_SIZE};
+use crate::snapshot::{list_snapshots, read_snapshot, snapshot_path, write_snapshot};
+use crate::wal::{list_wals, Wal};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Tuning knobs for one store.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// fsync the WAL on every append (the durability point). Turning this
+    /// off trades crash safety for throughput; recovery still works, it
+    /// just may lose the unsynced suffix.
+    pub fsync_wal: bool,
+    /// Take a snapshot (and compact) automatically once this many ops
+    /// have accumulated since the last one. `0` disables auto-snapshots.
+    pub snapshot_every_ops: u64,
+    /// Values at least this long are spilled to segment files instead of
+    /// riding inline in the WAL record.
+    pub segment_threshold: usize,
+    /// Segment page size (power of two).
+    pub page_size: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            fsync_wal: true,
+            snapshot_every_ops: 1024,
+            segment_threshold: 4096,
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A configuration suited to tests: tiny thresholds so every
+    /// mechanism (segments, snapshots, compaction) exercises quickly.
+    pub fn small_test() -> Self {
+        Self {
+            fsync_wal: true,
+            snapshot_every_ops: 8,
+            segment_threshold: 256,
+            page_size: 512,
+        }
+    }
+}
+
+struct Inner {
+    wal: Wal,
+    segments: SegmentStore,
+    /// Next sequence number to assign.
+    seq: u64,
+    /// Sequence point covered by the newest durable snapshot.
+    snapshot_seq: u64,
+}
+
+/// A durable storage engine rooted at one state directory.
+pub struct DurableStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    inner: Mutex<Inner>,
+}
+
+impl DurableStore {
+    /// Open (or create) the store at `dir`, running crash recovery, and
+    /// return it together with the reconstructed logical state.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> Result<(Self, StoreState), StoreError> {
+        let _t = lightweb_telemetry::span!("store.open.ns");
+        fs::create_dir_all(dir)?;
+        crate::atomic_file::remove_stale_temps(dir)?;
+        let segments = SegmentStore::open(&dir.join("segments"), cfg.page_size)?;
+
+        // 1. Newest snapshot that validates. A corrupt newest snapshot is
+        // tolerable only while the WAL covering the older one still
+        // exists (i.e. compaction had not finished); otherwise history is
+        // gone and we must fail loudly rather than resurrect stale state.
+        let snaps = list_snapshots(dir)?;
+        let wals = list_wals(dir)?;
+        let mut state = StoreState::default();
+        let mut snapshot_seq = 0u64;
+        let mut snap_err: Option<StoreError> = None;
+        for &seq in snaps.iter().rev() {
+            match read_snapshot(dir, seq) {
+                Ok(s) => {
+                    state = s;
+                    snapshot_seq = seq;
+                    break;
+                }
+                Err(e) => {
+                    let fallback_covered = snaps
+                        .iter()
+                        .rev()
+                        .find(|&&s| s < seq)
+                        .map(|&older| wals.iter().any(|&w| w <= older))
+                        .unwrap_or(!wals.is_empty() && wals[0] == 0);
+                    if !fallback_covered {
+                        return Err(StoreError::Corrupt(format!(
+                            "newest snapshot {} is unreadable ({e}) and no older \
+                             snapshot+WAL chain covers it; refusing to recover silently",
+                            snapshot_path(dir, seq).display()
+                        )));
+                    }
+                    snap_err = Some(e);
+                }
+            }
+        }
+        if snap_err.is_some() {
+            lightweb_telemetry::counter!("store.recover.snapshot_fallback").inc();
+        }
+
+        // 2. The WAL for this sequence point: largest start <= snapshot_seq.
+        // (A crash between snapshot write and WAL rotation leaves only an
+        // older WAL; its already-covered records are skipped by seq.)
+        let wal_start = wals.iter().copied().filter(|&s| s <= snapshot_seq).max();
+        let (wal, replayed) = match wal_start {
+            Some(start) => {
+                let (wal, replay) = Wal::open(dir, start, snapshot_seq)?;
+                if let Some((reason, dropped)) = &replay.torn_tail {
+                    lightweb_telemetry::counter!("store.recover.torn_bytes").add(*dropped);
+                    // Torn tails are expected after a crash; surface them
+                    // in telemetry (store.wal.torn_tail) rather than stderr.
+                    let _ = reason;
+                }
+                let mut applied = 0u64;
+                for (seq, op) in &replay.ops {
+                    let resolved = match op {
+                        StoreOp::PublishData {
+                            value: ValueRepr::Blob(r),
+                            ..
+                        } => Some(segments.read(r)?),
+                        _ => None,
+                    };
+                    state.apply(op, resolved);
+                    applied += 1;
+                    debug_assert_eq!(seq + 1, snapshot_seq.max(wal.start_seq()) + applied);
+                }
+                let next = replay.ops.last().map_or_else(
+                    || snapshot_seq.max(wal.start_seq() + wal.records()),
+                    |(s, _)| s + 1,
+                );
+                (wal, next)
+            }
+            None => (Wal::create(dir, snapshot_seq)?, snapshot_seq),
+        };
+        // Any WAL older than the one we chose is superseded debris from a
+        // crash mid-compaction.
+        for &s in &wals {
+            if s < wal.start_seq() {
+                fs::remove_file(dir.join(crate::wal::wal_file_name(s)))?;
+            }
+        }
+
+        let seq = wal_start.map_or(snapshot_seq, |_| replayed.max(snapshot_seq));
+        let store = Self {
+            dir: dir.to_path_buf(),
+            cfg,
+            inner: Mutex::new(Inner {
+                wal,
+                segments,
+                seq,
+                snapshot_seq,
+            }),
+        };
+        Ok((store, state))
+    }
+
+    /// Journal one op; returns its sequence number. Large `PublishData`
+    /// values are spilled to a segment first. Durable on return when
+    /// `fsync_wal` is set.
+    pub fn append(&self, op: &StoreOp) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        let spilled;
+        let to_journal: &StoreOp = match op {
+            StoreOp::PublishData {
+                publisher,
+                path,
+                value: ValueRepr::Inline(bytes),
+            } if bytes.len() >= self.cfg.segment_threshold => {
+                let r: BlobRef = inner.segments.append(bytes)?;
+                spilled = StoreOp::PublishData {
+                    publisher: publisher.clone(),
+                    path: path.clone(),
+                    value: ValueRepr::Blob(r),
+                };
+                &spilled
+            }
+            _ => op,
+        };
+        let payload = encode_op(seq, to_journal);
+        let fsync = self.cfg.fsync_wal;
+        inner.wal.append(&payload, fsync)?;
+        inner.seq += 1;
+        Ok(seq)
+    }
+
+    /// Whether the auto-snapshot cadence says it is time to compact.
+    pub fn should_snapshot(&self) -> bool {
+        if self.cfg.snapshot_every_ops == 0 {
+            return false;
+        }
+        let inner = self.inner.lock().unwrap();
+        inner.seq - inner.snapshot_seq >= self.cfg.snapshot_every_ops
+    }
+
+    /// Snapshot `state` (which must reflect every op journaled so far)
+    /// and compact: superseded WAL files, older snapshots, and all closed
+    /// segments are deleted.
+    pub fn snapshot(&self, state: &StoreState) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        write_snapshot(&self.dir, seq, state)?;
+        // Rotate the WAL. A crash after the snapshot but before (or
+        // during) any of the following steps is recoverable — recovery
+        // keys off the snapshot and skips covered records.
+        let new_wal = Wal::create(&self.dir, seq)?;
+        let old_wal = std::mem::replace(&mut inner.wal, new_wal);
+        fs::remove_file(old_wal.path())?;
+        for old in list_snapshots(&self.dir)? {
+            if old < seq {
+                fs::remove_file(snapshot_path(&self.dir, old))?;
+            }
+        }
+        let active = inner.segments.rotate();
+        inner.segments.delete_below(active)?;
+        inner.snapshot_seq = seq;
+        Ok(())
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// Sequence point of the newest durable snapshot.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.inner.lock().unwrap().snapshot_seq
+    }
+
+    /// Ops journaled since the last snapshot.
+    pub fn ops_since_snapshot(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.seq - inner.snapshot_seq
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lightweb-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn publish(path: &str, value: Vec<u8>) -> StoreOp {
+        StoreOp::PublishData {
+            publisher: "P".into(),
+            path: path.into(),
+            value: ValueRepr::Inline(value),
+        }
+    }
+
+    #[test]
+    fn fresh_store_is_empty_and_journal_recovers() {
+        let dir = scratch("fresh");
+        let (store, state) = DurableStore::open(&dir, StoreConfig::small_test()).unwrap();
+        assert_eq!(state, StoreState::default());
+        store
+            .append(&StoreOp::RegisterDomain {
+                domain: "a.com".into(),
+                publisher: "A".into(),
+            })
+            .unwrap();
+        store
+            .append(&publish("a.com/x", b"hello".to_vec()))
+            .unwrap();
+        store.append(&publish("a.com/y", vec![9u8; 1000])).unwrap(); // > threshold: segment
+        drop(store);
+
+        let (store2, state2) = DurableStore::open(&dir, StoreConfig::small_test()).unwrap();
+        assert_eq!(state2.domains["a.com"], "A");
+        assert_eq!(state2.data["a.com/x"], b"hello");
+        assert_eq!(state2.data["a.com/y"], vec![9u8; 1000]);
+        assert_eq!(store2.seq(), 3);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovery_prefers_it() {
+        let dir = scratch("compact");
+        let cfg = StoreConfig::small_test();
+        let (store, mut state) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        let mut ops = Vec::new();
+        ops.push(StoreOp::RegisterDomain {
+            domain: "a.com".into(),
+            publisher: "A".into(),
+        });
+        for i in 0..10 {
+            ops.push(publish(&format!("a.com/{i}"), vec![i as u8; 700]));
+        }
+        for op in &ops {
+            store.append(op).unwrap();
+            state.apply(op, None);
+        }
+        assert!(store.should_snapshot());
+        store.snapshot(&state).unwrap();
+        assert!(!store.should_snapshot());
+        assert_eq!(store.ops_since_snapshot(), 0);
+        // Compaction removed the old WAL and the spilled segments.
+        assert_eq!(list_wals(&dir).unwrap(), vec![store.seq()]);
+        let seg_files = fs::read_dir(dir.join("segments")).unwrap().count();
+        assert_eq!(seg_files, 0, "all closed segments deleted");
+
+        // Post-snapshot appends land in the new WAL.
+        store
+            .append(&publish("a.com/after", b"tail".to_vec()))
+            .unwrap();
+        drop(store);
+        let (_, recovered) = DurableStore::open(&dir, cfg).unwrap();
+        assert_eq!(recovered.data.len(), 11);
+        assert_eq!(recovered.data["a.com/after"], b"tail");
+        assert_eq!(recovered.data["a.com/3"], vec![3u8; 700]);
+    }
+
+    #[test]
+    fn unpublish_tombstone_survives_replay_and_snapshot() {
+        let dir = scratch("tombstone");
+        let cfg = StoreConfig {
+            snapshot_every_ops: 0,
+            ..StoreConfig::small_test()
+        };
+        let (store, mut state) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        for op in [
+            StoreOp::RegisterDomain {
+                domain: "a.com".into(),
+                publisher: "A".into(),
+            },
+            publish("a.com/x", b"doomed".to_vec()),
+            StoreOp::UnpublishData {
+                publisher: "A".into(),
+                path: "a.com/x".into(),
+            },
+        ] {
+            store.append(&op).unwrap();
+            state.apply(&op, None);
+        }
+        drop(store);
+        // WAL replay path.
+        let (store2, replayed) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        assert!(!replayed.data.contains_key("a.com/x"));
+        // Snapshot path.
+        store2.snapshot(&replayed).unwrap();
+        drop(store2);
+        let (_, snapped) = DurableStore::open(&dir, cfg).unwrap();
+        assert!(!snapped.data.contains_key("a.com/x"));
+        assert_eq!(snapped.domains.len(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_continue_across_restarts() {
+        let dir = scratch("seq");
+        let cfg = StoreConfig::small_test();
+        let (store, _) = DurableStore::open(&dir, cfg.clone()).unwrap();
+        assert_eq!(store.append(&publish("a.b/0", vec![0])).unwrap(), 0);
+        assert_eq!(store.append(&publish("a.b/1", vec![1])).unwrap(), 1);
+        drop(store);
+        let (store2, _) = DurableStore::open(&dir, cfg).unwrap();
+        assert_eq!(store2.append(&publish("a.b/2", vec![2])).unwrap(), 2);
+    }
+}

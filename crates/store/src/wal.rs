@@ -1,0 +1,286 @@
+//! The append-only write-ahead log.
+//!
+//! One WAL file (`wal-<start_seq>.log`) holds the checksummed op records
+//! for every sequence number at or above its start. Appends are
+//! `write_all` + optional fsync; replay validates records front to back.
+//!
+//! **Torn-tail policy.** A crash can leave a partially written final
+//! record. Replay stops at the first invalid record, truncates the file
+//! back to the last valid boundary, and reports what was dropped — the
+//! WAL recovers *to the last valid record*, never past it. Anything that
+//! fails validation after more valid data (impossible to reach with this
+//! reader, which stops at the first defect) or a sequence-number gap is a
+//! hard [`StoreError::Corrupt`]: that is not a torn write, and silently
+//! continuing would replay the wrong history.
+
+use crate::error::StoreError;
+use crate::ops::{decode_op, StoreOp};
+use crate::record::{read_record, write_record, RecordRead};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the WAL starting at `start_seq`.
+pub fn wal_file_name(start_seq: u64) -> String {
+    format!("wal-{start_seq:016x}.log")
+}
+
+/// Parse a WAL file name back into its start sequence number.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    u64::from_str_radix(name.strip_prefix("wal-")?.strip_suffix(".log")?, 16).ok()
+}
+
+/// Result of replaying one WAL file.
+pub struct WalReplay {
+    /// Decoded `(seq, op)` pairs, in log order.
+    pub ops: Vec<(u64, StoreOp)>,
+    /// If the tail was torn: a description of the defect and how many
+    /// bytes were truncated away.
+    pub torn_tail: Option<(String, u64)>,
+}
+
+/// An open, appendable WAL file.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    start_seq: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Create a fresh, empty WAL starting at `start_seq`. Fails if the
+    /// file already exists (that would silently shadow history).
+    pub fn create(dir: &Path, start_seq: u64) -> Result<Self, StoreError> {
+        let path = dir.join(wal_file_name(start_seq));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        file.sync_all()?;
+        Ok(Self {
+            path,
+            file,
+            start_seq,
+            records: 0,
+        })
+    }
+
+    /// Open an existing WAL: validate every record, truncate a torn tail
+    /// back to the last valid boundary, and return the log's ops. Records
+    /// with `seq < min_seq` (already covered by the snapshot) are skipped;
+    /// the rest must be exactly consecutive or the open fails loudly.
+    pub fn open(dir: &Path, start_seq: u64, min_seq: u64) -> Result<(Self, WalReplay), StoreError> {
+        let _t = lightweb_telemetry::span!("store.wal.replay.ns");
+        let path = dir.join(wal_file_name(start_seq));
+        let bytes = fs::read(&path)?;
+        let mut offset = 0usize;
+        let mut ops = Vec::new();
+        let mut torn_tail = None;
+        let mut expected_seq = start_seq;
+        loop {
+            match read_record(&bytes, offset) {
+                RecordRead::Valid { payload, consumed } => {
+                    let (seq, op) = decode_op(&payload)?;
+                    if seq != expected_seq {
+                        return Err(StoreError::Corrupt(format!(
+                            "WAL {}: record claims seq {seq}, expected {expected_seq}",
+                            path.display()
+                        )));
+                    }
+                    expected_seq += 1;
+                    if seq >= min_seq {
+                        ops.push((seq, op));
+                    }
+                    offset += consumed;
+                }
+                RecordRead::End => break,
+                RecordRead::Invalid { reason } => {
+                    // The torn tail: drop everything from the first
+                    // invalid record onward and shrink the file so new
+                    // appends start at a clean boundary.
+                    let dropped = (bytes.len() - offset) as u64;
+                    torn_tail = Some((reason, dropped));
+                    lightweb_telemetry::counter!("store.wal.torn_tail").inc();
+                    break;
+                }
+            }
+        }
+        if torn_tail.is_some() {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(offset as u64)?;
+            f.sync_all()?;
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        lightweb_telemetry::counter!("store.replay.records").add(ops.len() as u64);
+        Ok((
+            Self {
+                path,
+                file,
+                start_seq,
+                records: (expected_seq - start_seq),
+            },
+            WalReplay { ops, torn_tail },
+        ))
+    }
+
+    /// Append one already-encoded op payload as a record, optionally
+    /// fsyncing before returning (the durability point).
+    pub fn append(&mut self, payload: &[u8], fsync: bool) -> Result<(), StoreError> {
+        let _t = lightweb_telemetry::span!("store.wal.append.ns");
+        let mut framed = Vec::with_capacity(payload.len() + 16);
+        write_record(&mut framed, payload);
+        self.file.write_all(&framed)?;
+        if fsync {
+            let _s = lightweb_telemetry::span!("store.wal.fsync.ns");
+            self.file.sync_all()?;
+        }
+        self.records += 1;
+        lightweb_telemetry::counter!("store.wal.records").inc();
+        lightweb_telemetry::counter!("store.wal.bytes").add(framed.len() as u64);
+        Ok(())
+    }
+
+    /// First sequence number this file covers.
+    pub fn start_seq(&self) -> u64 {
+        self.start_seq
+    }
+
+    /// Records currently in the file (after any tail truncation).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The file's path (used by compaction to delete superseded logs).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// All WAL start sequences present in `dir`, sorted ascending.
+pub fn list_wals(dir: &Path) -> Result<Vec<u64>, StoreError> {
+    let mut starts = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        if let Some(s) = parse_wal_name(&entry?.file_name().to_string_lossy()) {
+            starts.push(s);
+        }
+    }
+    starts.sort_unstable();
+    Ok(starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{encode_op, ValueRepr};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lightweb-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn op(i: u64) -> StoreOp {
+        StoreOp::PublishData {
+            publisher: "P".into(),
+            path: format!("a.com/{i}"),
+            value: ValueRepr::Inline(vec![i as u8; 32]),
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = scratch("roundtrip");
+        {
+            let mut w = Wal::create(&dir, 0).unwrap();
+            for i in 0..5u64 {
+                w.append(&encode_op(i, &op(i)), true).unwrap();
+            }
+        }
+        let (w, replay) = Wal::open(&dir, 0, 0).unwrap();
+        assert_eq!(w.records(), 5);
+        assert!(replay.torn_tail.is_none());
+        assert_eq!(replay.ops.len(), 5);
+        assert_eq!(replay.ops[3].0, 3);
+        assert_eq!(replay.ops[3].1, op(3));
+    }
+
+    #[test]
+    fn min_seq_skips_snapshot_covered_records() {
+        let dir = scratch("minseq");
+        {
+            let mut w = Wal::create(&dir, 0).unwrap();
+            for i in 0..6u64 {
+                w.append(&encode_op(i, &op(i)), false).unwrap();
+            }
+        }
+        let (_, replay) = Wal::open(&dir, 0, 4).unwrap();
+        assert_eq!(
+            replay.ops.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            [4, 5]
+        );
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let dir = scratch("torn");
+        {
+            let mut w = Wal::create(&dir, 0).unwrap();
+            for i in 0..4u64 {
+                w.append(&encode_op(i, &op(i)), true).unwrap();
+            }
+        }
+        let path = dir.join(wal_file_name(0));
+        let full = fs::read(&path).unwrap();
+        // Tear the file mid-way through the last record.
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let (mut w, replay) = Wal::open(&dir, 0, 0).unwrap();
+        assert_eq!(replay.ops.len(), 3, "last record dropped");
+        let (reason, dropped) = replay.torn_tail.expect("tail reported");
+        assert!(reason.contains("truncated"), "{reason}");
+        assert!(dropped > 0);
+        // The file is usable again: appends continue from the cut.
+        w.append(&encode_op(3, &op(99)), true).unwrap();
+        let (_, replay2) = Wal::open(&dir, 0, 0).unwrap();
+        assert!(replay2.torn_tail.is_none());
+        assert_eq!(replay2.ops.len(), 4);
+        assert_eq!(replay2.ops[3].1, op(99));
+    }
+
+    #[test]
+    fn corrupted_tail_checksum_recovers_to_last_valid() {
+        let dir = scratch("flip");
+        {
+            let mut w = Wal::create(&dir, 0).unwrap();
+            for i in 0..3u64 {
+                w.append(&encode_op(i, &op(i)), true).unwrap();
+            }
+        }
+        let path = dir.join(wal_file_name(0));
+        let mut raw = fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - 3] ^= 0x40; // flip a bit inside the last record's payload
+        fs::write(&path, &raw).unwrap();
+        let (_, replay) = Wal::open(&dir, 0, 0).unwrap();
+        assert_eq!(replay.ops.len(), 2);
+        assert!(replay.torn_tail.unwrap().0.contains("checksum"));
+    }
+
+    #[test]
+    fn sequence_gap_fails_loudly() {
+        let dir = scratch("gap");
+        {
+            let mut w = Wal::create(&dir, 0).unwrap();
+            w.append(&encode_op(0, &op(0)), false).unwrap();
+            w.append(&encode_op(5, &op(5)), false).unwrap(); // wrong seq
+        }
+        assert!(matches!(Wal::open(&dir, 0, 0), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn create_refuses_to_shadow_existing_log() {
+        let dir = scratch("shadow");
+        let _w = Wal::create(&dir, 0).unwrap();
+        assert!(Wal::create(&dir, 0).is_err());
+    }
+}

@@ -48,7 +48,7 @@ pub use blob::{decode_blob, decode_chain, encode_blob, encode_chain, BlobError, 
 pub use json::{parse_json, Value};
 pub use stats::{combine_reports, StatsClient, StatsServer};
 pub use tiered::TieredCdn;
-pub use universe::{Tier, Universe, UniverseConfig, UniverseError};
+pub use universe::{DomainExport, PathError, Tier, Universe, UniverseConfig, UniverseError};
 
 #[cfg(test)]
 mod proptests {

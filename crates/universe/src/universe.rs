@@ -17,8 +17,10 @@
 
 use crate::blob::{continuation_path, encode_chain, BlobError};
 use lightweb_core::{InProcServer, MemDuplex, ServerConfig, ZltpServer};
-use parking_lot::RwLock;
+use lightweb_store::{DurableStore, StoreConfig, StoreOp, StoreState, ValueRepr};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 
 /// Universe size tiers (§3.5): different fixed data-blob sizes, different
 /// per-request cost.
@@ -80,13 +82,49 @@ impl UniverseConfig {
     }
 }
 
+/// Why a lightweb path failed validation (§3.1: "it must have a valid
+/// domain as the top-level path component").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// The path is empty.
+    Empty,
+    /// No `/` separator: a bare domain names a code blob, not a data path.
+    BareDomain,
+    /// The path ends with `/`, leaving an empty final component.
+    TrailingSlash,
+    /// An interior path component is empty (`a.com//x`).
+    EmptySegment,
+    /// The top-level component is not a valid DNS-style domain.
+    BadDomain,
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path is empty"),
+            PathError::BareDomain => write!(f, "bare domain with no path component"),
+            PathError::TrailingSlash => write!(f, "trailing slash"),
+            PathError::EmptySegment => write!(f, "empty path component"),
+            PathError::BadDomain => write!(f, "top-level component is not a valid domain"),
+        }
+    }
+}
+
 /// Errors from universe operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum UniverseError {
     /// Domain syntax is invalid (must look like a DNS name).
     InvalidDomain(String),
     /// A path must start with a registered domain component.
-    InvalidPath(String),
+    InvalidPath {
+        /// The offending path.
+        path: String,
+        /// What exactly is wrong with it.
+        reason: PathError,
+    },
+    /// The durable backend failed; the in-memory and on-disk universes
+    /// may now disagree, so the operation is reported as failed.
+    Storage(String),
     /// The domain is already registered to someone else.
     AlreadyRegistered {
         /// The contested domain.
@@ -120,7 +158,10 @@ impl std::fmt::Display for UniverseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UniverseError::InvalidDomain(d) => write!(f, "invalid domain '{d}'"),
-            UniverseError::InvalidPath(p) => write!(f, "invalid path '{p}'"),
+            UniverseError::InvalidPath { path, reason } => {
+                write!(f, "invalid path '{path}': {reason}")
+            }
+            UniverseError::Storage(m) => write!(f, "durable store: {m}"),
             UniverseError::AlreadyRegistered { domain, owner } => {
                 write!(f, "domain '{domain}' is registered to '{owner}'")
             }
@@ -162,6 +203,12 @@ pub struct Universe {
     content: RwLock<BTreeMap<String, Vec<u8>>>,
     /// domain -> raw code text.
     code_content: RwLock<BTreeMap<String, String>>,
+    /// Optional durable backend: every mutation is journaled through it,
+    /// and [`Universe::open_durable`] rebuilds the universe from it.
+    backend: Option<DurableStore>,
+    /// Serializes mutate-then-journal sequences so WAL order matches
+    /// in-memory order and snapshots capture a consistent state.
+    mutate: Mutex<()>,
 }
 
 impl Universe {
@@ -212,7 +259,100 @@ impl Universe {
             ownership: RwLock::new(HashMap::new()),
             content: RwLock::new(BTreeMap::new()),
             code_content: RwLock::new(BTreeMap::new()),
+            backend: None,
+            mutate: Mutex::new(()),
         })
+    }
+
+    /// Stand up a durable universe rooted at `state_dir`: run the store's
+    /// crash recovery, re-publish the recovered book of record through the
+    /// ZLTP server pairs (re-seeding the PIR/DPF databases), and journal
+    /// every subsequent mutation.
+    pub fn open_durable(
+        config: UniverseConfig,
+        state_dir: &Path,
+        store_cfg: StoreConfig,
+    ) -> Result<Self, UniverseError> {
+        let (store, state) = DurableStore::open(state_dir, store_cfg).map_err(storage_err)?;
+        let mut u = Self::new(config)?;
+        u.restore(&state)?;
+        u.backend = Some(store);
+        Ok(u)
+    }
+
+    /// Replay a recovered [`StoreState`] into the (empty) in-memory
+    /// universe and its ZLTP servers. Not journaled — the state came from
+    /// the journal.
+    fn restore(&self, state: &StoreState) -> Result<(), UniverseError> {
+        for (domain, publisher) in &state.domains {
+            self.register_domain_in_memory(domain, publisher)?;
+        }
+        for (domain, code) in &state.code {
+            let owner = state.domains.get(domain).ok_or_else(|| {
+                UniverseError::Storage(format!("recovered code for unregistered domain {domain}"))
+            })?;
+            self.publish_code_in_memory(owner, domain, code)?;
+        }
+        for (path, value) in &state.data {
+            let domain = Self::domain_of(path)?;
+            let owner = state.domains.get(domain).ok_or_else(|| {
+                UniverseError::Storage(format!(
+                    "recovered value at {path} under unregistered domain"
+                ))
+            })?;
+            self.publish_data_in_memory(owner, path, value)?;
+        }
+        Ok(())
+    }
+
+    /// Whether mutations are being journaled to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// The durable backend, if any (introspection: seq, snapshot cadence).
+    pub fn backend(&self) -> Option<&DurableStore> {
+        self.backend.as_ref()
+    }
+
+    /// Journal one mutation, auto-snapshotting on the configured cadence.
+    /// Called with the `mutate` lock held, after the in-memory mutation
+    /// succeeded.
+    fn journal(&self, op: StoreOp) -> Result<(), UniverseError> {
+        let Some(store) = &self.backend else {
+            return Ok(());
+        };
+        store.append(&op).map_err(storage_err)?;
+        if store.should_snapshot() {
+            store.snapshot(&self.store_state()).map_err(storage_err)?;
+        }
+        Ok(())
+    }
+
+    /// The universe's book of record as a [`StoreState`] (what snapshots
+    /// serialize).
+    pub fn store_state(&self) -> StoreState {
+        StoreState {
+            domains: self
+                .ownership
+                .read()
+                .iter()
+                .map(|(d, p)| (d.clone(), p.clone()))
+                .collect(),
+            code: self.code_content.read().clone(),
+            data: self.content.read().clone(),
+        }
+    }
+
+    /// Force a snapshot + compaction of the durable backend now.
+    pub fn snapshot_now(&self) -> Result<(), UniverseError> {
+        let _g = self.mutate.lock();
+        match &self.backend {
+            Some(store) => store.snapshot(&self.store_state()).map_err(storage_err),
+            None => Err(UniverseError::Storage(
+                "universe has no durable backend".into(),
+            )),
+        }
     }
 
     /// The universe configuration.
@@ -225,16 +365,35 @@ impl Universe {
         &self.config.id
     }
 
-    /// Extract the domain (top-level path component) of a lightweb path.
-    /// §3.1: "it must have a valid domain as the top-level path component;
-    /// otherwise, the path may have any format."
+    /// Extract the domain (top-level path component) of a lightweb data
+    /// path. §3.1: "it must have a valid domain as the top-level path
+    /// component; otherwise, the path may have any format." — with the
+    /// caveats that a data path must actually have a component *below*
+    /// the domain (the bare domain slot is the code blob's), and empty
+    /// components would alias distinct-looking paths onto each other.
     pub fn domain_of(path: &str) -> Result<&str, UniverseError> {
-        let domain = path.split('/').next().unwrap_or("");
-        if Self::is_valid_domain(domain) {
-            Ok(domain)
-        } else {
-            Err(UniverseError::InvalidPath(path.to_string()))
+        let fail = |reason| {
+            Err(UniverseError::InvalidPath {
+                path: path.to_string(),
+                reason,
+            })
+        };
+        if path.is_empty() {
+            return fail(PathError::Empty);
         }
+        let Some((domain, rest)) = path.split_once('/') else {
+            return fail(PathError::BareDomain);
+        };
+        if rest.is_empty() || rest.ends_with('/') {
+            return fail(PathError::TrailingSlash);
+        }
+        if rest.split('/').any(str::is_empty) {
+            return fail(PathError::EmptySegment);
+        }
+        if !Self::is_valid_domain(domain) {
+            return fail(PathError::BadDomain);
+        }
+        Ok(domain)
     }
 
     fn is_valid_domain(domain: &str) -> bool {
@@ -256,6 +415,19 @@ impl Universe {
     /// Register `domain` to `publisher`. First come, first served;
     /// re-registration by the same publisher is a no-op.
     pub fn register_domain(&self, domain: &str, publisher: &str) -> Result<(), UniverseError> {
+        let _g = self.mutate.lock();
+        self.register_domain_in_memory(domain, publisher)?;
+        self.journal(StoreOp::RegisterDomain {
+            domain: domain.to_string(),
+            publisher: publisher.to_string(),
+        })
+    }
+
+    fn register_domain_in_memory(
+        &self,
+        domain: &str,
+        publisher: &str,
+    ) -> Result<(), UniverseError> {
         if !Self::is_valid_domain(domain) {
             return Err(UniverseError::InvalidDomain(domain.to_string()));
         }
@@ -298,6 +470,21 @@ impl Universe {
         domain: &str,
         code: &str,
     ) -> Result<(), UniverseError> {
+        let _g = self.mutate.lock();
+        self.publish_code_in_memory(publisher, domain, code)?;
+        self.journal(StoreOp::PublishCode {
+            publisher: publisher.to_string(),
+            domain: domain.to_string(),
+            code: code.to_string(),
+        })
+    }
+
+    fn publish_code_in_memory(
+        &self,
+        publisher: &str,
+        domain: &str,
+        code: &str,
+    ) -> Result<(), UniverseError> {
         self.check_owner(domain, publisher)?;
         let encoded = crate::blob::encode_blob(code.as_bytes(), self.config.code_blob_len)
             .map_err(|e| match e {
@@ -322,6 +509,22 @@ impl Universe {
     /// Publish a data value at `path`, chaining across blobs if needed.
     /// Returns the number of blobs written.
     pub fn publish_data(
+        &self,
+        publisher: &str,
+        path: &str,
+        value: &[u8],
+    ) -> Result<usize, UniverseError> {
+        let _g = self.mutate.lock();
+        let parts = self.publish_data_in_memory(publisher, path, value)?;
+        self.journal(StoreOp::PublishData {
+            publisher: publisher.to_string(),
+            path: path.to_string(),
+            value: ValueRepr::Inline(value.to_vec()),
+        })?;
+        Ok(parts)
+    }
+
+    fn publish_data_in_memory(
         &self,
         publisher: &str,
         path: &str,
@@ -362,6 +565,18 @@ impl Universe {
 
     /// Remove a data value and its continuation parts.
     pub fn unpublish_data(&self, publisher: &str, path: &str) -> Result<bool, UniverseError> {
+        let _g = self.mutate.lock();
+        let existed = self.unpublish_data_in_memory(publisher, path)?;
+        if existed {
+            self.journal(StoreOp::UnpublishData {
+                publisher: publisher.to_string(),
+                path: path.to_string(),
+            })?;
+        }
+        Ok(existed)
+    }
+
+    fn unpublish_data_in_memory(&self, publisher: &str, path: &str) -> Result<bool, UniverseError> {
         let domain = Self::domain_of(path)?;
         self.check_owner(domain, publisher)?;
         let existed = self.content.write().remove(path).is_some();
@@ -459,6 +674,10 @@ pub struct DomainExport {
     pub values: Vec<(String, Vec<u8>)>,
 }
 
+fn storage_err(e: lightweb_store::StoreError) -> UniverseError {
+    UniverseError::Storage(e.to_string())
+}
+
 fn map_publish_err(msg: &str) -> UniverseError {
     if msg.contains("collision") {
         UniverseError::KeywordCollision(msg.to_string())
@@ -492,6 +711,80 @@ mod tests {
             "dot.com./x",
         ] {
             assert!(Universe::domain_of(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn domain_of_reports_typed_reasons() {
+        let reason = |p: &str| match Universe::domain_of(p) {
+            Err(UniverseError::InvalidPath { path, reason }) => {
+                assert_eq!(path, p);
+                reason
+            }
+            other => panic!("expected InvalidPath for {p:?}, got {other:?}"),
+        };
+        assert_eq!(reason(""), PathError::Empty);
+        assert_eq!(reason("a.com"), PathError::BareDomain);
+        assert_eq!(reason("a.com/"), PathError::TrailingSlash);
+        assert_eq!(reason("a.com/x/"), PathError::TrailingSlash);
+        assert_eq!(reason("a.com//x"), PathError::EmptySegment);
+        assert_eq!(reason("a.com/x//y"), PathError::EmptySegment);
+        assert_eq!(reason("/x"), PathError::BadDomain);
+        assert_eq!(reason("nodot/x"), PathError::BadDomain);
+        // The '#' of continuation paths is an ordinary path byte.
+        assert_eq!(Universe::domain_of("a.com/x#part1").unwrap(), "a.com");
+        // Inner segments may contain dots, spaces, anything but '/'.
+        assert_eq!(Universe::domain_of("a.com/x.y z").unwrap(), "a.com");
+    }
+
+    #[test]
+    fn malformed_paths_rejected_end_to_end() {
+        let u = universe();
+        u.register_domain("a.com", "A").unwrap();
+        for bad in ["a.com", "a.com/", "a.com//x", "a.com/x/"] {
+            assert!(
+                matches!(
+                    u.publish_data("A", bad, b"v"),
+                    Err(UniverseError::InvalidPath { .. })
+                ),
+                "publish accepted {bad:?}"
+            );
+            assert!(
+                matches!(
+                    u.unpublish_data("A", bad),
+                    Err(UniverseError::InvalidPath { .. })
+                ),
+                "unpublish accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unpublish_not_found_through_live_zltp_session() {
+        let u = universe();
+        u.register_domain("news.org", "N").unwrap();
+        u.publish_data("N", "news.org/story", b"breaking").unwrap();
+
+        let (c0, c1) = u.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("news.org/story").unwrap();
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert_eq!(payload, b"breaking");
+
+        assert!(u.unpublish_data("N", "news.org/story").unwrap());
+
+        // Both servers now hold nothing at the slot: a fresh session's
+        // private-GET combines to the all-zero blob, which decodes to an
+        // empty payload (the encoding's length prefix exists exactly so
+        // "unpublished" is recognizable).
+        let (c0, c1) = u.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("news.org/story").unwrap();
+        let (header, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert!(!header.has_next);
+        assert!(payload.is_empty(), "unpublished key must read as empty");
+        for s in u.data_servers() {
+            assert!(!s.contains("news.org/story"));
         }
     }
 
@@ -640,6 +933,113 @@ mod tests {
         assert_eq!(export.code.as_deref(), Some("code-a"));
         assert_eq!(export.values.len(), 2);
         assert!(u.export_domain("c.com").is_none());
+    }
+
+    fn state_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lightweb-universe-durable-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_universe_survives_restart_and_serves_identically() {
+        let dir = state_dir("roundtrip");
+        let cfg = UniverseConfig::small_test("durable");
+        let big: Vec<u8> = (0..2500u32).map(|i| (i % 251) as u8).collect();
+        {
+            let u = Universe::open_durable(cfg.clone(), &dir, StoreConfig::small_test()).unwrap();
+            assert!(u.is_durable());
+            u.register_domain("site.org", "S").unwrap();
+            u.publish_code("S", "site.org", "route { }").unwrap();
+            u.publish_data("S", "site.org/home", b"welcome").unwrap();
+            u.publish_data("S", "site.org/long", &big).unwrap();
+            // Dropped without snapshot: recovery must come from the WAL.
+        }
+        let u2 = Universe::open_durable(cfg, &dir, StoreConfig::small_test()).unwrap();
+        assert_eq!(u2.owner_of("site.org").as_deref(), Some("S"));
+        assert_eq!(u2.num_data_values(), 2);
+        assert_eq!(u2.num_code_blobs(), 1);
+
+        // The recovered universe answers private-GETs identically.
+        let (c0, c1) = u2.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("site.org/home").unwrap();
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert_eq!(payload, b"welcome");
+        let got = crate::blob::decode_chain(u2.config().max_chain_parts, |i| {
+            let p = if i == 0 {
+                "site.org/long".to_string()
+            } else {
+                continuation_path("site.org/long", i)
+            };
+            client
+                .private_get(&p)
+                .map_err(|e| crate::blob::BlobError::Corrupt(e.to_string()))
+        })
+        .unwrap();
+        assert_eq!(got, big);
+        // Ownership survived too: an imposter still can't publish.
+        assert!(matches!(
+            u2.publish_data("Mallory", "site.org/x", b"?"),
+            Err(UniverseError::NotOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn wal_replay_preserves_unpublish_tombstone() {
+        let dir = state_dir("tombstone");
+        let cfg = UniverseConfig::small_test("tomb");
+        {
+            let u = Universe::open_durable(cfg.clone(), &dir, StoreConfig::small_test()).unwrap();
+            u.register_domain("gone.io", "G").unwrap();
+            u.publish_data("G", "gone.io/doomed", &vec![7u8; 2500])
+                .unwrap();
+            u.publish_data("G", "gone.io/kept", b"still here").unwrap();
+            assert!(u.unpublish_data("G", "gone.io/doomed").unwrap());
+        }
+        let u2 = Universe::open_durable(cfg, &dir, StoreConfig::small_test()).unwrap();
+        assert_eq!(u2.num_data_values(), 1);
+        // The tombstoned path and its continuations are absent from both
+        // recovered ZLTP servers — replay did not resurrect them.
+        for s in u2.data_servers() {
+            assert!(!s.contains("gone.io/doomed"));
+            assert!(!s.contains("gone.io/doomed#part1"));
+            assert!(s.contains("gone.io/kept"));
+        }
+        let (c0, c1) = u2.connect_data();
+        let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+        let blob = client.private_get("gone.io/doomed").unwrap();
+        let (_, payload) = crate::blob::decode_blob(&blob).unwrap();
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn durable_universe_auto_snapshots_on_cadence() {
+        let dir = state_dir("cadence");
+        let cfg = UniverseConfig::small_test("cadence");
+        let store_cfg = StoreConfig {
+            snapshot_every_ops: 4,
+            ..StoreConfig::small_test()
+        };
+        let u = Universe::open_durable(cfg.clone(), &dir, store_cfg.clone()).unwrap();
+        u.register_domain("snap.io", "S").unwrap();
+        for i in 0..8 {
+            u.publish_data("S", &format!("snap.io/{i}"), &[i as u8; 32])
+                .unwrap();
+        }
+        let backend = u.backend().unwrap();
+        assert!(
+            backend.snapshot_seq() > 0,
+            "cadence of 4 must have snapshotted by op 9"
+        );
+        assert!(backend.ops_since_snapshot() < 4);
+        drop(u);
+        // Recovery from snapshot (+ maybe a short WAL suffix).
+        let u2 = Universe::open_durable(cfg, &dir, store_cfg).unwrap();
+        assert_eq!(u2.num_data_values(), 8);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use lightweb_crypto as crypto;
 pub use lightweb_dpf as dpf;
 pub use lightweb_oram as oram;
 pub use lightweb_pir as pir;
+pub use lightweb_store as store;
 pub use lightweb_telemetry as telemetry;
 pub use lightweb_universe as universe;
 pub use lightweb_workload as workload;

@@ -1,0 +1,157 @@
+//! Full-stack durability integration: a universe journaled by
+//! `lightweb-store` is dropped (no graceful shutdown), reopened from its
+//! state directory, and must serve the same pages through the real
+//! browser stack — code fetch, LWScript render, chained data blobs —
+//! as if the restart never happened. Also covers torn-tail recovery
+//! through the facade and browser local-storage persistence alongside
+//! the universe journal.
+
+use lightweb::browser::{LightwebBrowser, LocalStorage};
+use lightweb::store::StoreConfig;
+use lightweb::universe::{Universe, UniverseConfig, UniverseError};
+
+fn state_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("lightweb-durability-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn browser_for(u: &Universe) -> LightwebBrowser<lightweb::zltp::MemDuplex> {
+    LightwebBrowser::connect(
+        u.connect_code(),
+        u.connect_data(),
+        u.config().fetches_per_page,
+        u.config().max_chain_parts,
+    )
+    .unwrap()
+}
+
+fn publish_site(u: &Universe) {
+    u.register_domain("durable.org", "D").unwrap();
+    u.publish_code(
+        "D",
+        "durable.org",
+        r#"
+        route "/" {
+            fetch "durable.org/home"
+            title "Durable"
+            render "{data.0}"
+        }
+        route "/long" {
+            fetch "durable.org/book"
+            render "{data.0}"
+        }
+        default {
+            render "404"
+        }
+        "#,
+    )
+    .unwrap();
+    u.publish_data("D", "durable.org/home", b"still here")
+        .unwrap();
+    u.publish_data("D", "durable.org/book", "chapter ".repeat(300).as_bytes())
+        .unwrap();
+}
+
+#[test]
+fn universe_restart_is_invisible_to_the_browser() {
+    let dir = state_dir("browser");
+    let cfg = UniverseConfig::small_test("durable");
+    {
+        let u = Universe::open_durable(cfg.clone(), &dir, StoreConfig::small_test()).unwrap();
+        publish_site(&u);
+        let mut b = browser_for(&u);
+        assert_eq!(b.browse("durable.org/").unwrap().body, "still here");
+        // Dropped without snapshot: recovery must replay the WAL.
+    }
+    let u = Universe::open_durable(cfg, &dir, StoreConfig::small_test()).unwrap();
+    let mut b = browser_for(&u);
+    let page = b.browse("durable.org/").unwrap();
+    assert_eq!(page.body, "still here");
+    assert_eq!(page.title, "Durable");
+    // The chained value survives restart byte-for-byte (2400 bytes spans
+    // multiple 1 KiB blobs in the small tier).
+    assert_eq!(
+        b.browse("durable.org/long").unwrap().body,
+        "chapter ".repeat(300)
+    );
+    assert_eq!(b.browse("durable.org/missing").unwrap().body, "404");
+    // Ownership is part of the recovered state.
+    assert!(matches!(
+        u.publish_data("Mallory", "durable.org/x", b"?"),
+        Err(UniverseError::NotOwner { .. })
+    ));
+}
+
+#[test]
+fn unpublish_then_restart_keeps_the_tombstone() {
+    let dir = state_dir("tombstone");
+    let cfg = UniverseConfig::small_test("tomb");
+    {
+        let u = Universe::open_durable(cfg.clone(), &dir, StoreConfig::small_test()).unwrap();
+        publish_site(&u);
+        assert!(u.unpublish_data("D", "durable.org/book").unwrap());
+        // Snapshot + compaction, then one more WAL-only mutation: recovery
+        // must stitch snapshot and WAL suffix together.
+        u.snapshot_now().unwrap();
+        u.publish_data("D", "durable.org/new", b"post-snapshot")
+            .unwrap();
+    }
+    let u = Universe::open_durable(cfg, &dir, StoreConfig::small_test()).unwrap();
+    assert_eq!(u.num_data_values(), 2, "home + new, book tombstoned");
+    for s in u.data_servers() {
+        assert!(!s.contains("durable.org/book"));
+        assert!(s.contains("durable.org/home"));
+        assert!(s.contains("durable.org/new"));
+    }
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_last_valid_record() {
+    let dir = state_dir("torn");
+    let cfg = UniverseConfig::small_test("torn");
+    {
+        let u = Universe::open_durable(cfg.clone(), &dir, StoreConfig::small_test()).unwrap();
+        publish_site(&u);
+    }
+    // Tear the WAL mid-record, as a crash during a write would.
+    let wal = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("wal-"))
+        .expect("a WAL file");
+    let raw = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &raw[..raw.len() - 7]).unwrap();
+
+    let u = Universe::open_durable(cfg, &dir, StoreConfig::small_test()).unwrap();
+    // The torn final record (the chained book) is gone; everything before
+    // it survives and still serves.
+    assert_eq!(u.num_data_values(), 1);
+    assert_eq!(u.owner_of("durable.org").as_deref(), Some("D"));
+    let mut b = browser_for(&u);
+    assert_eq!(b.browse("durable.org/").unwrap().body, "still here");
+}
+
+#[test]
+fn browser_storage_persists_beside_the_universe_journal() {
+    let dir = state_dir("storage");
+    let cfg = UniverseConfig::small_test("store");
+    let storage_dir = dir.join("browser-storage");
+    {
+        let u = Universe::open_durable(cfg.clone(), &dir, StoreConfig::small_test()).unwrap();
+        publish_site(&u);
+        let mut ls = LocalStorage::new();
+        ls.set("durable.org", "theme", "dark");
+        ls.set("other.net", "zip", "94110");
+        ls.save_to(&storage_dir).unwrap();
+    }
+    // Universe and browser state restart independently from the same root.
+    let u = Universe::open_durable(cfg, &dir, StoreConfig::small_test()).unwrap();
+    let ls = LocalStorage::load_from(&storage_dir).unwrap();
+    assert_eq!(u.num_data_values(), 2);
+    assert_eq!(ls.get("durable.org", "theme"), Some("dark"));
+    assert_eq!(ls.get("other.net", "zip"), Some("94110"));
+    // Domain separation holds for the reloaded storage too.
+    assert!(!ls.domain_view("durable.org").contains_key("zip"));
+}
