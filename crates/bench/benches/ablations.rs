@@ -86,7 +86,10 @@ fn a2_scan_strategy(c: &mut Criterion) {
     });
 
     // Sanity: both strategies agree.
-    assert_eq!(shard.server.scan(&bits), branchy_scan(&slots, &bits, 1024));
+    assert_eq!(
+        shard.server.scan(&bits).unwrap(),
+        branchy_scan(&slots, &bits, 1024)
+    );
     g.finish();
 }
 

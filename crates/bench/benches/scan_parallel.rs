@@ -1,0 +1,102 @@
+//! Parallel scan scaling: the `ScanPool` partitioning the E1 workload
+//! (full-domain DPF evaluation + XOR scan) across 1, 2, and 4 workers, and
+//! the pooled batched scan. On a multi-core host the 4-thread scan should
+//! approach a 4× speedup over 1 thread; answers are bit-identical to the
+//! serial path by construction (asserted below).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightweb_bench::build_shard;
+use lightweb_dpf::gen;
+use lightweb_engine::ScanPool;
+use std::time::Duration;
+
+fn bench_scan_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_parallel/scan");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let shard = build_shard(16, 1024);
+    let (k0, _) = gen(&shard.params, 3);
+    let bits = k0.eval_full();
+    let serial = shard.server.scan(&bits).unwrap();
+    g.throughput(Throughput::Bytes(shard.stored_bytes as u64));
+    for threads in [1usize, 2, 4] {
+        let pool = ScanPool::new(threads);
+        assert_eq!(
+            pool.scan(&shard.server, &bits).unwrap(),
+            serial,
+            "parallel scan must equal serial scan at {threads} threads"
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &pool,
+            |b, pool| {
+                b.iter(|| std::hint::black_box(pool.scan(&shard.server, &bits).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_eval_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_parallel/eval_full");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let shard = build_shard(16, 1024);
+    let (k0, _) = gen(&shard.params, 7);
+    let serial = k0.eval_full();
+    g.throughput(Throughput::Elements(shard.params.domain_size()));
+    for threads in [1usize, 2, 4] {
+        let pool = ScanPool::new(threads);
+        assert_eq!(
+            pool.eval_full(&k0),
+            serial,
+            "parallel eval must equal serial eval at {threads} threads"
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &pool,
+            |b, pool| {
+                b.iter(|| std::hint::black_box(pool.eval_full(&k0)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_batched_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_parallel/scan_batch16");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let shard = build_shard(16, 1024);
+    let bit_vecs: Vec<Vec<u8>> = (0..16u64)
+        .map(|i| {
+            gen(&shard.params, i * 37 % shard.params.domain_size())
+                .0
+                .eval_full()
+        })
+        .collect();
+    // One scan pass amortized over the whole batch (§5.1).
+    g.throughput(Throughput::Bytes(shard.stored_bytes as u64));
+    for threads in [1usize, 4] {
+        let pool = ScanPool::new(threads);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &pool,
+            |b, pool| {
+                b.iter(|| std::hint::black_box(pool.scan_batch(&shard.server, &bit_vecs).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_threads,
+    bench_eval_threads,
+    bench_batched_scan
+);
+criterion_main!(benches);

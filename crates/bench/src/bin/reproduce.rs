@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|ablations|persist]
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist]
 //!           [--telemetry] [--json] [--state-dir DIR] [--kill-after N]
 //! ```
 //!
@@ -38,6 +38,7 @@ use lightweb_cost::model::{
 };
 use lightweb_cost::trend;
 use lightweb_dpf::{gen, paper_key_size_bytes, DpfParams};
+use lightweb_engine::ScanPool;
 use lightweb_oram::ObliviousKvStore;
 use lightweb_pir::cuckoo::{build_assignment, CuckooHasher};
 use lightweb_pir::lwe::{LweClient, LweParams, LweServer};
@@ -179,6 +180,7 @@ fn main() {
         "e9",
         "e10",
         "e11",
+        "e12",
         "ablations",
         "persist",
     ];
@@ -227,6 +229,7 @@ fn main() {
         ("e9", e9_traffic_analysis),
         ("e10", e10_trend),
         ("e11", e11_timing),
+        ("e12", e12_scan_parallel),
     ];
     for (name, experiment) in experiments {
         if run(name) {
@@ -460,6 +463,84 @@ fn e11_timing(r: &Reporter) {
 }
 
 // =====================================================================
+// E12 (extension) — parallel scan scaling: the ScanPool partitioning the
+// E1 workload (DPF full-domain eval + XOR scan) across worker threads.
+// Answers are asserted bit-identical to the serial path at every width.
+// =====================================================================
+fn e12_scan_parallel(r: &Reporter) {
+    r.section("E12 (extension): scan-pool thread scaling");
+    let mib = shard_mib_from_env().min(64);
+    let shard = build_shard(mib, 1024);
+    let params = shard.params;
+    let (k0, _) = gen(&params, 3);
+    let serial_bits = k0.eval_full();
+    let serial_answer = shard.server.scan(&serial_bits).unwrap();
+
+    let client = TwoServerClient::new(params, 1024);
+    let bit_vecs: Vec<Vec<u8>> = (0..16u64)
+        .map(|i| {
+            client
+                .query_slot((i * 97) % params.domain_size())
+                .key0
+                .eval_full()
+        })
+        .collect();
+
+    let reps = 3;
+    let mut rows = Vec::new();
+    let mut base_total = None;
+    for threads in [1usize, 2, 4] {
+        let pool = ScanPool::new(threads);
+        // Correctness before speed: the pooled paths must be
+        // bit-identical to the serial ones.
+        assert_eq!(pool.eval_full(&k0), serial_bits, "eval parity @ {threads}t");
+        assert_eq!(
+            pool.scan(&shard.server, &serial_bits).unwrap(),
+            serial_answer,
+            "scan parity @ {threads}t"
+        );
+        let eval = time_mean(reps, || {
+            std::hint::black_box(pool.eval_full(&k0));
+        });
+        let scan = time_mean(reps, || {
+            std::hint::black_box(pool.scan(&shard.server, &serial_bits).unwrap());
+        });
+        let (_, batch16) = time_once(|| pool.scan_batch(&shard.server, &bit_vecs).unwrap());
+        let total = eval + scan;
+        let speedup = match base_total {
+            None => {
+                base_total = Some(total);
+                1.0
+            }
+            Some(base) => base.as_secs_f64() / total.as_secs_f64(),
+        };
+        rows.push(vec![
+            threads.to_string(),
+            fmt_ms(eval),
+            fmt_ms(scan),
+            fmt_ms(total),
+            format!("{speedup:.2}x"),
+            fmt_ms(batch16),
+        ]);
+    }
+    r.table(
+        &[
+            "threads",
+            "DPF eval (ms)",
+            "scan (ms)",
+            "total (ms)",
+            "speedup",
+            "batch-16 scan (ms)",
+        ],
+        &rows,
+    );
+    r.note(&format!(
+        "host parallelism: {} (speedups flatten at the core count; answers verified identical at every width)\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+}
+
+// =====================================================================
 // Ablations - design choices DESIGN.md calls out (run: `reproduce ablations`).
 // =====================================================================
 fn ablations(r: &Reporter) {
@@ -541,7 +622,7 @@ fn measure_shard(mib: usize, record_len: usize) -> MeasuredShard {
     });
     let bits = k0.eval_full();
     let scan = time_mean(reps, || {
-        std::hint::black_box(shard.server.scan(&bits));
+        std::hint::black_box(shard.server.scan(&bits).unwrap());
     });
 
     let client = TwoServerClient::new(params, record_len);

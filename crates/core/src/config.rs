@@ -146,6 +146,11 @@ pub struct ServerConfig {
     /// deployment with `2^shard_prefix_bits` data-server shards behind an
     /// in-process front-end. 0 = monolithic.
     pub shard_prefix_bits: u32,
+    /// Width of the scan pool the two-server PIR backend partitions its
+    /// DPF evaluation and XOR scan across. 0 = auto: the
+    /// `LIGHTWEB_SCAN_THREADS` environment variable if set, else the
+    /// machine's available parallelism.
+    pub scan_threads: usize,
 }
 
 impl ServerConfig {
@@ -163,6 +168,7 @@ impl ServerConfig {
             party,
             lwe_n: 64,
             shard_prefix_bits: 0,
+            scan_threads: 0,
         }
     }
 
@@ -180,6 +186,7 @@ impl ServerConfig {
             party,
             lwe_n: 1024,
             shard_prefix_bits: 0,
+            scan_threads: 0,
         }
     }
 

@@ -93,6 +93,15 @@ impl From<std::io::Error> for ZltpError {
     }
 }
 
+impl From<lightweb_engine::EngineError> for ZltpError {
+    fn from(e: lightweb_engine::EngineError) -> Self {
+        match e {
+            lightweb_engine::EngineError::BadQuery(m) => ZltpError::BadQuery(m),
+            lightweb_engine::EngineError::Backend(m) => ZltpError::Engine(m),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,12 @@
 //! The ZLTP server engine.
 //!
 //! One [`ZltpServer`] is one logical ZLTP endpoint: it owns the master
-//! key-value store for its universe, materializes a backend per supported
-//! mode of operation, negotiates sessions, and answers private-GETs.
+//! key-value store for its universe, materializes a
+//! [`QueryEngine`](lightweb_engine::QueryEngine) per supported mode of
+//! operation, negotiates sessions, and answers private-GETs. All per-mode
+//! logic — payload decoding, scan/lookup, session metadata — lives in the
+//! engines (`lightweb-engine`); the server is mode-agnostic dispatch,
+//! session state machines, and the publisher API.
 //!
 //! Publishers push content through the (non-private) admin API
 //! ([`ZltpServer::publish`]); §3.1's rule that a keyword collision is
@@ -23,12 +27,11 @@ use crate::error::ZltpError;
 use crate::transport::{mem_pair, FramedConn, MemDuplex};
 use crate::wire::{Message, PROTOCOL_VERSION};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use lightweb_crypto::aead::{ChaCha20Poly1305, AEAD_NONCE_LEN};
-use lightweb_crypto::SipHash24;
-use lightweb_dpf::DpfKey;
-use lightweb_oram::SimulatedEnclave;
-use lightweb_pir::lwe::{LweParams, LweServer};
-use lightweb_pir::{KeywordMap, PirServer};
+use lightweb_engine::{
+    EnclaveOramEngine, PreparedQuery, QueryEngine, ScanPool, SingleServerLweEngine,
+    TwoServerDpfEngine,
+};
+use lightweb_pir::KeywordMap;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -50,9 +53,9 @@ pub mod error_code {
     pub const STATE: u16 = 5;
 }
 
-/// A batched DPF query awaiting the next scan pass.
+/// A prepared query awaiting the next batched scan pass.
 struct BatchJob {
-    key: DpfKey,
+    query: PreparedQuery,
     reply: Sender<Result<Vec<u8>, String>>,
     /// When the job entered the batcher queue, for queue-wait accounting.
     enqueued_at: Instant,
@@ -94,15 +97,6 @@ struct AtomicStats {
     max_batch_occupancy: AtomicU64,
 }
 
-/// Per-mode request-latency histogram name (`zltp.server.request.<mode>.ns`).
-fn mode_request_metric(mode: Mode) -> &'static str {
-    match mode {
-        Mode::TwoServerPir => "zltp.server.request.two_server_pir.ns",
-        Mode::SingleServerLwe => "zltp.server.request.single_server_lwe.ns",
-        Mode::Enclave => "zltp.server.request.enclave.ns",
-    }
-}
-
 /// Count a session-level failure and surface it through the telemetry
 /// event sink (a no-op unless a sink is installed). Replaces the former
 /// panic/ignore paths in the connection threads.
@@ -117,37 +111,30 @@ fn log_session_error(stage: &str, err: &str) {
     );
 }
 
-/// Materialized single-server LWE state: the engine plus the manifest that
-/// maps sorted key hashes to record indices.
-struct LweBackend {
-    server: LweServer,
-    key_hashes: Vec<u64>,
-}
-
 struct ServerInner {
     config: ServerConfig,
     keyword_map: KeywordMap,
-    /// Master content store: key -> blob (exactly `blob_len` bytes).
+    /// Master content store: key -> blob (exactly `blob_len` bytes). The
+    /// engines hold mode-specific views of this; the master copy backs
+    /// introspection, collision detection, and engine reseeds.
     master: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
     /// slot -> key, for publish-time collision detection.
     slot_owner: RwLock<std::collections::HashMap<u64, Vec<u8>>>,
-    /// Two-server PIR backend, kept in sync incrementally.
-    pir: RwLock<PirServer>,
-    /// Sharded PIR backend (when `shard_prefix_bits > 0`), rebuilt lazily
-    /// from the monolithic store after changes.
-    sharded: Mutex<Option<crate::deployment::ShardedDeployment>>,
-    sharded_dirty: AtomicBool,
-    /// LWE backend, rebuilt lazily after changes.
-    lwe: Mutex<Option<LweBackend>>,
-    lwe_dirty: AtomicBool,
-    /// Enclave backend, kept in sync incrementally.
-    enclave: Mutex<SimulatedEnclave>,
-    /// Simulated attested-channel key for enclave sessions.
-    enclave_session_key: [u8; 32],
+    /// One query engine per supported mode, in preference order.
+    engines: Vec<(Mode, Box<dyn QueryEngine>)>,
     /// Queue into the batcher (present iff batching is enabled).
     batch_tx: Mutex<Option<Sender<BatchJob>>>,
     stats: AtomicStats,
     shutdown: AtomicBool,
+}
+
+impl ServerInner {
+    fn engine_for(&self, mode: Mode) -> Option<&dyn QueryEngine> {
+        self.engines
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, e)| e.as_ref())
+    }
 }
 
 /// A ZLTP server. Cheap to clone (shared state behind an `Arc`).
@@ -157,28 +144,43 @@ pub struct ZltpServer {
 }
 
 impl ZltpServer {
-    /// Create a server from its configuration. Spawns the batcher thread if
-    /// batching is enabled.
+    /// Create a server from its configuration: one engine per configured
+    /// mode, sharing one scan pool. Spawns the batcher thread if batching
+    /// is enabled.
     pub fn new(config: ServerConfig) -> Result<Self, ZltpError> {
         let params = config.dpf_params();
-        let pir = PirServer::new(params, config.blob_len);
-        // Enclave capacity: a quarter of the slot domain, matching the
-        // paper's ~25% load factor, but at least 1024 so tiny test configs
-        // still hold content.
-        let enclave_cap = (params.domain_size() / 4).clamp(1024, 1 << 20);
-        let enclave = SimulatedEnclave::new(enclave_cap, config.blob_len)
-            .map_err(|e| ZltpError::Engine(e.to_string()))?;
+        let pool = ScanPool::new(config.scan_threads);
+        let mut engines: Vec<(Mode, Box<dyn QueryEngine>)> = Vec::new();
+        for &mode in config.modes.modes() {
+            let engine: Box<dyn QueryEngine> = match mode {
+                Mode::TwoServerPir => Box::new(TwoServerDpfEngine::new(
+                    params,
+                    config.blob_len,
+                    config.party,
+                    config.shard_prefix_bits,
+                    KeywordMap::new(&config.keyword_hash_key, config.domain_bits),
+                    pool,
+                )?),
+                Mode::SingleServerLwe => Box::new(SingleServerLweEngine::new(
+                    config.blob_len,
+                    config.lwe_n,
+                    config.keyword_hash_key,
+                )),
+                Mode::Enclave => {
+                    // Enclave capacity: a quarter of the slot domain,
+                    // matching the paper's ~25% load factor, but at least
+                    // 1024 so tiny test configs still hold content.
+                    let cap = (params.domain_size() / 4).clamp(1024, 1 << 20);
+                    Box::new(EnclaveOramEngine::new(cap, config.blob_len)?)
+                }
+            };
+            engines.push((mode, engine));
+        }
         let inner = Arc::new(ServerInner {
             keyword_map: KeywordMap::new(&config.keyword_hash_key, config.domain_bits),
             master: RwLock::new(BTreeMap::new()),
             slot_owner: RwLock::new(std::collections::HashMap::new()),
-            pir: RwLock::new(pir),
-            sharded: Mutex::new(None),
-            sharded_dirty: AtomicBool::new(true),
-            lwe: Mutex::new(None),
-            lwe_dirty: AtomicBool::new(true),
-            enclave: Mutex::new(enclave),
-            enclave_session_key: lightweb_crypto::random_key(),
+            engines,
             batch_tx: Mutex::new(None),
             stats: AtomicStats::default(),
             shutdown: AtomicBool::new(false),
@@ -239,7 +241,8 @@ impl ZltpServer {
 
     /// Publish (insert or update) a blob under `key`. The blob must be
     /// exactly `blob_len` bytes — padding to the universe's fixed size is
-    /// the `lightweb-universe` layer's job.
+    /// the `lightweb-universe` layer's job. Every mode's engine is updated
+    /// in lock-step with the master store.
     pub fn publish(&self, key: &str, blob: &[u8]) -> Result<(), ZltpError> {
         let cfg = &self.inner.config;
         if blob.len() != cfg.blob_len {
@@ -269,18 +272,9 @@ impl ZltpServer {
             .master
             .write()
             .insert(key.as_bytes().to_vec(), blob.to_vec());
-        self.inner
-            .pir
-            .write()
-            .upsert(slot, blob)
-            .map_err(|e| ZltpError::Engine(e.to_string()))?;
-        self.inner
-            .enclave
-            .lock()
-            .put(key.as_bytes(), blob)
-            .map_err(|e| ZltpError::Engine(e.to_string()))?;
-        self.inner.lwe_dirty.store(true, Ordering::SeqCst);
-        self.inner.sharded_dirty.store(true, Ordering::SeqCst);
+        for (_, engine) in &self.inner.engines {
+            engine.publish(key.as_bytes(), blob)?;
+        }
         Ok(())
     }
 
@@ -290,17 +284,9 @@ impl ZltpServer {
         if existed {
             let slot = self.inner.keyword_map.slot(key.as_bytes());
             self.inner.slot_owner.write().remove(&slot);
-            self.inner.pir.write().remove(slot);
-            // The enclave store has no delete; overwrite with zeros. The
-            // master map is authoritative for presence.
-            let zeros = vec![0u8; self.inner.config.blob_len];
-            self.inner
-                .enclave
-                .lock()
-                .put(key.as_bytes(), &zeros)
-                .map_err(|e| ZltpError::Engine(e.to_string()))?;
-            self.inner.lwe_dirty.store(true, Ordering::SeqCst);
-            self.inner.sharded_dirty.store(true, Ordering::SeqCst);
+            for (_, engine) in &self.inner.engines {
+                engine.unpublish(key.as_bytes())?;
+            }
         }
         Ok(existed)
     }
@@ -360,8 +346,16 @@ impl ZltpServer {
                         .histogram("zltp.server.batch.size")
                         .record(jobs.len() as u64);
                     lightweb_telemetry::counter!("zltp.server.batches").inc();
-                    let keys: Vec<DpfKey> = jobs.iter().map(|j| j.key.clone()).collect();
-                    let result = core.pir.read().answer_batch(&keys);
+                    let queries: Vec<PreparedQuery> =
+                        jobs.iter().map(|j| j.query.clone()).collect();
+                    let result = core
+                        .engine_for(Mode::TwoServerPir)
+                        .ok_or_else(|| {
+                            lightweb_engine::EngineError::Backend(
+                                "batcher running without a two-server engine".into(),
+                            )
+                        })
+                        .and_then(|engine| engine.answer_batch(&queries));
                     core.stats.batches.fetch_add(1, Ordering::Relaxed);
                     core.stats
                         .batched_requests
@@ -392,54 +386,6 @@ impl ZltpServer {
             log_session_error("spawn-batcher", &e.to_string());
             *self.inner.batch_tx.lock() = None;
         }
-    }
-
-    // ------------------------------------------------------------------
-    // LWE backend materialization
-    // ------------------------------------------------------------------
-
-    fn ensure_lwe<R>(&self, f: impl FnOnce(&LweBackend) -> R) -> Result<R, ZltpError> {
-        let mut guard = self.inner.lwe.lock();
-        if self.inner.lwe_dirty.swap(false, Ordering::SeqCst) || guard.is_none() {
-            let master = self.inner.master.read();
-            let sip = SipHash24::new(&self.inner.config.keyword_hash_key);
-            let mut hashed: Vec<(u64, &Vec<u8>)> =
-                master.iter().map(|(k, v)| (sip.hash(k), v)).collect();
-            hashed.sort_by_key(|(h, _)| *h);
-            let key_hashes: Vec<u64> = hashed.iter().map(|(h, _)| *h).collect();
-            let records: Vec<Vec<u8>> = hashed.iter().map(|(_, v)| (*v).clone()).collect();
-            let server = LweServer::new(
-                LweParams {
-                    n: self.inner.config.lwe_n,
-                },
-                self.inner.config.blob_len,
-                records,
-            )
-            .map_err(|e| ZltpError::Engine(e.to_string()))?;
-            *guard = Some(LweBackend { server, key_hashes });
-        }
-        Ok(f(guard.as_ref().expect("just materialized")))
-    }
-
-    /// Rebuild the sharded deployment from the master store if stale, then
-    /// answer through it.
-    fn answer_sharded(&self, key: &DpfKey) -> Result<Vec<u8>, ZltpError> {
-        let mut guard = self.inner.sharded.lock();
-        if self.inner.sharded_dirty.swap(false, Ordering::SeqCst) || guard.is_none() {
-            let entries: Vec<(u64, Vec<u8>)> = {
-                let pir = self.inner.pir.read();
-                pir.iter().map(|(slot, rec)| (slot, rec.to_vec())).collect()
-            };
-            let dep = crate::deployment::ShardedDeployment::from_entries(
-                self.inner.config.dpf_params(),
-                self.inner.config.shard_prefix_bits,
-                self.inner.config.blob_len,
-                entries,
-            )?;
-            *guard = Some(dep);
-        }
-        let dep = guard.as_ref().expect("just materialized");
-        dep.answer_parallel(key)
     }
 
     // ------------------------------------------------------------------
@@ -488,18 +434,12 @@ impl ZltpServer {
             });
             return Err(ZltpError::NoCommonMode);
         };
+        let engine = self
+            .inner
+            .engine_for(mode)
+            .ok_or_else(|| ZltpError::Engine(format!("mode {mode:?} not materialized")))?;
 
-        let extra = match mode {
-            Mode::TwoServerPir => vec![self.inner.config.party],
-            Mode::SingleServerLwe => self.ensure_lwe(|b| {
-                let mut e = Vec::with_capacity(32 + 4 + 8);
-                e.extend_from_slice(&b.server.public_seed());
-                e.extend_from_slice(&(self.inner.config.lwe_n as u32).to_be_bytes());
-                e.extend_from_slice(&(b.server.cols() as u64).to_be_bytes());
-                e
-            })?,
-            Mode::Enclave => self.inner.enclave_session_key.to_vec(),
-        };
+        let extra = engine.session_extra().map_err(ZltpError::from)?;
         conn.send(&Message::ServerHello {
             version: PROTOCOL_VERSION,
             universe_id: self.inner.config.universe_id.clone(),
@@ -529,13 +469,13 @@ impl ZltpServer {
                     payload,
                 } => {
                     let start = Instant::now();
-                    let answer = self.answer_get(mode, &payload);
+                    let answer = self.answer_get(mode, engine, &payload);
                     let elapsed_ns = start.elapsed().as_nanos() as u64;
                     lightweb_telemetry::registry()
                         .histogram("zltp.server.request.ns")
                         .record(elapsed_ns);
                     lightweb_telemetry::registry()
-                        .histogram(mode_request_metric(mode))
+                        .histogram(engine.request_metric())
                         .record(elapsed_ns);
                     match answer {
                         Ok(response) => {
@@ -563,9 +503,14 @@ impl ZltpServer {
                         })?;
                         continue;
                     }
-                    let (key_hashes, hint) =
-                        self.ensure_lwe(|b| (b.key_hashes.clone(), b.server.hint().to_vec()))?;
-                    conn.send(&Message::LweSetupResponse { key_hashes, hint })?;
+                    let setup = engine
+                        .setup()
+                        .map_err(ZltpError::from)?
+                        .ok_or_else(|| ZltpError::Engine("engine has no setup material".into()))?;
+                    conn.send(&Message::LweSetupResponse {
+                        key_hashes: setup.key_hashes,
+                        hint: setup.hint,
+                    })?;
                 }
                 Message::Close => {
                     let _ = conn.send(&Message::Close);
@@ -581,92 +526,35 @@ impl ZltpServer {
         }
     }
 
-    /// Dispatch one GET payload to the mode's engine.
-    fn answer_get(&self, mode: Mode, payload: &[u8]) -> Result<Vec<u8>, ZltpError> {
-        match mode {
-            Mode::TwoServerPir => {
-                let key =
-                    DpfKey::from_bytes(payload).map_err(|e| ZltpError::BadQuery(e.to_string()))?;
-                if key.params() != self.inner.config.dpf_params() {
-                    return Err(ZltpError::BadQuery("DPF parameters mismatch".into()));
-                }
-                // Sharded deployments answer through the §5.2 front-end.
-                if self.inner.config.shard_prefix_bits > 0 {
-                    return self.answer_sharded(&key);
-                }
-                // Route through the batcher when present.
-                let tx_opt = self.inner.batch_tx.lock().clone();
-                if let Some(tx) = tx_opt {
-                    let (reply_tx, reply_rx) = bounded(1);
-                    tx.send(BatchJob {
-                        key,
-                        reply: reply_tx,
-                        enqueued_at: Instant::now(),
-                    })
-                    .map_err(|_| ZltpError::Closed)?;
-                    reply_rx
-                        .recv()
-                        .map_err(|_| ZltpError::Closed)?
-                        .map_err(ZltpError::Engine)
-                } else {
-                    self.inner
-                        .pir
-                        .read()
-                        .answer(&key)
-                        .map_err(|e| ZltpError::Engine(e.to_string()))
-                }
-            }
-            Mode::SingleServerLwe => {
-                if !payload.len().is_multiple_of(4) {
-                    return Err(ZltpError::BadQuery("LWE query not a u32 vector".into()));
-                }
-                let query: Vec<u32> = payload
-                    .chunks_exact(4)
-                    .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
-                    .collect();
-                let ans = self
-                    .ensure_lwe(|b| b.server.answer(&query))?
-                    .map_err(|e| ZltpError::BadQuery(e.to_string()))?;
-                let mut out = Vec::with_capacity(ans.len() * 4);
-                for v in ans {
-                    out.extend_from_slice(&v.to_be_bytes());
-                }
-                Ok(out)
-            }
-            Mode::Enclave => {
-                // Payload: nonce || AEAD(session_key, nonce, "", key bytes).
-                if payload.len() < AEAD_NONCE_LEN {
-                    return Err(ZltpError::BadQuery("sealed query too short".into()));
-                }
-                let aead = ChaCha20Poly1305::new(&self.inner.enclave_session_key);
-                let nonce: [u8; AEAD_NONCE_LEN] = payload[..AEAD_NONCE_LEN].try_into().unwrap();
-                let key = aead
-                    .open(&nonce, b"zltp-enclave-query", &payload[AEAD_NONCE_LEN..])
-                    .map_err(|_| ZltpError::BadQuery("sealed query failed to open".into()))?;
-                // Presence must come from the master map: the enclave keeps
-                // zero-blobs for unpublished keys.
-                let present = self.inner.master.read().contains_key(&key);
-                let value = self
-                    .inner
-                    .enclave
-                    .lock()
-                    .get(&key)
-                    .map_err(|e| ZltpError::Engine(e.to_string()))?;
-                let mut plain = Vec::with_capacity(1 + self.inner.config.blob_len);
-                plain.push(present as u8);
-                match value {
-                    Some(v) if present => plain.extend_from_slice(&v),
-                    _ => plain.extend_from_slice(&vec![0u8; self.inner.config.blob_len]),
-                }
-                let mut resp_nonce = [0u8; AEAD_NONCE_LEN];
-                lightweb_crypto::fill_random(&mut resp_nonce);
-                let sealed = aead.seal(&resp_nonce, b"zltp-enclave-response", &plain);
-                let mut out = Vec::with_capacity(AEAD_NONCE_LEN + sealed.len());
-                out.extend_from_slice(&resp_nonce);
-                out.extend_from_slice(&sealed);
-                Ok(out)
+    /// Dispatch one GET payload: let the mode's engine decode it, then
+    /// answer directly or through the batcher.
+    fn answer_get(
+        &self,
+        mode: Mode,
+        engine: &dyn QueryEngine,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, ZltpError> {
+        let query = engine.prepare(payload)?;
+        // DPF queries route through the batcher when it is running, so one
+        // scan pass answers a whole batch (§5.1). Everything else answers
+        // inline.
+        if mode == Mode::TwoServerPir {
+            let tx_opt = self.inner.batch_tx.lock().clone();
+            if let Some(tx) = tx_opt {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(BatchJob {
+                    query,
+                    reply: reply_tx,
+                    enqueued_at: Instant::now(),
+                })
+                .map_err(|_| ZltpError::Closed)?;
+                return reply_rx
+                    .recv()
+                    .map_err(|_| ZltpError::Closed)?
+                    .map_err(ZltpError::Engine);
             }
         }
+        engine.answer(&query).map_err(ZltpError::from)
     }
 
     /// Serve TCP connections until `shutdown` is called. Returns the accept
@@ -817,5 +705,16 @@ mod tests {
     fn stats_start_at_zero() {
         let server = small_server();
         assert_eq!(server.stats(), ServerStats::default());
+    }
+
+    #[test]
+    fn one_engine_per_configured_mode() {
+        let mut cfg = ServerConfig::small("modes", 0);
+        cfg.blob_len = 32;
+        cfg.modes = ModeSet::new([Mode::Enclave, Mode::SingleServerLwe]);
+        let server = ZltpServer::new(cfg).unwrap();
+        assert!(server.inner.engine_for(Mode::Enclave).is_some());
+        assert!(server.inner.engine_for(Mode::SingleServerLwe).is_some());
+        assert!(server.inner.engine_for(Mode::TwoServerPir).is_none());
     }
 }

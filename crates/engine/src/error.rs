@@ -1,0 +1,48 @@
+//! Error type shared by every query-engine backend.
+
+/// Every way a query engine can fail. The protocol layer maps these onto
+/// wire-level error codes (`BadQuery` → a client fault, `Backend` → an
+/// internal engine fault).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query payload was malformed or built for other parameters.
+    BadQuery(String),
+    /// The backend itself failed (storage, crypto, capacity).
+    Backend(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadQuery(m) => write!(f, "bad query: {m}"),
+            EngineError::Backend(m) => write!(f, "engine failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Wrap any backend error into the internal-fault variant.
+    pub fn backend(err: impl std::fmt::Display) -> Self {
+        EngineError::Backend(err.to_string())
+    }
+
+    /// Wrap any parse/validation error into the client-fault variant.
+    pub fn bad_query(err: impl std::fmt::Display) -> Self {
+        EngineError::BadQuery(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_fault_domains() {
+        assert!(EngineError::bad_query("x")
+            .to_string()
+            .contains("bad query"));
+        assert!(EngineError::backend("y").to_string().contains("engine"));
+    }
+}

@@ -1,0 +1,28 @@
+//! The parsed, validated form of a private-GET payload.
+
+use lightweb_dpf::DpfKey;
+
+/// A query after [`QueryEngine::prepare`](crate::QueryEngine::prepare):
+/// the mode-specific payload decoded and validated, ready to answer. Keeping
+/// this a plain enum (rather than a per-engine associated type) keeps the
+/// trait dyn-compatible so servers can hold `Box<dyn QueryEngine>` per mode.
+#[derive(Clone, Debug)]
+pub enum PreparedQuery {
+    /// A DPF key share for the two-server PIR scan.
+    Dpf(DpfKey),
+    /// An LWE query vector (one `u32` per database column).
+    Lwe(Vec<u32>),
+    /// A keyword that arrived sealed to the enclave, already opened.
+    Keyword(Vec<u8>),
+}
+
+impl PreparedQuery {
+    /// Short kind tag for error messages and telemetry labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PreparedQuery::Dpf(_) => "dpf",
+            PreparedQuery::Lwe(_) => "lwe",
+            PreparedQuery::Keyword(_) => "keyword",
+        }
+    }
+}

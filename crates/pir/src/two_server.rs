@@ -21,6 +21,7 @@
 
 use lightweb_crypto::util::xor_in_place_masked;
 use lightweb_dpf::{gen, DpfKey, DpfParams};
+use std::ops::Range;
 
 /// Errors from the PIR engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -219,28 +220,49 @@ impl PirServer {
         self.record_len
     }
 
-    /// Answer one query: full-domain DPF evaluation plus the data scan.
-    pub fn answer(&self, key: &DpfKey) -> Result<Vec<u8>, PirError> {
-        if key.params() != self.params {
+    /// The one place query parameters are validated against the database,
+    /// shared by [`PirServer::answer`] and [`PirServer::answer_batch`].
+    fn check_query_params(&self, keys: &[DpfKey]) -> Result<(), PirError> {
+        if keys.iter().any(|k| k.params() != self.params) {
             return Err(PirError::ParamsMismatch);
         }
-        let bits = {
-            let _eval = lightweb_telemetry::span!("pir.eval.ns");
-            key.eval_full()
-        };
-        Ok(self.scan(&bits))
+        Ok(())
+    }
+
+    /// Answer one query: full-domain DPF evaluation plus the data scan.
+    /// Delegates to [`PirServer::answer_batch`] with a batch of one so
+    /// batching semantics live in exactly one place.
+    pub fn answer(&self, key: &DpfKey) -> Result<Vec<u8>, PirError> {
+        let mut answers = self.answer_batch(std::slice::from_ref(key))?;
+        Ok(answers.pop().expect("batch of one"))
     }
 
     /// The scan half of [`PirServer::answer`], exposed so the sharded
     /// deployment (which receives pre-expanded sub-tree evaluations from a
     /// front-end, §5.2) can reuse it.
     ///
-    /// `bits` is the packed full-domain share bit vector.
-    pub fn scan(&self, bits: &[u8]) -> Vec<u8> {
-        debug_assert_eq!(bits.len(), self.params.output_len());
+    /// `bits` is the packed full-domain share bit vector; a vector of the
+    /// wrong length means the query was generated for other parameters and
+    /// is rejected (in release builds it would otherwise index out of
+    /// bounds mid-scan).
+    pub fn scan(&self, bits: &[u8]) -> Result<Vec<u8>, PirError> {
+        if bits.len() != self.params.output_len() {
+            return Err(PirError::ParamsMismatch);
+        }
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
+        Ok(self.scan_range(0..self.slots.len(), bits))
+    }
+
+    /// Scan only the records at indices `records` (not slots — positions in
+    /// the occupied-slot list). The building block a worker pool partitions
+    /// the scan over; partial accumulators XOR together into the full
+    /// answer. Callers must pre-validate `bits` (see [`PirServer::scan`]).
+    pub fn scan_range(&self, records: Range<usize>, bits: &[u8]) -> Vec<u8> {
+        debug_assert!(records.end <= self.slots.len());
+        debug_assert_eq!(bits.len(), self.params.output_len());
         let mut acc = vec![0u8; self.record_len];
-        for (i, &slot) in self.slots.iter().enumerate() {
+        for i in records {
+            let slot = self.slots[i];
             let bit = (bits[(slot / 8) as usize] >> (slot % 8)) & 1;
             // Branch-free conditional XOR: mask is 0x00 or 0xFF.
             let mask = bit.wrapping_neg();
@@ -250,25 +272,27 @@ impl PirServer {
         acc
     }
 
-    /// Answer a batch of queries in one pass over the data (§5.1 batching).
-    ///
-    /// All DPF keys are evaluated first; the scan then visits each record
-    /// once, accumulating into every query's bucket. With `b` queries the
-    /// per-query scan cost drops by ~`b`× while the DPF-evaluation cost is
-    /// unchanged — the origin of the paper's latency/throughput trade-off.
-    pub fn answer_batch(&self, keys: &[DpfKey]) -> Result<Vec<Vec<u8>>, PirError> {
-        for key in keys {
-            if key.params() != self.params {
-                return Err(PirError::ParamsMismatch);
-            }
+    /// One scan pass answering many pre-evaluated bit vectors at once: the
+    /// batched analogue of [`PirServer::scan`].
+    pub fn scan_batch(&self, bit_vecs: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, PirError> {
+        if bit_vecs
+            .iter()
+            .any(|bits| bits.len() != self.params.output_len())
+        {
+            return Err(PirError::ParamsMismatch);
         }
-        let bit_vecs: Vec<Vec<u8>> = {
-            let _eval = lightweb_telemetry::span!("pir.eval.ns");
-            keys.iter().map(|k| k.eval_full()).collect()
-        };
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
-        let mut accs = vec![vec![0u8; self.record_len]; keys.len()];
-        for (i, &slot) in self.slots.iter().enumerate() {
+        Ok(self.scan_batch_range(0..self.slots.len(), bit_vecs))
+    }
+
+    /// Batched scan over the record-index range `records` only; the
+    /// range-partitioned building block of [`PirServer::scan_batch`].
+    /// Callers must pre-validate the bit vectors.
+    pub fn scan_batch_range(&self, records: Range<usize>, bit_vecs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        debug_assert!(records.end <= self.slots.len());
+        let mut accs = vec![vec![0u8; self.record_len]; bit_vecs.len()];
+        for i in records {
+            let slot = self.slots[i];
             let rec = &self.data[i * self.record_len..(i + 1) * self.record_len];
             let byte = (slot / 8) as usize;
             let shift = (slot % 8) as u32;
@@ -277,7 +301,22 @@ impl PirServer {
                 xor_in_place_masked(&mut accs[q], rec, mask);
             }
         }
-        Ok(accs)
+        accs
+    }
+
+    /// Answer a batch of queries in one pass over the data (§5.1 batching).
+    ///
+    /// All DPF keys are evaluated first; the scan then visits each record
+    /// once, accumulating into every query's bucket. With `b` queries the
+    /// per-query scan cost drops by ~`b`× while the DPF-evaluation cost is
+    /// unchanged — the origin of the paper's latency/throughput trade-off.
+    pub fn answer_batch(&self, keys: &[DpfKey]) -> Result<Vec<Vec<u8>>, PirError> {
+        self.check_query_params(keys)?;
+        let bit_vecs: Vec<Vec<u8>> = {
+            let _eval = lightweb_telemetry::span!("pir.eval.ns");
+            keys.iter().map(|k| k.eval_full()).collect()
+        };
+        self.scan_batch(&bit_vecs)
     }
 }
 
@@ -514,6 +553,43 @@ mod tests {
         assert_eq!(client.download_bytes(), 8192);
         let up = client.upload_bytes();
         assert!(up > 300 && up < 1200, "upload {up} bytes");
+    }
+
+    #[test]
+    fn short_bit_vector_rejected_not_panicking() {
+        // Regression: a short `bits` slice used to be only debug_assert!ed
+        // and indexed out of bounds mid-scan in release builds.
+        let p = params();
+        let server = PirServer::from_entries(p, 16, sample_entries(10, 16)).unwrap();
+        let short = vec![0u8; p.output_len() - 1];
+        assert_eq!(server.scan(&short).unwrap_err(), PirError::ParamsMismatch);
+        let long = vec![0u8; p.output_len() + 1];
+        assert_eq!(server.scan(&long).unwrap_err(), PirError::ParamsMismatch);
+        let mixed = vec![vec![0u8; p.output_len()], vec![0u8; 1]];
+        assert_eq!(
+            server.scan_batch(&mixed).unwrap_err(),
+            PirError::ParamsMismatch
+        );
+    }
+
+    #[test]
+    fn range_partials_xor_to_full_scan() {
+        let p = params();
+        let server = PirServer::from_entries(p, 16, sample_entries(25, 16)).unwrap();
+        let client = TwoServerClient::new(p, 16);
+        let q = client.query_slot(42);
+        let bits = q.key0.eval_full();
+        let full = server.scan(&bits).unwrap();
+        for split in [0, 1, 7, 12, 25] {
+            let mut acc = server.scan_range(0..split, &bits);
+            let hi = server.scan_range(split..server.len(), &bits);
+            for (a, b) in acc.iter_mut().zip(hi.iter()) {
+                *a ^= *b;
+            }
+            assert_eq!(acc, full, "split at {split}");
+        }
+        let batched = server.scan_batch(std::slice::from_ref(&bits)).unwrap();
+        assert_eq!(batched[0], full);
     }
 
     #[test]

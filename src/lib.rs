@@ -46,6 +46,7 @@ pub use lightweb_core as zltp;
 pub use lightweb_cost as cost;
 pub use lightweb_crypto as crypto;
 pub use lightweb_dpf as dpf;
+pub use lightweb_engine as engine;
 pub use lightweb_oram as oram;
 pub use lightweb_pir as pir;
 pub use lightweb_store as store;
