@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist]
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist|trace]
 //!           [--telemetry] [--json] [--state-dir DIR] [--kill-after N]
+//!           [--metrics-addr ADDR]
 //! ```
 //!
 //! Each experiment prints the paper's reported numbers next to the values
@@ -20,10 +21,20 @@
 //! restart → verify against the same state directory.
 //!
 //! `--telemetry` dumps the process-wide metric registry (counters,
-//! gauges, latency-histogram quantiles) after each experiment and resets
-//! it, so each dump is that experiment's marginal cost. `--json` routes
-//! all output through the telemetry event sink as JSON lines on stdout
-//! (one object per line) instead of human-readable tables.
+//! gauges, latency-histogram quantiles) after each experiment — plus a
+//! per-phase trace summary (mean/p95 from the trace collector) — and
+//! resets both, so each dump is that experiment's marginal cost.
+//! `--json` routes all output through the telemetry event sink as JSON
+//! lines on stdout (one object per line) instead of human-readable
+//! tables, and includes the slow-query log (`telemetry.trace.slow`
+//! events). `--metrics-addr ADDR` starts the live scrape endpoint
+//! (`GET /metrics`, `GET /traces`, `GET /slow`) for the duration of the
+//! run, so a long reproduction can be observed from outside.
+//!
+//! `trace` is the causal-tracing smoke test (not a paper experiment):
+//! it drives a batched, front-end-sharded two-server ZLTP session over
+//! real TCP, scrapes `/metrics` and `/traces` over HTTP, and asserts
+//! every request produced a complete trace tree with no orphan spans.
 //!
 //! See EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
 //! discussion.
@@ -126,6 +137,7 @@ fn dump_telemetry(r: &Reporter, experiment: &str) {
                     ("max", Field::U64(h.max)),
                     ("p50", Field::U64(h.p50)),
                     ("p90", Field::U64(h.p90)),
+                    ("p95", Field::U64(h.p95)),
                     ("p99", Field::U64(h.p99)),
                 ],
             );
@@ -135,7 +147,69 @@ fn dump_telemetry(r: &Reporter, experiment: &str) {
         print!("{}", lightweb_telemetry::render_text(&snapshot));
         println!();
     }
+    dump_traces(r, experiment);
     lightweb_telemetry::registry().reset();
+    lightweb_telemetry::trace::collector().reset();
+}
+
+/// The trace-collector half of the `--telemetry` dump: per-phase span
+/// statistics (mean/p95 per span name across every completed trace) and,
+/// in JSON mode, the slow-query log as one event per retained trace.
+fn dump_traces(r: &Reporter, experiment: &str) {
+    let collector = lightweb_telemetry::trace::collector();
+    let phases = collector.phase_stats();
+    if phases.is_empty() {
+        return;
+    }
+    if r.json {
+        for p in &phases {
+            events::emit(
+                "telemetry.trace.phase",
+                &[
+                    ("name", Field::Str(p.name)),
+                    ("count", Field::U64(p.count)),
+                    ("mean_ns", Field::U64(p.mean_ns)),
+                    ("p95_ns", Field::U64(p.p95_ns)),
+                    ("max_ns", Field::U64(p.max_ns)),
+                ],
+            );
+        }
+        for t in collector.slowest() {
+            events::emit(
+                "telemetry.trace.slow",
+                &[
+                    ("trace_id", Field::Str(&format!("{:032x}", t.trace_id))),
+                    ("root", Field::Str(t.root.name)),
+                    ("duration_ns", Field::U64(t.duration_ns())),
+                    ("spans", Field::U64(t.span_count as u64)),
+                    ("orphans", Field::U64(t.orphan_spans as u64)),
+                ],
+            );
+        }
+    } else {
+        println!("-- trace phases after {experiment} --");
+        let rows: Vec<Vec<String>> = phases
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.to_string(),
+                    p.count.to_string(),
+                    format!("{:.3}", p.mean_ns as f64 / 1e6),
+                    format!("{:.3}", p.p95_ns as f64 / 1e6),
+                    format!("{:.3}", p.max_ns as f64 / 1e6),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["phase", "count", "mean (ms)", "p95 (ms)", "max (ms)"],
+                &rows
+            )
+        );
+        print!("{}", collector.render_slow_text());
+        println!();
+    }
 }
 
 fn main() {
@@ -144,11 +218,21 @@ fn main() {
     let mut json = false;
     let mut state_dir: Option<std::path::PathBuf> = None;
     let mut kill_after: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--telemetry" => telemetry_dump = true,
             "--json" => json = true,
+            "--metrics-addr" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => {
+                    eprintln!(
+                        "error: --metrics-addr requires an ADDR argument (e.g. 127.0.0.1:9464)"
+                    );
+                    std::process::exit(2);
+                }
+            },
             "--state-dir" => match args.next() {
                 Some(dir) => state_dir = Some(dir.into()),
                 None => {
@@ -183,6 +267,7 @@ fn main() {
         "e12",
         "ablations",
         "persist",
+        "trace",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!(
@@ -195,6 +280,34 @@ fn main() {
         events::install(Box::new(std::io::stdout()));
     }
     let r = Reporter { json };
+    // Bind the live scrape endpoint before any experiment runs; the
+    // handle must stay alive until the end of main or the listener dies.
+    let _scrape = metrics_addr.as_deref().map(|addr| {
+        match lightweb_telemetry::scrape::ScrapeServer::bind(addr) {
+            Ok(s) => {
+                r.note(&format!(
+                    "scrape endpoint live at http://{}/metrics (also /traces, /slow)\n",
+                    s.addr()
+                ));
+                s
+            }
+            Err(err) => {
+                eprintln!("error: cannot bind --metrics-addr {addr}: {err}");
+                std::process::exit(2);
+            }
+        }
+    });
+    if which == "trace" {
+        trace_smoke(&r, _scrape.as_ref());
+        if telemetry_dump {
+            dump_telemetry(&r, "trace");
+        }
+        if json {
+            events::flush();
+            events::uninstall();
+        }
+        return;
+    }
     if which == "persist" {
         let Some(dir) = state_dir else {
             eprintln!("error: persist requires --state-dir <DIR>");
@@ -249,6 +362,145 @@ fn main() {
         events::flush();
         events::uninstall();
     }
+}
+
+// =====================================================================
+// trace — causal-tracing smoke (lightweb-telemetry::trace). Not a paper
+// experiment: drives a batched, front-end-sharded two-server ZLTP
+// session over real TCP sockets, then observes the run the way an
+// operator would — over HTTP from the scrape endpoint — and asserts
+// every request left a complete trace tree behind.
+// =====================================================================
+
+/// Minimal HTTP/1.0 GET against the scrape endpoint; returns the body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape endpoint");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: reproduce\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has header/body split");
+    assert!(
+        head.starts_with("HTTP/1.0 200"),
+        "scrape endpoint returned non-200 for {path}: {head}"
+    );
+    body.to_string()
+}
+
+const TRACE_SMOKE_GETS: usize = 6;
+
+fn trace_smoke(r: &Reporter, external: Option<&lightweb_telemetry::scrape::ScrapeServer>) {
+    r.section("trace: end-to-end causal tracing smoke (scrape endpoint + trace trees)");
+    // Start from a clean slate so the assertions below count only this
+    // session's requests.
+    lightweb_telemetry::registry().reset();
+    lightweb_telemetry::trace::collector().reset();
+
+    // Without --metrics-addr, bind a private endpoint: the point of the
+    // smoke is to observe the run over HTTP either way.
+    let local;
+    let scrape = match external {
+        Some(s) => s,
+        None => {
+            local = lightweb_telemetry::scrape::ScrapeServer::bind("127.0.0.1:0")
+                .expect("bind local scrape endpoint");
+            &local
+        }
+    };
+
+    // A batched AND front-end-sharded deployment over real TCP: the two
+    // regimes compose, and the trace tree must show both the batch-wait
+    // span and the per-shard answer spans under one client request.
+    let threads = std::env::var("LIGHTWEB_SCAN_THREADS").unwrap_or_default();
+    r.note(&format!(
+        "two-server ZLTP over TCP: batch window 5 ms x4, shard_prefix_bits=2, LIGHTWEB_SCAN_THREADS={}",
+        if threads.is_empty() { "(default)" } else { &threads }
+    ));
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for party in 0..2u8 {
+        let mut cfg = ServerConfig::small("trace-smoke", party);
+        cfg.blob_len = 1024;
+        cfg.shard_prefix_bits = 2;
+        cfg.batch = BatchConfig {
+            max_batch: 4,
+            window: Duration::from_millis(5),
+        };
+        let server = ZltpServer::new(cfg).unwrap();
+        for i in 0..8 {
+            server
+                .publish(&format!("trace/page-{i}"), &[i as u8 + 1; 1024])
+                .unwrap();
+        }
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        addrs.push(listener.local_addr().unwrap());
+        server.serve_tcp(listener);
+        handles.push(server);
+    }
+    let mut client = TwoServerZltp::connect(
+        std::net::TcpStream::connect(addrs[0]).unwrap(),
+        std::net::TcpStream::connect(addrs[1]).unwrap(),
+    )
+    .unwrap();
+    for i in 0..TRACE_SMOKE_GETS {
+        let blob = client
+            .private_get(&format!("trace/page-{}", i % 8))
+            .unwrap();
+        assert_eq!(blob.len(), 1024, "wrong blob length for page {i}");
+    }
+    client.close().unwrap();
+    for server in &handles {
+        server.shutdown();
+    }
+
+    // Observe the run over HTTP, exactly as an operator would.
+    let metrics = http_get(scrape.addr(), "/metrics");
+    assert!(
+        metrics.contains("zltp.server.requests"),
+        "/metrics is missing the server request counter:\n{metrics}"
+    );
+    let traces = http_get(scrape.addr(), "/traces");
+    let request_lines: Vec<&str> = traces
+        .lines()
+        .filter(|l| l.contains("zltp.client.request"))
+        .collect();
+    assert_eq!(
+        request_lines.len(),
+        TRACE_SMOKE_GETS,
+        "expected one trace per GET in /traces:\n{traces}"
+    );
+    for line in &request_lines {
+        assert!(
+            line.contains("\"orphans\":0"),
+            "trace has orphan spans (incomplete tree): {line}"
+        );
+        for phase in [
+            "zltp.client.transport",
+            "zltp.server.request",
+            "zltp.server.batch.wait",
+            "engine.two_server.answer",
+            "zltp.shard.front_end",
+            "zltp.shard.answer",
+        ] {
+            assert!(
+                line.contains(phase),
+                "trace is missing the {phase} span: {line}"
+            );
+        }
+    }
+    let collector = lightweb_telemetry::trace::collector();
+    assert_eq!(
+        collector.orphaned_spans(),
+        0,
+        "collector saw spans that never joined a trace"
+    );
+    r.note(&format!(
+        "OK: {} GETs -> {} complete traces (client -> transport -> server -> batch-wait -> engine -> shard), 0 orphan spans\n",
+        TRACE_SMOKE_GETS,
+        request_lines.len()
+    ));
 }
 
 // =====================================================================

@@ -23,6 +23,7 @@ use lightweb_crypto::SipHash24;
 use lightweb_dpf::DpfParams;
 use lightweb_pir::lwe::{LweClient, LweParams};
 use lightweb_pir::{KeywordMap, TwoServerClient};
+use lightweb_telemetry::trace::{TraceContext, TraceSpan};
 use std::io::{Read, Write};
 
 /// Per-session traffic counters.
@@ -145,12 +146,32 @@ impl<S: Read + Write> ZltpSession<S> {
 
     /// Issue one raw GET and wait for its response.
     pub fn get_raw(&mut self, payload: Vec<u8>) -> Result<Vec<u8>, ZltpError> {
+        self.get_raw_traced(payload, None)
+    }
+
+    /// [`ZltpSession::get_raw`] with causal tracing: a
+    /// `zltp.client.transport` span covers send→receive (a child of
+    /// `parent` when given, otherwise the root of a fresh trace), and its
+    /// context travels to the server as the frame's trace extension so
+    /// server-side spans land in the same trace tree.
+    pub fn get_raw_traced(
+        &mut self,
+        payload: Vec<u8>,
+        parent: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, ZltpError> {
+        let span = match parent {
+            Some(p) => TraceSpan::child(p, "zltp.client.transport"),
+            None => TraceSpan::root("zltp.client.transport"),
+        };
         let request_id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1);
-        self.conn.send(&Message::Get {
-            request_id,
-            payload,
-        })?;
+        self.conn.send_traced(
+            &Message::Get {
+                request_id,
+                payload,
+            },
+            Some(&span.ctx()),
+        )?;
         self.requests += 1;
         match self.conn.recv()? {
             Message::GetResponse {
@@ -255,8 +276,18 @@ impl<S: Read + Write> TwoServerZltp<S> {
     /// a published all-zero blob; the lightweb blob encoding layers a
     /// length prefix on top precisely so this case is recognizable).
     pub fn private_get(&mut self, key: &str) -> Result<Vec<u8>, ZltpError> {
+        self.private_get_traced(key, None)
+    }
+
+    /// [`TwoServerZltp::private_get`] under an existing trace context
+    /// (e.g. the browser's per-page span).
+    pub fn private_get_traced(
+        &mut self,
+        key: &str,
+        parent: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, ZltpError> {
         let slot = self.s0.keyword_map().slot(key.as_bytes());
-        self.private_get_slot(slot)
+        self.private_get_slot_traced(slot, parent)
     }
 
     /// Private-GET by raw slot. Also used for dummy (cover) queries: a
@@ -264,9 +295,30 @@ impl<S: Read + Write> TwoServerZltp<S> {
     /// one — the lightweb browser relies on this for its fixed per-page
     /// fetch count (§3.2).
     pub fn private_get_slot(&mut self, slot: u64) -> Result<Vec<u8>, ZltpError> {
+        self.private_get_slot_traced(slot, None)
+    }
+
+    /// [`TwoServerZltp::private_get_slot`] with causal tracing: one
+    /// `zltp.client.request` span covers the whole logical GET — both
+    /// server hops, each a `zltp.client.transport` child — rooted fresh
+    /// unless `parent` chains it under a larger operation.
+    pub fn private_get_slot_traced(
+        &mut self,
+        slot: u64,
+        parent: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, ZltpError> {
+        let span = match parent {
+            Some(p) => TraceSpan::child(p, "zltp.client.request"),
+            None => TraceSpan::root("zltp.client.request"),
+        };
+        let ctx = span.ctx();
         let query = self.pir.query_slot(slot);
-        let a0 = self.s0.get_raw(query.key0.to_bytes().to_vec())?;
-        let a1 = self.s1.get_raw(query.key1.to_bytes().to_vec())?;
+        let a0 = self
+            .s0
+            .get_raw_traced(query.key0.to_bytes().to_vec(), Some(&ctx))?;
+        let a1 = self
+            .s1
+            .get_raw_traced(query.key1.to_bytes().to_vec(), Some(&ctx))?;
         if a0.len() != self.blob_len() || a1.len() != self.blob_len() {
             return Err(ZltpError::Wire("answer has wrong blob size".into()));
         }
@@ -355,13 +407,14 @@ impl<S: Read + Write> LweClientSession<S> {
         if self.manifest.is_empty() {
             return Ok(None);
         }
+        let span = TraceSpan::root("zltp.client.request");
         let index = found.unwrap_or(0);
         let query = self.lwe.query(index);
         let mut payload = Vec::with_capacity(query.payload.len() * 4);
         for v in &query.payload {
             payload.extend_from_slice(&v.to_be_bytes());
         }
-        let raw = self.session.get_raw(payload)?;
+        let raw = self.session.get_raw_traced(payload, Some(&span.ctx()))?;
         if raw.len() % 4 != 0 {
             return Err(ZltpError::Wire("LWE answer not a u32 vector".into()));
         }
@@ -412,6 +465,7 @@ impl<S: Read + Write> EnclaveClient<S> {
     /// Private-GET by keyword. Returns `None` for unpublished keys; the
     /// enclave performs the same ORAM work either way.
     pub fn private_get(&mut self, key: &str) -> Result<Option<Vec<u8>>, ZltpError> {
+        let span = TraceSpan::root("zltp.client.request");
         let mut nonce = [0u8; AEAD_NONCE_LEN];
         lightweb_crypto::fill_random(&mut nonce);
         let sealed = self
@@ -421,7 +475,7 @@ impl<S: Read + Write> EnclaveClient<S> {
         payload.extend_from_slice(&nonce);
         payload.extend_from_slice(&sealed);
 
-        let raw = self.session.get_raw(payload)?;
+        let raw = self.session.get_raw_traced(payload, Some(&span.ctx()))?;
         if raw.len() < AEAD_NONCE_LEN {
             return Err(ZltpError::Wire("sealed response too short".into()));
         }

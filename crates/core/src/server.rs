@@ -32,6 +32,7 @@ use lightweb_engine::{
     TwoServerDpfEngine,
 };
 use lightweb_pir::KeywordMap;
+use lightweb_telemetry::trace::{maybe_child, record_span, TraceContext};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -59,6 +60,10 @@ struct BatchJob {
     reply: Sender<Result<Vec<u8>, String>>,
     /// When the job entered the batcher queue, for queue-wait accounting.
     enqueued_at: Instant,
+    /// The request's trace context, if the session is being traced; the
+    /// batcher records the queue wait as a `zltp.server.batch.wait` child
+    /// span and hands the context to the engine for per-phase spans.
+    ctx: Option<TraceContext>,
 }
 
 /// Counters exposed by [`ZltpServer::stats`].
@@ -187,11 +192,12 @@ impl ZltpServer {
             config,
         });
         let server = Self { inner };
-        // Batching and front-end sharding are mutually exclusive engines
-        // for the scan; a real deployment batches *within* each shard,
-        // which the sharded path models by one scan pass per request.
+        // The batcher amortizes the scan across DPF queries (§5.1). With
+        // front-end sharding it still runs: each batched query goes
+        // through its own front-end split (a real deployment batches
+        // *within* each shard), so batching buys queue amortization and
+        // the same wire semantics either way.
         if server.inner.config.batch.max_batch > 1
-            && server.inner.config.shard_prefix_bits == 0
             && server.inner.config.modes.contains(Mode::TwoServerPir)
         {
             server.spawn_batcher();
@@ -341,6 +347,9 @@ impl ZltpServer {
                         let w = picked_up.duration_since(job.enqueued_at).as_nanos() as u64;
                         wait_ns += w;
                         wait_hist.record(w);
+                        if let Some(ctx) = &job.ctx {
+                            record_span(ctx, "zltp.server.batch.wait", job.enqueued_at, picked_up);
+                        }
                     }
                     lightweb_telemetry::registry()
                         .histogram("zltp.server.batch.size")
@@ -348,6 +357,7 @@ impl ZltpServer {
                     lightweb_telemetry::counter!("zltp.server.batches").inc();
                     let queries: Vec<PreparedQuery> =
                         jobs.iter().map(|j| j.query.clone()).collect();
+                    let ctxs: Vec<Option<TraceContext>> = jobs.iter().map(|j| j.ctx).collect();
                     let result = core
                         .engine_for(Mode::TwoServerPir)
                         .ok_or_else(|| {
@@ -355,7 +365,7 @@ impl ZltpServer {
                                 "batcher running without a two-server engine".into(),
                             )
                         })
-                        .and_then(|engine| engine.answer_batch(&queries));
+                        .and_then(|engine| engine.answer_batch(&queries, &ctxs));
                     core.stats.batches.fetch_add(1, Ordering::Relaxed);
                     core.stats
                         .batched_requests
@@ -457,7 +467,7 @@ impl ZltpServer {
                 let _ = conn.send(&Message::Close);
                 return Ok(());
             }
-            let msg = match conn.recv() {
+            let (msg, wire_ctx) = match conn.recv_traced() {
                 Ok(m) => m,
                 // Peer hang-up after a completed exchange is a normal end.
                 Err(ZltpError::Io(_)) => return Ok(()),
@@ -468,9 +478,16 @@ impl ZltpServer {
                     request_id,
                     payload,
                 } => {
+                    // The server-side span hangs off the trace context the
+                    // client sent on the wire (absent for legacy peers). It
+                    // must finish before the response is sent so the
+                    // client's root span is always the last of its trace.
+                    let span = maybe_child(wire_ctx.as_ref(), "zltp.server.request");
+                    let span_ctx = span.as_ref().map(|s| s.ctx());
                     let start = Instant::now();
-                    let answer = self.answer_get(mode, engine, &payload);
+                    let answer = self.answer_get(mode, engine, &payload, span_ctx.as_ref());
                     let elapsed_ns = start.elapsed().as_nanos() as u64;
+                    drop(span);
                     lightweb_telemetry::registry()
                         .histogram("zltp.server.request.ns")
                         .record(elapsed_ns);
@@ -533,8 +550,12 @@ impl ZltpServer {
         mode: Mode,
         engine: &dyn QueryEngine,
         payload: &[u8],
+        ctx: Option<&TraceContext>,
     ) -> Result<Vec<u8>, ZltpError> {
-        let query = engine.prepare(payload)?;
+        let query = {
+            let _prepare = maybe_child(ctx, "zltp.server.prepare");
+            engine.prepare(payload)?
+        };
         // DPF queries route through the batcher when it is running, so one
         // scan pass answers a whole batch (§5.1). Everything else answers
         // inline.
@@ -546,6 +567,7 @@ impl ZltpServer {
                     query,
                     reply: reply_tx,
                     enqueued_at: Instant::now(),
+                    ctx: ctx.copied(),
                 })
                 .map_err(|_| ZltpError::Closed)?;
                 return reply_rx
@@ -554,7 +576,7 @@ impl ZltpServer {
                     .map_err(ZltpError::Engine);
             }
         }
-        engine.answer(&query).map_err(ZltpError::from)
+        engine.answer(&query, ctx).map_err(ZltpError::from)
     }
 
     /// Serve TCP connections until `shutdown` is called. Returns the accept

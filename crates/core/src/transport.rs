@@ -15,8 +15,9 @@
 //! communication measurements (§5.1: 13.6 KiB per request).
 
 use crate::error::ZltpError;
-use crate::wire::{Frame, Message, MAX_FRAME_LEN};
+use crate::wire::{Frame, Message, MAX_FRAME_LEN, TRACE_EXT_FLAG};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use lightweb_telemetry::trace::TraceContext;
 use std::io::{Read, Write};
 
 /// One end of an in-memory duplex byte stream.
@@ -115,42 +116,80 @@ impl<S: Read + Write> FramedConn<S> {
         self.bytes_received
     }
 
-    /// Send one protocol message.
+    /// Send one protocol message without a trace extension.
     pub fn send(&mut self, msg: &Message) -> Result<(), ZltpError> {
+        self.send_traced(msg, None)
+    }
+
+    /// Send one protocol message, attaching `trace` as the frame's
+    /// trace extension when present ([`TRACE_EXT_FLAG`] + 32 trailing
+    /// bytes, counted in the length word and the byte accounting).
+    pub fn send_traced(
+        &mut self,
+        msg: &Message,
+        trace: Option<&TraceContext>,
+    ) -> Result<(), ZltpError> {
         let frame = msg.to_frame();
-        let len = 1 + frame.payload.len();
+        debug_assert_eq!(
+            frame.msg_type & TRACE_EXT_FLAG,
+            0,
+            "message types never carry the trace flag themselves"
+        );
+        let ext = trace.map(TraceContext::to_bytes);
+        let ext_len = ext.as_ref().map_or(0, |e| e.len());
+        let len = 1 + frame.payload.len() + ext_len;
         if len > MAX_FRAME_LEN {
             return Err(ZltpError::Wire(format!("frame too large: {len} bytes")));
         }
         let mut header = [0u8; 5];
         header[..4].copy_from_slice(&(len as u32).to_be_bytes());
-        header[4] = frame.msg_type;
-        self.stream.write_all(&header)?;
-        self.stream.write_all(&frame.payload)?;
-        self.stream.flush()?;
-        let n = 5 + frame.payload.len() as u64;
+        header[4] = frame.msg_type | if ext.is_some() { TRACE_EXT_FLAG } else { 0 };
+        // Count before writing: once the peer observes this frame, the
+        // counters are guaranteed settled, so a reader on the other side
+        // can snapshot the registry without racing the sender thread. (A
+        // failed write overcounts by one frame; the connection is dead at
+        // that point and its accounting with it.)
+        let n = (4 + len) as u64;
         self.bytes_sent += n;
         lightweb_telemetry::counter!("transport.bytes.sent").add(n);
         lightweb_telemetry::counter!("transport.frames.sent").inc();
+        self.stream.write_all(&header)?;
+        self.stream.write_all(&frame.payload)?;
+        if let Some(ext) = &ext {
+            self.stream.write_all(ext)?;
+        }
+        self.stream.flush()?;
         Ok(())
     }
 
-    /// Receive one protocol message (blocking).
+    /// Receive one protocol message (blocking), dropping any trace
+    /// extension.
     pub fn recv(&mut self) -> Result<Message, ZltpError> {
+        self.recv_traced().map(|(msg, _)| msg)
+    }
+
+    /// Receive one protocol message plus its trace extension, if the
+    /// peer attached one (blocking). Peers that predate tracing never
+    /// set the flag, so this decodes their frames exactly as [`recv`]
+    /// always has.
+    ///
+    /// [`recv`]: FramedConn::recv
+    pub fn recv_traced(&mut self) -> Result<(Message, Option<TraceContext>), ZltpError> {
         let mut header = [0u8; 5];
         self.stream.read_exact(&mut header)?;
         let len = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
         if len == 0 || len > MAX_FRAME_LEN {
             return Err(ZltpError::Wire(format!("invalid frame length {len}")));
         }
-        let msg_type = header[4];
-        let mut payload = vec![0u8; len - 1];
-        self.stream.read_exact(&mut payload)?;
-        let n = 5 + payload.len() as u64;
+        let raw_type = header[4];
+        let mut body = vec![0u8; len - 1];
+        self.stream.read_exact(&mut body)?;
+        let n = (4 + len) as u64;
         self.bytes_received += n;
         lightweb_telemetry::counter!("transport.bytes.recv").add(n);
         lightweb_telemetry::counter!("transport.frames.recv").inc();
-        Message::from_frame(&Frame { msg_type, payload })
+        let (frame, trace) = Frame::strip_trace_ext(raw_type, body)?;
+        Ok((Message::from_frame(&frame)?, trace))
     }
 
     /// Consume the wrapper and return the inner stream.
@@ -232,6 +271,36 @@ mod tests {
     }
 
     #[test]
+    fn traced_frames_roundtrip_and_plain_peers_interop() {
+        let (a, b) = mem_pair();
+        let mut ca = FramedConn::new(a);
+        let mut cb = FramedConn::new(b);
+        let msg = Message::Get {
+            request_id: 9,
+            payload: vec![3; 50],
+        };
+        let ctx = TraceContext {
+            trace_id: 42,
+            span_id: 7,
+            parent_id: 1,
+        };
+        // Traced sender → trace-aware receiver.
+        ca.send_traced(&msg, Some(&ctx)).unwrap();
+        assert_eq!(cb.recv_traced().unwrap(), (msg.clone(), Some(ctx)));
+        // Traced sender → legacy receiver (recv drops the extension).
+        ca.send_traced(&msg, Some(&ctx)).unwrap();
+        assert_eq!(cb.recv().unwrap(), msg);
+        // Legacy sender → trace-aware receiver.
+        ca.send(&msg).unwrap();
+        assert_eq!(cb.recv_traced().unwrap(), (msg.clone(), None));
+        // Byte accounting covers the extension: the two traced sends
+        // cost TRACE_EXT_LEN more than the plain one, each.
+        let plain = ca.bytes_sent() - 2 * crate::wire::TRACE_EXT_LEN as u64;
+        assert_eq!(plain % 3, 0, "three equal frames plus two extensions");
+        assert_eq!(ca.bytes_sent(), cb.bytes_received());
+    }
+
+    #[test]
     fn truncated_stream_is_an_io_error() {
         let (mut a, b) = mem_pair();
         // Write a header promising 100 bytes, then hang up.
@@ -256,5 +325,56 @@ mod tests {
         a.write_all(&[0x40, 0, 0, 1, 3]).unwrap();
         let mut cb = FramedConn::new(b);
         assert!(matches!(cb.recv(), Err(ZltpError::Wire(_))));
+    }
+
+    #[test]
+    fn flagged_frame_without_room_for_extension_rejected() {
+        let (mut a, b) = mem_pair();
+        // CLOSE with the trace flag but a 1-byte body: too short for the
+        // 32-byte extension.
+        a.write_all(&[0, 0, 0, 2, 8 | crate::wire::TRACE_EXT_FLAG, 0])
+            .unwrap();
+        let mut cb = FramedConn::new(b);
+        assert!(matches!(cb.recv_traced(), Err(ZltpError::Wire(_))));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Frames with and without the trace extension round-trip over a
+        /// real framed connection, in any interleaving.
+        #[test]
+        fn framed_conn_roundtrips_with_and_without_trace(
+            request_id in any::<u32>(),
+            payload in prop::collection::vec(any::<u8>(), 0..600),
+            trace_id in any::<u128>(),
+            span_id in any::<u64>(),
+            parent_id in any::<u64>(),
+            traced_first in any::<bool>(),
+        ) {
+            let ctx = TraceContext { trace_id, span_id, parent_id };
+            let msg = Message::Get { request_id, payload };
+            let (a, b) = mem_pair();
+            let mut ca = FramedConn::new(a);
+            let mut cb = FramedConn::new(b);
+            let order = if traced_first {
+                [Some(ctx), None]
+            } else {
+                [None, Some(ctx)]
+            };
+            for trace in order {
+                ca.send_traced(&msg, trace.as_ref()).unwrap();
+                let (got, got_trace) = cb.recv_traced().unwrap();
+                prop_assert_eq!(&got, &msg);
+                prop_assert_eq!(got_trace, trace);
+            }
+            prop_assert_eq!(ca.bytes_sent(), cb.bytes_received());
+        }
     }
 }

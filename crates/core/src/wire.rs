@@ -9,9 +9,23 @@
 //! the framing itself is deliberately plain. Response frames for a given
 //! session are all the same size by construction (fixed blob size), which
 //! is what the lightweb layer's traffic-shape argument relies on.
+//!
+//! ## Trace extension
+//!
+//! A frame may carry an optional 32-byte **trace extension** — an encoded
+//! [`TraceContext`] — so a request's causal identity propagates to the
+//! server. The extension is signaled by the [`TRACE_EXT_FLAG`] high bit
+//! of the wire type byte and appended *after* the payload (covered by the
+//! length word). This is backwards compatible in both directions: frames
+//! without the flag decode exactly as before, and an old peer never sets
+//! the flag (type bytes are small constants), so a new decoder treats its
+//! frames as extension-free. Message payload encodings are untouched —
+//! [`Message::from_frame`] still rejects trailing bytes, because the
+//! extension is stripped at the framing layer before it runs.
 
 use crate::error::ZltpError;
 use bytes::{Buf, BufMut, BytesMut};
+use lightweb_telemetry::trace::{TraceContext, TRACE_CONTEXT_LEN};
 
 /// Protocol version spoken by this implementation.
 pub const PROTOCOL_VERSION: u16 = 1;
@@ -32,6 +46,15 @@ mod msg_type {
     pub const CLOSE: u8 = 8;
 }
 
+/// High bit of the wire type byte: set when the frame body ends with a
+/// [`TRACE_EXT_LEN`]-byte trace extension. Real message types are small
+/// constants, so the bit is never set by peers that predate tracing.
+pub const TRACE_EXT_FLAG: u8 = 0x80;
+
+/// Size of the encoded trace extension: a [`TraceContext`] (16-byte
+/// trace id, 8-byte span id, 8-byte parent id, big-endian).
+pub const TRACE_EXT_LEN: usize = TRACE_CONTEXT_LEN;
+
 /// A raw frame: type byte plus payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
@@ -39,6 +62,44 @@ pub struct Frame {
     pub msg_type: u8,
     /// Opaque payload.
     pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Interpret a wire type byte and frame body: if `raw_type` carries
+    /// [`TRACE_EXT_FLAG`], split the trailing [`TRACE_EXT_LEN`]-byte
+    /// trace extension off `body` and decode it; otherwise the body is
+    /// the payload unchanged. Errors when the flag is set but the body
+    /// is too short to hold the extension.
+    pub fn strip_trace_ext(
+        raw_type: u8,
+        mut body: Vec<u8>,
+    ) -> Result<(Frame, Option<TraceContext>), ZltpError> {
+        if raw_type & TRACE_EXT_FLAG == 0 {
+            return Ok((
+                Frame {
+                    msg_type: raw_type,
+                    payload: body,
+                },
+                None,
+            ));
+        }
+        if body.len() < TRACE_EXT_LEN {
+            return Err(ZltpError::Wire(format!(
+                "frame body of {} bytes too short for trace extension",
+                body.len()
+            )));
+        }
+        let split = body.len() - TRACE_EXT_LEN;
+        let ctx = TraceContext::from_bytes(&body[split..]).expect("length just checked");
+        body.truncate(split);
+        Ok((
+            Frame {
+                msg_type: raw_type & !TRACE_EXT_FLAG,
+                payload: body,
+            },
+            Some(ctx),
+        ))
+    }
 }
 
 /// A decoded ZLTP protocol message.
@@ -470,6 +531,55 @@ mod tests {
         assert_eq!(Message::from_frame(&frame).unwrap(), msg);
     }
 
+    fn sample_ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0x1111_2222_3333_4444_5555_6666_7777_8888,
+            span_id: 0x9999_AAAA_BBBB_CCCC,
+            parent_id: 0xDDDD_EEEE_FFFF_0001,
+        }
+    }
+
+    #[test]
+    fn trace_ext_strips_and_decodes() {
+        let msg = Message::Get {
+            request_id: 7,
+            payload: vec![0xAB; 64],
+        };
+        let frame = msg.to_frame();
+        let ctx = sample_ctx();
+        let mut body = frame.payload.clone();
+        body.extend_from_slice(&ctx.to_bytes());
+        let (stripped, trace) =
+            Frame::strip_trace_ext(frame.msg_type | TRACE_EXT_FLAG, body).unwrap();
+        assert_eq!(stripped, frame);
+        assert_eq!(trace, Some(ctx));
+        // The stripped frame decodes to the original message — the
+        // extension never reaches the payload decoder.
+        assert_eq!(Message::from_frame(&stripped).unwrap(), msg);
+    }
+
+    #[test]
+    fn frames_without_flag_decode_as_before() {
+        // Old-peer direction: no flag, body untouched even if it happens
+        // to end with 32 bytes that could parse as a context.
+        let mut payload = Message::Close.to_frame().payload;
+        payload.extend_from_slice(&sample_ctx().to_bytes());
+        let (frame, trace) = Frame::strip_trace_ext(8, payload.clone()).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(frame.payload, payload);
+        // (Which then fails payload decoding as trailing bytes, as it
+        // should — the bytes were never a sanctioned extension.)
+        assert!(Message::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn flagged_frame_too_short_for_extension_rejected() {
+        for n in 0..TRACE_EXT_LEN {
+            let err = Frame::strip_trace_ext(3 | TRACE_EXT_FLAG, vec![0; n]);
+            assert!(matches!(err, Err(ZltpError::Wire(_))), "len {n} accepted");
+        }
+    }
+
     #[test]
     fn get_responses_have_uniform_size_for_fixed_blobs() {
         // The traffic-shape property: responses for equal-size blobs encode
@@ -555,6 +665,49 @@ mod proptests {
             let frame = Frame { msg_type, payload };
             if let Ok(msg) = Message::from_frame(&frame) {
                 prop_assert_eq!(msg.to_frame(), frame);
+            }
+        }
+
+        /// The trace extension round-trips at the framing layer for any
+        /// payload and context, and its absence leaves the body alone:
+        /// the with/without directions of the backwards-compat story.
+        #[test]
+        fn trace_extension_roundtrips_and_absence_is_identity(
+            msg_type in 0u8..0x80,
+            payload in prop::collection::vec(any::<u8>(), 0..256),
+            trace_id in any::<u128>(),
+            span_id in any::<u64>(),
+            parent_id in any::<u64>(),
+        ) {
+            let ctx = TraceContext { trace_id, span_id, parent_id };
+            // With the extension: flag set, body = payload ++ ctx.
+            let mut body = payload.clone();
+            body.extend_from_slice(&ctx.to_bytes());
+            let (frame, got) = Frame::strip_trace_ext(msg_type | TRACE_EXT_FLAG, body)
+                .map_err(|e| TestCaseError::fail(format!("strip failed: {e}")))?;
+            prop_assert_eq!(got, Some(ctx));
+            prop_assert_eq!(&frame.payload, &payload);
+            prop_assert_eq!(frame.msg_type, msg_type);
+            // Without: anything lacking the flag passes through whole.
+            let (frame, got) = Frame::strip_trace_ext(msg_type, payload.clone())
+                .map_err(|e| TestCaseError::fail(format!("plain strip failed: {e}")))?;
+            prop_assert_eq!(got, None);
+            prop_assert_eq!(frame.payload, payload);
+            prop_assert_eq!(frame.msg_type, msg_type);
+        }
+
+        /// Strip never panics, whatever the type byte and body: flagged
+        /// short bodies error cleanly.
+        #[test]
+        fn strip_trace_ext_is_total(
+            raw_type in any::<u8>(),
+            body in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let flagged = raw_type & TRACE_EXT_FLAG != 0;
+            let too_short = body.len() < TRACE_EXT_LEN;
+            match Frame::strip_trace_ext(raw_type, body) {
+                Ok((_, trace)) => prop_assert_eq!(trace.is_some(), flagged),
+                Err(_) => prop_assert!(flagged && too_short),
             }
         }
     }

@@ -5,6 +5,7 @@ use crate::query::PreparedQuery;
 use crate::traits::QueryEngine;
 use lightweb_crypto::aead::{ChaCha20Poly1305, AEAD_NONCE_LEN};
 use lightweb_oram::SimulatedEnclave;
+use lightweb_telemetry::trace::{maybe_child, TraceContext};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeSet;
 
@@ -89,17 +90,25 @@ impl QueryEngine for EnclaveOramEngine {
         Ok(PreparedQuery::Keyword(keyword))
     }
 
-    fn answer_batch(&self, queries: &[PreparedQuery]) -> Result<Vec<Vec<u8>>, EngineError> {
+    fn answer_batch(
+        &self,
+        queries: &[PreparedQuery],
+        ctxs: &[Option<TraceContext>],
+    ) -> Result<Vec<Vec<u8>>, EngineError> {
         // ORAM accesses are inherently sequential (each reshuffles state),
         // so a batch is simply answered in turn.
         queries
             .iter()
-            .map(|q| match q {
-                PreparedQuery::Keyword(kw) => self.answer_one(kw),
-                other => Err(EngineError::BadQuery(format!(
-                    "enclave cannot answer a {} query",
-                    other.kind()
-                ))),
+            .enumerate()
+            .map(|(i, q)| {
+                let _span = maybe_child(ctxs.get(i).and_then(|c| c.as_ref()), "engine.oram.answer");
+                match q {
+                    PreparedQuery::Keyword(kw) => self.answer_one(kw),
+                    other => Err(EngineError::BadQuery(format!(
+                        "enclave cannot answer a {} query",
+                        other.kind()
+                    ))),
+                }
             })
             .collect()
     }

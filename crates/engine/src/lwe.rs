@@ -5,6 +5,7 @@ use crate::query::PreparedQuery;
 use crate::traits::{EngineSetup, QueryEngine};
 use lightweb_crypto::SipHash24;
 use lightweb_pir::lwe::{LweParams, LweServer};
+use lightweb_telemetry::trace::{maybe_child, TraceContext};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -83,10 +84,16 @@ impl QueryEngine for SingleServerLweEngine {
         Ok(PreparedQuery::Lwe(query))
     }
 
-    fn answer_batch(&self, queries: &[PreparedQuery]) -> Result<Vec<Vec<u8>>, EngineError> {
+    fn answer_batch(
+        &self,
+        queries: &[PreparedQuery],
+        ctxs: &[Option<TraceContext>],
+    ) -> Result<Vec<Vec<u8>>, EngineError> {
         queries
             .iter()
-            .map(|q| {
+            .enumerate()
+            .map(|(i, q)| {
+                let _span = maybe_child(ctxs.get(i).and_then(|c| c.as_ref()), "engine.lwe.answer");
                 let query = match q {
                     PreparedQuery::Lwe(v) => v,
                     other => {

@@ -16,6 +16,7 @@
 
 use lightweb_dpf::DpfKey;
 use lightweb_pir::{PirError, PirServer};
+use lightweb_telemetry::trace::{maybe_child, TraceContext};
 use std::ops::Range;
 
 /// Environment variable overriding the worker count when a config leaves
@@ -95,6 +96,12 @@ impl ScanPool {
     /// output. Falls back to the serial evaluation when the pool has one
     /// thread or the domain is too small to split byte-aligned.
     pub fn eval_full(&self, key: &DpfKey) -> Vec<u8> {
+        self.eval_full_traced(key, None)
+    }
+
+    /// [`ScanPool::eval_full`] with per-partition trace spans
+    /// (`engine.pool.partition`) recorded as children of `ctx`.
+    pub fn eval_full_traced(&self, key: &DpfKey, ctx: Option<&TraceContext>) -> Vec<u8> {
         let _eval = lightweb_telemetry::span!("pir.eval.ns");
         let params = key.params();
         // Deepest split that (a) yields >= one sub-tree per worker,
@@ -114,6 +121,7 @@ impl ScanPool {
         let shard_key = key.shard_key(prefix_bits);
         let sub_len = shard_key.shard_output_len();
         let parts = self.map_ranges(nodes.len(), |range| {
+            let _part = maybe_child(ctx, "engine.pool.partition");
             let mut out = vec![0u8; sub_len * range.len()];
             for (i, node) in nodes[range].iter().enumerate() {
                 shard_key.eval(node, &mut out[i * sub_len..(i + 1) * sub_len]);
@@ -132,11 +140,25 @@ impl ScanPool {
     /// pool, XOR-reduce the partial accumulators. Identical output to
     /// [`PirServer::scan`].
     pub fn scan(&self, server: &PirServer, bits: &[u8]) -> Result<Vec<u8>, PirError> {
+        self.scan_traced(server, bits, None)
+    }
+
+    /// [`ScanPool::scan`] with per-partition trace spans
+    /// (`engine.pool.partition`) recorded as children of `ctx`.
+    pub fn scan_traced(
+        &self,
+        server: &PirServer,
+        bits: &[u8],
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, PirError> {
         if bits.len() != server.params().output_len() {
             return Err(PirError::ParamsMismatch);
         }
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
-        let partials = self.map_ranges(server.len(), |range| server.scan_range(range, bits));
+        let partials = self.map_ranges(server.len(), |range| {
+            let _part = maybe_child(ctx, "engine.pool.partition");
+            server.scan_range(range, bits)
+        });
         let mut acc = vec![0u8; server.record_len()];
         for partial in partials {
             lightweb_crypto::xor_in_place(&mut acc, &partial);
@@ -152,6 +174,19 @@ impl ScanPool {
         server: &PirServer,
         bit_vecs: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, PirError> {
+        self.scan_batch_traced(server, bit_vecs, None)
+    }
+
+    /// [`ScanPool::scan_batch`] with per-partition trace spans
+    /// (`engine.pool.partition`) recorded as children of `ctx`. The scan
+    /// pass is shared by the whole batch, so one context (typically the
+    /// first traced query's scan span) parents every partition.
+    pub fn scan_batch_traced(
+        &self,
+        server: &PirServer,
+        bit_vecs: &[Vec<u8>],
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<Vec<u8>>, PirError> {
         if bit_vecs
             .iter()
             .any(|bits| bits.len() != server.params().output_len())
@@ -160,6 +195,7 @@ impl ScanPool {
         }
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
         let partials = self.map_ranges(server.len(), |range| {
+            let _part = maybe_child(ctx, "engine.pool.partition");
             server.scan_batch_range(range, bit_vecs)
         });
         let mut accs = vec![vec![0u8; server.record_len()]; bit_vecs.len()];

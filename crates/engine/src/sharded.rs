@@ -23,6 +23,7 @@ use crate::error::EngineError;
 use crate::pool::ScanPool;
 use lightweb_dpf::{DpfKey, DpfParams, ShardKey, TreeNode};
 use lightweb_pir::{PirError, PirServer};
+use lightweb_telemetry::trace::{maybe_child, TraceContext};
 use std::path::Path;
 
 /// The raw `(slot, record)` inputs a deployment is built from, as
@@ -245,10 +246,27 @@ impl ShardedDeployment {
     /// shards does not oversubscribe the machine. Identical output to
     /// [`ShardedDeployment::answer`].
     pub fn answer_with_pool(&self, key: &DpfKey, pool: &ScanPool) -> Result<Vec<u8>, EngineError> {
-        let (nodes, shard_key) = self.front_end(key)?;
+        self.answer_with_pool_traced(key, pool, None)
+    }
+
+    /// [`ShardedDeployment::answer_with_pool`] with trace spans: the
+    /// front-end split records a `zltp.shard.front_end` child of `ctx`,
+    /// and every data-server shard records its own `zltp.shard.answer`
+    /// child — the §5.2 front-end→shard hop made visible per request.
+    pub fn answer_with_pool_traced(
+        &self,
+        key: &DpfKey,
+        pool: &ScanPool,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, EngineError> {
+        let (nodes, shard_key) = {
+            let _fe_span = maybe_child(ctx, "zltp.shard.front_end");
+            self.front_end(key)?
+        };
         let partials = pool.map_ranges(self.shards.len(), |range| {
             let mut acc = vec![0u8; self.record_len];
             for i in range {
+                let _answer_span = maybe_child(ctx, "zltp.shard.answer");
                 let _answer = lightweb_telemetry::span!("zltp.shard.answer.ns");
                 let partial = Self::shard_answer(&self.shards[i], &shard_key, &nodes[i]);
                 lightweb_crypto::xor_in_place(&mut acc, &partial);

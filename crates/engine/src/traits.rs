@@ -2,6 +2,7 @@
 
 use crate::error::EngineError;
 use crate::query::PreparedQuery;
+use lightweb_telemetry::trace::TraceContext;
 
 /// Offline setup material some engines publish to clients before the first
 /// query (today: the LWE manifest + hint downloaded once per database
@@ -36,8 +37,15 @@ pub trait QueryEngine: Send + Sync {
     /// Answer one prepared query. The default delegates to the batch path
     /// with a batch of one so batching semantics live in exactly one place
     /// per engine.
-    fn answer(&self, query: &PreparedQuery) -> Result<Vec<u8>, EngineError> {
-        let mut answers = self.answer_batch(std::slice::from_ref(query))?;
+    ///
+    /// `ctx` is the request's trace context, if the caller is tracing it;
+    /// engines record their per-phase child spans under it.
+    fn answer(
+        &self,
+        query: &PreparedQuery,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, EngineError> {
+        let mut answers = self.answer_batch(std::slice::from_ref(query), &[ctx.copied()])?;
         answers
             .pop()
             .ok_or_else(|| EngineError::Backend("batch of one returned no answer".into()))
@@ -46,7 +54,15 @@ pub trait QueryEngine: Send + Sync {
     /// Answer a batch of prepared queries. Engines whose dominant cost is a
     /// data pass (the DPF scan) amortize it across the batch (§5.1); others
     /// simply answer each query in turn.
-    fn answer_batch(&self, queries: &[PreparedQuery]) -> Result<Vec<Vec<u8>>, EngineError>;
+    ///
+    /// `ctxs` carries one optional trace context per query, positionally.
+    /// Engines are lenient: a short (even empty) slice means the missing
+    /// queries are untraced, so callers without tracing pass `&[]`.
+    fn answer_batch(
+        &self,
+        queries: &[PreparedQuery],
+        ctxs: &[Option<TraceContext>],
+    ) -> Result<Vec<Vec<u8>>, EngineError>;
 
     /// Insert or update one published blob.
     fn publish(&self, key: &[u8], blob: &[u8]) -> Result<(), EngineError>;

@@ -7,8 +7,10 @@ use crate::sharded::ShardedDeployment;
 use crate::traits::QueryEngine;
 use lightweb_dpf::{DpfKey, DpfParams};
 use lightweb_pir::{KeywordMap, PirError, PirServer};
+use lightweb_telemetry::trace::{maybe_child, record_span_ctx, TraceContext};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 fn pir_error(e: PirError) -> EngineError {
     match e {
@@ -99,7 +101,11 @@ impl TwoServerDpfEngine {
 
     /// Rebuild the sharded view from the monolithic store if stale, then
     /// answer through it on the pool.
-    fn answer_sharded(&self, key: &DpfKey) -> Result<Vec<u8>, EngineError> {
+    fn answer_sharded(
+        &self,
+        key: &DpfKey,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<u8>, EngineError> {
         let mut guard = self.sharded.lock();
         if self.sharded_dirty.swap(false, Ordering::SeqCst) || guard.is_none() {
             let entries: Vec<(u64, Vec<u8>)> = {
@@ -114,7 +120,7 @@ impl TwoServerDpfEngine {
             )?);
         }
         let dep = guard.as_ref().expect("just materialized");
-        dep.answer_with_pool(key, &self.pool)
+        dep.answer_with_pool_traced(key, &self.pool, ctx)
     }
 }
 
@@ -135,20 +141,54 @@ impl QueryEngine for TwoServerDpfEngine {
         Ok(PreparedQuery::Dpf(key))
     }
 
-    fn answer_batch(&self, queries: &[PreparedQuery]) -> Result<Vec<Vec<u8>>, EngineError> {
+    fn answer_batch(
+        &self,
+        queries: &[PreparedQuery],
+        ctxs: &[Option<TraceContext>],
+    ) -> Result<Vec<Vec<u8>>, EngineError> {
         let keys = Self::expect_keys(queries)?;
+        let ctx_of = |i: usize| ctxs.get(i).and_then(|c| c.as_ref());
         if self.prefix_bits > 0 {
             // §5.2: one front-end split + pooled shard scan per query. A
             // real deployment batches within each shard; this path models
             // it with one pass per request.
             return keys
                 .into_iter()
-                .map(|key| self.answer_sharded(key))
+                .enumerate()
+                .map(|(i, key)| {
+                    let span = maybe_child(ctx_of(i), "engine.two_server.answer");
+                    let span_ctx = span.as_ref().map(|s| s.ctx());
+                    self.answer_sharded(key, span_ctx.as_ref())
+                })
                 .collect();
         }
-        let bit_vecs: Vec<Vec<u8>> = keys.iter().map(|key| self.pool.eval_full(key)).collect();
+        let bit_vecs: Vec<Vec<u8>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let eval = maybe_child(ctx_of(i), "engine.two_server.eval");
+                let eval_ctx = eval.as_ref().map(|s| s.ctx());
+                self.pool.eval_full_traced(key, eval_ctx.as_ref())
+            })
+            .collect();
+        // The scan is one shared pass over the data (§5.1): mint a scan
+        // span per traced query up front, time the pass once, and record
+        // the same interval under each — so every request's trace shows
+        // the scan it amortized into.
+        let scan_ctxs: Vec<TraceContext> = (0..keys.len())
+            .filter_map(|i| ctx_of(i).map(|c| c.child()))
+            .collect();
         let pir = self.pir.read();
-        self.pool.scan_batch(&pir, &bit_vecs).map_err(pir_error)
+        let start = Instant::now();
+        let answers = self
+            .pool
+            .scan_batch_traced(&pir, &bit_vecs, scan_ctxs.first())
+            .map_err(pir_error)?;
+        let end = Instant::now();
+        for ctx in &scan_ctxs {
+            record_span_ctx(ctx, "engine.two_server.scan", start, end);
+        }
+        Ok(answers)
     }
 
     fn publish(&self, key: &[u8], blob: &[u8]) -> Result<(), EngineError> {

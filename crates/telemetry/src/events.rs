@@ -15,6 +15,13 @@
 //! or when the thread exits — so concurrent emitters contend on the
 //! writer lock only once per ~8 KiB, and lines are never interleaved
 //! mid-record. `ts_us` is microseconds since sink installation.
+//!
+//! The buffer is **bounded**: threshold flushes only `try_lock` the
+//! writer, and if the writer stays contended (or stuck) until a
+//! thread's buffer reaches [`MAX_BUFFER`], further events on that
+//! thread are dropped and counted in the `telemetry.events.dropped`
+//! counter rather than growing memory without limit. Buffered events
+//! are flushed when the thread exits (blocking, at most one buffer).
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -25,6 +32,11 @@ use std::time::Instant;
 
 /// Flush a thread's buffer to the writer once it exceeds this size.
 const FLUSH_THRESHOLD: usize = 8 * 1024;
+
+/// Hard cap on one thread's event buffer. Events emitted while the
+/// buffer is at the cap (because the writer is contended or stuck) are
+/// dropped and counted in `telemetry.events.dropped`.
+pub const MAX_BUFFER: usize = 64 * 1024;
 
 struct Sink {
     writer: Mutex<Box<dyn Write + Send>>,
@@ -133,6 +145,10 @@ pub fn emit(event: &str, fields: &[(&str, Field<'_>)]) {
     BUFFER.with(|cell| {
         let mut tb = cell.borrow_mut();
         let buf = &mut tb.buf;
+        if buf.len() >= MAX_BUFFER {
+            crate::counter!("telemetry.events.dropped").inc();
+            return;
+        }
         buf.extend_from_slice(b"{\"ts_us\":");
         buf.extend_from_slice(ts_us.to_string().as_bytes());
         buf.extend_from_slice(b",\"event\":\"");
@@ -158,9 +174,14 @@ pub fn emit(event: &str, fields: &[(&str, Field<'_>)]) {
         }
         buf.extend_from_slice(b"}\n");
         if buf.len() >= FLUSH_THRESHOLD {
-            let mut w = sink.writer.lock();
-            let _ = w.write_all(buf);
-            buf.clear();
+            // Never block the emitting thread on the writer: if the
+            // lock is contended, keep buffering — the MAX_BUFFER gate
+            // above bounds memory and counts drops once the writer
+            // stays stuck.
+            if let Some(mut w) = sink.writer.try_lock() {
+                let _ = w.write_all(buf);
+                buf.clear();
+            }
         }
     });
 }
@@ -185,6 +206,10 @@ pub fn flush() {
 mod tests {
     use super::*;
 
+    /// The sink is process-global; tests that install one must not
+    /// interleave.
+    static TEST_SINK_LOCK: Mutex<()> = Mutex::new(());
+
     /// Shared Vec<u8> writer for capturing output in tests.
     #[derive(Clone, Default)]
     struct Capture(Arc<Mutex<Vec<u8>>>);
@@ -202,6 +227,7 @@ mod tests {
 
     #[test]
     fn emit_writes_json_lines_and_escapes() {
+        let _serial = TEST_SINK_LOCK.lock();
         let cap = Capture::default();
         install(Box::new(cap.clone()));
         emit(
@@ -232,5 +258,78 @@ mod tests {
     fn emit_without_sink_is_noop() {
         // Must not panic or allocate a sink.
         emit("ignored", &[("x", Field::U64(1))]);
+    }
+
+    /// A writer that blocks inside `write` (holding the writer lock)
+    /// until released, to simulate a stuck/contended sink.
+    struct BlockingWriter {
+        entered: Arc<AtomicBool>,
+        release: Arc<AtomicBool>,
+    }
+
+    impl Write for BlockingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.entered.store(true, Ordering::SeqCst);
+            while !self.release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stuck_writer_bounds_buffer_and_counts_drops() {
+        let _serial = TEST_SINK_LOCK.lock();
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        install(Box::new(BlockingWriter {
+            entered: entered.clone(),
+            release: release.clone(),
+        }));
+
+        // A helper thread fills its own buffer to the flush threshold;
+        // its (uncontended) try_lock succeeds and it blocks inside
+        // write, holding the writer lock for the rest of the test.
+        let blocker = {
+            let entered = entered.clone();
+            std::thread::spawn(move || {
+                let pad = "x".repeat(200);
+                while !entered.load(Ordering::SeqCst) {
+                    emit("blocked.event", &[("pad", Field::Str(&pad))]);
+                }
+            })
+        };
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+
+        // With the writer lock held elsewhere, this thread's threshold
+        // flushes fail their try_lock, the buffer grows to MAX_BUFFER,
+        // and further events are dropped and counted — emit never
+        // blocks and memory never exceeds the cap.
+        let dropped = crate::registry().counter("telemetry.events.dropped");
+        let before = dropped.get();
+        let pad = "y".repeat(200);
+        for _ in 0..(MAX_BUFFER / 100) {
+            emit("spam.event", &[("pad", Field::Str(&pad))]);
+        }
+        assert!(
+            dropped.get() > before,
+            "expected drops once the buffer hit MAX_BUFFER"
+        );
+        BUFFER.with(|cell| {
+            let len = cell.borrow().buf.len();
+            assert!(len <= MAX_BUFFER + 1024, "buffer grew past the cap: {len}");
+        });
+
+        release.store(true, Ordering::SeqCst);
+        blocker.join().unwrap();
+        uninstall();
+        // Drain this thread's leftover buffer so later tests start clean.
+        BUFFER.with(|cell| cell.borrow_mut().buf.clear());
     }
 }

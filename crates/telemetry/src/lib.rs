@@ -5,8 +5,10 @@
 //! Observability substrate for the lightweb stack: a global [`Registry`]
 //! of named **counters**, **gauges**, and **log₂-bucketed latency
 //! histograms**, RAII **spans** that record wall time ([`span!`]), an
-//! optional JSON-lines **event sink** ([`events`]), and a Prometheus-style
-//! **text exporter** with a parse-back [`Snapshot`] API for tests.
+//! optional JSON-lines **event sink** ([`events`]), a Prometheus-style
+//! **text exporter** with a parse-back [`Snapshot`] API for tests,
+//! per-request **causal tracing** ([`trace`]), and a live **scrape
+//! endpoint** ([`scrape`]) serving `/metrics` and `/traces` over HTTP.
 //!
 //! ## Design constraints
 //!
@@ -46,8 +48,11 @@
 //! ```
 
 pub mod events;
+pub mod scrape;
+pub mod trace;
 
 use parking_lot::RwLock;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -124,7 +129,7 @@ impl Gauge {
 
 /// Number of log₂ buckets: bucket 0 holds value 0, bucket `i` holds
 /// values with `i-1` = floor(log₂ v), i.e. `v` in `[2^(i-1), 2^i)`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A log₂-bucketed histogram of `u64` observations (typically
 /// nanoseconds). Recording is one relaxed `fetch_add` per cell — no
@@ -142,8 +147,35 @@ struct HistogramCells {
 }
 
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
+}
+
+/// Estimate quantile `p` from log₂ bucket populations: find the bucket
+/// holding the rank-`⌈p·count⌉` observation and return its geometric
+/// midpoint, clamped to the observed `max`. Shared by histogram
+/// snapshots and the trace collector's per-phase aggregates.
+pub(crate) fn quantile_from_buckets(buckets: &[u64], count: u64, max: u64, p: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the observation at quantile p (1-based).
+    let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            // Midpoint-ish of bucket i's value range [2^(i-1), 2^i),
+            // clamped to the observed max.
+            let est = match i {
+                0 => 0,
+                1 => 1,
+                _ => (1u64 << (i - 1)) + (1u64 << (i - 2)),
+            };
+            return est.min(max);
+        }
+    }
+    max
 }
 
 impl Histogram {
@@ -179,34 +211,14 @@ impl Histogram {
         let count: u64 = buckets.iter().sum();
         let sum = c.sum.load(Ordering::Relaxed);
         let max = c.max.load(Ordering::Relaxed);
-        let q = |p: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            // Rank of the observation at quantile p (1-based).
-            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (i, &n) in buckets.iter().enumerate() {
-                seen += n;
-                if seen >= rank {
-                    // Midpoint-ish of bucket i's value range [2^(i-1), 2^i),
-                    // clamped to the observed max.
-                    let est = match i {
-                        0 => 0,
-                        1 => 1,
-                        _ => (1u64 << (i - 1)) + (1u64 << (i - 2)),
-                    };
-                    return est.min(max);
-                }
-            }
-            max
-        };
+        let q = |p: f64| quantile_from_buckets(&buckets, count, max, p);
         HistogramSnapshot {
             count,
             sum,
             max,
             p50: q(0.50),
             p90: q(0.90),
+            p95: q(0.95),
             p99: q(0.99),
         }
     }
@@ -215,6 +227,51 @@ impl Histogram {
 // ---------------------------------------------------------------------
 // Registry.
 // ---------------------------------------------------------------------
+
+/// Whether `name` is a well-formed metric name: non-empty, no
+/// whitespace (which would corrupt the space-delimited exporter
+/// format), and no empty `.`-separated segments.
+fn is_valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.contains(char::is_whitespace)
+        && name.split('.').all(|seg| !seg.is_empty())
+}
+
+/// Repair an invalid metric name: whitespace becomes `_`, empty
+/// segments are dropped, and a name with nothing left becomes
+/// `"invalid.metric.name"`. Pure — the debug-mode panic lives in
+/// [`checked_metric_name`].
+fn sanitize_metric_name(name: &str) -> Cow<'_, str> {
+    if is_valid_metric_name(name) {
+        return Cow::Borrowed(name);
+    }
+    let mut cleaned = String::with_capacity(name.len());
+    for seg in name.split('.').filter(|s| !s.is_empty()) {
+        if !cleaned.is_empty() {
+            cleaned.push('.');
+        }
+        for ch in seg.chars() {
+            cleaned.push(if ch.is_whitespace() { '_' } else { ch });
+        }
+    }
+    if cleaned.is_empty() {
+        Cow::Owned("invalid.metric.name".to_string())
+    } else {
+        Cow::Owned(cleaned)
+    }
+}
+
+/// Handle-creation gate: panic on malformed names in debug builds (the
+/// bug should not survive development), sanitize in release builds (a
+/// production exporter must never emit corrupt lines).
+fn checked_metric_name(name: &str) -> Cow<'_, str> {
+    debug_assert!(
+        is_valid_metric_name(name),
+        "invalid metric name {name:?}: metric names must be non-empty, \
+         whitespace-free, with no empty '.' segments"
+    );
+    sanitize_metric_name(name)
+}
 
 /// A namespace of metrics. Most code uses the global [`registry()`];
 /// independent registries exist for tests.
@@ -233,27 +290,32 @@ impl Registry {
 
     /// Get or create the counter `name`. Takes the registry lock — call
     /// once and keep the (cheaply cloneable) handle on hot paths.
+    /// Malformed names (whitespace, empty segments) panic in debug
+    /// builds and are sanitized in release builds.
     pub fn counter(&self, name: &str) -> Counter {
-        if let Some(c) = self.counters.read().get(name) {
+        let name = checked_metric_name(name);
+        if let Some(c) = self.counters.read().get(name.as_ref()) {
             return c.clone();
         }
         self.counters
             .write()
-            .entry(name.to_string())
+            .entry(name.into_owned())
             .or_insert_with(|| Counter {
                 cell: Arc::new(AtomicU64::new(0)),
             })
             .clone()
     }
 
-    /// Get or create the gauge `name`.
+    /// Get or create the gauge `name`. Same name rules as
+    /// [`Registry::counter`].
     pub fn gauge(&self, name: &str) -> Gauge {
-        if let Some(g) = self.gauges.read().get(name) {
+        let name = checked_metric_name(name);
+        if let Some(g) = self.gauges.read().get(name.as_ref()) {
             return g.clone();
         }
         self.gauges
             .write()
-            .entry(name.to_string())
+            .entry(name.into_owned())
             .or_insert_with(|| Gauge {
                 cell: Arc::new(GaugeCell {
                     value: AtomicI64::new(0),
@@ -263,14 +325,16 @@ impl Registry {
             .clone()
     }
 
-    /// Get or create the histogram `name`.
+    /// Get or create the histogram `name`. Same name rules as
+    /// [`Registry::counter`].
     pub fn histogram(&self, name: &str) -> Histogram {
-        if let Some(h) = self.histograms.read().get(name) {
+        let name = checked_metric_name(name);
+        if let Some(h) = self.histograms.read().get(name.as_ref()) {
             return h.clone();
         }
         self.histograms
             .write()
-            .entry(name.to_string())
+            .entry(name.into_owned())
             .or_insert_with(|| Histogram {
                 cells: Arc::new(HistogramCells {
                     buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -435,6 +499,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// Estimated 90th percentile.
     pub p90: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
 }
@@ -492,6 +558,7 @@ impl Snapshot {
                 match q {
                     "0.5" => h.p50 = v,
                     "0.9" => h.p90 = v,
+                    "0.95" => h.p95 = v,
                     "0.99" => h.p99 = v,
                     other => {
                         return Err(format!("line {}: unknown quantile {other:?}", lineno + 1))
@@ -535,6 +602,7 @@ const EMPTY_HIST: HistogramSnapshot = HistogramSnapshot {
     max: 0,
     p50: 0,
     p90: 0,
+    p95: 0,
     p99: 0,
 };
 const EMPTY_GAUGE: GaugeSnapshot = GaugeSnapshot { value: 0, max: 0 };
@@ -572,6 +640,7 @@ pub fn render_text(snap: &Snapshot) -> String {
         for (name, h) in &snap.histograms {
             let _ = writeln!(out, "{name}{{q=\"0.5\"}} {}", h.p50);
             let _ = writeln!(out, "{name}{{q=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "{name}{{q=\"0.95\"}} {}", h.p95);
             let _ = writeln!(out, "{name}{{q=\"0.99\"}} {}", h.p99);
             let _ = writeln!(out, "{name}_count {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
@@ -639,6 +708,72 @@ mod tests {
         assert!(s.p50 >= 512 && s.p50 <= 2048, "p50 = {}", s.p50);
         assert!(s.p99 >= 512 * 1024 && s.p99 <= 1_000_000, "p99 = {}", s.p99);
         assert_eq!(s.max, 1_000_000);
+        // p95 falls in the slow mode and the quantiles are ordered.
+        assert!(s.p95 >= 512 * 1024 && s.p95 <= 1_000_000, "p95 = {}", s.p95);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn p95_renders_and_parses_back() {
+        let r = Registry::new();
+        let h = r.histogram("t.p95");
+        for v in [10u64, 20, 30, 40, 50_000] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let text = render_text(&snap);
+        assert!(text.contains("t.p95{q=\"0.95\"}"), "text:\n{text}");
+        let back = Snapshot::parse_text(&text).unwrap();
+        assert_eq!(back.histograms["t.p95"].p95, snap.histograms["t.p95"].p95);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn metric_name_validation_and_sanitization() {
+        for good in ["a", "a.b.c", "zltp.server.request.ns", "x-y_z.0"] {
+            assert!(is_valid_metric_name(good), "{good:?} should be valid");
+            assert!(matches!(sanitize_metric_name(good), Cow::Borrowed(_)));
+        }
+        for bad in ["", " ", "a b", "a..b", ".a", "a.", "a\tb", "a\nb"] {
+            assert!(!is_valid_metric_name(bad), "{bad:?} should be invalid");
+        }
+        assert_eq!(sanitize_metric_name("a b.c"), "a_b.c");
+        assert_eq!(sanitize_metric_name("a..b"), "a.b");
+        assert_eq!(sanitize_metric_name(".a."), "a");
+        assert_eq!(sanitize_metric_name("a\t.b\n"), "a_.b_");
+        assert_eq!(sanitize_metric_name(""), "invalid.metric.name");
+        // Sanitized output is always valid, so the exporter stays clean.
+        for bad in ["", " x ", "..", "a b.c d", "\t"] {
+            assert!(
+                is_valid_metric_name(&sanitize_metric_name(bad)),
+                "sanitize({bad:?}) = {:?} still invalid",
+                sanitize_metric_name(bad)
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid metric name")]
+    fn malformed_name_panics_in_debug() {
+        Registry::new().counter("bad name");
+    }
+
+    #[test]
+    fn sanitized_names_round_trip_through_exporter() {
+        // What release builds would register under a repaired name must
+        // render to parseable exporter text.
+        let r = Registry::new();
+        r.counters
+            .write()
+            .entry(sanitize_metric_name("bad name.here").into_owned())
+            .or_insert_with(|| Counter {
+                cell: Arc::new(AtomicU64::new(7)),
+            });
+        let snap = r.snapshot();
+        let text = render_text(&snap);
+        assert!(text.contains("bad_name.here 7"));
+        assert_eq!(Snapshot::parse_text(&text).unwrap(), snap);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Live scrape endpoint: a tiny blocking HTTP/1.0 server exposing the
+//! metric registry and recent traces of a running process.
+//!
+//! This is deliberately not a web framework: one accept thread, one
+//! request per connection, `Connection: close`. It exists so that a
+//! long-running `reproduce` or ZLTP server process can be observed from
+//! the outside (`curl`, Prometheus) without stopping it:
+//!
+//! * `GET /metrics` — the [`crate::render_text`] exporter over the
+//!   global registry snapshot.
+//! * `GET /traces` — the collector's recent trace trees as JSON-lines
+//!   ([`crate::trace::render_traces_jsonl`]).
+//! * `GET /slow` — the slow-query log as indented text.
+
+use crate::trace;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Requests larger than this are answered without waiting for more
+/// header bytes — scrape requests are a single short line.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running scrape endpoint. Shuts down (and joins its accept thread)
+/// on drop.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+    /// start serving scrapes on a background thread.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept so the thread can notice shutdown without
+        // needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("lightweb-scrape".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            crate::counter!("telemetry.scrape.requests").inc();
+                            if serve_one(stream).is_err() {
+                                crate::counter!("telemetry.scrape.errors").inc();
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })?;
+        Ok(ScrapeServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut req = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&chunk[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let first_line = std::str::from_utf8(&req)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let path = first_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            crate::render_text(&crate::registry().snapshot()),
+        ),
+        "/traces" => (
+            "200 OK",
+            "application/x-ndjson",
+            trace::render_traces_jsonl(&trace::collector().recent()),
+        ),
+        "/slow" => (
+            "200 OK",
+            "text/plain",
+            trace::collector().render_slow_text(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("unknown path {path:?}; try /metrics, /traces, /slow\n"),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSpan;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_traces_slow_and_404() {
+        crate::registry().counter("scrape.test.counter").add(3);
+        {
+            let root = TraceSpan::root("scrape.test.root");
+            let _child = TraceSpan::child(&root.ctx(), "scrape.test.child");
+        }
+        let mut server = ScrapeServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(head.contains("Content-Length:"));
+        assert!(body.contains("scrape.test.counter 3"), "body: {body}");
+        // The exporter body parses back — the endpoint never corrupts it.
+        crate::Snapshot::parse_text(&body).unwrap();
+
+        let (head, body) = get(addr, "/traces");
+        assert!(head.starts_with("HTTP/1.0 200"));
+        assert!(
+            body.lines()
+                .any(|l| l.contains("\"name\":\"scrape.test.root\"")),
+            "body: {body}"
+        );
+
+        let (head, _body) = get(addr, "/slow");
+        assert!(head.starts_with("HTTP/1.0 200"));
+
+        let (head, body) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "head: {head}");
+        assert!(body.contains("/metrics"));
+
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+    }
+}
