@@ -1,0 +1,31 @@
+//! Bake the git identity into the harness at build time so every
+//! `BENCH_*.json` snapshot and `reproduce --json` stream is
+//! self-identifying. Falls back to "unknown" outside a git checkout
+//! (e.g. a source tarball) — the build must never fail over metadata.
+
+use std::process::Command;
+
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s.to_string())
+    }
+}
+
+fn main() {
+    let describe = git(&["describe", "--always", "--dirty", "--tags"])
+        .unwrap_or_else(|| "unknown".to_string());
+    let commit = git(&["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=LIGHTWEB_GIT_DESCRIBE={describe}");
+    println!("cargo:rustc-env=LIGHTWEB_GIT_COMMIT={commit}");
+    // Re-stamp when HEAD moves; harmless if the paths do not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

@@ -1,0 +1,178 @@
+//! `bench-compare`: diff two perf-baseline snapshots and gate on
+//! regression.
+//!
+//! ```text
+//! bench-compare [--tolerance 0.25] <baseline> <current>
+//! ```
+//!
+//! Each argument is either one `BENCH_*.json` file or a directory; with
+//! directories, files sharing a name are paired (a baseline with no
+//! current counterpart is reported and skipped — a missing experiment
+//! is suspicious but not a perf regression). Exit status: `0` clean,
+//! `1` at least one metric regressed beyond tolerance, `2` usage or
+//! schema error. This is the binary the CI perf-baseline job runs.
+
+use lightweb_bench::perf::{compare_snapshots, BenchSnapshot};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-compare [--tolerance FRACTION] <baseline.json|dir> <current.json|dir>");
+    eprintln!("  exit 0: no regression   exit 1: regression   exit 2: bad input");
+    ExitCode::from(2)
+}
+
+/// Resolve an argument to a sorted list of snapshot files.
+fn snapshot_files(arg: &Path) -> Result<Vec<PathBuf>, String> {
+    if arg.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(arg)
+            .map_err(|e| format!("{}: {e}", arg.display()))?
+            .filter_map(|ent| ent.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{}: no BENCH_*.json files", arg.display()));
+        }
+        Ok(files)
+    } else if arg.is_file() {
+        Ok(vec![arg.to_path_buf()])
+    } else {
+        Err(format!("{}: not a file or directory", arg.display()))
+    }
+}
+
+fn load(path: &Path) -> Result<BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    BenchSnapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Compare one baseline/current snapshot pair; returns whether anything
+/// regressed.
+fn compare_pair(
+    baseline: &BenchSnapshot,
+    current: &BenchSnapshot,
+    tolerance: f64,
+) -> Result<bool, String> {
+    if baseline.experiment != current.experiment {
+        return Err(format!(
+            "experiment mismatch: {} vs {}",
+            baseline.experiment, current.experiment
+        ));
+    }
+    println!(
+        "== {} ({}): baseline {} vs current {}, tolerance {:.0}%",
+        baseline.experiment,
+        baseline.engine,
+        baseline.git_describe,
+        current.git_describe,
+        tolerance * 100.0
+    );
+    if baseline.shard_mib != current.shard_mib {
+        println!(
+            "   note: shard scale differs ({} MiB vs {} MiB) — comparison is not apples-to-apples",
+            baseline.shard_mib, current.shard_mib
+        );
+    }
+    let diffs = compare_snapshots(baseline, current, tolerance)?;
+    let mut regressed = false;
+    for d in &diffs {
+        let verdict = if d.regressed {
+            regressed = true;
+            "REGRESSED"
+        } else if d.worsening > 0.0 {
+            "worse (ok)"
+        } else {
+            "ok"
+        };
+        println!(
+            "   {:<24} {:>14.4} -> {:>14.4}  {:+7.1}%  {}",
+            d.name,
+            d.baseline,
+            d.current,
+            d.worsening * 100.0,
+            verdict
+        );
+    }
+    Ok(regressed)
+}
+
+fn run() -> Result<bool, String> {
+    let mut tolerance = 0.25f64;
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad tolerance {v:?}"))?;
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    return Err(format!(
+                        "tolerance must be a finite fraction >= 0, got {tolerance}"
+                    ));
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => positional.push(PathBuf::from(other)),
+        }
+    }
+    let [baseline_arg, current_arg] = positional.as_slice() else {
+        return Err(String::new());
+    };
+
+    let baselines = snapshot_files(baseline_arg)?;
+    let currents = snapshot_files(current_arg)?;
+    let current_by_name =
+        |name: &std::ffi::OsStr| currents.iter().find(|p| p.file_name() == Some(name));
+
+    let mut any_regressed = false;
+    let mut compared = 0usize;
+    for bpath in &baselines {
+        let cpath = if baselines.len() == 1 && currents.len() == 1 {
+            &currents[0]
+        } else {
+            let name = bpath.file_name().expect("snapshot file name");
+            match current_by_name(name) {
+                Some(p) => p,
+                None => {
+                    println!("== {}: no current counterpart, skipped", bpath.display());
+                    continue;
+                }
+            }
+        };
+        let baseline = load(bpath)?;
+        let current = load(cpath)?;
+        any_regressed |= compare_pair(&baseline, &current, tolerance)?;
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("no snapshot pairs to compare".to_string());
+    }
+    println!(
+        "bench-compare: {compared} snapshot(s) compared, {}",
+        if any_regressed {
+            "REGRESSION detected"
+        } else {
+            "no regression"
+        }
+    );
+    Ok(any_regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) if msg.is_empty() => usage(),
+        Err(msg) => {
+            eprintln!("bench-compare: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

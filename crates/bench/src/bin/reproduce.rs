@@ -3,9 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist|trace]
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist|trace|bench]
 //!           [--telemetry] [--json] [--state-dir DIR] [--kill-after N]
-//!           [--metrics-addr ADDR]
+//!           [--metrics-addr ADDR] [--quick] [--out DIR]
 //! ```
 //!
 //! Each experiment prints the paper's reported numbers next to the values
@@ -33,16 +33,30 @@
 //!
 //! `trace` is the causal-tracing smoke test (not a paper experiment):
 //! it drives a batched, front-end-sharded two-server ZLTP session over
-//! real TCP, scrapes `/metrics` and `/traces` over HTTP, and asserts
-//! every request produced a complete trace tree with no orphan spans.
+//! real TCP, scrapes `/metrics`, `/traces`, `/profile`, and `/healthz`
+//! over HTTP, and asserts every request produced a complete trace tree
+//! with no orphan spans.
+//!
+//! `bench` is the perf-baseline harness (not a paper experiment): it
+//! runs an end-to-end private-GET workload through each of the three
+//! engines and writes one versioned `BENCH_<experiment>.json` snapshot
+//! per engine (throughput, exact latency percentiles, bytes/request,
+//! CPU-seconds/request, allocations/request, peak heap) into `--out DIR`
+//! (default `.`). `--quick` shrinks the workload to CI size. The
+//! `bench-compare` binary diffs two snapshot sets and exits nonzero on
+//! regression — that pair is what the CI perf gate runs.
 //!
 //! See EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
 //! discussion.
 
+use lightweb_bench::perf::{percentile_exact, BenchMetrics, BenchSnapshot, BENCH_SCHEMA_VERSION};
 use lightweb_bench::{
     build_shard, fmt_ms, render_table, shard_mib_from_env, time_mean, time_once, BenchShard,
 };
-use lightweb_core::{BatchConfig, InProcServer, ServerConfig, TwoServerZltp, ZltpServer};
+use lightweb_core::{
+    BatchConfig, EnclaveClient, InProcServer, LweClientSession, Mode, ModeSet, ServerConfig,
+    TwoServerZltp, ZltpServer,
+};
 use lightweb_cost::economics::{self, UserCostInputs};
 use lightweb_cost::model::{
     estimate_deployment, paper_measurements, DatasetSpec, InstanceType, ShardMeasurement,
@@ -61,6 +75,15 @@ use lightweb_workload::fingerprint::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
+
+/// Heap accounting for `bench` and `--telemetry`: every allocation in
+/// this binary flows through the counting allocator, so snapshots can
+/// report allocations/request and peak heap. Attribution to profile
+/// phases additionally requires `LIGHTWEB_PROFILE=1` (or the `bench` /
+/// `--telemetry` paths, which switch it on).
+#[global_allocator]
+static ALLOC: lightweb_telemetry::profile::CountingAlloc =
+    lightweb_telemetry::profile::CountingAlloc;
 
 /// Output routing for the harness: human-readable tables on stdout, or
 /// JSON-lines through the telemetry event sink (`--json`). Experiments
@@ -147,9 +170,70 @@ fn dump_telemetry(r: &Reporter, experiment: &str) {
         print!("{}", lightweb_telemetry::render_text(&snapshot));
         println!();
     }
+    dump_profile(r, experiment);
     dump_traces(r, experiment);
     lightweb_telemetry::registry().reset();
     lightweb_telemetry::trace::collector().reset();
+    lightweb_telemetry::profile::reset_phases();
+}
+
+/// The profiler half of the `--telemetry` dump: per-phase self-CPU and
+/// allocation attribution, plus the collapsed-stack (folded flamegraph)
+/// rendering of the recently completed traces.
+fn dump_profile(r: &Reporter, experiment: &str) {
+    let phases = lightweb_telemetry::profile::phase_profiles();
+    let folded = lightweb_telemetry::profile::render_collapsed_recent();
+    if phases.is_empty() && folded.is_empty() {
+        return;
+    }
+    if r.json {
+        for p in &phases {
+            events::emit(
+                "telemetry.profile.phase",
+                &[
+                    ("name", Field::Str(p.name)),
+                    ("enters", Field::U64(p.enters)),
+                    ("cpu_ns", Field::U64(p.cpu_ns)),
+                    ("allocs", Field::U64(p.allocs)),
+                    ("alloc_bytes", Field::U64(p.alloc_bytes)),
+                ],
+            );
+        }
+        for line in folded.lines() {
+            events::emit(
+                "telemetry.profile.collapsed",
+                &[("stack", Field::Str(line))],
+            );
+        }
+    } else {
+        if !phases.is_empty() {
+            println!("-- profile phases after {experiment} --");
+            let rows: Vec<Vec<String>> = phases
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.name.to_string(),
+                        p.enters.to_string(),
+                        format!("{:.3}", p.cpu_ns as f64 / 1e6),
+                        p.allocs.to_string(),
+                        format!("{:.1}", p.alloc_bytes as f64 / 1024.0),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    &["phase", "enters", "self CPU (ms)", "allocs", "alloc KiB"],
+                    &rows
+                )
+            );
+        }
+        if !folded.is_empty() {
+            println!("-- collapsed stacks (folded, self wall-us) after {experiment} --");
+            print!("{folded}");
+            println!();
+        }
+    }
 }
 
 /// The trace-collector half of the `--telemetry` dump: per-phase span
@@ -169,7 +253,9 @@ fn dump_traces(r: &Reporter, experiment: &str) {
                     ("name", Field::Str(p.name)),
                     ("count", Field::U64(p.count)),
                     ("mean_ns", Field::U64(p.mean_ns)),
+                    ("p50_ns", Field::U64(p.p50_ns)),
                     ("p95_ns", Field::U64(p.p95_ns)),
+                    ("p99_ns", Field::U64(p.p99_ns)),
                     ("max_ns", Field::U64(p.max_ns)),
                 ],
             );
@@ -195,7 +281,9 @@ fn dump_traces(r: &Reporter, experiment: &str) {
                     p.name.to_string(),
                     p.count.to_string(),
                     format!("{:.3}", p.mean_ns as f64 / 1e6),
+                    format!("{:.3}", p.p50_ns as f64 / 1e6),
                     format!("{:.3}", p.p95_ns as f64 / 1e6),
+                    format!("{:.3}", p.p99_ns as f64 / 1e6),
                     format!("{:.3}", p.max_ns as f64 / 1e6),
                 ]
             })
@@ -203,7 +291,15 @@ fn dump_traces(r: &Reporter, experiment: &str) {
         println!(
             "{}",
             render_table(
-                &["phase", "count", "mean (ms)", "p95 (ms)", "max (ms)"],
+                &[
+                    "phase",
+                    "count",
+                    "mean (ms)",
+                    "p50 (ms)",
+                    "p95 (ms)",
+                    "p99 (ms)",
+                    "max (ms)"
+                ],
                 &rows
             )
         );
@@ -219,11 +315,21 @@ fn main() {
     let mut state_dir: Option<std::path::PathBuf> = None;
     let mut kill_after: Option<usize> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut quick = false;
+    let mut out_dir = std::path::PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--telemetry" => telemetry_dump = true,
             "--json" => json = true,
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = dir.into(),
+                None => {
+                    eprintln!("error: --out requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
             "--metrics-addr" => match args.next() {
                 Some(addr) => metrics_addr = Some(addr),
                 None => {
@@ -268,6 +374,7 @@ fn main() {
         "ablations",
         "persist",
         "trace",
+        "bench",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!(
@@ -278,6 +385,24 @@ fn main() {
     }
     if json {
         events::install(Box::new(std::io::stdout()));
+        // First event of every JSON stream: schema + git identity, so a
+        // captured stream is self-identifying like a bench snapshot.
+        events::emit(
+            "reproduce.meta",
+            &[
+                ("schema_version", Field::U64(BENCH_SCHEMA_VERSION)),
+                (
+                    "git_describe",
+                    Field::Str(lightweb_bench::perf::git_describe()),
+                ),
+                ("git_commit", Field::Str(lightweb_bench::perf::git_commit())),
+            ],
+        );
+    }
+    // Phase attribution (CPU + allocations) rides on trace spans; switch
+    // it on whenever this run will report it.
+    if telemetry_dump || which == "bench" {
+        lightweb_telemetry::profile::set_enabled(true);
     }
     let r = Reporter { json };
     // Bind the live scrape endpoint before any experiment runs; the
@@ -286,7 +411,7 @@ fn main() {
         match lightweb_telemetry::scrape::ScrapeServer::bind(addr) {
             Ok(s) => {
                 r.note(&format!(
-                    "scrape endpoint live at http://{}/metrics (also /traces, /slow)\n",
+                    "scrape endpoint live at http://{}/metrics (also /traces, /slow, /profile, /healthz)\n",
                     s.addr()
                 ));
                 s
@@ -301,6 +426,17 @@ fn main() {
         trace_smoke(&r, _scrape.as_ref());
         if telemetry_dump {
             dump_telemetry(&r, "trace");
+        }
+        if json {
+            events::flush();
+            events::uninstall();
+        }
+        return;
+    }
+    if which == "bench" {
+        bench_experiment(&r, quick, &out_dir);
+        if telemetry_dump {
+            dump_telemetry(&r, "bench");
         }
         if json {
             events::flush();
@@ -496,10 +632,310 @@ fn trace_smoke(r: &Reporter, external: Option<&lightweb_telemetry::scrape::Scrap
         0,
         "collector saw spans that never joined a trace"
     );
+
+    // The continuous-profiling view: collapsed stacks folded over the
+    // same traces, ready for flamegraph.pl / speedscope.
+    let profile = http_get(scrape.addr(), "/profile");
+    assert!(
+        !profile.trim().is_empty(),
+        "/profile is empty after a traced session"
+    );
+    assert!(
+        profile
+            .lines()
+            .any(|l| l.starts_with("zltp.client.request") && l.contains(';')),
+        "/profile has no folded stack rooted at the client request:\n{profile}"
+    );
+
+    // And the liveness view: uptime, build identity, and which modes
+    // this process is serving.
+    let healthz = http_get(scrape.addr(), "/healthz");
+    assert!(
+        healthz.contains("status ok") && healthz.contains("two_server_pir"),
+        "/healthz is missing status or the served mode:\n{healthz}"
+    );
+
     r.note(&format!(
-        "OK: {} GETs -> {} complete traces (client -> transport -> server -> batch-wait -> engine -> shard), 0 orphan spans\n",
+        "OK: {} GETs -> {} complete traces (client -> transport -> server -> batch-wait -> engine -> shard), 0 orphan spans; /profile and /healthz live\n",
         TRACE_SMOKE_GETS,
         request_lines.len()
+    ));
+}
+
+// =====================================================================
+// bench — the perf-baseline harness (not a paper experiment). Runs an
+// end-to-end private-GET workload through each of the three engines and
+// writes one versioned BENCH_<experiment>.json snapshot per engine for
+// bench-compare and the CI perf gate. The measured loop excludes
+// server construction and session setup (the LWE hint download is the
+// paper's *offline* cost) but includes batching waits and transport.
+// =====================================================================
+
+/// Per-request observations from one bench workload run.
+struct WorkloadResult {
+    /// Per-request wall latency, milliseconds (unsorted).
+    latencies_ms: Vec<f64>,
+    /// Wire bytes (sent + received) during the measured loop.
+    bytes: u64,
+}
+
+/// Deterministic page payload for the bench content set.
+fn bench_blob(i: usize, blob_len: usize) -> Vec<u8> {
+    vec![(i % 250) as u8 + 1; blob_len]
+}
+
+/// An in-process ZLTP server offering `modes`, publishing `pages` blobs.
+fn bench_server(modes: &[Mode], party: u8, pages: usize, blob_len: usize) -> InProcServer {
+    let mut cfg = ServerConfig::small("bench", party);
+    cfg.blob_len = blob_len;
+    cfg.modes = ModeSet::new(modes.iter().copied());
+    if modes.contains(&Mode::TwoServerPir) {
+        // Batched, as deployed: the window is small so a quick CI run is
+        // not dominated by batch waits.
+        cfg.batch = BatchConfig {
+            max_batch: 8,
+            window: Duration::from_millis(4),
+        };
+    }
+    let server = ZltpServer::new(cfg).unwrap();
+    for i in 0..pages {
+        server
+            .publish(&format!("bench/page-{i}"), &bench_blob(i, blob_len))
+            .unwrap();
+    }
+    InProcServer::new(server)
+}
+
+/// Two-server DPF workload: `threads` concurrent clients sharing the
+/// batcher, each issuing `gets` private GETs.
+fn bench_two_server(pages: usize, blob_len: usize, threads: usize, gets: usize) -> WorkloadResult {
+    let servers: Vec<InProcServer> = (0..2u8)
+        .map(|party| bench_server(&[Mode::TwoServerPir], party, pages, blob_len))
+        .collect();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let c0 = servers[0].connect();
+            let c1 = servers[1].connect();
+            std::thread::spawn(move || {
+                let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+                let base = client.stats();
+                let mut lat = Vec::with_capacity(gets);
+                for i in 0..gets {
+                    let key = format!("bench/page-{}", (t + i) % pages);
+                    let (blob, d) = time_once(|| client.private_get(&key).unwrap());
+                    assert_eq!(blob.len(), blob_len);
+                    lat.push(d.as_secs_f64() * 1e3);
+                }
+                let s = client.stats();
+                let bytes =
+                    (s.bytes_sent - base.bytes_sent) + (s.bytes_received - base.bytes_received);
+                client.close().unwrap();
+                (lat, bytes)
+            })
+        })
+        .collect();
+    let mut latencies_ms = Vec::new();
+    let mut bytes = 0u64;
+    for h in handles {
+        let (lat, b) = h.join().unwrap();
+        latencies_ms.extend(lat);
+        bytes += b;
+    }
+    for s in &servers {
+        s.server().shutdown();
+    }
+    WorkloadResult {
+        latencies_ms,
+        bytes,
+    }
+}
+
+/// Single-session workload shared by the LWE and enclave-ORAM engines:
+/// `gets` sequential private GETs, latencies and wire bytes from the
+/// online phase only.
+fn bench_single_session(mode: Mode, pages: usize, blob_len: usize, gets: usize) -> WorkloadResult {
+    type StatsFn = Box<dyn FnMut() -> lightweb_core::SessionStats>;
+    type GetFn = Box<dyn FnMut(&str) -> Vec<u8>>;
+    let srv = bench_server(&[mode], 0, pages, blob_len);
+    // Both session types expose the same shape; unify via boxed
+    // closures over (stats, one private_get).
+    let run = |mut stats: StatsFn, mut get: GetFn| {
+        let base = stats();
+        let mut lat = Vec::with_capacity(gets);
+        for i in 0..gets {
+            let key = format!("bench/page-{}", i % pages);
+            let (blob, d) = time_once(|| get(&key));
+            assert_eq!(blob.len(), blob_len);
+            lat.push(d.as_secs_f64() * 1e3);
+        }
+        let s = stats();
+        let bytes = (s.bytes_sent - base.bytes_sent) + (s.bytes_received - base.bytes_received);
+        (lat, bytes)
+    };
+    let (latencies_ms, bytes) = match mode {
+        Mode::SingleServerLwe => {
+            let session = std::rc::Rc::new(std::cell::RefCell::new(
+                LweClientSession::connect(srv.connect()).unwrap(),
+            ));
+            let s2 = session.clone();
+            let out = run(
+                Box::new(move || s2.borrow().stats()),
+                Box::new(move |key| session.borrow_mut().private_get(key).unwrap().unwrap()),
+            );
+            out
+        }
+        Mode::Enclave => {
+            let session = std::rc::Rc::new(std::cell::RefCell::new(
+                EnclaveClient::connect(srv.connect()).unwrap(),
+            ));
+            let s2 = session.clone();
+            run(
+                Box::new(move || s2.borrow().stats()),
+                Box::new(move |key| session.borrow_mut().private_get(key).unwrap().unwrap()),
+            )
+        }
+        Mode::TwoServerPir => unreachable!("two-server uses bench_two_server"),
+    };
+    srv.server().shutdown();
+    WorkloadResult {
+        latencies_ms,
+        bytes,
+    }
+}
+
+/// Run one workload under full accounting (wall, process CPU, heap) and
+/// fold the observations into a versioned snapshot.
+fn bench_measure(
+    experiment: &str,
+    engine: &str,
+    run: impl FnOnce() -> WorkloadResult,
+) -> BenchSnapshot {
+    use lightweb_telemetry::profile::{heap_stats, process_cpu_ns, reset_peak};
+    reset_peak();
+    let heap0 = heap_stats();
+    let cpu0 = process_cpu_ns().unwrap_or(0);
+    let (wl, wall) = time_once(run);
+    let cpu1 = process_cpu_ns().unwrap_or(cpu0);
+    let heap1 = heap_stats();
+
+    let mut lat = wl.latencies_ms;
+    lat.sort_by(f64::total_cmp);
+    let n = lat.len() as f64;
+    let wall_seconds = wall.as_secs_f64();
+    BenchSnapshot {
+        schema_version: BENCH_SCHEMA_VERSION,
+        experiment: experiment.to_string(),
+        engine: engine.to_string(),
+        git_describe: lightweb_bench::perf::git_describe().to_string(),
+        git_commit: lightweb_bench::perf::git_commit().to_string(),
+        shard_mib: shard_mib_from_env() as u64,
+        metrics: BenchMetrics {
+            requests: lat.len() as u64,
+            wall_seconds,
+            throughput_rps: n / wall_seconds.max(1e-9),
+            p50_ms: percentile_exact(&lat, 0.50),
+            p95_ms: percentile_exact(&lat, 0.95),
+            p99_ms: percentile_exact(&lat, 0.99),
+            bytes_per_request: wl.bytes as f64 / n.max(1.0),
+            cpu_seconds_per_request: (cpu1.saturating_sub(cpu0)) as f64 / 1e9 / n.max(1.0),
+            allocs_per_request: (heap1.allocs - heap0.allocs) as f64 / n.max(1.0),
+            alloc_bytes_per_request: (heap1.allocated_bytes - heap0.allocated_bytes) as f64
+                / n.max(1.0),
+            peak_heap_bytes: heap1.peak_bytes,
+        },
+    }
+}
+
+fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
+    r.section(&format!(
+        "bench: perf-baseline snapshots across all engines ({})",
+        if quick {
+            "quick/CI scale"
+        } else {
+            "full scale"
+        }
+    ));
+    std::fs::create_dir_all(out_dir).expect("create --out directory");
+
+    let pages = 8usize;
+    let blob_len = 1024usize;
+    let (threads, gets) = if quick { (2, 8) } else { (4, 16) };
+    let single_gets = if quick { 8 } else { 24 };
+
+    let snapshots = [
+        bench_measure("two_server", "two_server_pir", || {
+            bench_two_server(pages, blob_len, threads, gets)
+        }),
+        bench_measure("lwe", "single_server_lwe", || {
+            bench_single_session(Mode::SingleServerLwe, pages, blob_len, single_gets)
+        }),
+        bench_measure("oram", "enclave_oram", || {
+            bench_single_session(Mode::Enclave, pages, blob_len, single_gets)
+        }),
+    ];
+
+    let mut rows = Vec::new();
+    for snap in &snapshots {
+        let path = out_dir.join(format!("BENCH_{}.json", snap.experiment));
+        std::fs::write(&path, snap.to_json() + "\n").expect("write bench snapshot");
+        let m = &snap.metrics;
+        rows.push(vec![
+            snap.experiment.clone(),
+            snap.engine.clone(),
+            m.requests.to_string(),
+            format!("{:.1}", m.throughput_rps),
+            format!("{:.2}", m.p50_ms),
+            format!("{:.2}", m.p95_ms),
+            format!("{:.2}", m.p99_ms),
+            format!("{:.0}", m.bytes_per_request),
+            format!("{:.4}", m.cpu_seconds_per_request),
+            format!("{:.0}", m.allocs_per_request),
+        ]);
+        if r.json {
+            events::emit(
+                "reproduce.bench.snapshot",
+                &[
+                    ("experiment", Field::Str(&snap.experiment)),
+                    ("engine", Field::Str(&snap.engine)),
+                    ("path", Field::Str(&path.display().to_string())),
+                    ("requests", Field::U64(m.requests)),
+                    ("throughput_rps", Field::F64(m.throughput_rps)),
+                    ("p50_ms", Field::F64(m.p50_ms)),
+                    ("p95_ms", Field::F64(m.p95_ms)),
+                    ("p99_ms", Field::F64(m.p99_ms)),
+                    ("bytes_per_request", Field::F64(m.bytes_per_request)),
+                    (
+                        "cpu_seconds_per_request",
+                        Field::F64(m.cpu_seconds_per_request),
+                    ),
+                    ("allocs_per_request", Field::F64(m.allocs_per_request)),
+                    ("peak_heap_bytes", Field::U64(m.peak_heap_bytes)),
+                ],
+            );
+        }
+    }
+    r.table(
+        &[
+            "experiment",
+            "engine",
+            "reqs",
+            "req/s",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "B/req",
+            "cpu-s/req",
+            "allocs/req",
+        ],
+        &rows,
+    );
+    r.note(&format!(
+        "wrote {} snapshots (schema v{}, {}) to {}; diff against a baseline with: bench-compare <baseline-dir> {}\n",
+        snapshots.len(),
+        BENCH_SCHEMA_VERSION,
+        lightweb_bench::perf::git_describe(),
+        out_dir.display(),
+        out_dir.display(),
     ));
 }
 

@@ -19,6 +19,8 @@ use lightweb_dpf::DpfParams;
 use lightweb_pir::PirServer;
 use std::time::{Duration, Instant};
 
+pub mod perf;
+
 /// A benchmark shard: a PIR server at ~25% slot-domain load, the paper's
 /// operating point (2^20 pairs in a 2^22 domain).
 pub struct BenchShard {

@@ -1,0 +1,398 @@
+//! Machine-readable perf-baseline snapshots (`BENCH_<experiment>.json`).
+//!
+//! `reproduce bench` measures each engine's end-to-end session cost and
+//! writes one [`BenchSnapshot`] per experiment; `bench-compare` diffs
+//! two snapshot files against a tolerance and exits nonzero on
+//! regression, which is what the CI perf gate runs. The schema is
+//! versioned ([`BENCH_SCHEMA_VERSION`]) and self-identifying (git
+//! describe + commit baked in at build time), so a snapshot can always
+//! be traced back to the tree that produced it.
+//!
+//! Serialization goes through `lightweb_universe::json` — the workspace
+//! has no serde_json, and the §3.2 JSON subset is exactly enough.
+
+use lightweb_universe::{parse_json, Value};
+
+/// Version stamp written into every snapshot. Bump when a field is
+/// added, removed, or changes meaning; `bench-compare` refuses to diff
+/// across versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// `git describe` of the tree this harness was built from ("unknown"
+/// outside a checkout).
+pub fn git_describe() -> &'static str {
+    option_env!("LIGHTWEB_GIT_DESCRIBE").unwrap_or("unknown")
+}
+
+/// Full commit hash this harness was built from ("unknown" outside a
+/// checkout).
+pub fn git_commit() -> &'static str {
+    option_env!("LIGHTWEB_GIT_COMMIT").unwrap_or("unknown")
+}
+
+/// The measured cost profile of one bench experiment — the §5.1 cost
+/// model's axes (per-request bytes and CPU) plus the latency/throughput
+/// and memory-accounting columns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchMetrics {
+    /// Private GETs issued.
+    pub requests: u64,
+    /// Wall-clock seconds for the whole workload.
+    pub wall_seconds: f64,
+    /// Requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Exact per-request latency percentiles (milliseconds).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency (milliseconds).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency (milliseconds).
+    pub p99_ms: f64,
+    /// Wire bytes (sent + received, frames included) per request.
+    pub bytes_per_request: f64,
+    /// Process CPU seconds (all threads) per request.
+    pub cpu_seconds_per_request: f64,
+    /// Heap allocations per request (0 when the counting allocator is
+    /// not installed).
+    pub allocs_per_request: f64,
+    /// Heap bytes allocated per request.
+    pub alloc_bytes_per_request: f64,
+    /// Peak live heap during the workload, bytes.
+    pub peak_heap_bytes: u64,
+}
+
+/// One versioned, self-identifying bench snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSnapshot {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// Experiment name (`two_server`, `lwe`, `oram`, ...).
+    pub experiment: String,
+    /// Engine name as reported by the server.
+    pub engine: String,
+    /// `git describe` of the producing tree.
+    pub git_describe: String,
+    /// Commit hash of the producing tree.
+    pub git_commit: String,
+    /// Shard scale the workload ran at (MiB), for apples-to-apples
+    /// comparison.
+    pub shard_mib: u64,
+    /// The measurements.
+    pub metrics: BenchMetrics,
+}
+
+/// The metric fields `bench-compare` diffs, with their direction:
+/// `true` = lower is better.
+pub const COMPARED_METRICS: &[(&str, bool)] = &[
+    ("throughput_rps", false),
+    ("p50_ms", true),
+    ("p95_ms", true),
+    ("p99_ms", true),
+    ("bytes_per_request", true),
+    ("cpu_seconds_per_request", true),
+    ("allocs_per_request", true),
+    ("alloc_bytes_per_request", true),
+    ("peak_heap_bytes", true),
+];
+
+impl BenchMetrics {
+    /// Look up a compared metric by its [`COMPARED_METRICS`] name.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "requests" => self.requests as f64,
+            "wall_seconds" => self.wall_seconds,
+            "throughput_rps" => self.throughput_rps,
+            "p50_ms" => self.p50_ms,
+            "p95_ms" => self.p95_ms,
+            "p99_ms" => self.p99_ms,
+            "bytes_per_request" => self.bytes_per_request,
+            "cpu_seconds_per_request" => self.cpu_seconds_per_request,
+            "allocs_per_request" => self.allocs_per_request,
+            "alloc_bytes_per_request" => self.alloc_bytes_per_request,
+            "peak_heap_bytes" => self.peak_heap_bytes as f64,
+            _ => return None,
+        })
+    }
+}
+
+impl BenchSnapshot {
+    /// Serialize to pretty-stable compact JSON (object keys sorted).
+    pub fn to_json(&self) -> String {
+        let m = &self.metrics;
+        Value::object([
+            ("schema_version", (self.schema_version as i64).into()),
+            ("experiment", self.experiment.as_str().into()),
+            ("engine", self.engine.as_str().into()),
+            ("git_describe", self.git_describe.as_str().into()),
+            ("git_commit", self.git_commit.as_str().into()),
+            ("shard_mib", (self.shard_mib as i64).into()),
+            (
+                "metrics",
+                Value::object([
+                    ("requests", (m.requests as i64).into()),
+                    ("wall_seconds", m.wall_seconds.into()),
+                    ("throughput_rps", m.throughput_rps.into()),
+                    ("p50_ms", m.p50_ms.into()),
+                    ("p95_ms", m.p95_ms.into()),
+                    ("p99_ms", m.p99_ms.into()),
+                    ("bytes_per_request", m.bytes_per_request.into()),
+                    ("cpu_seconds_per_request", m.cpu_seconds_per_request.into()),
+                    ("allocs_per_request", m.allocs_per_request.into()),
+                    ("alloc_bytes_per_request", m.alloc_bytes_per_request.into()),
+                    ("peak_heap_bytes", (m.peak_heap_bytes as i64).into()),
+                ]),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parse a snapshot file's contents. Strict about required fields —
+    /// a truncated or hand-mangled baseline should fail loudly, not
+    /// compare as zeros.
+    pub fn from_json(text: &str) -> Result<BenchSnapshot, String> {
+        let v = parse_json(text).map_err(|e| e.to_string())?;
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {name:?}"))
+        };
+        let num = |obj: &Value, name: &str| -> Result<f64, String> {
+            obj.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field {name:?}"))
+        };
+        let metrics_v = v
+            .get("metrics")
+            .ok_or_else(|| "missing object field \"metrics\"".to_string())?;
+        let metrics = BenchMetrics {
+            requests: num(metrics_v, "requests")? as u64,
+            wall_seconds: num(metrics_v, "wall_seconds")?,
+            throughput_rps: num(metrics_v, "throughput_rps")?,
+            p50_ms: num(metrics_v, "p50_ms")?,
+            p95_ms: num(metrics_v, "p95_ms")?,
+            p99_ms: num(metrics_v, "p99_ms")?,
+            bytes_per_request: num(metrics_v, "bytes_per_request")?,
+            cpu_seconds_per_request: num(metrics_v, "cpu_seconds_per_request")?,
+            allocs_per_request: num(metrics_v, "allocs_per_request")?,
+            alloc_bytes_per_request: num(metrics_v, "alloc_bytes_per_request")?,
+            peak_heap_bytes: num(metrics_v, "peak_heap_bytes")? as u64,
+        };
+        Ok(BenchSnapshot {
+            schema_version: num(&v, "schema_version")? as u64,
+            experiment: str_field("experiment")?,
+            engine: str_field("engine")?,
+            git_describe: str_field("git_describe")?,
+            git_commit: str_field("git_commit")?,
+            shard_mib: num(&v, "shard_mib")? as u64,
+            metrics,
+        })
+    }
+}
+
+/// Exact percentile over per-request latencies: the nearest-rank value
+/// in a sorted sample (unlike the log₂-bucket *estimates* the metric
+/// registry serves, bench snapshots keep every observation and report
+/// true order statistics).
+pub fn percentile_exact(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One metric's comparison verdict from [`compare_snapshots`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDiff {
+    /// Metric name (one of [`COMPARED_METRICS`]).
+    pub name: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change in the *bad* direction: positive means
+    /// worse, and > tolerance means regression.
+    pub worsening: f64,
+    /// Whether this metric regressed beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Diff two snapshots metric by metric. `tolerance` is the allowed
+/// relative worsening (0.25 = 25%): a lower-is-better metric regresses
+/// when `current > baseline * (1 + tolerance)`, throughput when
+/// `current < baseline / (1 + tolerance)`. Metrics where the baseline
+/// recorded 0 (e.g. allocations without the counting allocator) are
+/// compared only in the direction that can regress from zero — any
+/// nonzero current against a zero lower-is-better baseline counts as
+/// 0 worsening, not infinity, so cross-allocator comparisons stay sane.
+pub fn compare_snapshots(
+    baseline: &BenchSnapshot,
+    current: &BenchSnapshot,
+    tolerance: f64,
+) -> Result<Vec<MetricDiff>, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema version mismatch: baseline v{} vs current v{}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    let mut diffs = Vec::new();
+    for &(name, lower_is_better) in COMPARED_METRICS {
+        let b = baseline.metrics.field(name).expect("known metric");
+        let c = current.metrics.field(name).expect("known metric");
+        let worsening = if b <= 0.0 {
+            0.0 // no meaningful baseline to regress from
+        } else if lower_is_better {
+            c / b - 1.0
+        } else {
+            b / c.max(f64::MIN_POSITIVE) - 1.0
+        };
+        diffs.push(MetricDiff {
+            name,
+            baseline: b,
+            current: c,
+            worsening,
+            regressed: worsening > tolerance,
+        });
+    }
+    Ok(diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "two_server".into(),
+            engine: "two_server_pir".into(),
+            git_describe: git_describe().into(),
+            git_commit: git_commit().into(),
+            shard_mib: 64,
+            metrics: BenchMetrics {
+                requests: 32,
+                wall_seconds: 1.5,
+                throughput_rps: 21.3,
+                p50_ms: 40.0,
+                p95_ms: 90.0,
+                p99_ms: 120.0,
+                bytes_per_request: 4096.0,
+                cpu_seconds_per_request: 0.05,
+                allocs_per_request: 900.0,
+                alloc_bytes_per_request: 1.5e6,
+                peak_heap_bytes: 80_000_000,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let text = snap.to_json();
+        assert!(text.contains("\"schema_version\":1"), "{text}");
+        let back = BenchSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn truncated_snapshot_fails_loudly() {
+        let mut v = parse_json(&sample().to_json()).unwrap();
+        if let Value::Object(m) = &mut v {
+            let Some(Value::Object(metrics)) = m.get_mut("metrics") else {
+                panic!("metrics object");
+            };
+            metrics.remove("p99_ms");
+        }
+        let err = BenchSnapshot::from_json(&v.to_json()).unwrap_err();
+        assert!(err.contains("p99_ms"), "err: {err}");
+        assert!(BenchSnapshot::from_json("{").is_err());
+        assert!(BenchSnapshot::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let snap = sample();
+        let diffs = compare_snapshots(&snap, &snap, 0.0).unwrap();
+        assert_eq!(diffs.len(), COMPARED_METRICS.len());
+        assert!(diffs.iter().all(|d| !d.regressed), "{diffs:?}");
+        assert!(diffs.iter().all(|d| d.worsening.abs() < 1e-12));
+    }
+
+    #[test]
+    fn perturbed_latency_regresses_and_improvement_does_not() {
+        let base = sample();
+        let mut worse = base.clone();
+        worse.metrics.p95_ms *= 2.0; // 100% worse
+        let diffs = compare_snapshots(&base, &worse, 0.25).unwrap();
+        let p95 = diffs.iter().find(|d| d.name == "p95_ms").unwrap();
+        assert!(p95.regressed);
+        assert!((p95.worsening - 1.0).abs() < 1e-9);
+        // Same perturbation within tolerance passes.
+        assert!(!compare_snapshots(&base, &worse, 1.5)
+            .unwrap()
+            .iter()
+            .any(|d| d.regressed));
+        // An improvement never regresses.
+        let mut better = base.clone();
+        better.metrics.p95_ms /= 2.0;
+        better.metrics.throughput_rps *= 2.0;
+        assert!(!compare_snapshots(&base, &better, 0.0)
+            .unwrap()
+            .iter()
+            .any(|d| d.regressed));
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        let base = sample();
+        let mut slower = base.clone();
+        slower.metrics.throughput_rps /= 3.0;
+        let diffs = compare_snapshots(&base, &slower, 0.25).unwrap();
+        let tp = diffs.iter().find(|d| d.name == "throughput_rps").unwrap();
+        assert!(tp.regressed, "{tp:?}");
+        assert!((tp.worsening - 2.0).abs() < 1e-9, "{tp:?}");
+    }
+
+    #[test]
+    fn zero_baseline_metrics_do_not_explode() {
+        let mut base = sample();
+        base.metrics.allocs_per_request = 0.0; // baseline ran without CountingAlloc
+        let mut cur = base.clone();
+        cur.metrics.allocs_per_request = 1e6;
+        let diffs = compare_snapshots(&base, &cur, 0.25).unwrap();
+        let a = diffs
+            .iter()
+            .find(|d| d.name == "allocs_per_request")
+            .unwrap();
+        assert!(!a.regressed);
+        assert_eq!(a.worsening, 0.0);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_an_error() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.schema_version = BENCH_SCHEMA_VERSION + 1;
+        assert!(compare_snapshots(&base, &cur, 0.25).is_err());
+    }
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_exact(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_exact(&sorted, 0.95), 95.0);
+        assert_eq!(percentile_exact(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_exact(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_exact(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile_exact(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn git_identity_is_present() {
+        // Built inside the repo, these are real; the fallback is the
+        // literal "unknown" — either way, non-empty.
+        assert!(!git_describe().is_empty());
+        assert!(!git_commit().is_empty());
+    }
+}

@@ -179,6 +179,8 @@ impl ZltpServer {
                     Box::new(EnclaveOramEngine::new(cap, config.blob_len)?)
                 }
             };
+            // Surface the served mode on the scrape endpoint's /healthz.
+            lightweb_telemetry::scrape::register_serving_mode(engine.name());
             engines.push((mode, engine));
         }
         let inner = Arc::new(ServerInner {
@@ -358,14 +360,21 @@ impl ZltpServer {
                     let queries: Vec<PreparedQuery> =
                         jobs.iter().map(|j| j.query.clone()).collect();
                     let ctxs: Vec<Option<TraceContext>> = jobs.iter().map(|j| j.ctx).collect();
-                    let result = core
-                        .engine_for(Mode::TwoServerPir)
-                        .ok_or_else(|| {
-                            lightweb_engine::EngineError::Backend(
-                                "batcher running without a two-server engine".into(),
-                            )
-                        })
-                        .and_then(|engine| engine.answer_batch(&queries, &ctxs));
+                    let result = {
+                        // The batcher thread's CPU burn (the shared scan)
+                        // otherwise escapes phase attribution: the wait
+                        // spans above are externally timed and open no
+                        // profile scope.
+                        let _prof =
+                            lightweb_telemetry::profile::Scope::enter("zltp.server.batch.answer");
+                        core.engine_for(Mode::TwoServerPir)
+                            .ok_or_else(|| {
+                                lightweb_engine::EngineError::Backend(
+                                    "batcher running without a two-server engine".into(),
+                                )
+                            })
+                            .and_then(|engine| engine.answer_batch(&queries, &ctxs))
+                    };
                     core.stats.batches.fetch_add(1, Ordering::Relaxed);
                     core.stats
                         .batched_requests

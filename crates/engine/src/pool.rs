@@ -122,6 +122,10 @@ impl ScanPool {
         let sub_len = shard_key.shard_output_len();
         let parts = self.map_ranges(nodes.len(), |range| {
             let _part = maybe_child(ctx, "engine.pool.partition");
+            // Workers run on scoped threads with empty profile stacks, so
+            // an explicit scope is the only thing attributing their CPU
+            // when the request is untraced.
+            let _prof = lightweb_telemetry::profile::Scope::enter("engine.pool.eval.worker");
             let mut out = vec![0u8; sub_len * range.len()];
             for (i, node) in nodes[range].iter().enumerate() {
                 shard_key.eval(node, &mut out[i * sub_len..(i + 1) * sub_len]);
@@ -157,6 +161,7 @@ impl ScanPool {
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
         let partials = self.map_ranges(server.len(), |range| {
             let _part = maybe_child(ctx, "engine.pool.partition");
+            let _prof = lightweb_telemetry::profile::Scope::enter("engine.pool.scan.worker");
             server.scan_range(range, bits)
         });
         let mut acc = vec![0u8; server.record_len()];
@@ -196,6 +201,7 @@ impl ScanPool {
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
         let partials = self.map_ranges(server.len(), |range| {
             let _part = maybe_child(ctx, "engine.pool.partition");
+            let _prof = lightweb_telemetry::profile::Scope::enter("engine.pool.scan.worker");
             server.scan_batch_range(range, bit_vecs)
         });
         let mut accs = vec![vec![0u8; server.record_len()]; bit_vecs.len()];

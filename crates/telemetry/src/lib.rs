@@ -48,6 +48,7 @@
 //! ```
 
 pub mod events;
+pub mod profile;
 pub mod scrape;
 pub mod trace;
 
@@ -418,6 +419,9 @@ pub struct SpanGuard {
     name: &'static str,
     histogram: Histogram,
     start: Instant,
+    /// CPU/allocation attribution for the span's phase (no-op unless
+    /// profiling is enabled — see [`profile`]).
+    _prof: profile::Scope,
 }
 
 impl SpanGuard {
@@ -428,6 +432,7 @@ impl SpanGuard {
             name,
             histogram,
             start: Instant::now(),
+            _prof: profile::Scope::enter(name),
         }
     }
 
@@ -725,6 +730,37 @@ mod tests {
         assert!(text.contains("t.p95{q=\"0.95\"}"), "text:\n{text}");
         let back = Snapshot::parse_text(&text).unwrap();
         assert_eq!(back.histograms["t.p95"].p95, snap.histograms["t.p95"].p95);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn p50_p95_p99_render_and_parse_back() {
+        let r = Registry::new();
+        let h = r.histogram("t.quantiles");
+        // Bimodal so the quantiles separate: 94 fast, 6 slow.
+        for _ in 0..94 {
+            h.record(1_000);
+        }
+        for _ in 0..6 {
+            h.record(8_000_000);
+        }
+        let snap = r.snapshot();
+        let text = render_text(&snap);
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(
+                text.contains(&format!("t.quantiles{{q=\"{q}\"}}")),
+                "missing q={q} line in:\n{text}"
+            );
+        }
+        let back = Snapshot::parse_text(&text).unwrap();
+        let (b, s) = (
+            back.histograms["t.quantiles"],
+            snap.histograms["t.quantiles"],
+        );
+        assert_eq!(b.p50, s.p50);
+        assert_eq!(b.p95, s.p95);
+        assert_eq!(b.p99, s.p99);
+        assert!(s.p50 < s.p95, "p50 {} p95 {}", s.p50, s.p95);
         assert_eq!(back, snap);
     }
 

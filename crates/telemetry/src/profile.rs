@@ -1,0 +1,634 @@
+//! Continuous profiling: CPU-time and heap attribution per span phase,
+//! plus a collapsed-stack ("folded flamegraph") renderer.
+//!
+//! The metric registry answers *how often / how slow* and the trace
+//! collector answers *where did this request go* — this module answers
+//! *what did it cost*: which phase burned the CPU, which phase allocated
+//! the bytes, and what the process's peak heap was while it ran. It is
+//! the substrate for `reproduce bench`'s CPU-seconds/request and
+//! allocations/request columns and for the `GET /profile` scrape route.
+//!
+//! ## Pieces
+//!
+//! * **Thread/process CPU clocks** ([`thread_cpu_ns`],
+//!   [`process_cpu_ns`]): a `std`-only shim over
+//!   `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` — no libc crate, just the
+//!   symbol the platform's libc already exports. Non-Linux targets
+//!   return `None` and profiling degrades to allocation-only.
+//! * **Phase attribution** ([`Scope`]): every [`crate::span!`] guard and
+//!   every [`crate::trace::TraceSpan`] opens a profile scope named after
+//!   its phase. Scopes keep a per-thread stack and attribute **self**
+//!   CPU time — the time between scope transitions goes to the scope on
+//!   top of the stack — so nested phases never double-count a
+//!   nanosecond: summing every phase's `cpu_ns` bounds the thread's
+//!   total CPU time from below, never from above.
+//! * **Counting allocator** ([`CountingAlloc`]): a `#[global_allocator]`
+//!   wrapper over [`std::alloc::System`] that counts allocation
+//!   count/bytes and tracks live/peak heap globally, and attributes
+//!   count/bytes to the innermost active profile scope on the
+//!   allocating thread. Installed by bench/test binaries (`reproduce`,
+//!   `tests/profiling_integration.rs`), never by the library.
+//! * **Collapsed stacks** ([`render_collapsed`]): folds the trace
+//!   collector's span trees into `root;child;leaf <self-µs>` lines —
+//!   the format `flamegraph.pl`/speedscope ingest directly — served as
+//!   `GET /profile`.
+//!
+//! ## Enabling
+//!
+//! Attribution is off by default; the only always-on cost is the
+//! allocator's global counters (a few relaxed atomics per allocation,
+//! and only in binaries that install it). Enable per process with
+//! [`set_enabled`]`(true)` or by exporting `LIGHTWEB_PROFILE=1`. When
+//! disabled, [`Scope::enter`] is one relaxed atomic load.
+
+use crate::trace::{Trace, TraceNode};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------
+// CPU clocks (std-only clock_gettime shim).
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Minimal `clock_gettime` binding. The symbols come from the libc
+    //! `std` already links; no external crate involved.
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+
+    fn read(clockid: i32) -> Option<u64> {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid, writable Timespec matching the C ABI;
+        // clock_gettime only writes through the pointer.
+        let rc = unsafe { clock_gettime(clockid, &mut ts) };
+        if rc != 0 || ts.tv_sec < 0 {
+            return None;
+        }
+        Some((ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64)
+    }
+
+    pub fn thread_cpu_ns() -> Option<u64> {
+        read(CLOCK_THREAD_CPUTIME_ID)
+    }
+
+    pub fn process_cpu_ns() -> Option<u64> {
+        read(CLOCK_PROCESS_CPUTIME_ID)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    pub fn thread_cpu_ns() -> Option<u64> {
+        None
+    }
+
+    pub fn process_cpu_ns() -> Option<u64> {
+        None
+    }
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds
+/// (`CLOCK_THREAD_CPUTIME_ID`). `None` where the clock is unavailable.
+pub fn thread_cpu_ns() -> Option<u64> {
+    sys::thread_cpu_ns()
+}
+
+/// CPU time consumed by the whole process across all threads, in
+/// nanoseconds (`CLOCK_PROCESS_CPUTIME_ID`). `None` where unavailable.
+pub fn process_cpu_ns() -> Option<u64> {
+    sys::process_cpu_ns()
+}
+
+// ---------------------------------------------------------------------
+// Enable flag.
+// ---------------------------------------------------------------------
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Whether phase attribution is active. First call resolves the
+/// `LIGHTWEB_PROFILE` environment variable; afterwards this is one
+/// relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = std::env::var("LIGHTWEB_PROFILE").is_ok_and(|v| v == "1");
+            ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turn phase attribution on or off for the whole process, overriding
+/// `LIGHTWEB_PROFILE`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Per-phase cells and the thread-local scope stack.
+// ---------------------------------------------------------------------
+
+/// Per-phase accumulators. Leaked (`&'static`) so the allocator can hold
+/// a raw pointer to the current one without lifetime bookkeeping.
+struct PhaseCell {
+    enters: AtomicU64,
+    cpu_ns: AtomicU64,
+    allocs: AtomicU64,
+    alloc_bytes: AtomicU64,
+}
+
+fn phase_table() -> &'static Mutex<BTreeMap<&'static str, &'static PhaseCell>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, &'static PhaseCell>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn phase_cell(name: &'static str) -> &'static PhaseCell {
+    if let Some(cell) = phase_table().lock().get(name) {
+        return cell;
+    }
+    let cell: &'static PhaseCell = Box::leak(Box::new(PhaseCell {
+        enters: AtomicU64::new(0),
+        cpu_ns: AtomicU64::new(0),
+        allocs: AtomicU64::new(0),
+        alloc_bytes: AtomicU64::new(0),
+    }));
+    // Double-checked under the lock: a racing creator wins and our leaked
+    // cell (a few dozen bytes, once per phase name per race) is dropped
+    // from the table's point of view.
+    phase_table().lock().entry(name).or_insert(cell)
+}
+
+thread_local! {
+    /// Innermost active phase on this thread, read by the allocator.
+    /// Const-initialized `Cell` of a raw pointer: accessing it never
+    /// allocates, so the allocator can read it re-entrantly.
+    static CURRENT_PHASE: Cell<*const PhaseCell> = const { Cell::new(std::ptr::null()) };
+    /// The scope stack and the last CPU-clock reading. Only touched by
+    /// scope enter/exit (never by the allocator), so its interior
+    /// allocations cannot recurse into it.
+    static SCOPE_STACK: std::cell::RefCell<ThreadScopes> =
+        const { std::cell::RefCell::new(ThreadScopes { stack: Vec::new(), last_cpu: 0 }) };
+}
+
+struct ThreadScopes {
+    stack: Vec<&'static PhaseCell>,
+    last_cpu: u64,
+}
+
+/// Attribute the CPU time since the last transition to the scope on top
+/// of the stack, then advance the clock mark. Called on every scope
+/// enter and exit, which is exactly what makes the accounting
+/// *self*-time: a phase only accumulates while it is innermost.
+fn settle_cpu(scopes: &mut ThreadScopes) {
+    let now = thread_cpu_ns().unwrap_or(scopes.last_cpu);
+    if let Some(top) = scopes.stack.last() {
+        top.cpu_ns
+            .fetch_add(now.saturating_sub(scopes.last_cpu), Ordering::Relaxed);
+    }
+    scopes.last_cpu = now;
+}
+
+/// RAII profile scope: between `enter` and drop, the calling thread's
+/// CPU time and allocations are attributed to `name` (excluding any
+/// nested scope's share). A no-op single atomic load when profiling is
+/// disabled. Opened automatically by [`crate::span!`] guards and
+/// [`crate::trace::TraceSpan`]s; open one explicitly around work that
+/// has no span of its own.
+pub struct Scope {
+    /// Stack depth to restore on drop; `None` when profiling was
+    /// disabled at entry.
+    depth: Option<usize>,
+}
+
+impl Scope {
+    /// Open a scope for phase `name`.
+    pub fn enter(name: &'static str) -> Scope {
+        if !enabled() {
+            return Scope { depth: None };
+        }
+        let cell = phase_cell(name);
+        cell.enters.fetch_add(1, Ordering::Relaxed);
+        let depth = SCOPE_STACK.with(|s| {
+            let mut scopes = s.borrow_mut();
+            settle_cpu(&mut scopes);
+            scopes.stack.push(cell);
+            scopes.stack.len() - 1
+        });
+        CURRENT_PHASE.with(|c| c.set(cell as *const PhaseCell));
+        Scope { depth: Some(depth) }
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let Some(depth) = self.depth else { return };
+        let top = SCOPE_STACK.with(|s| {
+            let mut scopes = s.borrow_mut();
+            settle_cpu(&mut scopes);
+            // Truncate rather than pop: if an enclosed scope leaked (its
+            // guard was forgotten or dropped out of order), its frames go
+            // with ours instead of corrupting the stack.
+            scopes.stack.truncate(depth);
+            scopes
+                .stack
+                .last()
+                .map_or(std::ptr::null(), |c| *c as *const PhaseCell)
+        });
+        CURRENT_PHASE.with(|c| c.set(top));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counting allocator.
+// ---------------------------------------------------------------------
+
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FREES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn note_alloc(bytes: usize) {
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    TOTAL_ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    let live = CURRENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    if enabled() {
+        // `try_with` so allocations during thread teardown (after TLS
+        // destructors ran) degrade to unattributed instead of aborting.
+        let phase = CURRENT_PHASE
+            .try_with(|c| c.get())
+            .unwrap_or(std::ptr::null());
+        if !phase.is_null() {
+            // SAFETY: non-null CURRENT_PHASE pointers always come from
+            // `phase_cell`, which returns leaked `&'static` cells.
+            let cell = unsafe { &*phase };
+            cell.allocs.fetch_add(1, Ordering::Relaxed);
+            cell.alloc_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[inline]
+fn note_free(bytes: usize) {
+    TOTAL_FREES.fetch_add(1, Ordering::Relaxed);
+    CURRENT_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// A counting `#[global_allocator]`: delegates to
+/// [`std::alloc::System`] and maintains the process-wide heap counters
+/// behind [`heap_stats`] plus per-phase attribution for [`Scope`]s.
+/// Install it in a *binary* (never a library):
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: lightweb_telemetry::profile::CountingAlloc =
+///     lightweb_telemetry::profile::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects that never touch the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let p = std::alloc::System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout);
+        note_free(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let p = std::alloc::System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        let p = std::alloc::System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            note_free(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Point-in-time heap accounting, maintained by [`CountingAlloc`]. All
+/// zeros when the counting allocator is not installed in this binary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Allocations since process start.
+    pub allocs: u64,
+    /// Deallocations since process start.
+    pub frees: u64,
+    /// Total bytes ever allocated.
+    pub allocated_bytes: u64,
+    /// Bytes currently live.
+    pub current_bytes: u64,
+    /// High-water mark of live bytes (since start or [`reset_peak`]).
+    pub peak_bytes: u64,
+}
+
+/// Snapshot the global heap counters.
+pub fn heap_stats() -> HeapStats {
+    HeapStats {
+        allocs: TOTAL_ALLOCS.load(Ordering::Relaxed),
+        frees: TOTAL_FREES.load(Ordering::Relaxed),
+        allocated_bytes: TOTAL_ALLOC_BYTES.load(Ordering::Relaxed),
+        current_bytes: CURRENT_BYTES.load(Ordering::Relaxed) as u64,
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed) as u64,
+    }
+}
+
+/// Reset the peak-heap high-water mark to the current live size, so the
+/// next [`heap_stats`] reports the peak *of the interval* — what
+/// `reproduce bench` does before each experiment.
+pub fn reset_peak() {
+    PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Phase snapshots.
+// ---------------------------------------------------------------------
+
+/// Accumulated cost of one phase, as reported by [`phase_profiles`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Phase (span/scope) name.
+    pub name: &'static str,
+    /// Times a scope for this phase was entered.
+    pub enters: u64,
+    /// Self CPU time: nanoseconds this phase was the innermost scope on
+    /// some thread. Summing across phases never double-counts.
+    pub cpu_ns: u64,
+    /// Heap allocations made while this phase was innermost (requires
+    /// [`CountingAlloc`]).
+    pub allocs: u64,
+    /// Bytes those allocations requested.
+    pub alloc_bytes: u64,
+}
+
+/// Snapshot every phase's accumulated cost, sorted by name. Phases with
+/// zero recorded cost are included (they were entered).
+pub fn phase_profiles() -> Vec<PhaseProfile> {
+    phase_table()
+        .lock()
+        .iter()
+        .map(|(name, cell)| PhaseProfile {
+            name,
+            enters: cell.enters.load(Ordering::Relaxed),
+            cpu_ns: cell.cpu_ns.load(Ordering::Relaxed),
+            allocs: cell.allocs.load(Ordering::Relaxed),
+            alloc_bytes: cell.alloc_bytes.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Zero every phase's accumulators (cells stay valid — in-flight scopes
+/// keep attributing). For per-experiment isolation alongside
+/// [`crate::Registry::reset`].
+pub fn reset_phases() {
+    for cell in phase_table().lock().values() {
+        cell.enters.store(0, Ordering::Relaxed);
+        cell.cpu_ns.store(0, Ordering::Relaxed);
+        cell.allocs.store(0, Ordering::Relaxed);
+        cell.alloc_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collapsed-stack renderer.
+// ---------------------------------------------------------------------
+
+/// Fold trace trees into collapsed-stack lines:
+///
+/// ```text
+/// zltp.client.request;zltp.client.transport;zltp.server.request 1234
+/// ```
+///
+/// One line per distinct root-to-node path, value = **self** wall time
+/// in microseconds summed across all given traces (a node's duration
+/// minus its children's) — exactly the `flamegraph.pl` /
+/// speedscope-ingestible folded format, with `--countname=us`.
+pub fn render_collapsed(traces: &[Arc<Trace>]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    fn fold(node: &TraceNode, prefix: &str, folded: &mut BTreeMap<String, u64>) {
+        let path = if prefix.is_empty() {
+            node.name.to_string()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        let child_ns: u64 = node.children.iter().map(|c| c.duration_ns).sum();
+        let self_us = node.duration_ns.saturating_sub(child_ns) / 1_000;
+        *folded.entry(path.clone()).or_insert(0) += self_us;
+        for child in &node.children {
+            fold(child, &path, folded);
+        }
+    }
+    for trace in traces {
+        fold(&trace.root, "", &mut folded);
+    }
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// [`render_collapsed`] over the global collector's recent traces — the
+/// `GET /profile` body.
+pub fn render_collapsed_recent() -> String {
+    render_collapsed(&crate::trace::collector().recent())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanRecord, TraceCollector};
+
+    /// Profiling state is process-global; tests that toggle it must not
+    /// interleave.
+    static PROFILE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn spin_ms(ms: u64) {
+        let start = std::time::Instant::now();
+        while start.elapsed() < std::time::Duration::from_millis(ms) {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn cpu_clocks_advance_under_load() {
+        let Some(t0) = thread_cpu_ns() else {
+            return; // platform without the clock: nothing to assert
+        };
+        let p0 = process_cpu_ns().expect("process clock where thread clock exists");
+        spin_ms(10);
+        let t1 = thread_cpu_ns().unwrap();
+        let p1 = process_cpu_ns().unwrap();
+        assert!(t1 > t0, "thread CPU clock did not advance: {t0} -> {t1}");
+        assert!(
+            t1 - t0 >= 2_000_000,
+            "10 ms spin consumed only {} ns of CPU",
+            t1 - t0
+        );
+        assert!(p1 >= p0 + (t1 - t0) / 2, "process clock lags thread clock");
+    }
+
+    #[test]
+    fn scopes_attribute_self_cpu_without_double_counting() {
+        let _serial = PROFILE_TEST_LOCK.lock();
+        if thread_cpu_ns().is_none() {
+            return;
+        }
+        set_enabled(true);
+        reset_phases();
+        let before = thread_cpu_ns().unwrap();
+        {
+            let _outer = Scope::enter("prof.test.outer");
+            spin_ms(8);
+            {
+                let _inner = Scope::enter("prof.test.inner");
+                spin_ms(8);
+            }
+        }
+        let spent = thread_cpu_ns().unwrap() - before;
+        set_enabled(false);
+        let phases = phase_profiles();
+        let get = |n: &str| phases.iter().find(|p| p.name == n).unwrap().clone();
+        let outer = get("prof.test.outer");
+        let inner = get("prof.test.inner");
+        assert_eq!(outer.enters, 1);
+        assert_eq!(inner.enters, 1);
+        assert!(outer.cpu_ns >= 2_000_000, "outer {}", outer.cpu_ns);
+        assert!(inner.cpu_ns >= 2_000_000, "inner {}", inner.cpu_ns);
+        // Self-time accounting: the two phases partition the interval,
+        // so their sum cannot exceed what the thread actually burned.
+        assert!(
+            outer.cpu_ns + inner.cpu_ns <= spent,
+            "attributed {} + {} > thread total {} (double-counting)",
+            outer.cpu_ns,
+            inner.cpu_ns,
+            spent
+        );
+        // And the outer phase must NOT include the inner spin.
+        assert!(
+            outer.cpu_ns < spent.saturating_sub(inner.cpu_ns) + spent / 4,
+            "outer self time {} looks inclusive of inner {}",
+            outer.cpu_ns,
+            inner.cpu_ns
+        );
+    }
+
+    #[test]
+    fn disabled_scopes_cost_nothing_and_record_nothing() {
+        let _serial = PROFILE_TEST_LOCK.lock();
+        set_enabled(false);
+        reset_phases();
+        {
+            let _s = Scope::enter("prof.test.disabled");
+            spin_ms(2);
+        }
+        assert!(
+            !phase_profiles()
+                .iter()
+                .any(|p| p.name == "prof.test.disabled" && p.enters > 0),
+            "disabled scope still recorded"
+        );
+    }
+
+    #[test]
+    fn collapsed_stacks_fold_self_time() {
+        let c = TraceCollector::new();
+        let rec = |span_id, parent_id, name: &'static str, start_us, duration_ns| SpanRecord {
+            trace_id: 42,
+            span_id,
+            parent_id,
+            name,
+            start_us,
+            duration_ns,
+        };
+        c.record(rec(3, 2, "leaf", 10, 1_000_000));
+        c.record(rec(2, 1, "mid", 5, 3_000_000));
+        c.record(rec(1, 0, "root", 0, 10_000_000));
+        let folded = render_collapsed(&c.recent());
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(
+            lines,
+            vec![
+                "root 7000",          // 10 ms - 3 ms child
+                "root;mid 2000",      // 3 ms - 1 ms child
+                "root;mid;leaf 1000", // leaf keeps its full duration
+            ]
+        );
+    }
+
+    #[test]
+    fn collapsed_stacks_merge_repeated_paths_across_traces() {
+        let c = TraceCollector::new();
+        for trace_id in 1..=3u128 {
+            c.record(SpanRecord {
+                trace_id,
+                span_id: 1,
+                parent_id: 0,
+                name: "repeat.root",
+                start_us: 0,
+                duration_ns: 2_000_000,
+            });
+        }
+        let folded = render_collapsed(&c.recent());
+        assert_eq!(folded, "repeat.root 6000\n");
+    }
+
+    #[test]
+    fn heap_stats_are_monotonic_in_totals() {
+        // Works with or without CountingAlloc installed (unit tests run
+        // under the default allocator; totals just stay 0 there).
+        let a = heap_stats();
+        let _v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let b = heap_stats();
+        assert!(b.allocs >= a.allocs);
+        assert!(b.allocated_bytes >= a.allocated_bytes);
+        assert!(b.peak_bytes >= b.current_bytes.min(b.peak_bytes));
+        reset_peak();
+        let c = heap_stats();
+        assert!(c.peak_bytes <= b.peak_bytes.max(c.current_bytes));
+    }
+}

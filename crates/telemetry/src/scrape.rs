@@ -11,14 +11,75 @@
 //! * `GET /traces` — the collector's recent trace trees as JSON-lines
 //!   ([`crate::trace::render_traces_jsonl`]).
 //! * `GET /slow` — the slow-query log as indented text.
+//! * `GET /profile` — recent traces folded into collapsed-stack lines
+//!   ([`crate::profile::render_collapsed_recent`]), ready for
+//!   `flamegraph.pl` / speedscope.
+//! * `GET /healthz` — liveness: uptime, build info, served engine
+//!   modes (see [`set_build_info`] / [`register_serving_mode`]).
+//!
+//! Responses always carry `Content-Length`; malformed request lines get
+//! `400`, non-GET methods `405`, unknown paths `404`.
 
 use crate::trace;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Health state: uptime epoch, build info, served modes.
+// ---------------------------------------------------------------------
+
+/// Process epoch for `/healthz` uptime: fixed the first time anything
+/// touches health state, so call early (binding a [`ScrapeServer`] does).
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn build_info_cell() -> &'static Mutex<String> {
+    static INFO: OnceLock<Mutex<String>> = OnceLock::new();
+    INFO.get_or_init(|| Mutex::new(format!("lightweb-telemetry {}", env!("CARGO_PKG_VERSION"))))
+}
+
+/// Override the build string reported by `GET /healthz`. Binaries with
+/// richer identity (git describe baked in at build time) call this at
+/// startup; the default is the telemetry crate's version.
+pub fn set_build_info(info: &str) {
+    *build_info_cell().lock() = info.to_string();
+}
+
+fn modes_cell() -> &'static Mutex<BTreeSet<String>> {
+    static MODES: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    MODES.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Record that this process serves the given engine mode (e.g.
+/// `"two_server"`). Servers call this as they come up; `/healthz`
+/// reports the union.
+pub fn register_serving_mode(mode: &str) {
+    modes_cell().lock().insert(mode.to_string());
+}
+
+fn render_healthz() -> String {
+    let uptime = process_epoch().elapsed();
+    let modes = modes_cell().lock();
+    let modes_line = if modes.is_empty() {
+        "(none)".to_string()
+    } else {
+        modes.iter().cloned().collect::<Vec<_>>().join(",")
+    };
+    format!(
+        "status ok\nuptime_seconds {}\nbuild {}\nmodes {}\n",
+        uptime.as_secs(),
+        build_info_cell().lock(),
+        modes_line
+    )
+}
 
 /// Requests larger than this are answered without waiting for more
 /// header bytes — scrape requests are a single short line.
@@ -36,6 +97,8 @@ impl ScrapeServer {
     /// Bind `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
     /// start serving scrapes on a background thread.
     pub fn bind(addr: &str) -> std::io::Result<Self> {
+        // Pin the uptime epoch no later than endpoint start.
+        process_epoch();
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // Non-blocking accept so the thread can notice shutdown without
@@ -88,6 +151,84 @@ impl Drop for ScrapeServer {
     }
 }
 
+/// How a request line failed to parse. Each variant maps to one HTTP
+/// error status in [`respond`].
+#[derive(Debug, PartialEq, Eq)]
+enum RequestLineError {
+    /// Not `METHOD SP PATH SP VERSION`, path not absolute, or not UTF-8.
+    Malformed,
+    /// Well-formed, but the method is not `GET`.
+    MethodNotAllowed,
+}
+
+/// Parse an HTTP request line into its path. Strict on shape (exactly
+/// three whitespace-separated tokens, absolute path, `HTTP/` version)
+/// so garbage hitting the port gets `400`, not a confusing `404`.
+fn parse_request_line(line: &str) -> Result<&str, RequestLineError> {
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(RequestLineError::Malformed),
+    };
+    if !path.starts_with('/') || !version.starts_with("HTTP/") {
+        return Err(RequestLineError::Malformed);
+    }
+    if method != "GET" {
+        return Err(RequestLineError::MethodNotAllowed);
+    }
+    Ok(path)
+}
+
+/// Route a request line to `(status, content-type, body)`. Pure of I/O,
+/// so the HTTP edge cases are unit-testable without sockets.
+fn respond(first_line: &str) -> (&'static str, &'static str, String) {
+    let path = match parse_request_line(first_line) {
+        Ok(p) => p,
+        Err(RequestLineError::Malformed) => {
+            return (
+                "400 Bad Request",
+                "text/plain",
+                format!("malformed request line {first_line:?}\n"),
+            )
+        }
+        Err(RequestLineError::MethodNotAllowed) => {
+            return (
+                "405 Method Not Allowed",
+                "text/plain",
+                "only GET is supported\n".to_string(),
+            )
+        }
+    };
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            crate::render_text(&crate::registry().snapshot()),
+        ),
+        "/traces" => (
+            "200 OK",
+            "application/x-ndjson",
+            trace::render_traces_jsonl(&trace::collector().recent()),
+        ),
+        "/slow" => (
+            "200 OK",
+            "text/plain",
+            trace::collector().render_slow_text(),
+        ),
+        "/profile" => (
+            "200 OK",
+            "text/plain",
+            crate::profile::render_collapsed_recent(),
+        ),
+        "/healthz" => ("200 OK", "text/plain", render_healthz()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("unknown path {path:?}; try /metrics, /traces, /slow, /profile, /healthz\n"),
+        ),
+    }
+}
+
 fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let mut req = Vec::new();
@@ -107,29 +248,7 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
         .lines()
         .next()
         .unwrap_or("");
-    let path = first_line.split_whitespace().nth(1).unwrap_or("");
-    let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4",
-            crate::render_text(&crate::registry().snapshot()),
-        ),
-        "/traces" => (
-            "200 OK",
-            "application/x-ndjson",
-            trace::render_traces_jsonl(&trace::collector().recent()),
-        ),
-        "/slow" => (
-            "200 OK",
-            "text/plain",
-            trace::collector().render_slow_text(),
-        ),
-        _ => (
-            "404 Not Found",
-            "text/plain",
-            format!("unknown path {path:?}; try /metrics, /traces, /slow\n"),
-        ),
-    };
+    let (status, content_type, body) = respond(first_line);
     write!(
         stream,
         "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -181,12 +300,120 @@ mod tests {
         let (head, _body) = get(addr, "/slow");
         assert!(head.starts_with("HTTP/1.0 200"));
 
+        let (head, body) = get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(
+            body.lines().any(|l| l.starts_with("scrape.test.root ")
+                || l.starts_with("scrape.test.root;scrape.test.child ")),
+            "collapsed profile missing test spans: {body:?}"
+        );
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(body.starts_with("status ok\n"), "body: {body}");
+        assert!(body.contains("uptime_seconds "), "body: {body}");
+        assert!(body.contains("build "), "body: {body}");
+        assert!(body.contains("modes "), "body: {body}");
+
         let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.0 404"), "head: {head}");
         assert!(body.contains("/metrics"));
 
         server.shutdown();
         // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_registered_modes_and_build() {
+        register_serving_mode("test_mode_b");
+        register_serving_mode("test_mode_a");
+        register_serving_mode("test_mode_b"); // dedup
+        let body = render_healthz();
+        let modes_line = body
+            .lines()
+            .find(|l| l.starts_with("modes "))
+            .expect("modes line");
+        assert!(
+            modes_line.contains("test_mode_a") && modes_line.contains("test_mode_b"),
+            "modes: {modes_line}"
+        );
+        // Sorted, deduplicated.
+        let a = modes_line.find("test_mode_a").unwrap();
+        let b = modes_line.find("test_mode_b").unwrap();
+        assert!(a < b);
+        assert_eq!(modes_line.matches("test_mode_b").count(), 1);
+
+        set_build_info("lightweb test-build deadbeef");
+        assert!(render_healthz().contains("build lightweb test-build deadbeef"));
+    }
+
+    #[test]
+    fn request_line_parsing_edge_cases() {
+        // Well-formed GETs route.
+        assert_eq!(parse_request_line("GET /metrics HTTP/1.0"), Ok("/metrics"));
+        assert_eq!(parse_request_line("GET / HTTP/1.1"), Ok("/"));
+        // Malformed shapes -> 400.
+        for bad in [
+            "",
+            "GET",
+            "GET /metrics",
+            "GET /metrics HTTP/1.0 extra",
+            "GET metrics HTTP/1.0",
+            "GET /metrics FTP/1.0",
+            "/metrics GET HTTP/1.0",
+            "garbage\u{7f}",
+        ] {
+            assert_eq!(
+                parse_request_line(bad),
+                Err(RequestLineError::Malformed),
+                "should be malformed: {bad:?}"
+            );
+            let (status, _, _) = respond(bad);
+            assert_eq!(status, "400 Bad Request", "line: {bad:?}");
+        }
+        // Wrong method on a valid line -> 405.
+        for line in ["POST /metrics HTTP/1.0", "HEAD / HTTP/1.1"] {
+            assert_eq!(
+                parse_request_line(line),
+                Err(RequestLineError::MethodNotAllowed)
+            );
+            let (status, _, _) = respond(line);
+            assert_eq!(status, "405 Method Not Allowed");
+        }
+        // Unknown path on a valid GET -> 404, not 400.
+        let (status, _, _) = respond("GET /unknown HTTP/1.0");
+        assert_eq!(status, "404 Not Found");
+    }
+
+    #[test]
+    fn responses_carry_exact_content_length() {
+        let mut server = ScrapeServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for path in ["/healthz", "/metrics", "/does-not-exist"] {
+            let (head, body) = get(addr, path);
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("Content-Length header")
+                .parse()
+                .unwrap();
+            assert_eq!(len, body.len(), "Content-Length mismatch for {path}");
+        }
+        // A malformed request still gets a well-formed 400 response.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "NONSENSE\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.0 400"), "head: {head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
         server.shutdown();
     }
 }

@@ -163,6 +163,9 @@ pub struct TraceSpan {
     ctx: TraceContext,
     name: &'static str,
     start: Instant,
+    /// CPU/allocation attribution for this phase (no-op unless
+    /// profiling is enabled — see [`crate::profile`]).
+    _prof: crate::profile::Scope,
 }
 
 impl TraceSpan {
@@ -183,6 +186,7 @@ impl TraceSpan {
             ctx,
             name,
             start: Instant::now(),
+            _prof: crate::profile::Scope::enter(name),
         }
     }
 
@@ -418,8 +422,12 @@ pub struct PhaseStat {
     pub count: u64,
     /// Mean duration in nanoseconds.
     pub mean_ns: u64,
+    /// Estimated median duration (log₂-bucket estimate).
+    pub p50_ns: u64,
     /// Estimated 95th-percentile duration (log₂-bucket estimate).
     pub p95_ns: u64,
+    /// Estimated 99th-percentile duration (log₂-bucket estimate).
+    pub p99_ns: u64,
     /// Largest recorded duration.
     pub max_ns: u64,
 }
@@ -561,12 +569,17 @@ impl TraceCollector {
         self.phases
             .lock()
             .iter()
-            .map(|(name, agg)| PhaseStat {
-                name,
-                count: agg.count,
-                mean_ns: agg.sum.checked_div(agg.count).unwrap_or(0),
-                p95_ns: quantile_from_buckets(&agg.buckets, agg.count, agg.max, 0.95),
-                max_ns: agg.max,
+            .map(|(name, agg)| {
+                let q = |p: f64| quantile_from_buckets(&agg.buckets, agg.count, agg.max, p);
+                PhaseStat {
+                    name,
+                    count: agg.count,
+                    mean_ns: agg.sum.checked_div(agg.count).unwrap_or(0),
+                    p50_ns: q(0.50),
+                    p95_ns: q(0.95),
+                    p99_ns: q(0.99),
+                    max_ns: agg.max,
+                }
             })
             .collect()
     }
@@ -808,6 +821,16 @@ mod tests {
         assert_eq!(x.max_ns, 100_000);
         assert!(x.p95_ns > x.mean_ns, "p95 {} mean {}", x.p95_ns, x.mean_ns);
         assert!(x.p95_ns <= x.max_ns);
+        // The full quantile ladder is ordered and bounded.
+        assert!(x.p50_ns > 0);
+        assert!(
+            x.p50_ns <= x.p95_ns && x.p95_ns <= x.p99_ns && x.p99_ns <= x.max_ns,
+            "quantiles out of order: p50 {} p95 {} p99 {} max {}",
+            x.p50_ns,
+            x.p95_ns,
+            x.p99_ns,
+            x.max_ns
+        );
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! End-to-end profiling: CPU and allocation attribution across real
+//! scan-pool workloads.
+//!
+//! This binary installs the counting global allocator (a test binary
+//! can; the library crates never do) and checks the two invariants the
+//! profiler is built on:
+//!
+//! 1. **No double-counting.** Phase CPU is *self* time — the sum of all
+//!    phase attributions can never exceed the process CPU actually
+//!    burned, whether the scan pool runs inline (width 1) or fans out
+//!    across scoped threads (width 4).
+//! 2. **Innermost-phase allocation attribution.** When scopes nest, an
+//!    allocation lands on the phase that was innermost when it
+//!    happened — the outer phase's numbers exclude the inner's.
+//!
+//! Profiler state (enable flag, phase table) is process-global, so
+//! every test serializes on one mutex and resets the table around its
+//! measurement window.
+
+use lightweb_dpf::{gen, DpfParams};
+use lightweb_engine::ScanPool;
+use lightweb_pir::PirServer;
+use lightweb_telemetry::profile::{
+    heap_stats, phase_profiles, process_cpu_ns, reset_phases, set_enabled, thread_cpu_ns,
+    CountingAlloc, PhaseProfile, Scope,
+};
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static PROFILE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with profiling enabled and a clean phase table; return its
+/// result plus the phase snapshot accumulated during the window.
+fn profiled<R>(f: impl FnOnce() -> R) -> (R, Vec<PhaseProfile>) {
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    set_enabled(true);
+    reset_phases();
+    let r = f();
+    let phases = phase_profiles();
+    reset_phases();
+    (r, phases)
+}
+
+fn phase<'a>(phases: &'a [PhaseProfile], name: &str) -> &'a PhaseProfile {
+    phases
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("phase {name:?} missing from {phases:?}"))
+}
+
+/// A shard big enough that a scan burns measurable CPU: 2^12 slots at
+/// 25% load, 64-byte records.
+fn sample_server() -> (PirServer, DpfParams) {
+    let params = DpfParams::with_default_termination(12).unwrap();
+    let entries: Vec<(u64, Vec<u8>)> = (0..1024u64)
+        .map(|i| {
+            (
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % params.domain_size(),
+                vec![(i % 255) as u8; 64],
+            )
+        })
+        .collect::<std::collections::BTreeMap<_, _>>()
+        .into_iter()
+        .collect();
+    let server = PirServer::from_entries(params, 64, entries).unwrap();
+    (server, params)
+}
+
+#[test]
+fn scan_pool_attributes_cpu_to_scan_phases_without_double_counting() {
+    let (server, params) = sample_server();
+    let (k0, _) = gen(&params, 321);
+    let bits = k0.eval_full();
+    let reps = 20usize;
+
+    for width in [1usize, 4] {
+        let ((cpu_delta, thread_delta), phases) = profiled(|| {
+            let pool = ScanPool::new(width);
+            let cpu0 = process_cpu_ns().expect("process CPU clock");
+            let thread0 = thread_cpu_ns().expect("thread CPU clock");
+            for _ in 0..reps {
+                std::hint::black_box(pool.scan(&server, &bits).unwrap());
+            }
+            (
+                process_cpu_ns().unwrap() - cpu0,
+                thread_cpu_ns().unwrap() - thread0,
+            )
+        });
+
+        // The scan phase was entered once per partition and did real
+        // work — width 1 runs the worker scope inline on the caller
+        // thread, width 4 on scoped pool threads; both must attribute.
+        let worker = phase(&phases, "engine.pool.scan.worker");
+        let expected_enters = width as u64 * reps as u64;
+        assert_eq!(
+            worker.enters, expected_enters,
+            "width {width}: one worker scope per partition"
+        );
+        assert!(
+            worker.cpu_ns > 0,
+            "width {width}: scan workers attributed no CPU: {worker:?}"
+        );
+
+        // Self-time accounting never double-counts: summing every
+        // phase stays within the CPU the process actually burned
+        // (plus a little clock-granularity slack).
+        let attributed: u64 = phases.iter().map(|p| p.cpu_ns).sum();
+        let budget = cpu_delta + cpu_delta / 10 + 1_000_000;
+        assert!(
+            attributed <= budget,
+            "width {width}: attributed {attributed} ns exceeds process CPU {cpu_delta} ns"
+        );
+
+        // Width 1 runs everything inline: the caller thread's own CPU
+        // clock alone must cover the attributed total.
+        if width == 1 {
+            let thread_budget = thread_delta + thread_delta / 10 + 1_000_000;
+            assert!(
+                attributed <= thread_budget,
+                "width 1: attributed {attributed} ns exceeds caller-thread CPU {thread_delta} ns"
+            );
+        }
+    }
+}
+
+#[test]
+fn nested_scopes_attribute_allocations_to_the_innermost_phase() {
+    const INNER_BYTES: usize = 1_000_000;
+    let before = heap_stats();
+    let ((), phases) = profiled(|| {
+        let _outer = Scope::enter("proftest.outer");
+        std::hint::black_box(vec![1u8; 1_000]);
+        {
+            let _inner = Scope::enter("proftest.inner");
+            std::hint::black_box(vec![2u8; INNER_BYTES]);
+        }
+        std::hint::black_box(vec![3u8; 2_000]);
+    });
+    let after = heap_stats();
+
+    let outer = phase(&phases, "proftest.outer");
+    let inner = phase(&phases, "proftest.inner");
+
+    // The inner phase owns the big allocation...
+    assert!(inner.allocs >= 1, "{inner:?}");
+    assert!(
+        inner.alloc_bytes >= INNER_BYTES as u64,
+        "inner phase missed its allocation: {inner:?}"
+    );
+    // ...and the outer phase's numbers exclude it: the outer scope made
+    // only the two small vecs (plus incidental bookkeeping) while it
+    // was innermost.
+    assert!(outer.allocs >= 2, "{outer:?}");
+    assert!(
+        outer.alloc_bytes >= 3_000 && outer.alloc_bytes < INNER_BYTES as u64,
+        "outer phase absorbed the inner allocation: {outer:?}"
+    );
+
+    // The global ledger saw everything the phases saw.
+    let global_delta = after.allocated_bytes - before.allocated_bytes;
+    assert!(
+        global_delta >= inner.alloc_bytes + outer.alloc_bytes,
+        "global heap ledger ({global_delta}) smaller than per-phase attribution"
+    );
+    assert!(after.allocs > before.allocs);
+}
+
+#[test]
+fn counting_allocator_balances_alloc_and_free() {
+    // Churn through short-lived allocations; everything freed must be
+    // counted freed, and the live-bytes gauge must return to (near) its
+    // starting point.
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    let before = heap_stats();
+    for i in 0..100usize {
+        std::hint::black_box(vec![i as u8; 4096]);
+    }
+    let after = heap_stats();
+    let allocs = after.allocs - before.allocs;
+    let frees = after.frees - before.frees;
+    assert!(allocs >= 100, "expected >= 100 allocations, saw {allocs}");
+    // Every vec was dropped; allow slack for unrelated runtime churn.
+    assert!(
+        frees + 16 >= allocs,
+        "frees ({frees}) lag allocs ({allocs}): leaked accounting"
+    );
+    assert!(
+        after.current_bytes < before.current_bytes + 1_000_000,
+        "live bytes did not return to baseline: {before:?} -> {after:?}"
+    );
+    assert!(after.peak_bytes >= after.current_bytes);
+}
