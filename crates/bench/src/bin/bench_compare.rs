@@ -1,5 +1,4 @@
-//! `bench-compare`: diff two perf-baseline snapshots and gate on
-//! regression.
+//! `bench-compare`: diff two perf snapshots and gate on regression.
 //!
 //! ```text
 //! bench-compare [--tolerance 0.25] <baseline> <current>
@@ -8,11 +7,17 @@
 //! Each argument is either one `BENCH_*.json` file or a directory; with
 //! directories, files sharing a name are paired (a baseline with no
 //! current counterpart is reported and skipped — a missing experiment
-//! is suspicious but not a perf regression). Exit status: `0` clean,
-//! `1` at least one metric regressed beyond tolerance, `2` usage or
-//! schema error. This is the binary the CI perf-baseline job runs.
+//! is suspicious but not a perf regression). Both snapshot kinds are
+//! understood: scalar `bench` snapshots from `reproduce bench` and
+//! `load_curve` snapshots from `reproduce load` (diffed point by point
+//! along the rate sweep). Snapshots with an unknown kind or schema
+//! version are a hard error — diffing mismatched schemas silently is
+//! how regressions hide. Exit status: `0` clean, `1` at least one
+//! metric regressed beyond tolerance, `2` usage or schema error. This
+//! is the binary the CI perf-baseline and load-smoke jobs run.
 
-use lightweb_bench::perf::{compare_snapshots, BenchSnapshot};
+use lightweb_bench::load::{compare_load_snapshots, LoadSnapshot};
+use lightweb_bench::perf::{compare_snapshots, parse_any_snapshot, AnySnapshot, BenchSnapshot};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -46,14 +51,14 @@ fn snapshot_files(arg: &Path) -> Result<Vec<PathBuf>, String> {
     }
 }
 
-fn load(path: &Path) -> Result<BenchSnapshot, String> {
+fn load(path: &Path) -> Result<AnySnapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    BenchSnapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    parse_any_snapshot(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Compare one baseline/current snapshot pair; returns whether anything
-/// regressed.
-fn compare_pair(
+/// Compare one baseline/current pair of scalar bench snapshots; returns
+/// whether anything regressed.
+fn compare_bench_pair(
     baseline: &BenchSnapshot,
     current: &BenchSnapshot,
     tolerance: f64,
@@ -99,6 +104,85 @@ fn compare_pair(
         );
     }
     Ok(regressed)
+}
+
+/// Compare one baseline/current pair of load-curve snapshots point by
+/// point; returns whether anything regressed.
+fn compare_load_pair(
+    baseline: &LoadSnapshot,
+    current: &LoadSnapshot,
+    tolerance: f64,
+) -> Result<bool, String> {
+    if baseline.experiment != current.experiment {
+        return Err(format!(
+            "experiment mismatch: {} vs {}",
+            baseline.experiment, current.experiment
+        ));
+    }
+    println!(
+        "== {} ({}, {} schedule, {} conns): baseline {} vs current {}, tolerance {:.0}%",
+        baseline.experiment,
+        baseline.engine,
+        baseline.schedule,
+        baseline.connections,
+        baseline.git_describe,
+        current.git_describe,
+        tolerance * 100.0
+    );
+    match (baseline.knee_rps, current.knee_rps) {
+        (b, c) if b > 0.0 || c > 0.0 => {
+            let fmt = |k: f64| {
+                if k > 0.0 {
+                    format!("{k:.0} req/s")
+                } else {
+                    "none".to_string()
+                }
+            };
+            println!(
+                "   saturation knee: {} -> {}",
+                fmt(baseline.knee_rps),
+                fmt(current.knee_rps)
+            );
+        }
+        _ => {}
+    }
+    let diffs = compare_load_snapshots(baseline, current, tolerance)?;
+    let mut regressed = false;
+    for d in &diffs {
+        let verdict = if d.regressed {
+            regressed = true;
+            "REGRESSED"
+        } else if d.worsening > 0.0 {
+            "worse (ok)"
+        } else {
+            "ok"
+        };
+        println!(
+            "   {:<24} {:>14.4} -> {:>14.4}  {:+7.1}%  {}",
+            d.label,
+            d.baseline,
+            d.current,
+            d.worsening * 100.0,
+            verdict
+        );
+    }
+    Ok(regressed)
+}
+
+/// Dispatch a pair on snapshot kind. Mixed kinds refuse to diff — a
+/// curve is not comparable to a scalar snapshot.
+fn compare_pair(
+    baseline: &AnySnapshot,
+    current: &AnySnapshot,
+    tolerance: f64,
+) -> Result<bool, String> {
+    match (baseline, current) {
+        (AnySnapshot::Bench(b), AnySnapshot::Bench(c)) => compare_bench_pair(b, c, tolerance),
+        (AnySnapshot::Load(b), AnySnapshot::Load(c)) => compare_load_pair(b, c, tolerance),
+        _ => {
+            Err("snapshot kind mismatch: cannot diff a bench snapshot against a load curve".into())
+        }
+    }
 }
 
 fn run() -> Result<bool, String> {
@@ -165,14 +249,107 @@ fn run() -> Result<bool, String> {
     Ok(any_regressed)
 }
 
+/// The process exit code for a `run()` outcome — factored out so the
+/// schema-error → exit 2 contract is unit-testable.
+fn code_for(result: &Result<bool, String>) -> u8 {
+    match result {
+        Ok(false) => 0,
+        Ok(true) => 1,
+        Err(_) => 2,
+    }
+}
+
 fn main() -> ExitCode {
-    match run() {
-        Ok(false) => ExitCode::SUCCESS,
-        Ok(true) => ExitCode::from(1),
-        Err(msg) if msg.is_empty() => usage(),
-        Err(msg) => {
-            eprintln!("bench-compare: {msg}");
-            ExitCode::from(2)
+    let result = run();
+    if let Err(msg) = &result {
+        if msg.is_empty() {
+            return usage();
         }
+        eprintln!("bench-compare: {msg}");
+    }
+    ExitCode::from(code_for(&result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_errors_map_to_exit_2_not_a_misdiff() {
+        // An unknown schema version must parse-fail (which `run()`
+        // surfaces as Err → exit 2), never reach the diff.
+        let err = parse_any_snapshot(r#"{"schema_version":99,"kind":"mystery"}"#).unwrap_err();
+        assert!(err.contains("unknown snapshot schema"), "{err}");
+        assert_eq!(code_for(&Err(err)), 2);
+        assert_eq!(code_for(&Ok(true)), 1);
+        assert_eq!(code_for(&Ok(false)), 0);
+    }
+
+    #[test]
+    fn mixed_kinds_refuse_to_diff() {
+        let bench = BenchSnapshot::from_json(&sample_bench().to_json()).unwrap();
+        let load = LoadSnapshot::from_json(&sample_load().to_json()).unwrap();
+        let err =
+            compare_pair(&AnySnapshot::Bench(bench), &AnySnapshot::Load(load), 0.0).unwrap_err();
+        assert!(err.contains("kind mismatch"), "{err}");
+    }
+
+    #[test]
+    fn matched_kinds_self_compare_clean() {
+        let bench = AnySnapshot::Bench(sample_bench());
+        assert_eq!(compare_pair(&bench, &bench, 0.0), Ok(false));
+        let load = AnySnapshot::Load(sample_load());
+        assert_eq!(compare_pair(&load, &load, 0.0), Ok(false));
+    }
+
+    fn sample_bench() -> BenchSnapshot {
+        use lightweb_bench::perf::{BenchMetrics, BENCH_SCHEMA_VERSION};
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "two_server".into(),
+            engine: "two_server_pir".into(),
+            git_describe: "test".into(),
+            git_commit: "0000".into(),
+            shard_mib: 64,
+            metrics: BenchMetrics {
+                requests: 4,
+                wall_seconds: 0.1,
+                throughput_rps: 40.0,
+                p50_ms: 2.0,
+                p95_ms: 3.0,
+                p99_ms: 4.0,
+                bytes_per_request: 100.0,
+                cpu_seconds_per_request: 0.001,
+                allocs_per_request: 10.0,
+                alloc_bytes_per_request: 1000.0,
+                peak_heap_bytes: 4096,
+                warmup_requests: 2,
+                latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            },
+        }
+    }
+
+    fn sample_load() -> LoadSnapshot {
+        use lightweb_bench::load::{LoadConfig, LoadPoint};
+        LoadSnapshot::from_sweep(
+            "load_two_server",
+            "two_server_pir",
+            &LoadConfig::quick(),
+            vec![LoadPoint {
+                offered_rps: 50.0,
+                planned_requests: 75,
+                planned_rps: 50.0,
+                requests: 75,
+                errors: 0,
+                timeouts: 0,
+                achieved_rps: 50.0,
+                p50_ms: 4.0,
+                p95_ms: 9.0,
+                p99_ms: 12.0,
+                mean_ms: 5.0,
+                max_ms: 20.0,
+                sched_lag_p99_ms: 0.2,
+            }],
+        )
     }
 }

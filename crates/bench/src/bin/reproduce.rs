@@ -3,9 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist|trace|bench]
+//! reproduce [all|e1|e2|e3|e4|table2|e5|e6|e7|e8|e9|e10|e11|e12|ablations|persist|trace|bench|load]
 //!           [--telemetry] [--json] [--state-dir DIR] [--kill-after N]
 //!           [--metrics-addr ADDR] [--quick] [--out DIR]
+//!           [--requests N] [--warmup N]
 //! ```
 //!
 //! Each experiment prints the paper's reported numbers next to the values
@@ -42,9 +43,27 @@
 //! engines and writes one versioned `BENCH_<experiment>.json` snapshot
 //! per engine (throughput, exact latency percentiles, bytes/request,
 //! CPU-seconds/request, allocations/request, peak heap) into `--out DIR`
-//! (default `.`). `--quick` shrinks the workload to CI size. The
-//! `bench-compare` binary diffs two snapshot sets and exits nonzero on
-//! regression — that pair is what the CI perf gate runs.
+//! (default `.`). `--quick` shrinks the workload to CI size;
+//! `--requests N` and `--warmup N` override the measured and
+//! warmup-discard request counts per engine (warmup GETs prime caches,
+//! the batcher, and the allocator, and are excluded from every reported
+//! figure). The `bench-compare` binary diffs two snapshot sets and
+//! exits nonzero on regression — that pair is what the CI perf gate
+//! runs.
+//!
+//! `load` is the open-loop load harness (not a paper experiment): it
+//! stands up a real two-server TCP deployment, drives it with a fleet
+//! of open-loop clients at a sweep of arrival rates (Poisson by
+//! default), and writes a `BENCH_load_two_server.json` curve snapshot —
+//! throughput vs p50/p95/p99 with coordinated-omission-correct
+//! latencies and a detected saturation knee — that `bench-compare`
+//! diffs point by point. `--quick` runs the CI-sized three-point sweep;
+//! `LIGHTWEB_LOAD_RATES` (comma-separated req/s), `LIGHTWEB_LOAD_CONNECTIONS`,
+//! `LIGHTWEB_LOAD_DURATION_S`, and `LIGHTWEB_LOAD_SCHEDULE`
+//! (`poisson`|`paced`) override the sweep shape. While the sweep runs,
+//! `--metrics-addr` exposes the live saturation gauges
+//! (`load.inflight.requests`, `load.offered.rps` vs `load.achieved.rps`,
+//! per-second error/timeout rates) on `/metrics`.
 //!
 //! See EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
 //! discussion.
@@ -317,6 +336,8 @@ fn main() {
     let mut metrics_addr: Option<String> = None;
     let mut quick = false;
     let mut out_dir = std::path::PathBuf::from(".");
+    let mut requests: Option<usize> = None;
+    let mut warmup: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -353,6 +374,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--requests" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => requests = Some(n),
+                _ => {
+                    eprintln!("error: --requests requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--warmup" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => warmup = Some(n),
+                None => {
+                    eprintln!("error: --warmup requires an integer argument");
+                    std::process::exit(2);
+                }
+            },
             other => which = other.to_string(),
         }
     }
@@ -375,6 +410,7 @@ fn main() {
         "persist",
         "trace",
         "bench",
+        "load",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!(
@@ -434,9 +470,20 @@ fn main() {
         return;
     }
     if which == "bench" {
-        bench_experiment(&r, quick, &out_dir);
+        bench_experiment(&r, quick, &out_dir, requests, warmup);
         if telemetry_dump {
             dump_telemetry(&r, "bench");
+        }
+        if json {
+            events::flush();
+            events::uninstall();
+        }
+        return;
+    }
+    if which == "load" {
+        load_experiment(&r, quick, &out_dir);
+        if telemetry_dump {
+            dump_telemetry(&r, "load");
         }
         if json {
             events::flush();
@@ -673,10 +720,63 @@ fn trace_smoke(r: &Reporter, external: Option<&lightweb_telemetry::scrape::Scrap
 
 /// Per-request observations from one bench workload run.
 struct WorkloadResult {
-    /// Per-request wall latency, milliseconds (unsorted).
+    /// Per-request wall latency, milliseconds (unsorted), measured
+    /// window only.
     latencies_ms: Vec<f64>,
     /// Wire bytes (sent + received) during the measured loop.
     bytes: u64,
+    /// Requests issued and discarded before the measured window.
+    warmup_requests: u64,
+}
+
+/// The measured window of one bench workload: wall clock, process CPU,
+/// and heap accounting all start when the workload calls [`begin`]
+/// (after its warmup requests and a fleet-wide sync) and stop at
+/// [`end`] (before teardown), so neither warmup nor server shutdown
+/// pollutes the per-request figures.
+///
+/// [`begin`]: Accounting::begin
+/// [`end`]: Accounting::end
+struct Accounting {
+    begin: std::cell::Cell<Option<AccountingMark>>,
+    end: std::cell::Cell<Option<AccountingMark>>,
+}
+
+type AccountingMark = (
+    u64,
+    lightweb_telemetry::profile::HeapStats,
+    std::time::Instant,
+);
+
+fn accounting_mark() -> AccountingMark {
+    use lightweb_telemetry::profile::{heap_stats, process_cpu_ns};
+    (
+        process_cpu_ns().unwrap_or(0),
+        heap_stats(),
+        std::time::Instant::now(),
+    )
+}
+
+impl Accounting {
+    fn new() -> Self {
+        Self {
+            begin: std::cell::Cell::new(None),
+            end: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Arm the window. Call exactly once, after warmup, with no
+    /// measured work in flight yet.
+    fn begin(&self) {
+        lightweb_telemetry::profile::reset_peak();
+        self.begin.set(Some(accounting_mark()));
+    }
+
+    /// Close the window. Call when the measured loop is done, before
+    /// closing sessions / shutting servers down.
+    fn end(&self) {
+        self.end.set(Some(accounting_mark()));
+    }
 }
 
 /// Deterministic page payload for the bench content set.
@@ -707,17 +807,35 @@ fn bench_server(modes: &[Mode], party: u8, pages: usize, blob_len: usize) -> InP
 }
 
 /// Two-server DPF workload: `threads` concurrent clients sharing the
-/// batcher, each issuing `gets` private GETs.
-fn bench_two_server(pages: usize, blob_len: usize, threads: usize, gets: usize) -> WorkloadResult {
+/// batcher, each issuing `warmup` discarded then `gets` measured
+/// private GETs. All threads finish warming up before the accounting
+/// window opens (two barrier turns: sync, arm, release), so warmup
+/// cost can never leak into the measured figures.
+fn bench_two_server(
+    pages: usize,
+    blob_len: usize,
+    threads: usize,
+    warmup: usize,
+    gets: usize,
+    acct: &Accounting,
+) -> WorkloadResult {
     let servers: Vec<InProcServer> = (0..2u8)
         .map(|party| bench_server(&[Mode::TwoServerPir], party, pages, blob_len))
         .collect();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads + 1));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let c0 = servers[0].connect();
             let c1 = servers[1].connect();
+            let barrier = barrier.clone();
             std::thread::spawn(move || {
                 let mut client = TwoServerZltp::connect(c0, c1).unwrap();
+                for i in 0..warmup {
+                    let key = format!("bench/page-{}", (t + i) % pages);
+                    assert_eq!(client.private_get(&key).unwrap().len(), blob_len);
+                }
+                barrier.wait(); // everyone warm
+                barrier.wait(); // window armed; go
                 let base = client.stats();
                 let mut lat = Vec::with_capacity(gets);
                 for i in 0..gets {
@@ -734,6 +852,9 @@ fn bench_two_server(pages: usize, blob_len: usize, threads: usize, gets: usize) 
             })
         })
         .collect();
+    barrier.wait();
+    acct.begin();
+    barrier.wait();
     let mut latencies_ms = Vec::new();
     let mut bytes = 0u64;
     for h in handles {
@@ -741,25 +862,40 @@ fn bench_two_server(pages: usize, blob_len: usize, threads: usize, gets: usize) 
         latencies_ms.extend(lat);
         bytes += b;
     }
+    acct.end();
     for s in &servers {
         s.server().shutdown();
     }
     WorkloadResult {
         latencies_ms,
         bytes,
+        warmup_requests: (warmup * threads) as u64,
     }
 }
 
 /// Single-session workload shared by the LWE and enclave-ORAM engines:
-/// `gets` sequential private GETs, latencies and wire bytes from the
-/// online phase only.
-fn bench_single_session(mode: Mode, pages: usize, blob_len: usize, gets: usize) -> WorkloadResult {
+/// `warmup` discarded then `gets` measured sequential private GETs,
+/// latencies and wire bytes from the measured window of the online
+/// phase only.
+fn bench_single_session(
+    mode: Mode,
+    pages: usize,
+    blob_len: usize,
+    warmup: usize,
+    gets: usize,
+    acct: &Accounting,
+) -> WorkloadResult {
     type StatsFn = Box<dyn FnMut() -> lightweb_core::SessionStats>;
     type GetFn = Box<dyn FnMut(&str) -> Vec<u8>>;
     let srv = bench_server(&[mode], 0, pages, blob_len);
     // Both session types expose the same shape; unify via boxed
     // closures over (stats, one private_get).
     let run = |mut stats: StatsFn, mut get: GetFn| {
+        for i in 0..warmup {
+            let key = format!("bench/page-{}", i % pages);
+            assert_eq!(get(&key).len(), blob_len);
+        }
+        acct.begin();
         let base = stats();
         let mut lat = Vec::with_capacity(gets);
         for i in 0..gets {
@@ -770,6 +906,7 @@ fn bench_single_session(mode: Mode, pages: usize, blob_len: usize, gets: usize) 
         }
         let s = stats();
         let bytes = (s.bytes_sent - base.bytes_sent) + (s.bytes_received - base.bytes_received);
+        acct.end();
         (lat, bytes)
     };
     let (latencies_ms, bytes) = match mode {
@@ -800,28 +937,29 @@ fn bench_single_session(mode: Mode, pages: usize, blob_len: usize, gets: usize) 
     WorkloadResult {
         latencies_ms,
         bytes,
+        warmup_requests: warmup as u64,
     }
 }
 
-/// Run one workload under full accounting (wall, process CPU, heap) and
-/// fold the observations into a versioned snapshot.
+/// Run one workload and fold its measured window (wall, process CPU,
+/// heap — see [`Accounting`]) into a versioned snapshot.
 fn bench_measure(
     experiment: &str,
     engine: &str,
-    run: impl FnOnce() -> WorkloadResult,
+    run: impl FnOnce(&Accounting) -> WorkloadResult,
 ) -> BenchSnapshot {
-    use lightweb_telemetry::profile::{heap_stats, process_cpu_ns, reset_peak};
-    reset_peak();
-    let heap0 = heap_stats();
-    let cpu0 = process_cpu_ns().unwrap_or(0);
-    let (wl, wall) = time_once(run);
-    let cpu1 = process_cpu_ns().unwrap_or(cpu0);
-    let heap1 = heap_stats();
+    let acct = Accounting::new();
+    let wl = run(&acct);
+    let (cpu0, heap0, t0) = acct
+        .begin
+        .take()
+        .expect("workload armed its accounting window");
+    let (cpu1, heap1, t1) = acct.end.take().unwrap_or_else(accounting_mark);
 
     let mut lat = wl.latencies_ms;
     lat.sort_by(f64::total_cmp);
     let n = lat.len() as f64;
-    let wall_seconds = wall.as_secs_f64();
+    let wall_seconds = t1.duration_since(t0).as_secs_f64();
     BenchSnapshot {
         schema_version: BENCH_SCHEMA_VERSION,
         experiment: experiment.to_string(),
@@ -842,11 +980,19 @@ fn bench_measure(
             alloc_bytes_per_request: (heap1.allocated_bytes - heap0.allocated_bytes) as f64
                 / n.max(1.0),
             peak_heap_bytes: heap1.peak_bytes,
+            warmup_requests: wl.warmup_requests,
+            latencies_ms: lat,
         },
     }
 }
 
-fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
+fn bench_experiment(
+    r: &Reporter,
+    quick: bool,
+    out_dir: &std::path::Path,
+    requests: Option<usize>,
+    warmup: Option<usize>,
+) {
     r.section(&format!(
         "bench: perf-baseline snapshots across all engines ({})",
         if quick {
@@ -859,18 +1005,27 @@ fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
 
     let pages = 8usize;
     let blob_len = 1024usize;
-    let (threads, gets) = if quick { (2, 8) } else { (4, 16) };
-    let single_gets = if quick { 8 } else { 24 };
+    // Measured / warmup-discard GETs per engine. Warmup primes the
+    // batcher, caches, and allocator so the recorded percentiles are
+    // steady-state, not first-request noise.
+    let measured = requests.unwrap_or(if quick { 48 } else { 128 });
+    let warm = warmup.unwrap_or(measured / 4);
+    let threads = if quick { 2 } else { 4 };
+    let gets = measured.div_ceil(threads);
+    let warm_each = warm.div_ceil(threads);
+    r.note(&format!(
+        "{measured} measured + {warm} warmup GETs per engine (two-server: {threads} threads x {gets})\n"
+    ));
 
     let snapshots = [
-        bench_measure("two_server", "two_server_pir", || {
-            bench_two_server(pages, blob_len, threads, gets)
+        bench_measure("two_server", "two_server_pir", |acct| {
+            bench_two_server(pages, blob_len, threads, warm_each, gets, acct)
         }),
-        bench_measure("lwe", "single_server_lwe", || {
-            bench_single_session(Mode::SingleServerLwe, pages, blob_len, single_gets)
+        bench_measure("lwe", "single_server_lwe", |acct| {
+            bench_single_session(Mode::SingleServerLwe, pages, blob_len, warm, measured, acct)
         }),
-        bench_measure("oram", "enclave_oram", || {
-            bench_single_session(Mode::Enclave, pages, blob_len, single_gets)
+        bench_measure("oram", "enclave_oram", |acct| {
+            bench_single_session(Mode::Enclave, pages, blob_len, warm, measured, acct)
         }),
     ];
 
@@ -883,6 +1038,7 @@ fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
             snap.experiment.clone(),
             snap.engine.clone(),
             m.requests.to_string(),
+            m.warmup_requests.to_string(),
             format!("{:.1}", m.throughput_rps),
             format!("{:.2}", m.p50_ms),
             format!("{:.2}", m.p95_ms),
@@ -899,6 +1055,7 @@ fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
                     ("engine", Field::Str(&snap.engine)),
                     ("path", Field::Str(&path.display().to_string())),
                     ("requests", Field::U64(m.requests)),
+                    ("warmup_requests", Field::U64(m.warmup_requests)),
                     ("throughput_rps", Field::F64(m.throughput_rps)),
                     ("p50_ms", Field::F64(m.p50_ms)),
                     ("p95_ms", Field::F64(m.p95_ms)),
@@ -919,6 +1076,7 @@ fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
             "experiment",
             "engine",
             "reqs",
+            "warmup",
             "req/s",
             "p50 (ms)",
             "p95 (ms)",
@@ -936,6 +1094,168 @@ fn bench_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
         lightweb_bench::perf::git_describe(),
         out_dir.display(),
         out_dir.display(),
+    ));
+}
+
+// =====================================================================
+// load — the open-loop load harness (lightweb_bench::load). Not a paper
+// experiment: stands up a real two-server TCP deployment, offers load
+// at a sweep of arrival rates with an open-loop client fleet, and
+// writes the resulting latency-under-load curve (with its detected
+// saturation knee) as a BENCH_load_two_server.json snapshot for
+// bench-compare and the CI load gate. Latencies are measured from each
+// request's *intended* start time (coordinated-omission correction),
+// so server stalls are charged to every request they delayed.
+// =====================================================================
+
+/// Comma-separated f64 list from the environment, else the default.
+fn load_env_rates(name: &str, default: Vec<f64>) -> Vec<f64> {
+    match std::env::var(name) {
+        Ok(v) => {
+            let rates: Vec<f64> = v
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|r: &f64| *r > 0.0)
+                .collect();
+            if rates.is_empty() {
+                eprintln!("error: {name}={v:?} parses to no positive rates");
+                std::process::exit(2);
+            }
+            rates
+        }
+        Err(_) => default,
+    }
+}
+
+fn load_env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load_experiment(r: &Reporter, quick: bool, out_dir: &std::path::Path) {
+    use lightweb_bench::load::{
+        page_key, run_sweep, LoadConfig, LoadSnapshot, ScheduleKind, LOAD_SCHEMA_VERSION,
+    };
+
+    let mut cfg = if quick {
+        LoadConfig::quick()
+    } else {
+        LoadConfig::full()
+    };
+    cfg.rates_rps = load_env_rates("LIGHTWEB_LOAD_RATES", cfg.rates_rps);
+    cfg.connections = load_env_parse("LIGHTWEB_LOAD_CONNECTIONS", cfg.connections);
+    cfg.duration_s = load_env_parse("LIGHTWEB_LOAD_DURATION_S", cfg.duration_s);
+    if let Ok(v) = std::env::var("LIGHTWEB_LOAD_SCHEDULE") {
+        match ScheduleKind::from_name(&v) {
+            Some(k) => cfg.schedule = k,
+            None => {
+                eprintln!("error: LIGHTWEB_LOAD_SCHEDULE={v:?} (expected poisson or paced)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    r.section(&format!(
+        "load: open-loop latency-under-load sweep ({} schedule, {} connections, {} s/rate)",
+        cfg.schedule.name(),
+        cfg.connections,
+        cfg.duration_s
+    ));
+    std::fs::create_dir_all(out_dir).expect("create --out directory");
+    // Clean registry so the live load gauges and counters on /metrics
+    // reflect this sweep alone.
+    lightweb_telemetry::registry().reset();
+
+    // A real two-server deployment over TCP, in the load-test shape.
+    let blob_len = ServerConfig::load_test("load", 0).blob_len;
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for party in 0..2u8 {
+        let server = ZltpServer::new(ServerConfig::load_test("load", party)).unwrap();
+        for i in 0..cfg.pages {
+            server
+                .publish(&page_key(i), &bench_blob(i, blob_len))
+                .unwrap();
+        }
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        addrs.push(listener.local_addr().unwrap());
+        server.serve_tcp(listener);
+        servers.push(server);
+    }
+    r.note(&format!(
+        "two-server pair live at {} / {}; offering {:?} req/s\n",
+        addrs[0], addrs[1], cfg.rates_rps
+    ));
+
+    let points = match run_sweep(addrs[0], addrs[1], &cfg, blob_len) {
+        Ok(points) => points,
+        Err(err) => {
+            eprintln!("error: load sweep failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    for server in &servers {
+        server.shutdown();
+    }
+
+    let snap = LoadSnapshot::from_sweep("load_two_server", "two_server_pir", &cfg, points);
+    let path = out_dir.join(format!("BENCH_{}.json", snap.experiment));
+    std::fs::write(&path, snap.to_json() + "\n").expect("write load snapshot");
+
+    let mut rows = Vec::new();
+    for p in &snap.points {
+        rows.push(vec![
+            format!("{:.0}", p.offered_rps),
+            format!("{:.1}", p.achieved_rps),
+            p.requests.to_string(),
+            (p.errors + p.timeouts).to_string(),
+            format!("{:.2}", p.p50_ms),
+            format!("{:.2}", p.p95_ms),
+            format!("{:.2}", p.p99_ms),
+            format!("{:.2}", p.sched_lag_p99_ms),
+        ]);
+        if r.json {
+            events::emit(
+                "reproduce.load.point",
+                &[
+                    ("offered_rps", Field::F64(p.offered_rps)),
+                    ("achieved_rps", Field::F64(p.achieved_rps)),
+                    ("requests", Field::U64(p.requests)),
+                    ("errors", Field::U64(p.errors)),
+                    ("timeouts", Field::U64(p.timeouts)),
+                    ("p50_ms", Field::F64(p.p50_ms)),
+                    ("p95_ms", Field::F64(p.p95_ms)),
+                    ("p99_ms", Field::F64(p.p99_ms)),
+                    ("sched_lag_p99_ms", Field::F64(p.sched_lag_p99_ms)),
+                ],
+            );
+        }
+    }
+    r.table(
+        &[
+            "offered req/s",
+            "achieved req/s",
+            "ok",
+            "err+timeout",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "sched-lag p99 (ms)",
+        ],
+        &rows,
+    );
+    let knee = if snap.knee_rps > 0.0 {
+        format!("saturation knee at ~{:.0} req/s offered", snap.knee_rps)
+    } else {
+        "no saturation knee within the swept range".to_string()
+    };
+    r.note(&format!(
+        "{knee}; wrote {} (schema v{LOAD_SCHEMA_VERSION}, {}); diff with: bench-compare <baseline> {}\n",
+        path.display(),
+        lightweb_bench::perf::git_describe(),
+        path.display(),
     ));
 }
 

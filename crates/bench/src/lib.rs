@@ -19,6 +19,7 @@ use lightweb_dpf::DpfParams;
 use lightweb_pir::PirServer;
 use std::time::{Duration, Instant};
 
+pub mod load;
 pub mod perf;
 
 /// A benchmark shard: a PIR server at ~25% slot-domain load, the paper's

@@ -15,8 +15,15 @@ use lightweb_universe::{parse_json, Value};
 
 /// Version stamp written into every snapshot. Bump when a field is
 /// added, removed, or changes meaning; `bench-compare` refuses to diff
-/// across versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// across versions, and [`BenchSnapshot::from_json`] refuses versions it
+/// does not understand. v2 added `kind`, `warmup_requests`, and the
+/// exact per-request `latencies_ms` array.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// The `kind` discriminator written into scalar bench snapshots. Load
+/// snapshots carry [`crate::load::LOAD_SNAPSHOT_KIND`] instead;
+/// [`parse_any_snapshot`] dispatches on this field.
+pub const BENCH_SNAPSHOT_KIND: &str = "bench";
 
 /// `git describe` of the tree this harness was built from ("unknown"
 /// outside a checkout).
@@ -58,6 +65,16 @@ pub struct BenchMetrics {
     pub alloc_bytes_per_request: f64,
     /// Peak live heap during the workload, bytes.
     pub peak_heap_bytes: u64,
+    /// Requests issued (and discarded) before the measured window, so a
+    /// snapshot records how much cache/JIT-style warmup its percentiles
+    /// exclude.
+    pub warmup_requests: u64,
+    /// Exact per-request latencies from the measured window,
+    /// milliseconds, ascending. The percentile fields above are order
+    /// statistics over this array; keeping the raw sample makes p99
+    /// meaningful at any request count and lets later tooling recompute
+    /// arbitrary quantiles.
+    pub latencies_ms: Vec<f64>,
 }
 
 /// One versioned, self-identifying bench snapshot.
@@ -120,6 +137,7 @@ impl BenchSnapshot {
         let m = &self.metrics;
         Value::object([
             ("schema_version", (self.schema_version as i64).into()),
+            ("kind", BENCH_SNAPSHOT_KIND.into()),
             ("experiment", self.experiment.as_str().into()),
             ("engine", self.engine.as_str().into()),
             ("git_describe", self.git_describe.as_str().into()),
@@ -139,6 +157,11 @@ impl BenchSnapshot {
                     ("allocs_per_request", m.allocs_per_request.into()),
                     ("alloc_bytes_per_request", m.alloc_bytes_per_request.into()),
                     ("peak_heap_bytes", (m.peak_heap_bytes as i64).into()),
+                    ("warmup_requests", (m.warmup_requests as i64).into()),
+                    (
+                        "latencies_ms",
+                        Value::Array(m.latencies_ms.iter().map(|&l| l.into()).collect()),
+                    ),
                 ]),
             ),
         ])
@@ -150,6 +173,17 @@ impl BenchSnapshot {
     /// compare as zeros.
     pub fn from_json(text: &str) -> Result<BenchSnapshot, String> {
         let v = parse_json(text).map_err(|e| e.to_string())?;
+        let version = v
+            .get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| "missing numeric field \"schema_version\"".to_string())?
+            as u64;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported bench snapshot schema v{version} (this build reads \
+                 v{BENCH_SCHEMA_VERSION}); regenerate the snapshot with a matching harness"
+            ));
+        }
         let str_field = |name: &str| -> Result<String, String> {
             v.get(name)
                 .and_then(Value::as_str)
@@ -176,9 +210,20 @@ impl BenchSnapshot {
             allocs_per_request: num(metrics_v, "allocs_per_request")?,
             alloc_bytes_per_request: num(metrics_v, "alloc_bytes_per_request")?,
             peak_heap_bytes: num(metrics_v, "peak_heap_bytes")? as u64,
+            warmup_requests: num(metrics_v, "warmup_requests")? as u64,
+            latencies_ms: metrics_v
+                .get("latencies_ms")
+                .and_then(Value::as_array)
+                .ok_or_else(|| "missing array field \"latencies_ms\"".to_string())?
+                .iter()
+                .map(|l| {
+                    l.as_f64()
+                        .ok_or_else(|| "non-numeric latency in \"latencies_ms\"".to_string())
+                })
+                .collect::<Result<Vec<f64>, String>>()?,
         };
         Ok(BenchSnapshot {
-            schema_version: num(&v, "schema_version")? as u64,
+            schema_version: version,
             experiment: str_field("experiment")?,
             engine: str_field("engine")?,
             git_describe: str_field("git_describe")?,
@@ -186,6 +231,49 @@ impl BenchSnapshot {
             shard_mib: num(&v, "shard_mib")? as u64,
             metrics,
         })
+    }
+}
+
+/// A snapshot file of either shape: scalar bench metrics or a load
+/// curve. `bench-compare` works over this so one directory can hold
+/// both kinds side by side.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnySnapshot {
+    /// A scalar [`BenchSnapshot`] (`kind: "bench"`).
+    Bench(BenchSnapshot),
+    /// A rate-sweep [`crate::load::LoadSnapshot`] (`kind: "load_curve"`).
+    Load(crate::load::LoadSnapshot),
+}
+
+/// Parse a snapshot of either kind, refusing anything this build does
+/// not understand. Unknown `kind`/`schema_version` combinations are a
+/// hard error — silently mis-diffing fields whose meaning changed is
+/// exactly what schema versioning exists to prevent — and the
+/// `bench-compare` binary surfaces that error as exit status 2.
+pub fn parse_any_snapshot(text: &str) -> Result<AnySnapshot, String> {
+    let v = parse_json(text).map_err(|e| e.to_string())?;
+    let version =
+        v.get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| "missing numeric field \"schema_version\"".to_string())? as u64;
+    // Pre-v2 bench snapshots carried no kind discriminator.
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .unwrap_or(BENCH_SNAPSHOT_KIND);
+    match (kind, version) {
+        (BENCH_SNAPSHOT_KIND, BENCH_SCHEMA_VERSION) => {
+            Ok(AnySnapshot::Bench(BenchSnapshot::from_json(text)?))
+        }
+        (crate::load::LOAD_SNAPSHOT_KIND, crate::load::LOAD_SCHEMA_VERSION) => Ok(
+            AnySnapshot::Load(crate::load::LoadSnapshot::from_json(text)?),
+        ),
+        _ => Err(format!(
+            "unknown snapshot schema: kind {kind:?} v{version} (this build reads \
+             {BENCH_SNAPSHOT_KIND:?} v{BENCH_SCHEMA_VERSION} and {:?} v{})",
+            crate::load::LOAD_SNAPSHOT_KIND,
+            crate::load::LOAD_SCHEMA_VERSION,
+        )),
     }
 }
 
@@ -282,6 +370,8 @@ mod tests {
                 allocs_per_request: 900.0,
                 alloc_bytes_per_request: 1.5e6,
                 peak_heap_bytes: 80_000_000,
+                warmup_requests: 8,
+                latencies_ms: vec![35.0, 40.0, 90.0, 120.0],
             },
         }
     }
@@ -290,7 +380,9 @@ mod tests {
     fn snapshot_round_trips_through_json() {
         let snap = sample();
         let text = snap.to_json();
-        assert!(text.contains("\"schema_version\":1"), "{text}");
+        assert!(text.contains("\"schema_version\":2"), "{text}");
+        assert!(text.contains("\"kind\":\"bench\""), "{text}");
+        assert!(text.contains("\"latencies_ms\":[35,40,90,120]"), "{text}");
         let back = BenchSnapshot::from_json(&text).unwrap();
         assert_eq!(back, snap);
     }
@@ -375,6 +467,48 @@ mod tests {
         let mut cur = base.clone();
         cur.schema_version = BENCH_SCHEMA_VERSION + 1;
         assert!(compare_snapshots(&base, &cur, 0.25).is_err());
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_rejected_at_parse_time() {
+        // A v1 snapshot (or any future version) must fail loudly instead
+        // of being compared field-by-field with shifted meanings — even
+        // when *both* files carry the same unknown version.
+        let mut v = parse_json(&sample().to_json()).unwrap();
+        if let Value::Object(m) = &mut v {
+            m.insert("schema_version".into(), Value::Number(1.0));
+        }
+        let err = BenchSnapshot::from_json(&v.to_json()).unwrap_err();
+        assert!(
+            err.contains("unsupported bench snapshot schema v1"),
+            "{err}"
+        );
+        let err = parse_any_snapshot(&v.to_json()).unwrap_err();
+        assert!(err.contains("unknown snapshot schema"), "{err}");
+        assert!(err.contains("v1"), "{err}");
+
+        if let Value::Object(m) = &mut v {
+            m.insert("schema_version".into(), Value::Number(99.0));
+            m.insert("kind".into(), Value::String("mystery".into()));
+        }
+        let err = parse_any_snapshot(&v.to_json()).unwrap_err();
+        assert!(
+            err.contains("\"mystery\"") && err.contains("v99"),
+            "error should name the offending kind/version: {err}"
+        );
+        // A missing schema_version is just as loud.
+        assert!(parse_any_snapshot("{}")
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn parse_any_dispatches_on_kind() {
+        let bench = sample();
+        match parse_any_snapshot(&bench.to_json()).unwrap() {
+            AnySnapshot::Bench(b) => assert_eq!(b, bench),
+            other => panic!("expected bench snapshot, got {other:?}"),
+        }
     }
 
     #[test]

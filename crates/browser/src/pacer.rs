@@ -93,6 +93,27 @@ impl Pacer {
         out
     }
 
+    /// The firing instants of this pacer in `[0, horizon_s)`, offset by
+    /// `phase_s` — the pure think-time model, with no visit queue and no
+    /// telemetry. Non-interactive drivers (the open-loop load harness)
+    /// use this to give each simulated client the same constant-rate
+    /// cadence the real browser enforces; distinct phases per client make
+    /// a fleet aggregate to a smooth fixed offered rate instead of
+    /// synchronized bursts.
+    pub fn slot_times(&self, phase_s: f64, horizon_s: f64) -> Vec<f64> {
+        assert!(phase_s >= 0.0, "phase must be non-negative");
+        let mut out = Vec::new();
+        let mut k = 0u64;
+        loop {
+            let t = phase_s + k as f64 * self.interval_s;
+            if t >= horizon_s {
+                return out;
+            }
+            out.push(t);
+            k += 1;
+        }
+    }
+
     /// Fraction of slots carrying real visits (the bandwidth efficiency of
     /// the cover scheme).
     pub fn utilization(schedule: &[PacedSlot]) -> f64 {
@@ -177,6 +198,31 @@ mod tests {
         let slot = sched.iter().find(|s| s.real == Some(0)).unwrap();
         assert_eq!(slot.time_s, 20.0);
         assert_eq!(slot.delay_s, 0.0);
+    }
+
+    #[test]
+    fn slot_times_match_schedule_shape_and_stagger() {
+        let pacer = Pacer::new(10.0);
+        // Zero phase reproduces the schedule()'s firing times exactly.
+        let times = pacer.slot_times(0.0, 100.0);
+        let sched: Vec<f64> = pacer
+            .schedule(&[], 100.0)
+            .iter()
+            .map(|s| s.time_s)
+            .collect();
+        assert_eq!(times, sched);
+        // A staggered fleet interleaves without collisions: 4 clients at
+        // interval 10 s, phases 0/2.5/5/7.5, aggregate one slot per 2.5 s.
+        let mut all: Vec<f64> = (0..4)
+            .flat_map(|i| pacer.slot_times(i as f64 * 2.5, 40.0))
+            .collect();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(all.len(), 16);
+        for (k, t) in all.iter().enumerate() {
+            assert!((t - k as f64 * 2.5).abs() < 1e-9, "slot {k}: {t}");
+        }
+        // Phase at or past the horizon yields an empty schedule.
+        assert!(pacer.slot_times(100.0, 100.0).is_empty());
     }
 
     #[test]

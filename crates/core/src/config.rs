@@ -172,6 +172,29 @@ impl ServerConfig {
         }
     }
 
+    /// The load-harness deployment shape: two-server PIR only, 1 KiB
+    /// blobs, 2^14 slots, and a short-window batcher (8-deep, 4 ms) so a
+    /// rate sweep's saturation knee reflects scan cost rather than batch
+    /// waits. Used by `reproduce load` and the load integration tests.
+    pub fn load_test(universe_id: &str, party: u8) -> Self {
+        Self {
+            universe_id: universe_id.to_string(),
+            blob_len: 1024,
+            domain_bits: 14,
+            term_bits: 7,
+            modes: ModeSet::new([Mode::TwoServerPir]),
+            keyword_hash_key: [0x4c; 16],
+            batch: BatchConfig {
+                max_batch: 8,
+                window: Duration::from_millis(4),
+            },
+            party,
+            lwe_n: 64,
+            shard_prefix_bits: 0,
+            scan_threads: 0,
+        }
+    }
+
     /// The paper's §5.1 microbenchmark shape: 4 KiB buckets, 2^22 slots.
     /// Heavy — benchmarks only.
     pub fn paper_microbench(party: u8) -> Self {
@@ -237,6 +260,16 @@ mod tests {
             ServerConfig::paper_microbench(1).dpf_params().domain_bits(),
             22
         );
+    }
+
+    #[test]
+    fn load_test_profile_is_two_server_only_with_short_batch_window() {
+        let cfg = ServerConfig::load_test("load", 1);
+        assert_eq!(cfg.modes.modes(), &[Mode::TwoServerPir]);
+        assert_eq!(cfg.party, 1);
+        assert_eq!(cfg.batch.max_batch, 8);
+        assert!(cfg.batch.window <= Duration::from_millis(5));
+        cfg.dpf_params();
     }
 
     #[test]

@@ -116,6 +116,38 @@ fn log_session_error(stage: &str, err: &str) {
     );
 }
 
+/// RAII decrement for the saturation gauges below: the increment must be
+/// undone on every exit path (peer hang-up, protocol error, `?`), so drop
+/// order does the bookkeeping.
+struct GaugeDec(lightweb_telemetry::Gauge);
+
+impl Drop for GaugeDec {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
+
+/// Sessions currently open on this process — the `open_connections`
+/// number `/healthz` reports and the load harness watches for
+/// saturation. Cached: the gauge is touched once per connection and once
+/// per request.
+fn open_connections_gauge() -> &'static lightweb_telemetry::Gauge {
+    static G: std::sync::OnceLock<lightweb_telemetry::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        lightweb_telemetry::registry()
+            .gauge(lightweb_telemetry::scrape::HEALTHZ_OPEN_CONNECTIONS_GAUGE)
+    })
+}
+
+/// Requests currently being answered (between decode and response) — the
+/// `inflight_requests` number `/healthz` reports.
+fn inflight_requests_gauge() -> &'static lightweb_telemetry::Gauge {
+    static G: std::sync::OnceLock<lightweb_telemetry::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        lightweb_telemetry::registry().gauge(lightweb_telemetry::scrape::HEALTHZ_INFLIGHT_GAUGE)
+    })
+}
+
 struct ServerInner {
     config: ServerConfig,
     keyword_map: KeywordMap,
@@ -418,6 +450,8 @@ impl ZltpServer {
         let mut conn = FramedConn::new(stream);
         self.inner.stats.sessions.fetch_add(1, Ordering::Relaxed);
         lightweb_telemetry::counter!("zltp.server.sessions").inc();
+        open_connections_gauge().add(1);
+        let _open = GaugeDec(open_connections_gauge().clone());
         let _session = lightweb_telemetry::span!("zltp.server.session.ns");
 
         // --- Hello exchange ---
@@ -493,9 +527,12 @@ impl ZltpServer {
                     // client's root span is always the last of its trace.
                     let span = maybe_child(wire_ctx.as_ref(), "zltp.server.request");
                     let span_ctx = span.as_ref().map(|s| s.ctx());
+                    inflight_requests_gauge().add(1);
+                    let inflight = GaugeDec(inflight_requests_gauge().clone());
                     let start = Instant::now();
                     let answer = self.answer_get(mode, engine, &payload, span_ctx.as_ref());
                     let elapsed_ns = start.elapsed().as_nanos() as u64;
+                    drop(inflight);
                     drop(span);
                     lightweb_telemetry::registry()
                         .histogram("zltp.server.request.ns")
@@ -606,6 +643,10 @@ impl ZltpServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
+                        // ZLTP frames are small and latency-sensitive;
+                        // Nagle + delayed ACK otherwise adds tens of
+                        // milliseconds per answer.
+                        stream.set_nodelay(true).ok();
                         let s = server.clone();
                         let spawned =
                             std::thread::Builder::new()

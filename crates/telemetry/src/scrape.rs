@@ -15,7 +15,9 @@
 //!   ([`crate::profile::render_collapsed_recent`]), ready for
 //!   `flamegraph.pl` / speedscope.
 //! * `GET /healthz` — liveness: uptime, build info, served engine
-//!   modes (see [`set_build_info`] / [`register_serving_mode`]).
+//!   modes (see [`set_build_info`] / [`register_serving_mode`]), plus
+//!   the live in-flight-request and open-connection gauges
+//!   ([`HEALTHZ_INFLIGHT_GAUGE`], [`HEALTHZ_OPEN_CONNECTIONS_GAUGE`]).
 //!
 //! Responses always carry `Content-Length`; malformed request lines get
 //! `400`, non-GET methods `405`, unknown paths `404`.
@@ -65,6 +67,16 @@ pub fn register_serving_mode(mode: &str) {
     modes_cell().lock().insert(mode.to_string());
 }
 
+/// Registry gauge surfaced as the `inflight_requests` line of
+/// `/healthz`: requests currently being answered by this process's ZLTP
+/// server(s). The server side maintains it; reading it here merely
+/// get-or-creates a zero gauge in processes that serve nothing.
+pub const HEALTHZ_INFLIGHT_GAUGE: &str = "zltp.server.inflight.requests";
+
+/// Registry gauge surfaced as the `open_connections` line of
+/// `/healthz`: currently open ZLTP sessions.
+pub const HEALTHZ_OPEN_CONNECTIONS_GAUGE: &str = "zltp.server.connections.open";
+
 fn render_healthz() -> String {
     let uptime = process_epoch().elapsed();
     let modes = modes_cell().lock();
@@ -73,11 +85,14 @@ fn render_healthz() -> String {
     } else {
         modes.iter().cloned().collect::<Vec<_>>().join(",")
     };
+    let registry = crate::registry();
     format!(
-        "status ok\nuptime_seconds {}\nbuild {}\nmodes {}\n",
+        "status ok\nuptime_seconds {}\nbuild {}\nmodes {}\ninflight_requests {}\nopen_connections {}\n",
         uptime.as_secs(),
         build_info_cell().lock(),
-        modes_line
+        modes_line,
+        registry.gauge(HEALTHZ_INFLIGHT_GAUGE).get(),
+        registry.gauge(HEALTHZ_OPEN_CONNECTIONS_GAUGE).get(),
     )
 }
 
@@ -346,6 +361,28 @@ mod tests {
 
         set_build_info("lightweb test-build deadbeef");
         assert!(render_healthz().contains("build lightweb test-build deadbeef"));
+    }
+
+    #[test]
+    fn healthz_reports_inflight_and_connection_gauges_over_http() {
+        // The server side maintains these gauges; here we play the server
+        // and assert the HTTP surface reflects the registry live.
+        let inflight = crate::registry().gauge(HEALTHZ_INFLIGHT_GAUGE);
+        let open = crate::registry().gauge(HEALTHZ_OPEN_CONNECTIONS_GAUGE);
+        inflight.set(3);
+        open.set(7);
+        let mut server = ScrapeServer::bind("127.0.0.1:0").unwrap();
+        let (head, body) = get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(body.contains("inflight_requests 3"), "body: {body}");
+        assert!(body.contains("open_connections 7"), "body: {body}");
+        // The lines track the gauges, not a point-in-time copy.
+        inflight.set(0);
+        open.add(-7);
+        let (_, body) = get(server.addr(), "/healthz");
+        assert!(body.contains("inflight_requests 0"), "body: {body}");
+        assert!(body.contains("open_connections 0"), "body: {body}");
+        server.shutdown();
     }
 
     #[test]

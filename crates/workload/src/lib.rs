@@ -13,10 +13,12 @@
 //! published statistics at any scale ([`corpus`]), Zipf popularity and
 //! browsing-trace generation for the §4 user model ([`trace`]), and the
 //! website-fingerprinting attacker from the paper's §1 motivation
-//! ([`fingerprint`]).
+//! ([`fingerprint`]), and open-loop arrival schedules for the
+//! latency-under-load harness ([`openloop`]).
 
 pub mod corpus;
 pub mod fingerprint;
+pub mod openloop;
 pub mod timing;
 pub mod trace;
 pub mod zipf;
@@ -25,6 +27,7 @@ pub use corpus::{CorpusSpec, SyntheticPage};
 pub use fingerprint::{
     simulate_lightweb_flow, simulate_proxy_flow, synthetic_site, FlowObservation, NearestCentroid,
 };
+pub use openloop::{ArrivalProcess, OpenLoopPlan, PageSource, PlannedView};
 pub use timing::{extract_features, Archetype, TimingClassifier, TimingFeatures};
 pub use trace::{BrowsingTrace, UserModel};
 pub use zipf::Zipf;

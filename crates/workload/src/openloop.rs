@@ -1,0 +1,276 @@
+//! Open-loop arrival schedules for the load harness.
+//!
+//! Closed-loop drivers (a fixed pool of clients, each issuing its next
+//! request only after the previous one returns) cannot see queueing
+//! collapse: when the server slows down, the offered load politely slows
+//! with it, and measured latency stays flat while real users would be
+//! stacking up behind the queue. The load harness therefore generates
+//! arrivals *open loop*: request start times are fixed in advance by an
+//! arrival process, independent of how the server is coping, and each
+//! request's latency is measured from its **intended** start time — the
+//! coordinated-omission correction.
+//!
+//! [`ArrivalProcess`] generates intended start times; [`OpenLoopPlan`]
+//! joins them with page choice from this crate's Zipf/trace generators
+//! ([`crate::zipf::Zipf`], [`crate::trace::BrowsingTrace`]) into a
+//! concrete per-page-view plan a client fleet can execute.
+
+use crate::trace::BrowsingTrace;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An open-loop arrival process: intended page-view start times over a
+/// horizon, independent of service times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival gaps at the given
+    /// mean rate, the classic model of many independent users.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Deterministic arrivals, one every `1/rate_per_s` seconds — the
+    /// aggregate shape of a fleet of constant-rate paced browsers.
+    FixedRate {
+        /// Arrivals per second.
+        rate_per_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's mean arrival rate (per second).
+    pub fn rate_per_s(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s } | ArrivalProcess::FixedRate { rate_per_s } => {
+                rate_per_s
+            }
+        }
+    }
+
+    /// Intended start times in `[0, horizon_s)`, ascending. Deterministic
+    /// for a given seed (the seed is unused by [`ArrivalProcess::FixedRate`]).
+    pub fn arrival_times(&self, horizon_s: f64, seed: u64) -> Vec<f64> {
+        let rate = self.rate_per_s();
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let mut out = Vec::with_capacity((rate * horizon_s) as usize + 1);
+        match *self {
+            ArrivalProcess::Poisson { .. } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                loop {
+                    // Inverse-transform exponential gap; 1-u is in (0, 1]
+                    // so ln never sees zero.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    t += -(1.0 - u).ln() / rate;
+                    if t >= horizon_s {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::FixedRate { .. } => {
+                let mut k = 0u64;
+                loop {
+                    let t = k as f64 / rate;
+                    if t >= horizon_s {
+                        break;
+                    }
+                    out.push(t);
+                    k += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Where an open-loop plan draws its page choices from.
+#[derive(Clone, Copy, Debug)]
+pub enum PageSource<'a> {
+    /// Independent Zipf draws per page view.
+    Zipf(&'a Zipf),
+    /// Replay the page-rank sequence of a generated browsing trace,
+    /// cycling when the plan is longer than the trace. The trace's own
+    /// timestamps (days-scale) are ignored — only its popularity
+    /// sequence matters here.
+    Trace(&'a BrowsingTrace),
+}
+
+/// One planned page view: `gets_per_page` GETs, all intended at
+/// `intended_s` (a page view fires its blob fetches together, so every
+/// GET of the view is measured from the view's arrival).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannedView {
+    /// Intended start, seconds from plan epoch.
+    pub intended_s: f64,
+    /// Popularity rank of the visited page (0 = most popular).
+    pub page_rank: usize,
+}
+
+/// A concrete open-loop request plan: time-ordered page views plus the
+/// fixed GET fan-out per view.
+#[derive(Clone, Debug)]
+pub struct OpenLoopPlan {
+    /// Time-ordered planned page views.
+    pub views: Vec<PlannedView>,
+    /// Data GETs each view expands into.
+    pub gets_per_page: usize,
+}
+
+impl OpenLoopPlan {
+    /// Generate a plan: `process` fixes the view start times over
+    /// `[0, horizon_s)`, `source` picks each view's page. Deterministic
+    /// for a given seed.
+    pub fn generate(
+        process: ArrivalProcess,
+        source: PageSource<'_>,
+        horizon_s: f64,
+        gets_per_page: usize,
+        seed: u64,
+    ) -> OpenLoopPlan {
+        assert!(gets_per_page > 0, "a page view issues at least one GET");
+        let times = process.arrival_times(horizon_s, seed);
+        // Independent stream for page choice so changing the arrival
+        // process does not reshuffle popularity.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let views = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, intended_s)| {
+                let page_rank = match source {
+                    PageSource::Zipf(z) => z.sample(&mut rng),
+                    PageSource::Trace(t) => {
+                        assert!(!t.visits.is_empty(), "trace must have visits");
+                        t.visits[i % t.visits.len()].page_rank
+                    }
+                };
+                PlannedView {
+                    intended_s,
+                    page_rank,
+                }
+            })
+            .collect();
+        OpenLoopPlan {
+            views,
+            gets_per_page,
+        }
+    }
+
+    /// Total GETs the plan will issue.
+    pub fn total_gets(&self) -> usize {
+        self.views.len() * self.gets_per_page
+    }
+
+    /// Offered GET rate of the plan over its horizon (requests/second).
+    pub fn offered_gets_per_s(&self, horizon_s: f64) -> f64 {
+        assert!(horizon_s > 0.0);
+        self.total_gets() as f64 / horizon_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::UserModel;
+
+    #[test]
+    fn fixed_rate_is_evenly_spaced_and_exact() {
+        let p = ArrivalProcess::FixedRate { rate_per_s: 10.0 };
+        let times = p.arrival_times(2.0, 99);
+        assert_eq!(times.len(), 20);
+        for (k, t) in times.iter().enumerate() {
+            assert!((t - k as f64 * 0.1).abs() < 1e-12, "slot {k}: {t}");
+        }
+        // Seed is irrelevant for the deterministic process.
+        assert_eq!(times, p.arrival_times(2.0, 7));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed_and_hits_the_rate() {
+        let p = ArrivalProcess::Poisson { rate_per_s: 200.0 };
+        let a = p.arrival_times(5.0, 42);
+        let b = p.arrival_times(5.0, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, p.arrival_times(5.0, 43));
+        // ~1000 expected arrivals; allow ±15% (σ ≈ √1000 ≈ 32).
+        assert!(
+            (850..=1150).contains(&a.len()),
+            "poisson count {} far from 1000",
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "not time-ordered");
+        assert!(a.iter().all(|&t| (0.0..5.0).contains(&t)));
+    }
+
+    #[test]
+    fn poisson_gaps_have_exponential_spread() {
+        // A deterministic schedule has zero gap variance; Poisson gaps
+        // have coefficient of variation ≈ 1. Guard the distinction.
+        let p = ArrivalProcess::Poisson { rate_per_s: 500.0 };
+        let times = p.arrival_times(10.0, 1);
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.8..1.2).contains(&cv), "cv {cv} not exponential-like");
+    }
+
+    #[test]
+    fn plan_expands_views_into_gets() {
+        let zipf = Zipf::new(50, 1.0);
+        let plan = OpenLoopPlan::generate(
+            ArrivalProcess::FixedRate { rate_per_s: 20.0 },
+            PageSource::Zipf(&zipf),
+            1.0,
+            5,
+            3,
+        );
+        assert_eq!(plan.views.len(), 20);
+        assert_eq!(plan.total_gets(), 100);
+        assert!((plan.offered_gets_per_s(1.0) - 100.0).abs() < 1e-9);
+        assert!(plan.views.iter().all(|v| v.page_rank < 50));
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_zipf_skewed() {
+        let zipf = Zipf::new(100, 1.0);
+        let gen = || {
+            OpenLoopPlan::generate(
+                ArrivalProcess::Poisson { rate_per_s: 300.0 },
+                PageSource::Zipf(&zipf),
+                4.0,
+                1,
+                11,
+            )
+        };
+        let a = gen();
+        assert_eq!(a.views, gen().views);
+        // Rank 0 must dominate any mid-tail rank under Zipf(1.0).
+        let count = |r: usize| a.views.iter().filter(|v| v.page_rank == r).count();
+        assert!(count(0) > count(50), "head {} tail {}", count(0), count(50));
+    }
+
+    #[test]
+    fn trace_source_replays_the_trace_popularity_sequence() {
+        let trace = UserModel::default().generate_trace(200, 2, 5);
+        let plan = OpenLoopPlan::generate(
+            ArrivalProcess::FixedRate { rate_per_s: 50.0 },
+            PageSource::Trace(&trace),
+            1.0,
+            2,
+            0,
+        );
+        assert_eq!(plan.views.len(), 50);
+        for (i, v) in plan.views.iter().enumerate() {
+            assert_eq!(v.page_rank, trace.visits[i % trace.visits.len()].page_rank);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::Poisson { rate_per_s: 0.0 }.arrival_times(1.0, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Regression coverage for the workload generators the load harness
+//! feeds on: fixed-seed determinism (a sweep must be replayable
+//! bit-for-bit from its recorded seed) and distribution sanity (the
+//! Zipf sampler actually produces the skew its exponent promises).
+
+use lightweb_workload::{ArrivalProcess, OpenLoopPlan, PageSource, UserModel, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn zipf_sampling_is_deterministic_for_a_fixed_seed() {
+    let zipf = Zipf::new(100, 1.0);
+    let draw = |seed: u64| -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1000).map(|_| zipf.sample(&mut rng)).collect()
+    };
+    assert_eq!(draw(7), draw(7), "same seed must replay the same ranks");
+    assert_ne!(draw(7), draw(8), "different seeds should diverge");
+}
+
+#[test]
+fn trace_generation_is_deterministic_for_a_fixed_seed() {
+    let model = UserModel::default();
+    let a = model.generate_trace(200, 3, 99);
+    let b = model.generate_trace(200, 3, 99);
+    assert_eq!(a.visits, b.visits, "same seed must replay the same trace");
+    assert_eq!(a.gets_per_page, b.gets_per_page);
+    let c = model.generate_trace(200, 3, 100);
+    assert_ne!(a.visits, c.visits, "different seeds should diverge");
+}
+
+#[test]
+fn head_rank_frequency_matches_the_zipf_exponent() {
+    // For s = 1.0 over n = 100 ranks, pmf(0) = 1/H_100 ≈ 0.1928. A
+    // sampler that ignored the exponent (uniform: 0.01) or overshot it
+    // lands far outside the ±15% band at this sample size.
+    let n = 100;
+    let zipf = Zipf::new(n, 1.0);
+    let expected = zipf.pmf(0);
+    assert!((0.18..0.21).contains(&expected), "pmf(0) = {expected}");
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let draws = 50_000;
+    let head = (0..draws).filter(|_| zipf.sample(&mut rng) == 0).count();
+    let observed = head as f64 / draws as f64;
+    let rel = (observed - expected).abs() / expected;
+    assert!(
+        rel < 0.15,
+        "head-rank frequency {observed:.4} deviates {rel:.1}% from pmf(0) {expected:.4}"
+    );
+}
+
+#[test]
+fn open_loop_plans_draw_pages_with_the_same_skew() {
+    // The open-loop planner routes page choice through the same Zipf
+    // sampler; its head-rank share must show the same skew.
+    let zipf = Zipf::new(100, 1.0);
+    let plan = OpenLoopPlan::generate(
+        ArrivalProcess::Poisson { rate_per_s: 2000.0 },
+        PageSource::Zipf(&zipf),
+        10.0,
+        1,
+        31,
+    );
+    let head = plan.views.iter().filter(|v| v.page_rank == 0).count();
+    let observed = head as f64 / plan.views.len() as f64;
+    let rel = (observed - zipf.pmf(0)).abs() / zipf.pmf(0);
+    assert!(
+        rel < 0.15,
+        "planner head-rank share {observed:.4} deviates {rel:.1}% from pmf(0)"
+    );
+}
