@@ -677,8 +677,8 @@ mod tests {
         let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let a0 = l0.local_addr().unwrap();
         let a1 = l1.local_addr().unwrap();
-        let _h0 = server0.serve_tcp(l0);
-        let _h1 = server1.serve_tcp(l1);
+        let _h0 = server0.serve_tcp(l0).unwrap();
+        let _h1 = server1.serve_tcp(l1).unwrap();
 
         let mut client = TwoServerZltp::connect(
             std::net::TcpStream::connect(a0).unwrap(),

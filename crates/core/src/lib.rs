@@ -52,21 +52,28 @@
 //!   two-server orchestration and combination.
 //! * [`deployment`] — the §5.2 scale-out: a front-end that splits DPF
 //!   evaluation across data-server shards and XOR-combines their answers.
+//! * [`shardnet`] — the same split across real TCP: standalone shard
+//!   servers and the front-end fan-out driving them with `TCP_NODELAY`
+//!   links.
 
 pub mod client;
 pub mod config;
 pub mod deployment;
 pub mod error;
 pub mod server;
+pub mod shardnet;
 pub mod transport;
 pub mod wire;
 
 pub use client::{EnclaveClient, LweClientSession, SessionStats, TwoServerZltp, ZltpSession};
-pub use config::{BatchConfig, Mode, ModeSet, ServerConfig};
+pub use config::{BatchConfig, IoModel, Mode, ModeSet, ServerConfig};
 pub use deployment::{ShardedDeployment, ShardedQueryStats};
 pub use error::ZltpError;
-pub use server::{InProcServer, ZltpServer};
-pub use transport::{mem_pair, FramedConn, MemDuplex};
+pub use server::{Completion, HelloOutcome, InProcServer, SessionTicket, Submitted, ZltpServer};
+pub use shardnet::{ShardFanout, ShardNetServer};
+pub use transport::{
+    encode_frame, mem_pair, tune_zltp_socket, FrameDecoder, FramedConn, MemDuplex,
+};
 pub use wire::{Frame, Message, PROTOCOL_VERSION};
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 
 use crate::config::{Mode, ModeSet, ServerConfig};
 use crate::error::ZltpError;
-use crate::transport::{mem_pair, FramedConn, MemDuplex};
+use crate::transport::{mem_pair, tune_zltp_socket, FramedConn, MemDuplex};
 use crate::wire::{Message, PROTOCOL_VERSION};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use lightweb_engine::{
@@ -32,7 +32,7 @@ use lightweb_engine::{
     TwoServerDpfEngine,
 };
 use lightweb_pir::KeywordMap;
-use lightweb_telemetry::trace::{maybe_child, record_span, TraceContext};
+use lightweb_telemetry::trace::{maybe_child, record_span, record_span_ctx, TraceContext};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -54,10 +54,32 @@ pub mod error_code {
     pub const STATE: u16 = 5;
 }
 
+/// Callback invoked exactly once with a request's finished answer.
+///
+/// This is how answers travel from wherever they are computed (the
+/// batcher thread, an engine worker, or inline) back to whichever
+/// transport front-end owns the connection — a blocking session thread
+/// parks on a channel, the reactor pushes into its wakeup pipe. The
+/// `Err` string is what goes into the wire-level `Error` message.
+pub type Completion = Box<dyn FnOnce(Result<Vec<u8>, String>) + Send + 'static>;
+
+/// What [`ZltpServer::submit_get`] did with a request.
+pub enum Submitted {
+    /// The answer is being produced elsewhere (batcher queue) or the
+    /// completion has already fired (prepare error, shutdown). Nothing
+    /// more for the caller to do.
+    Dispatched,
+    /// Unbatched modes: the caller must run this closure on a thread of
+    /// its choosing — it performs the (potentially heavy) engine answer
+    /// and then fires the completion. Blocking sessions run it in place;
+    /// the reactor ships it to a worker so the event loop never scans.
+    Work(Box<dyn FnOnce() + Send + 'static>),
+}
+
 /// A prepared query awaiting the next batched scan pass.
 struct BatchJob {
     query: PreparedQuery,
-    reply: Sender<Result<Vec<u8>, String>>,
+    complete: Completion,
     /// When the job entered the batcher queue, for queue-wait accounting.
     enqueued_at: Instant,
     /// The request's trace context, if the session is being traced; the
@@ -420,12 +442,12 @@ impl ZltpServer {
                     match result {
                         Ok(answers) => {
                             for (job, ans) in jobs.into_iter().zip(answers) {
-                                let _ = job.reply.send(Ok(ans));
+                                (job.complete)(Ok(ans));
                             }
                         }
                         Err(e) => {
                             for job in jobs {
-                                let _ = job.reply.send(Err(e.to_string()));
+                                (job.complete)(Err(e.to_string()));
                             }
                         }
                     }
@@ -443,66 +465,242 @@ impl ZltpServer {
     // Session handling
     // ------------------------------------------------------------------
 
+    /// Whether [`ZltpServer::shutdown`] has been requested. Transport
+    /// front-ends (the blocking accept loop, the reactor) poll this to
+    /// wind down.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Account one accepted session: bumps the session counters and holds
+    /// the open-connections gauge up for the ticket's lifetime. Every
+    /// transport front-end opens one ticket per connection so `/healthz`
+    /// sees the same numbers regardless of io model.
+    pub fn begin_session(&self) -> SessionTicket {
+        self.inner.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        lightweb_telemetry::counter!("zltp.server.sessions").inc();
+        open_connections_gauge().add(1);
+        SessionTicket {
+            _open: GaugeDec(open_connections_gauge().clone()),
+        }
+    }
+
+    /// Validate a client's opening message and negotiate the session mode.
+    ///
+    /// Pure protocol logic shared by the blocking session loop and the
+    /// reactor's per-connection state machine; the caller owns all I/O
+    /// (send the returned message, then either proceed or close).
+    pub fn negotiate_hello(&self, hello: &Message) -> HelloOutcome {
+        let (version, client_modes) = match hello {
+            Message::ClientHello { version, modes } => (*version, modes.as_slice()),
+            other => {
+                return HelloOutcome::Rejected {
+                    error: Message::Error {
+                        code: error_code::STATE,
+                        message: format!("expected ClientHello, got {}", other.name()),
+                    },
+                    reason: ZltpError::UnexpectedMessage {
+                        expected: "ClientHello",
+                        got: "other",
+                    },
+                }
+            }
+        };
+        if version != PROTOCOL_VERSION {
+            return HelloOutcome::Rejected {
+                error: Message::Error {
+                    code: error_code::VERSION,
+                    message: format!("unsupported version {version}"),
+                },
+                reason: ZltpError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                },
+            };
+        }
+        let client_set = ModeSet::new(client_modes.iter().filter_map(|m| Mode::from_wire(*m)));
+        let Some(mode) = ModeSet::negotiate(&self.inner.config.modes, &client_set) else {
+            return HelloOutcome::Rejected {
+                error: Message::Error {
+                    code: error_code::NO_MODE,
+                    message: "no common mode of operation".into(),
+                },
+                reason: ZltpError::NoCommonMode,
+            };
+        };
+        let engine = match self.inner.engine_for(mode) {
+            Some(e) => e,
+            None => {
+                return HelloOutcome::Rejected {
+                    error: Message::Error {
+                        code: error_code::ENGINE,
+                        message: format!("mode {mode:?} not materialized"),
+                    },
+                    reason: ZltpError::Engine(format!("mode {mode:?} not materialized")),
+                }
+            }
+        };
+        match engine.session_extra() {
+            Ok(extra) => HelloOutcome::Accepted {
+                mode,
+                server_hello: Message::ServerHello {
+                    version: PROTOCOL_VERSION,
+                    universe_id: self.inner.config.universe_id.clone(),
+                    mode: mode.to_wire(),
+                    blob_len: self.inner.config.blob_len as u32,
+                    domain_bits: self.inner.config.domain_bits as u8,
+                    term_bits: self.inner.config.term_bits as u8,
+                    keyword_hash_key: self.inner.config.keyword_hash_key,
+                    extra,
+                },
+            },
+            Err(e) => HelloOutcome::Rejected {
+                error: Message::Error {
+                    code: error_code::ENGINE,
+                    message: e.to_string(),
+                },
+                reason: e.into(),
+            },
+        }
+    }
+
+    /// Build the reply to an `LweSetupRequest` in session mode `mode`:
+    /// the setup material, or a wire `Error` for requests outside LWE
+    /// mode. `Err` means the engine itself failed and the session should
+    /// die. Heavy (clones the LWE hint) — keep it off the reactor thread.
+    pub fn setup_message(&self, mode: Mode) -> Result<Message, ZltpError> {
+        if mode != Mode::SingleServerLwe {
+            return Ok(Message::Error {
+                code: error_code::STATE,
+                message: "LweSetupRequest outside LWE mode".into(),
+            });
+        }
+        let engine = self
+            .inner
+            .engine_for(mode)
+            .ok_or_else(|| ZltpError::Engine(format!("mode {mode:?} not materialized")))?;
+        let setup = engine
+            .setup()
+            .map_err(ZltpError::from)?
+            .ok_or_else(|| ZltpError::Engine("engine has no setup material".into()))?;
+        Ok(Message::LweSetupResponse {
+            key_hashes: setup.key_hashes,
+            hint: setup.hint,
+        })
+    }
+
+    /// Submit one GET payload for answering, with `complete` fired exactly
+    /// once when the answer (or error) is ready.
+    ///
+    /// All request accounting lives here — the in-flight gauge, request
+    /// counters/histograms, the `zltp.server.request` trace span (minted
+    /// as a child of the wire context and recorded when the completion
+    /// fires, *before* the response frame leaves, so the client's root
+    /// span is always the last of its trace) — which keeps the blocking
+    /// and reactor paths from drifting apart.
+    ///
+    /// DPF queries route through the batcher when it is running, so one
+    /// scan pass answers a whole batch (§5.1); those return
+    /// [`Submitted::Dispatched`]. Unbatched modes return
+    /// [`Submitted::Work`] for the caller to run wherever it likes.
+    pub fn submit_get(
+        &self,
+        mode: Mode,
+        payload: &[u8],
+        wire_ctx: Option<&TraceContext>,
+        complete: Completion,
+    ) -> Submitted {
+        let span_ctx = wire_ctx.map(TraceContext::child);
+        let start = Instant::now();
+        inflight_requests_gauge().add(1);
+        let engine_metric = match self.inner.engine_for(mode) {
+            Some(engine) => engine.request_metric(),
+            None => "zltp.server.request.unknown_mode.ns",
+        };
+        let server = self.clone();
+        let finish: Completion = Box::new(move |result: Result<Vec<u8>, String>| {
+            let end = Instant::now();
+            let elapsed_ns = end.duration_since(start).as_nanos() as u64;
+            inflight_requests_gauge().add(-1);
+            lightweb_telemetry::registry()
+                .histogram("zltp.server.request.ns")
+                .record(elapsed_ns);
+            lightweb_telemetry::registry()
+                .histogram(engine_metric)
+                .record(elapsed_ns);
+            match &result {
+                Ok(_) => {
+                    server.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    lightweb_telemetry::counter!("zltp.server.requests").inc();
+                }
+                Err(e) => log_session_error("answer-get", e),
+            }
+            if let Some(ctx) = &span_ctx {
+                record_span_ctx(ctx, "zltp.server.request", start, end);
+            }
+            complete(result);
+        });
+        let Some(engine) = self.inner.engine_for(mode) else {
+            finish(Err(format!("mode {mode:?} not materialized")));
+            return Submitted::Dispatched;
+        };
+        let query = {
+            let _prepare = maybe_child(span_ctx.as_ref(), "zltp.server.prepare");
+            match engine.prepare(payload) {
+                Ok(q) => q,
+                Err(e) => {
+                    finish(Err(e.to_string()));
+                    return Submitted::Dispatched;
+                }
+            }
+        };
+        if mode == Mode::TwoServerPir {
+            let tx_opt = self.inner.batch_tx.lock().clone();
+            if let Some(tx) = tx_opt {
+                let job = BatchJob {
+                    query,
+                    complete: finish,
+                    enqueued_at: Instant::now(),
+                    ctx: span_ctx,
+                };
+                if let Err(err) = tx.send(job) {
+                    (err.0.complete)(Err("server is shutting down".into()));
+                }
+                return Submitted::Dispatched;
+            }
+        }
+        let server = self.clone();
+        Submitted::Work(Box::new(move || {
+            let result = match server.inner.engine_for(mode) {
+                Some(engine) => engine
+                    .answer(&query, span_ctx.as_ref())
+                    .map_err(|e| e.to_string()),
+                None => Err(format!("mode {mode:?} not materialized")),
+            };
+            finish(result);
+        }))
+    }
+
     /// Run one ZLTP session over any byte stream, blocking until the peer
     /// closes or errors. Protocol errors are reported to the peer where
     /// possible and returned.
     pub fn handle_connection<S: Read + Write>(&self, stream: S) -> Result<(), ZltpError> {
         let mut conn = FramedConn::new(stream);
-        self.inner.stats.sessions.fetch_add(1, Ordering::Relaxed);
-        lightweb_telemetry::counter!("zltp.server.sessions").inc();
-        open_connections_gauge().add(1);
-        let _open = GaugeDec(open_connections_gauge().clone());
+        let _ticket = self.begin_session();
         let _session = lightweb_telemetry::span!("zltp.server.session.ns");
 
         // --- Hello exchange ---
         let hello = conn.recv()?;
-        let (version, client_modes) = match hello {
-            Message::ClientHello { version, modes } => (version, modes),
-            other => {
-                let _ = conn.send(&Message::Error {
-                    code: error_code::STATE,
-                    message: format!("expected ClientHello, got {}", other.name()),
-                });
-                return Err(ZltpError::UnexpectedMessage {
-                    expected: "ClientHello",
-                    got: "other",
-                });
+        let mode = match self.negotiate_hello(&hello) {
+            HelloOutcome::Accepted { mode, server_hello } => {
+                conn.send(&server_hello)?;
+                mode
+            }
+            HelloOutcome::Rejected { error, reason } => {
+                let _ = conn.send(&error);
+                return Err(reason);
             }
         };
-        if version != PROTOCOL_VERSION {
-            let _ = conn.send(&Message::Error {
-                code: error_code::VERSION,
-                message: format!("unsupported version {version}"),
-            });
-            return Err(ZltpError::VersionMismatch {
-                ours: PROTOCOL_VERSION,
-                theirs: version,
-            });
-        }
-        let client_set = ModeSet::new(client_modes.iter().filter_map(|m| Mode::from_wire(*m)));
-        let Some(mode) = ModeSet::negotiate(&self.inner.config.modes, &client_set) else {
-            let _ = conn.send(&Message::Error {
-                code: error_code::NO_MODE,
-                message: "no common mode of operation".into(),
-            });
-            return Err(ZltpError::NoCommonMode);
-        };
-        let engine = self
-            .inner
-            .engine_for(mode)
-            .ok_or_else(|| ZltpError::Engine(format!("mode {mode:?} not materialized")))?;
-
-        let extra = engine.session_extra().map_err(ZltpError::from)?;
-        conn.send(&Message::ServerHello {
-            version: PROTOCOL_VERSION,
-            universe_id: self.inner.config.universe_id.clone(),
-            mode: mode.to_wire(),
-            blob_len: self.inner.config.blob_len as u32,
-            domain_bits: self.inner.config.domain_bits as u8,
-            term_bits: self.inner.config.term_bits as u8,
-            keyword_hash_key: self.inner.config.keyword_hash_key,
-            extra,
-        })?;
 
         // --- Request loop ---
         loop {
@@ -521,59 +719,30 @@ impl ZltpServer {
                     request_id,
                     payload,
                 } => {
-                    // The server-side span hangs off the trace context the
-                    // client sent on the wire (absent for legacy peers). It
-                    // must finish before the response is sent so the
-                    // client's root span is always the last of its trace.
-                    let span = maybe_child(wire_ctx.as_ref(), "zltp.server.request");
-                    let span_ctx = span.as_ref().map(|s| s.ctx());
-                    inflight_requests_gauge().add(1);
-                    let inflight = GaugeDec(inflight_requests_gauge().clone());
-                    let start = Instant::now();
-                    let answer = self.answer_get(mode, engine, &payload, span_ctx.as_ref());
-                    let elapsed_ns = start.elapsed().as_nanos() as u64;
-                    drop(inflight);
-                    drop(span);
-                    lightweb_telemetry::registry()
-                        .histogram("zltp.server.request.ns")
-                        .record(elapsed_ns);
-                    lightweb_telemetry::registry()
-                        .histogram(engine.request_metric())
-                        .record(elapsed_ns);
-                    match answer {
-                        Ok(response) => {
-                            self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                            lightweb_telemetry::counter!("zltp.server.requests").inc();
-                            conn.send(&Message::GetResponse {
-                                request_id,
-                                payload: response,
-                            })?;
-                        }
-                        Err(e) => {
-                            log_session_error("answer-get", &e.to_string());
-                            conn.send(&Message::Error {
-                                code: error_code::BAD_QUERY,
-                                message: e.to_string(),
-                            })?;
-                        }
+                    let (reply_tx, reply_rx) = bounded(1);
+                    let complete: Completion = Box::new(move |res| {
+                        let _ = reply_tx.send(res);
+                    });
+                    match self.submit_get(mode, &payload, wire_ctx.as_ref(), complete) {
+                        // A blocking session has a whole thread to burn:
+                        // run unbatched work right here.
+                        Submitted::Work(work) => work(),
+                        Submitted::Dispatched => {}
+                    }
+                    match reply_rx.recv() {
+                        Ok(Ok(response)) => conn.send(&Message::GetResponse {
+                            request_id,
+                            payload: response,
+                        })?,
+                        Ok(Err(e)) => conn.send(&Message::Error {
+                            code: error_code::BAD_QUERY,
+                            message: e,
+                        })?,
+                        Err(_) => return Err(ZltpError::Closed),
                     }
                 }
                 Message::LweSetupRequest => {
-                    if mode != Mode::SingleServerLwe {
-                        conn.send(&Message::Error {
-                            code: error_code::STATE,
-                            message: "LweSetupRequest outside LWE mode".into(),
-                        })?;
-                        continue;
-                    }
-                    let setup = engine
-                        .setup()
-                        .map_err(ZltpError::from)?
-                        .ok_or_else(|| ZltpError::Engine("engine has no setup material".into()))?;
-                    conn.send(&Message::LweSetupResponse {
-                        key_hashes: setup.key_hashes,
-                        hint: setup.hint,
-                    })?;
+                    conn.send(&self.setup_message(mode)?)?;
                 }
                 Message::Close => {
                     let _ = conn.send(&Message::Close);
@@ -589,51 +758,22 @@ impl ZltpServer {
         }
     }
 
-    /// Dispatch one GET payload: let the mode's engine decode it, then
-    /// answer directly or through the batcher.
-    fn answer_get(
+    /// Serve TCP connections with one blocking thread per session until
+    /// `shutdown` is called. Returns the accept thread's handle.
+    ///
+    /// Errors if the listener cannot be made nonblocking or the accept
+    /// thread cannot spawn. The nonblocking accept loop is what lets the
+    /// thread observe `shutdown` between connections; the old behavior of
+    /// limping along with a blocking listener left shutdown unobserved
+    /// until the *next* accept returned — a hang in every process whose
+    /// last client already left — so that degraded mode is now a hard
+    /// error at bind time, when the operator is still looking.
+    pub fn serve_tcp(
         &self,
-        mode: Mode,
-        engine: &dyn QueryEngine,
-        payload: &[u8],
-        ctx: Option<&TraceContext>,
-    ) -> Result<Vec<u8>, ZltpError> {
-        let query = {
-            let _prepare = maybe_child(ctx, "zltp.server.prepare");
-            engine.prepare(payload)?
-        };
-        // DPF queries route through the batcher when it is running, so one
-        // scan pass answers a whole batch (§5.1). Everything else answers
-        // inline.
-        if mode == Mode::TwoServerPir {
-            let tx_opt = self.inner.batch_tx.lock().clone();
-            if let Some(tx) = tx_opt {
-                let (reply_tx, reply_rx) = bounded(1);
-                tx.send(BatchJob {
-                    query,
-                    reply: reply_tx,
-                    enqueued_at: Instant::now(),
-                    ctx: ctx.copied(),
-                })
-                .map_err(|_| ZltpError::Closed)?;
-                return reply_rx
-                    .recv()
-                    .map_err(|_| ZltpError::Closed)?
-                    .map_err(ZltpError::Engine);
-            }
-        }
-        engine.answer(&query, ctx).map_err(ZltpError::from)
-    }
-
-    /// Serve TCP connections until `shutdown` is called. Returns the accept
-    /// thread's handle.
-    pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::thread::JoinHandle<()> {
+        listener: std::net::TcpListener,
+    ) -> std::io::Result<std::thread::JoinHandle<()>> {
         let server = self.clone();
-        if let Err(e) = listener.set_nonblocking(true) {
-            // Degraded mode: blocking accepts still serve connections, but
-            // shutdown is only observed after the next accept returns.
-            log_session_error("set-nonblocking", &e.to_string());
-        }
+        listener.set_nonblocking(true)?;
         std::thread::Builder::new()
             .name("zltp-accept".into())
             .spawn(move || loop {
@@ -643,10 +783,7 @@ impl ZltpServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
-                        // ZLTP frames are small and latency-sensitive;
-                        // Nagle + delayed ACK otherwise adds tens of
-                        // milliseconds per answer.
-                        stream.set_nodelay(true).ok();
+                        tune_zltp_socket(&stream, "server-accept");
                         let s = server.clone();
                         let spawned =
                             std::thread::Builder::new()
@@ -671,8 +808,32 @@ impl ZltpServer {
                     }
                 }
             })
-            .expect("spawn accept thread")
     }
+}
+
+/// RAII accounting for one open session; see [`ZltpServer::begin_session`].
+pub struct SessionTicket {
+    _open: GaugeDec,
+}
+
+/// Result of [`ZltpServer::negotiate_hello`].
+pub enum HelloOutcome {
+    /// Negotiation succeeded: send `server_hello`, then serve requests
+    /// in `mode`.
+    Accepted {
+        /// The negotiated mode of operation.
+        mode: Mode,
+        /// The `ServerHello` to send back.
+        server_hello: Message,
+    },
+    /// Negotiation failed: best-effort send `error`, then close. `reason`
+    /// is the session-level error for the caller's logging.
+    Rejected {
+        /// The wire-level `Error` to report to the peer.
+        error: Message,
+        /// Why the session is being refused.
+        reason: ZltpError,
+    },
 }
 
 /// An in-process ZLTP endpoint: every [`InProcServer::connect`] call yields

@@ -12,7 +12,13 @@
 
 use crate::eval::NodeState;
 use crate::key::{CorrectionWord, DpfKey, DpfParams};
-use lightweb_crypto::prg::{DpfPrg, Seed};
+use crate::serial::KeyDecodeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lightweb_crypto::prg::{DpfPrg, Seed, SEED_LEN};
+
+/// Magic byte identifying a serialized [`ShardKey`] (distinct from the
+/// full-key magic so a shard server can't be fed a whole-tree key).
+const SHARD_KEY_MAGIC: u8 = 0xD8;
 
 /// A sub-tree root handed from the front-end to one data server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +140,121 @@ impl ShardKey {
     }
 }
 
+impl TreeNode {
+    /// Exact size of a serialized sub-tree root: the seed plus one
+    /// control-bit byte.
+    pub const SERIALIZED_LEN: usize = SEED_LEN + 1;
+
+    /// Serialize for the front-end→data-server hop.
+    pub fn to_bytes(&self) -> [u8; Self::SERIALIZED_LEN] {
+        let mut out = [0u8; Self::SERIALIZED_LEN];
+        out[..SEED_LEN].copy_from_slice(&self.seed);
+        out[SEED_LEN] = self.bit as u8;
+        out
+    }
+
+    /// Deserialize a sub-tree root produced by [`TreeNode::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, KeyDecodeError> {
+        if data.len() < Self::SERIALIZED_LEN {
+            return Err(KeyDecodeError::Truncated);
+        }
+        if data.len() > Self::SERIALIZED_LEN {
+            return Err(KeyDecodeError::TrailingBytes(
+                data.len() - Self::SERIALIZED_LEN,
+            ));
+        }
+        if data[SEED_LEN] > 1 {
+            return Err(KeyDecodeError::BadParams);
+        }
+        let mut seed = [0u8; SEED_LEN];
+        seed.copy_from_slice(&data[..SEED_LEN]);
+        Ok(Self {
+            seed,
+            bit: data[SEED_LEN] == 1,
+        })
+    }
+}
+
+impl ShardKey {
+    /// Exact size in bytes of the serialized shard key: a 5-byte header,
+    /// one `(seed, bits)` correction word per sub-tree level, and the
+    /// terminal correction block.
+    pub fn serialized_len(&self) -> usize {
+        5 + self.cws.len() * (SEED_LEN + 1) + self.final_cw.len()
+    }
+
+    /// Serialize for the front-end→data-server hop. The layout mirrors
+    /// [`DpfKey::to_bytes`] with its own magic byte and the prefix depth
+    /// in the header; the sub-tree root travels separately (it differs
+    /// per shard, the shard key does not).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.serialized_len());
+        buf.put_u8(SHARD_KEY_MAGIC);
+        buf.put_u8(self.params.domain_bits() as u8);
+        buf.put_u8(self.params.term_bits() as u8);
+        buf.put_u8(self.party);
+        buf.put_u8(self.prefix_bits as u8);
+        for cw in &self.cws {
+            buf.put_slice(&cw.seed);
+            buf.put_u8((cw.left_bit as u8) | ((cw.right_bit as u8) << 1));
+        }
+        buf.put_slice(&self.final_cw);
+        debug_assert_eq!(buf.len(), self.serialized_len());
+        buf.freeze()
+    }
+
+    /// Deserialize a shard key produced by [`ShardKey::to_bytes`].
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, KeyDecodeError> {
+        if data.len() < 5 {
+            return Err(KeyDecodeError::Truncated);
+        }
+        let magic = data.get_u8();
+        if magic != SHARD_KEY_MAGIC {
+            return Err(KeyDecodeError::BadMagic(magic));
+        }
+        let domain_bits = data.get_u8() as u32;
+        let term_bits = data.get_u8() as u32;
+        let party = data.get_u8();
+        let prefix_bits = data.get_u8() as u32;
+        if party > 1 {
+            return Err(KeyDecodeError::BadParams);
+        }
+        let params =
+            DpfParams::new(domain_bits, term_bits).map_err(|_| KeyDecodeError::BadParams)?;
+        if prefix_bits >= params.tree_depth() || domain_bits - prefix_bits < 3 {
+            return Err(KeyDecodeError::BadParams);
+        }
+        let depth = (params.tree_depth() - prefix_bits) as usize;
+        let need = depth * (SEED_LEN + 1) + params.leaf_block_len();
+        if data.len() < need {
+            return Err(KeyDecodeError::Truncated);
+        }
+        let mut cws = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let mut seed = [0u8; SEED_LEN];
+            data.copy_to_slice(&mut seed);
+            let bits = data.get_u8();
+            cws.push(CorrectionWord {
+                seed,
+                left_bit: bits & 1 == 1,
+                right_bit: bits & 2 == 2,
+            });
+        }
+        let mut final_cw = vec![0u8; params.leaf_block_len()];
+        data.copy_to_slice(&mut final_cw);
+        if !data.is_empty() {
+            return Err(KeyDecodeError::TrailingBytes(data.len()));
+        }
+        Ok(Self {
+            params,
+            party,
+            prefix_bits,
+            cws,
+            final_cw,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +315,52 @@ mod tests {
             shard_key.shard_output_len() * 8,
             (params.domain_size() >> 3) as usize
         );
+    }
+
+    #[test]
+    fn shard_key_and_node_roundtrip_preserve_evaluation() {
+        let params = DpfParams::new(13, 4).unwrap();
+        let (k0, k1) = gen_with_seeds(&params, 999, [5; 16], [6; 16]);
+        for key in [&k0, &k1] {
+            let shard_key = key.shard_key(3);
+            let back = ShardKey::from_bytes(&shard_key.to_bytes()).unwrap();
+            assert_eq!(back, shard_key);
+            for node in key.eval_prefix(3) {
+                let node_back = TreeNode::from_bytes(&node.to_bytes()).unwrap();
+                assert_eq!(node_back, node);
+                let len = shard_key.shard_output_len();
+                let (mut a, mut b) = (vec![0u8; len], vec![0u8; len]);
+                shard_key.eval(&node, &mut a);
+                back.eval(&node_back, &mut b);
+                assert_eq!(a, b, "wire hop changed the evaluation");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_key_decode_rejects_damage() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let (k0, _) = gen_with_seeds(&params, 1, [7; 16], [8; 16]);
+        let bytes = k0.shard_key(2).to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                ShardKey::from_bytes(&bytes[..len]).is_err(),
+                "accepted truncation to {len}"
+            );
+        }
+        let mut trailing = bytes.to_vec();
+        trailing.push(0);
+        assert!(ShardKey::from_bytes(&trailing).is_err());
+        let mut wrong_magic = bytes.to_vec();
+        wrong_magic[0] = 0xD7; // a full DpfKey's magic must not decode
+        assert!(ShardKey::from_bytes(&wrong_magic).is_err());
+        let mut deep_prefix = bytes.to_vec();
+        deep_prefix[4] = 60; // prefix deeper than the tree
+        assert!(ShardKey::from_bytes(&deep_prefix).is_err());
+        assert!(TreeNode::from_bytes(&[0u8; 3]).is_err());
+        let mut bad_bit = [0u8; TreeNode::SERIALIZED_LEN];
+        bad_bit[16] = 2;
+        assert!(TreeNode::from_bytes(&bad_bit).is_err());
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub use error::EngineError;
 pub use lwe::SingleServerLweEngine;
 pub use pool::{ScanPool, SCAN_THREADS_ENV};
 pub use query::PreparedQuery;
-pub use sharded::{DeploymentEntries, ShardedDeployment, ShardedQueryStats};
+pub use sharded::{DataShard, DeploymentEntries, ShardedDeployment, ShardedQueryStats};
 pub use traits::{EngineSetup, QueryEngine};
 pub use two_server::TwoServerDpfEngine;

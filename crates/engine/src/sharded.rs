@@ -302,6 +302,116 @@ impl ShardedDeployment {
             .scan(&bits)
             .expect("shard bit vector sized to shard params")
     }
+
+    /// Answer for a single shard — the per-shard entry point a remote
+    /// data server exposes over the wire. `shard` indexes into this
+    /// deployment's shard list; `shard_key` and `node` come from the
+    /// front-end split of the client's key.
+    pub fn answer_shard(
+        &self,
+        shard: usize,
+        shard_key: &ShardKey,
+        node: &TreeNode,
+    ) -> Result<Vec<u8>, EngineError> {
+        let server = self
+            .shards
+            .get(shard)
+            .ok_or_else(|| EngineError::BadQuery(format!("no shard {shard}")))?;
+        if shard_key.params() != self.params || shard_key.prefix_bits() != self.prefix_bits {
+            return Err(EngineError::BadQuery(
+                "shard key parameters mismatch".into(),
+            ));
+        }
+        let _answer = lightweb_telemetry::span!("zltp.shard.answer.ns");
+        Ok(Self::shard_answer(server, shard_key, node))
+    }
+}
+
+/// One data server of a §5.2 deployment, standing alone: it holds only
+/// its slice of the database and answers `(ShardKey, TreeNode)` requests
+/// from a front-end. This is what a shard *process* hosts when the
+/// deployment leaves a single address space — [`ShardedDeployment`]
+/// holds all of these in-process; `DataShard` is one of them, buildable
+/// from the full entry list without materializing the rest.
+pub struct DataShard {
+    shard: PirServer,
+    params: DpfParams,
+    prefix_bits: u32,
+    index: usize,
+}
+
+impl DataShard {
+    /// Build shard `index` of a `2^prefix_bits`-way deployment from the
+    /// full entry list; entries outside this shard's slice of the slot
+    /// domain are dropped (each shard process feeds the same published
+    /// dataset and keeps its own slice).
+    pub fn from_entries(
+        params: DpfParams,
+        prefix_bits: u32,
+        index: usize,
+        record_len: usize,
+        entries: Vec<(u64, Vec<u8>)>,
+    ) -> Result<Self, EngineError> {
+        if prefix_bits >= params.tree_depth() || params.domain_bits() - prefix_bits < 3 {
+            return Err(EngineError::Backend(format!(
+                "prefix_bits {prefix_bits} invalid for domain {}",
+                params.domain_bits()
+            )));
+        }
+        if index >= (1usize << prefix_bits) {
+            return Err(EngineError::Backend(format!(
+                "shard index {index} out of range for prefix_bits {prefix_bits}"
+            )));
+        }
+        let shard_bits = params.domain_bits() - prefix_bits;
+        let sub_params =
+            DpfParams::new(shard_bits, params.term_bits()).map_err(EngineError::backend)?;
+        let local: Vec<(u64, Vec<u8>)> = entries
+            .into_iter()
+            .filter(|(slot, _)| (slot >> shard_bits) as usize == index)
+            .map(|(slot, rec)| (slot & ((1u64 << shard_bits) - 1), rec))
+            .collect();
+        let shard =
+            PirServer::from_entries(sub_params, record_len, local).map_err(EngineError::backend)?;
+        Ok(Self {
+            shard,
+            params,
+            prefix_bits,
+            index,
+        })
+    }
+
+    /// Which shard of the deployment this is.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Records held by this shard.
+    pub fn len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Whether the shard's slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shard.len() == 0
+    }
+
+    /// Finish one sub-tree evaluation and scan the slice — the remote
+    /// mirror of [`ShardedDeployment::answer_shard`]. Rejects key
+    /// material split with the wrong parameters or prefix depth.
+    pub fn answer(&self, shard_key: &ShardKey, node: &TreeNode) -> Result<Vec<u8>, EngineError> {
+        if shard_key.params() != self.params || shard_key.prefix_bits() != self.prefix_bits {
+            return Err(EngineError::BadQuery(
+                "shard key parameters mismatch".into(),
+            ));
+        }
+        let _answer = lightweb_telemetry::span!("zltp.shard.answer.ns");
+        Ok(ShardedDeployment::shard_answer(
+            &self.shard,
+            shard_key,
+            node,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +500,47 @@ mod tests {
             "records per shard: {:?}",
             stats.records_scanned
         );
+    }
+
+    #[test]
+    fn standalone_data_shards_reassemble_deployment_answer() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let es = entries(100, 1 << 12, 32);
+        let dep = ShardedDeployment::from_entries(params, 2, 32, es.clone()).unwrap();
+        let shards: Vec<DataShard> = (0..4)
+            .map(|i| DataShard::from_entries(params, 2, i, 32, es.clone()).unwrap())
+            .collect();
+        assert_eq!(
+            shards.iter().map(|s| s.len()).sum::<usize>(),
+            dep.total_records()
+        );
+        let (k0, _) = gen(&params, es[7].0);
+        let nodes = k0.eval_prefix(2);
+        let shard_key = k0.shard_key(2);
+        let mut acc = vec![0u8; 32];
+        for (shard, node) in shards.iter().zip(nodes.iter()) {
+            let partial = shard.answer(&shard_key, node).unwrap();
+            // The deployment's per-shard entry point agrees byte for byte.
+            assert_eq!(
+                partial,
+                dep.answer_shard(shard.index(), &shard_key, node).unwrap()
+            );
+            lightweb_crypto::xor_in_place(&mut acc, &partial);
+        }
+        assert_eq!(acc, dep.answer(&k0).unwrap().0);
+    }
+
+    #[test]
+    fn data_shard_rejects_mismatched_key_material() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let shard = DataShard::from_entries(params, 2, 0, 8, vec![]).unwrap();
+        let (k0, _) = gen(&params, 0);
+        // Wrong prefix depth.
+        let wrong = k0.shard_key(3);
+        let node = k0.eval_prefix(2)[0];
+        assert!(shard.answer(&wrong, &node).is_err());
+        // Out-of-range shard index at build time.
+        assert!(DataShard::from_entries(params, 2, 4, 8, vec![]).is_err());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+#![warn(missing_docs)]
+
+//! # lightweb-reactor — event-driven ZLTP serving
+//!
+//! The core server's historical TCP front-end spawns one blocking OS
+//! thread per connection. That is simple and fine for hundreds of active
+//! sessions, but Lightweb's target — millions of users — means each
+//! server process holds *tens of thousands of mostly-idle* ZLTP sessions,
+//! and ten thousand stacks plus ten thousand scheduler entries is exactly
+//! the baggage this system exists to shed.
+//!
+//! This crate adds the second io model: a std-only nonblocking **reactor**.
+//! One thread owns every accepted socket through an epoll instance
+//! (reached via a thin syscall shim, [`sys`] — the same pattern as the
+//! telemetry crate's `clock_gettime` shim; no `libc` dependency), runs a
+//! per-connection state machine over the incremental frame decoder
+//! (partial frames, trace-context frame extensions, write backpressure
+//! via `EPOLLOUT` re-arming), and hands complete requests to the existing
+//! §5.1 batcher and `QueryEngine` pool via
+//! [`ZltpServer::submit_get`](lightweb_core::ZltpServer::submit_get).
+//! Finished answers return on a completion channel paired with a wakeup
+//! pipe that pulls the reactor out of `epoll_wait`.
+//!
+//! [`serve`] is the front door: it dispatches on
+//! [`ServerConfig::io_model`](lightweb_core::ServerConfig) (env
+//! `LIGHTWEB_IO_MODEL`), so the blocking path and the in-memory transport
+//! keep working untouched and tests run against both models.
+//!
+//! ## Telemetry
+//!
+//! The reactor exports through the existing scrape endpoint:
+//! `reactor.epoll.wait.ns` / `reactor.dispatch.ns` histograms (and a
+//! `reactor.dispatch` profile scope), a `reactor.ready.batch` histogram
+//! (events per wakeup — the multiplexing factor), gauges
+//! `reactor.sessions.open` / `reactor.sessions.idle`, and counters for
+//! accepts, reaps, and backpressure engagements. Transport byte/frame
+//! counters use the same names as `FramedConn`, so `/metrics` aggregates
+//! identically across io models.
+//!
+//! ## Idle reaping
+//!
+//! Sessions with no in-flight work and no wire activity for
+//! [`ReactorConfig::idle_timeout`] are reaped (counted in
+//! `reactor.sessions.reaped`) — the defense against slow-loris peers and
+//! abandoned connections that a thread-per-connection server pays a
+//! whole parked thread to tolerate.
+
+use lightweb_core::config::IoModel;
+use lightweb_core::ZltpServer;
+use std::net::TcpListener;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+#[cfg(target_os = "linux")]
+mod reactor;
+
+/// Tuning for the event loop. [`ReactorConfig::from_env`] is what
+/// [`serve`] uses.
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorConfig {
+    /// Reap sessions with no in-flight work and no wire activity for
+    /// this long. Env: `LIGHTWEB_REACTOR_IDLE_TIMEOUT_MS`.
+    pub idle_timeout: Duration,
+    /// A session quiet for this long counts in `reactor.sessions.idle`
+    /// (shorter than `idle_timeout`: "idle" is a state, "reaped" is a
+    /// consequence).
+    pub idle_mark: Duration,
+    /// How often the reaping sweep runs (and the upper bound on how
+    /// stale the idle gauge can be).
+    pub sweep_interval: Duration,
+    /// Per-connection write-queue cap in bytes; beyond it the reactor
+    /// stops reading from the peer until the queue drains.
+    pub max_write_queue: usize,
+    /// Worker threads answering unbatched engine work. 0 runs such work
+    /// inline on the reactor thread (tests only). Env:
+    /// `LIGHTWEB_REACTOR_WORKERS`.
+    pub workers: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout: Duration::from_secs(60),
+            idle_mark: Duration::from_secs(1),
+            sweep_interval: Duration::from_secs(1),
+            max_write_queue: 1 << 20,
+            workers: 2,
+        }
+    }
+}
+
+impl ReactorConfig {
+    /// Defaults with `LIGHTWEB_REACTOR_IDLE_TIMEOUT_MS` and
+    /// `LIGHTWEB_REACTOR_WORKERS` applied. The sweep interval follows
+    /// the idle timeout (a quarter of it, clamped to 10 ms..=1 s) so
+    /// short timeouts — e.g. in the churn experiment — are enforced
+    /// promptly.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(ms) = env_u64("LIGHTWEB_REACTOR_IDLE_TIMEOUT_MS") {
+            cfg.idle_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(w) = env_u64("LIGHTWEB_REACTOR_WORKERS") {
+            cfg.workers = w as usize;
+        }
+        cfg.sweep_interval =
+            (cfg.idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        cfg.idle_mark = cfg
+            .idle_mark
+            .min(cfg.idle_timeout / 2)
+            .max(Duration::from_millis(1));
+        cfg
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Serve TCP connections for `server` until it shuts down, using the io
+/// model its config selects: `Threads` delegates to the blocking
+/// [`ZltpServer::serve_tcp`]; `Reactor` runs the epoll event loop.
+/// Returns the accept/event thread's handle.
+///
+/// On non-Linux targets the reactor is unavailable; the threads path is
+/// used instead and the substitution is counted
+/// (`reactor.fallback.threads`) so a deployment can't silently believe
+/// it is event-driven.
+pub fn serve(
+    server: &ZltpServer,
+    listener: TcpListener,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    serve_with(server, listener, ReactorConfig::from_env())
+}
+
+/// [`serve`] with explicit reactor tuning (ignored under `Threads`).
+pub fn serve_with(
+    server: &ZltpServer,
+    listener: TcpListener,
+    cfg: ReactorConfig,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    match server.config().io_model {
+        IoModel::Threads => server.serve_tcp(listener),
+        IoModel::Reactor => {
+            #[cfg(target_os = "linux")]
+            {
+                reactor::spawn(server.clone(), listener, cfg)
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                let _ = cfg;
+                lightweb_telemetry::counter!("reactor.fallback.threads").inc();
+                server.serve_tcp(listener)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_clamps_sweep_to_idle_timeout() {
+        let cfg = ReactorConfig::default();
+        assert!(cfg.sweep_interval <= cfg.idle_timeout);
+        assert!(cfg.idle_mark <= cfg.idle_timeout);
+        assert!(cfg.workers > 0);
+    }
+}

@@ -1,0 +1,677 @@
+//! The epoll event loop and per-connection state machine.
+//!
+//! One reactor thread owns every accepted socket. Readiness events drive
+//! a per-connection state machine (hello → ready → closing) over the
+//! incremental [`FrameDecoder`]; complete requests are handed to
+//! [`ZltpServer::submit_get`] — which routes DPF queries into the §5.1
+//! batcher exactly as the blocking path does — and answers come back on a
+//! completion channel paired with a wakeup pipe. Engine work for
+//! unbatched modes runs on a small worker pool so the event loop never
+//! performs a scan.
+//!
+//! Write backpressure: encoded response frames queue per connection; the
+//! reactor writes as far as the socket allows and re-arms `EPOLLOUT` for
+//! the rest. A connection whose queue exceeds the configured cap stops
+//! being read (its `EPOLLIN` interest is dropped) until the peer drains
+//! it — a slow reader cannot balloon server memory.
+
+use crate::sys::{Epoll, EpollEvent, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::ReactorConfig;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lightweb_core::config::Mode;
+use lightweb_core::server::{error_code, Completion, HelloOutcome, SessionTicket, Submitted};
+use lightweb_core::transport::{encode_frame, tune_zltp_socket, FrameDecoder};
+use lightweb_core::wire::Message;
+use lightweb_core::ZltpServer;
+use lightweb_telemetry::trace::TraceContext;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAKE_TOKEN: u64 = 0;
+const LISTEN_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+const READ_BUF_LEN: usize = 64 * 1024;
+
+/// Mirror of the core server's session-error accounting (same counter
+/// and event names, so `/metrics` aggregates across io models).
+fn log_session_error(stage: &str, err: &str) {
+    lightweb_telemetry::counter!("zltp.session.errors").inc();
+    lightweb_telemetry::events::emit(
+        "zltp.session.error",
+        &[
+            ("stage", lightweb_telemetry::events::Field::Str(stage)),
+            ("error", lightweb_telemetry::events::Field::Str(err)),
+        ],
+    );
+}
+
+/// A finished answer travelling back to the reactor thread.
+struct Done {
+    token: u64,
+    msg: Message,
+    /// Tear the session down after flushing `msg` (fatal engine errors).
+    close_after: bool,
+}
+
+#[derive(Clone, Copy)]
+enum SessionState {
+    /// Waiting for the `ClientHello`.
+    AwaitHello,
+    /// Hello accepted; serving requests in this mode.
+    Ready(Mode),
+    /// Winding down: flush the queue, then close. `close_queued` is
+    /// whether the final frame (`Close` or a hello-rejection error) has
+    /// been queued yet — it is deferred while answers are in flight so
+    /// responses precede the `Close` on the wire.
+    Closing { close_queued: bool },
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded frames awaiting socket capacity; `wq_head` is the write
+    /// offset into the front frame.
+    wq: VecDeque<Vec<u8>>,
+    wq_head: usize,
+    wq_bytes: usize,
+    state: SessionState,
+    /// Last wire activity (bytes read, or a response queued) — the
+    /// idle-reaping clock.
+    last_activity: Instant,
+    created_at: Instant,
+    /// Requests submitted whose completions have not yet come back.
+    inflight: usize,
+    /// Currently-armed epoll interest, to skip redundant `EPOLL_CTL_MOD`s.
+    interest: u32,
+    /// Holds the open-connections gauge up; dropped on teardown.
+    _ticket: SessionTicket,
+}
+
+impl Conn {
+    fn closing(&self) -> bool {
+        matches!(self.state, SessionState::Closing { .. })
+    }
+}
+
+struct Reactor {
+    server: ZltpServer,
+    listener: TcpListener,
+    epoll: Epoll,
+    wake: Arc<WakePipe>,
+    done_tx: Sender<Done>,
+    done_rx: Receiver<Done>,
+    work_tx: Sender<Box<dyn FnOnce() + Send>>,
+    cfg: ReactorConfig,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    rbuf: Vec<u8>,
+}
+
+/// Start the reactor: registers the listener and wakeup pipe with a
+/// fresh epoll instance (errors surface here, at bind time), spawns the
+/// engine worker pool, and returns the event-loop thread's handle.
+pub(crate) fn spawn(
+    server: ZltpServer,
+    listener: TcpListener,
+    cfg: ReactorConfig,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(WakePipe::new()?);
+    epoll.add(wake.read_fd(), WAKE_TOKEN, EPOLLIN)?;
+    epoll.add(listener.as_raw_fd(), LISTEN_TOKEN, EPOLLIN)?;
+    let (done_tx, done_rx) = unbounded();
+    let (work_tx, work_rx) = unbounded::<Box<dyn FnOnce() + Send>>();
+    for i in 0..cfg.workers {
+        let rx = work_rx.clone();
+        std::thread::Builder::new()
+            .name(format!("zltp-reactor-worker-{i}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })?;
+    }
+    let reactor = Reactor {
+        server,
+        listener,
+        epoll,
+        wake,
+        done_tx,
+        done_rx,
+        work_tx,
+        cfg,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        rbuf: vec![0u8; READ_BUF_LEN],
+    };
+    std::thread::Builder::new()
+        .name("zltp-reactor".into())
+        .spawn(move || reactor.run())
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let registry = lightweb_telemetry::registry();
+        let wait_hist = registry.histogram("reactor.epoll.wait.ns");
+        let dispatch_hist = registry.histogram("reactor.dispatch.ns");
+        let batch_hist = registry.histogram("reactor.ready.batch");
+        let open_gauge = registry.gauge("reactor.sessions.open");
+        let idle_gauge = registry.gauge("reactor.sessions.idle");
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 512];
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.server.is_shutting_down() {
+                self.shutdown_all();
+                open_gauge.set(0);
+                idle_gauge.set(0);
+                return;
+            }
+            // Cap the wait so shutdown and the reap sweep are observed
+            // even on a completely idle process.
+            let timeout = self.cfg.sweep_interval.min(Duration::from_millis(200));
+            let t0 = Instant::now();
+            let n = match self
+                .epoll
+                .wait(&mut events, timeout.as_millis().max(1) as i32)
+            {
+                Ok(n) => n,
+                Err(e) => {
+                    log_session_error("epoll-wait", &e.to_string());
+                    return;
+                }
+            };
+            wait_hist.record(t0.elapsed().as_nanos() as u64);
+            if n > 0 {
+                batch_hist.record(n as u64);
+            }
+            let t1 = Instant::now();
+            {
+                let _prof = lightweb_telemetry::profile::Scope::enter("reactor.dispatch");
+                for ev in events.iter().take(n) {
+                    // Copy out of the (possibly packed) kernel struct.
+                    let (bits, token) = (ev.events, ev.data);
+                    match token {
+                        WAKE_TOKEN => self.wake.drain(),
+                        LISTEN_TOKEN => self.accept_all(),
+                        token => self.handle_conn_event(token, bits),
+                    }
+                }
+                // Completions may have landed regardless of which event
+                // woke us (or while we were dispatching).
+                self.drain_done();
+            }
+            if n > 0 {
+                dispatch_hist.record(t1.elapsed().as_nanos() as u64);
+            }
+            if last_sweep.elapsed() >= self.cfg.sweep_interval {
+                last_sweep = Instant::now();
+                self.sweep_idle(&idle_gauge);
+            }
+            open_gauge.set(self.conns.len() as i64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accept
+    // ------------------------------------------------------------------
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    log_session_error("reactor-accept", &e.to_string());
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        // A blocking socket would wedge the whole event loop on its
+        // first partial read; refuse the connection instead.
+        if let Err(e) = stream.set_nonblocking(true) {
+            log_session_error("reactor-set-nonblocking", &e.to_string());
+            return;
+        }
+        tune_zltp_socket(&stream, "reactor-accept");
+        let token = self.next_token;
+        self.next_token += 1;
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if let Err(e) = self.epoll.add(stream.as_raw_fd(), token, interest) {
+            log_session_error("reactor-epoll-add", &e.to_string());
+            return;
+        }
+        lightweb_telemetry::counter!("reactor.sessions.accepted").inc();
+        let now = Instant::now();
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                decoder: FrameDecoder::new(),
+                wq: VecDeque::new(),
+                wq_head: 0,
+                wq_bytes: 0,
+                state: SessionState::AwaitHello,
+                last_activity: now,
+                created_at: now,
+                inflight: 0,
+                interest,
+                _ticket: self.server.begin_session(),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Socket readiness
+    // ------------------------------------------------------------------
+
+    fn handle_conn_event(&mut self, token: u64, bits: u32) {
+        if bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
+            self.do_read(token);
+        }
+        if self.conns.contains_key(&token) && bits & EPOLLOUT != 0 {
+            self.try_flush(token);
+        }
+    }
+
+    fn do_read(&mut self, token: u64) {
+        let mut buf = std::mem::take(&mut self.rbuf);
+        let mut dead: Option<String> = None;
+        let mut msgs: Vec<(Message, Option<TraceContext>)> = Vec::new();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            'read: loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        // Peer hang-up; like the blocking path, this is a
+                        // normal session end (any already-buffered
+                        // requests are still handled below).
+                        dead = Some(String::new());
+                        break;
+                    }
+                    Ok(n) => {
+                        lightweb_telemetry::counter!("transport.bytes.recv").add(n as u64);
+                        conn.last_activity = Instant::now();
+                        conn.decoder.extend(&buf[..n]);
+                        loop {
+                            match conn.decoder.decode() {
+                                Ok(Some(m)) => {
+                                    lightweb_telemetry::counter!("transport.frames.recv").inc();
+                                    msgs.push(m);
+                                }
+                                Ok(None) => break,
+                                Err(e) => {
+                                    dead = Some(e.to_string());
+                                    break 'read;
+                                }
+                            }
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        dead = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        self.rbuf = buf;
+        for (msg, wire_ctx) in msgs {
+            if !self.conns.contains_key(&token) {
+                return;
+            }
+            self.handle_message(token, msg, wire_ctx);
+        }
+        if let Some(err) = dead {
+            if !err.is_empty() {
+                log_session_error("reactor-session", &err);
+            }
+            self.teardown(token);
+        }
+    }
+
+    fn try_flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut broken = false;
+        while let Some(front) = conn.wq.front() {
+            match conn.stream.write(&front[conn.wq_head..]) {
+                Ok(0) => {
+                    broken = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.wq_head += n;
+                    conn.wq_bytes -= n;
+                    if conn.wq_head == front.len() {
+                        conn.wq.pop_front();
+                        conn.wq_head = 0;
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    log_session_error("reactor-write", &e.to_string());
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        let finished = matches!(conn.state, SessionState::Closing { close_queued: true })
+            && conn.wq.is_empty()
+            && conn.inflight == 0;
+        if broken || finished {
+            self.teardown(token);
+        } else {
+            self.arm(token);
+        }
+    }
+
+    /// Re-arm epoll interest from the connection's current queue state:
+    /// `EPOLLOUT` while there are bytes to flush, and `EPOLLIN` unless
+    /// backpressure kicked in (write queue over the cap) or the session
+    /// is closing.
+    fn arm(&mut self, token: u64) {
+        let (fd, want, current) = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut want = 0u32;
+            if !conn.closing() && conn.wq_bytes <= self.cfg.max_write_queue {
+                want |= EPOLLIN | EPOLLRDHUP;
+            }
+            if !conn.wq.is_empty() {
+                want |= EPOLLOUT;
+            }
+            (conn.stream.as_raw_fd(), want, conn.interest)
+        };
+        if want == current {
+            return;
+        }
+        if want & EPOLLIN == 0 && current & EPOLLIN != 0 {
+            lightweb_telemetry::counter!("reactor.backpressure.engaged").inc();
+        }
+        match self.epoll.modify(fd, token, want) {
+            Ok(()) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.interest = want;
+                }
+            }
+            Err(e) => {
+                log_session_error("reactor-epoll-mod", &e.to_string());
+                self.teardown(token);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol state machine
+    // ------------------------------------------------------------------
+
+    fn handle_message(&mut self, token: u64, msg: Message, wire_ctx: Option<TraceContext>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.state {
+            SessionState::AwaitHello => match self.server.negotiate_hello(&msg) {
+                HelloOutcome::Accepted { mode, server_hello } => {
+                    conn.state = SessionState::Ready(mode);
+                    self.queue_message(token, &server_hello);
+                }
+                HelloOutcome::Rejected { error, reason } => {
+                    log_session_error("reactor-hello", &reason.to_string());
+                    conn.state = SessionState::Closing { close_queued: true };
+                    self.queue_message(token, &error);
+                }
+            },
+            SessionState::Ready(mode) => match msg {
+                Message::Get {
+                    request_id,
+                    payload,
+                } => self.submit(token, mode, request_id, payload, wire_ctx),
+                Message::LweSetupRequest => {
+                    conn.inflight += 1;
+                    let server = self.server.clone();
+                    let done_tx = self.done_tx.clone();
+                    let wake = self.wake.clone();
+                    let job = Box::new(move || {
+                        let (msg, close_after) = match server.setup_message(mode) {
+                            Ok(m) => (m, false),
+                            Err(e) => (
+                                Message::Error {
+                                    code: error_code::ENGINE,
+                                    message: e.to_string(),
+                                },
+                                true,
+                            ),
+                        };
+                        if done_tx
+                            .send(Done {
+                                token,
+                                msg,
+                                close_after,
+                            })
+                            .is_ok()
+                        {
+                            wake.wake();
+                        }
+                    });
+                    self.run_or_queue(job);
+                }
+                Message::Close => {
+                    if conn.inflight == 0 {
+                        conn.state = SessionState::Closing { close_queued: true };
+                        self.queue_message(token, &Message::Close);
+                    } else {
+                        // Defer the Close reply until in-flight answers
+                        // have been queued, preserving response order.
+                        conn.state = SessionState::Closing {
+                            close_queued: false,
+                        };
+                    }
+                }
+                other => {
+                    let err = Message::Error {
+                        code: error_code::STATE,
+                        message: format!("unexpected {}", other.name()),
+                    };
+                    self.queue_message(token, &err);
+                }
+            },
+            // Winding down: the peer's remaining frames are ignored.
+            SessionState::Closing { .. } => {}
+        }
+    }
+
+    fn submit(
+        &mut self,
+        token: u64,
+        mode: Mode,
+        request_id: u32,
+        payload: Vec<u8>,
+        wire_ctx: Option<TraceContext>,
+    ) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.inflight += 1;
+        let done_tx = self.done_tx.clone();
+        let wake = self.wake.clone();
+        let complete: Completion = Box::new(move |res| {
+            let msg = match res {
+                Ok(p) => Message::GetResponse {
+                    request_id,
+                    payload: p,
+                },
+                Err(e) => Message::Error {
+                    code: error_code::BAD_QUERY,
+                    message: e,
+                },
+            };
+            if done_tx
+                .send(Done {
+                    token,
+                    msg,
+                    close_after: false,
+                })
+                .is_ok()
+            {
+                wake.wake();
+            }
+        });
+        match self
+            .server
+            .submit_get(mode, &payload, wire_ctx.as_ref(), complete)
+        {
+            Submitted::Dispatched => {}
+            Submitted::Work(work) => self.run_or_queue(work),
+        }
+    }
+
+    /// Ship engine work to the worker pool; with no workers (or a dead
+    /// pool) it runs inline on the reactor thread — correct, just
+    /// latency-hostile, and only reachable in stripped-down test setups.
+    fn run_or_queue(&self, job: Box<dyn FnOnce() + Send>) {
+        if self.cfg.workers == 0 {
+            job();
+            return;
+        }
+        if let Err(err) = self.work_tx.send(job) {
+            (err.0)();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completions
+    // ------------------------------------------------------------------
+
+    fn drain_done(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            let deferred_close = {
+                let Some(conn) = self.conns.get_mut(&done.token) else {
+                    // Session died while its answer was in flight; the
+                    // answer has nowhere to go.
+                    continue;
+                };
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.last_activity = Instant::now();
+                matches!(
+                    conn.state,
+                    SessionState::Closing {
+                        close_queued: false
+                    }
+                ) && conn.inflight == 0
+            };
+            self.queue_message(done.token, &done.msg);
+            if done.close_after {
+                // Fatal engine error: flush the error frame and die.
+                if let Some(conn) = self.conns.get_mut(&done.token) {
+                    conn.state = SessionState::Closing { close_queued: true };
+                }
+                self.try_flush(done.token);
+            } else if deferred_close {
+                // The last in-flight answer just went out; now send the
+                // Close reply the peer asked for.
+                if let Some(conn) = self.conns.get_mut(&done.token) {
+                    conn.state = SessionState::Closing { close_queued: true };
+                }
+                self.queue_message(done.token, &Message::Close);
+            }
+        }
+    }
+
+    /// Encode and queue one frame, then flush as far as the socket
+    /// allows. Byte/frame counters are bumped at queue time, mirroring
+    /// `FramedConn`'s count-before-write settle guarantee.
+    fn queue_message(&mut self, token: u64, msg: &Message) {
+        let wire = match encode_frame(msg, None) {
+            Ok(w) => w,
+            Err(e) => {
+                log_session_error("reactor-encode", &e.to_string());
+                self.teardown(token);
+                return;
+            }
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        lightweb_telemetry::counter!("transport.bytes.sent").add(wire.len() as u64);
+        lightweb_telemetry::counter!("transport.frames.sent").inc();
+        conn.wq_bytes += wire.len();
+        conn.wq.push_back(wire);
+        conn.last_activity = Instant::now();
+        self.try_flush(token);
+    }
+
+    // ------------------------------------------------------------------
+    // Idle reaping, teardown, shutdown
+    // ------------------------------------------------------------------
+
+    fn sweep_idle(&mut self, idle_gauge: &lightweb_telemetry::Gauge) {
+        let now = Instant::now();
+        let mut idle = 0i64;
+        let mut reap = Vec::new();
+        for (token, conn) in &self.conns {
+            if conn.inflight > 0 {
+                continue;
+            }
+            let quiet = now.duration_since(conn.last_activity);
+            if quiet >= self.cfg.idle_mark {
+                idle += 1;
+            }
+            if quiet >= self.cfg.idle_timeout {
+                reap.push(*token);
+            }
+        }
+        idle_gauge.set(idle);
+        for token in reap {
+            lightweb_telemetry::counter!("reactor.sessions.reaped").inc();
+            lightweb_telemetry::events::emit(
+                "reactor.session.reaped",
+                &[(
+                    "idle_ms",
+                    lightweb_telemetry::events::Field::U64(self.cfg.idle_timeout.as_millis() as u64),
+                )],
+            );
+            self.teardown(token);
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            lightweb_telemetry::registry()
+                .histogram("zltp.server.session.ns")
+                .record(conn.created_at.elapsed().as_nanos() as u64);
+            // Dropping `conn` closes the socket and releases the
+            // session ticket (open-connections gauge).
+        }
+    }
+
+    /// Best-effort farewell on shutdown: queue a `Close` to every live
+    /// session, give the sockets one flush pass, then drop everything.
+    fn shutdown_all(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if !conn.closing() {
+                    conn.state = SessionState::Closing { close_queued: true };
+                    self.queue_message(token, &Message::Close);
+                }
+            }
+        }
+        let remaining: Vec<u64> = self.conns.keys().copied().collect();
+        for token in remaining {
+            self.teardown(token);
+        }
+    }
+}

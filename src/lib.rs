@@ -49,6 +49,7 @@ pub use lightweb_dpf as dpf;
 pub use lightweb_engine as engine;
 pub use lightweb_oram as oram;
 pub use lightweb_pir as pir;
+pub use lightweb_reactor as reactor;
 pub use lightweb_store as store;
 pub use lightweb_telemetry as telemetry;
 pub use lightweb_universe as universe;
