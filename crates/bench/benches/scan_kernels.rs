@@ -1,0 +1,97 @@
+//! Scan-kernel microbenchmarks: the word-wide XOR kernels sweeping a
+//! 16 MiB shard, per backend (scalar reference, autovectorized wide,
+//! AVX2 when the host has it) and per batch size. The interesting
+//! numbers are bytes/second — the wide kernels should run at a large
+//! multiple of the scalar reference and, batched, approach the host's
+//! memory bandwidth, since one sweep of the data answers every query in
+//! the batch. Answers are asserted bit-identical to the scalar kernel
+//! before anything is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightweb_bench::build_shard;
+use lightweb_dpf::gen;
+use lightweb_pir::KernelBackend;
+use std::time::Duration;
+
+fn bit_vecs(shard: &lightweb_bench::BenchShard, batch: usize) -> Vec<Vec<u8>> {
+    (0..batch as u64)
+        .map(|i| {
+            gen(&shard.params, i * 37 % shard.params.domain_size())
+                .0
+                .eval_full()
+        })
+        .collect()
+}
+
+fn supported_backends() -> Vec<KernelBackend> {
+    KernelBackend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .collect()
+}
+
+fn bench_single_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_kernels/single");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let shard = build_shard(16, 1024);
+    let rows = bit_vecs(&shard, 1);
+    let n = shard.server.len();
+    let reference = shard
+        .server
+        .scan_batch_range_with(KernelBackend::Scalar, 0..n, &rows);
+    g.throughput(Throughput::Bytes(shard.server.padded_bytes() as u64));
+    for backend in supported_backends() {
+        assert_eq!(
+            shard.server.scan_batch_range_with(backend, 0..n, &rows),
+            reference,
+            "{} kernel must match the scalar reference",
+            backend.name()
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(backend.name()),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    std::hint::black_box(shard.server.scan_batch_range_with(backend, 0..n, &rows))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_kernels/batch");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let shard = build_shard(16, 1024);
+    let n = shard.server.len();
+    // One sweep answers the whole batch, so bytes/sec here is the
+    // amortized per-query bandwidth multiplier of §5.1.
+    g.throughput(Throughput::Bytes(shard.server.padded_bytes() as u64));
+    for batch in [4usize, 16] {
+        let rows = bit_vecs(&shard, batch);
+        for backend in supported_backends() {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}x{batch}", backend.name())),
+                &backend,
+                |b, &backend| {
+                    b.iter(|| {
+                        std::hint::black_box(shard.server.scan_batch_range_with(
+                            backend,
+                            0..n,
+                            &rows,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_query, bench_batched);
+criterion_main!(benches);

@@ -323,6 +323,7 @@ mod tests {
                 allocs_per_request: 10.0,
                 alloc_bytes_per_request: 1000.0,
                 peak_heap_bytes: 4096,
+                scan_bytes_per_sec: 1e9,
                 warmup_requests: 2,
                 latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
             },

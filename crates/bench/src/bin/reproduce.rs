@@ -758,6 +758,7 @@ type AccountingMark = (
     u64,
     lightweb_telemetry::profile::HeapStats,
     std::time::Instant,
+    u64, // pir.scan.bytes counter — database bytes the kernels swept
 );
 
 fn accounting_mark() -> AccountingMark {
@@ -766,6 +767,9 @@ fn accounting_mark() -> AccountingMark {
         process_cpu_ns().unwrap_or(0),
         heap_stats(),
         std::time::Instant::now(),
+        lightweb_telemetry::registry()
+            .counter("pir.scan.bytes")
+            .get(),
     )
 }
 
@@ -962,16 +966,22 @@ fn bench_measure(
 ) -> BenchSnapshot {
     let acct = Accounting::new();
     let wl = run(&acct);
-    let (cpu0, heap0, t0) = acct
+    let (cpu0, heap0, t0, scan0) = acct
         .begin
         .take()
         .expect("workload armed its accounting window");
-    let (cpu1, heap1, t1) = acct.end.take().unwrap_or_else(accounting_mark);
+    let (cpu1, heap1, t1, scan1) = acct.end.take().unwrap_or_else(accounting_mark);
 
     let mut lat = wl.latencies_ms;
     lat.sort_by(f64::total_cmp);
     let n = lat.len() as f64;
     let wall_seconds = t1.duration_since(t0).as_secs_f64();
+    let scan_bytes_per_sec = scan1.saturating_sub(scan0) as f64 / wall_seconds.max(1e-9);
+    // Mirror the measured sweep rate onto /metrics next to the raw
+    // pir.scan.bytes counter, so a scrape shows the bandwidth too.
+    lightweb_telemetry::registry()
+        .gauge("pir.scan.bytes_per_sec")
+        .set(scan_bytes_per_sec as i64);
     BenchSnapshot {
         schema_version: BENCH_SCHEMA_VERSION,
         experiment: experiment.to_string(),
@@ -992,6 +1002,7 @@ fn bench_measure(
             alloc_bytes_per_request: (heap1.allocated_bytes - heap0.allocated_bytes) as f64
                 / n.max(1.0),
             peak_heap_bytes: heap1.peak_bytes,
+            scan_bytes_per_sec,
             warmup_requests: wl.warmup_requests,
             latencies_ms: lat,
         },
@@ -1022,7 +1033,12 @@ fn bench_experiment(
     // steady-state, not first-request noise.
     let measured = requests.unwrap_or(if quick { 48 } else { 128 });
     let warm = warmup.unwrap_or(measured / 4);
-    let threads = if quick { 2 } else { 4 };
+    // Enough concurrent clients to fill the server's batch window
+    // (`max_batch` in [`bench_server`]): the two-server number then
+    // measures the §5.1 amortized batched sweep, not the linger timer —
+    // with fewer clients than the batch size every request just waits
+    // out the full window and the scan cost disappears into it.
+    let threads = 8;
     let gets = measured.div_ceil(threads);
     let warm_each = warm.div_ceil(threads);
     r.note(&format!(
@@ -1058,6 +1074,7 @@ fn bench_experiment(
             format!("{:.0}", m.bytes_per_request),
             format!("{:.4}", m.cpu_seconds_per_request),
             format!("{:.0}", m.allocs_per_request),
+            format!("{:.2}", m.scan_bytes_per_sec / 1e9),
         ]);
         if r.json {
             events::emit(
@@ -1079,6 +1096,7 @@ fn bench_experiment(
                     ),
                     ("allocs_per_request", Field::F64(m.allocs_per_request)),
                     ("peak_heap_bytes", Field::U64(m.peak_heap_bytes)),
+                    ("scan_bytes_per_sec", Field::F64(m.scan_bytes_per_sec)),
                 ],
             );
         }
@@ -1096,6 +1114,7 @@ fn bench_experiment(
             "B/req",
             "cpu-s/req",
             "allocs/req",
+            "scan GB/s",
         ],
         &rows,
     );

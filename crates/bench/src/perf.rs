@@ -17,8 +17,9 @@ use lightweb_universe::{parse_json, Value};
 /// added, removed, or changes meaning; `bench-compare` refuses to diff
 /// across versions, and [`BenchSnapshot::from_json`] refuses versions it
 /// does not understand. v2 added `kind`, `warmup_requests`, and the
-/// exact per-request `latencies_ms` array.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// exact per-request `latencies_ms` array. v3 added
+/// `scan_bytes_per_sec`, the server-side memory-scan rate.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The `kind` discriminator written into scalar bench snapshots. Load
 /// snapshots carry [`crate::load::LOAD_SNAPSHOT_KIND`] instead;
@@ -65,6 +66,10 @@ pub struct BenchMetrics {
     pub alloc_bytes_per_request: f64,
     /// Peak live heap during the workload, bytes.
     pub peak_heap_bytes: u64,
+    /// Database bytes the scan kernels swept per wall-clock second
+    /// (from the `pir.scan.bytes` counter) — the memory-bandwidth axis
+    /// of the §5.1 cost model. 0 when the workload never scanned.
+    pub scan_bytes_per_sec: f64,
     /// Requests issued (and discarded) before the measured window, so a
     /// snapshot records how much cache/JIT-style warmup its percentiles
     /// exclude.
@@ -109,6 +114,7 @@ pub const COMPARED_METRICS: &[(&str, bool)] = &[
     ("allocs_per_request", true),
     ("alloc_bytes_per_request", true),
     ("peak_heap_bytes", true),
+    ("scan_bytes_per_sec", false),
 ];
 
 impl BenchMetrics {
@@ -126,6 +132,7 @@ impl BenchMetrics {
             "allocs_per_request" => self.allocs_per_request,
             "alloc_bytes_per_request" => self.alloc_bytes_per_request,
             "peak_heap_bytes" => self.peak_heap_bytes as f64,
+            "scan_bytes_per_sec" => self.scan_bytes_per_sec,
             _ => return None,
         })
     }
@@ -157,6 +164,7 @@ impl BenchSnapshot {
                     ("allocs_per_request", m.allocs_per_request.into()),
                     ("alloc_bytes_per_request", m.alloc_bytes_per_request.into()),
                     ("peak_heap_bytes", (m.peak_heap_bytes as i64).into()),
+                    ("scan_bytes_per_sec", m.scan_bytes_per_sec.into()),
                     ("warmup_requests", (m.warmup_requests as i64).into()),
                     (
                         "latencies_ms",
@@ -210,6 +218,7 @@ impl BenchSnapshot {
             allocs_per_request: num(metrics_v, "allocs_per_request")?,
             alloc_bytes_per_request: num(metrics_v, "alloc_bytes_per_request")?,
             peak_heap_bytes: num(metrics_v, "peak_heap_bytes")? as u64,
+            scan_bytes_per_sec: num(metrics_v, "scan_bytes_per_sec")?,
             warmup_requests: num(metrics_v, "warmup_requests")? as u64,
             latencies_ms: metrics_v
                 .get("latencies_ms")
@@ -370,6 +379,7 @@ mod tests {
                 allocs_per_request: 900.0,
                 alloc_bytes_per_request: 1.5e6,
                 peak_heap_bytes: 80_000_000,
+                scan_bytes_per_sec: 2.5e9,
                 warmup_requests: 8,
                 latencies_ms: vec![35.0, 40.0, 90.0, 120.0],
             },
@@ -380,7 +390,7 @@ mod tests {
     fn snapshot_round_trips_through_json() {
         let snap = sample();
         let text = snap.to_json();
-        assert!(text.contains("\"schema_version\":2"), "{text}");
+        assert!(text.contains("\"schema_version\":3"), "{text}");
         assert!(text.contains("\"kind\":\"bench\""), "{text}");
         assert!(text.contains("\"latencies_ms\":[35,40,90,120]"), "{text}");
         let back = BenchSnapshot::from_json(&text).unwrap();

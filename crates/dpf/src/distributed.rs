@@ -135,8 +135,7 @@ impl ShardKey {
             cws: self.cws.clone(),
             final_cw: self.final_cw.clone(),
         };
-        let full = sub.eval_full();
-        out.copy_from_slice(&full);
+        sub.eval_full_into(out);
     }
 }
 

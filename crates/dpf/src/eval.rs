@@ -87,8 +87,22 @@ impl DpfKey {
     /// bit `x` (byte `x/8`, LSB-first) is the share of `f_alpha(x)`.
     pub fn eval_full(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.params.output_len()];
-        self.eval_range_into(self.root(), 0, &mut out);
+        self.eval_full_into(&mut out);
         out
+    }
+
+    /// [`DpfKey::eval_full`] into a caller-provided buffer — e.g. one row
+    /// of a batch's [`BitMatrix`](crate::BitMatrix), so evaluating a whole
+    /// batch costs one allocation instead of one per key. Every byte of
+    /// `out` is overwritten; `out.len()` must equal
+    /// `params().output_len()`.
+    pub fn eval_full_into(&self, out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            self.params.output_len(),
+            "output buffer must be exactly output_len() bytes"
+        );
+        self.eval_range_into(self.root(), 0, out);
     }
 
     /// Depth-first traversal from `state` at tree level `level`, writing leaf

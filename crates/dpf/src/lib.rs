@@ -51,11 +51,13 @@ mod distributed;
 mod eval;
 pub mod incremental;
 mod key;
+mod matrix;
 mod serial;
 
 pub use distributed::{ShardKey, TreeNode};
 pub use incremental::{gen_incremental, IncrementalDpfKey};
 pub use key::{gen, gen_with_seeds, CorrectionWord, DpfKey, DpfParams, ParamError};
+pub use matrix::BitMatrix;
 pub use serial::{paper_key_size_bytes, KeyDecodeError};
 
 #[cfg(test)]

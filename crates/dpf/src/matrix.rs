@@ -1,0 +1,203 @@
+//! A contiguous multi-query bit matrix: one allocation holding the packed
+//! full-domain evaluations of a whole batch of DPF keys.
+//!
+//! The batched scan (§5.1) answers `b` queries in one sweep of the data.
+//! Before this type existed the batch travelled as `Vec<Vec<u8>>` — one
+//! heap allocation per key, with no alignment guarantee — and the scan
+//! kernel had to chase `b` unrelated pointers per record. A [`BitMatrix`]
+//! instead backs every row with a single `Vec<u64>`:
+//!
+//! * **one allocation per batch**, however many keys are evaluated into it;
+//! * every row starts on an **8-byte boundary** and is **padded to a whole
+//!   number of words**, so a scan kernel can read query bits with one
+//!   aligned word load (the padding bytes are always zero);
+//! * rows are mutually disjoint, so a pool can hand each worker its own
+//!   rows (`BitMatrix::rows_mut`) and fill the batch in parallel.
+//!
+//! Rows use the same packing as [`DpfKey::eval_full`](crate::DpfKey):
+//! bit `x` lives in byte `x / 8`, LSB-first.
+
+/// View a word slice as its underlying bytes (native byte order — the scan
+/// only ever XORs and masks, which are byte-order agnostic).
+fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: `u64` has no padding; any byte pattern is valid; the
+    // alignment of `u8` (1) is never stricter than `u64`'s.
+    unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, words.len() * 8) }
+}
+
+/// Mutable variant of [`words_as_bytes`].
+fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as above; writing arbitrary bytes into a `u64` is sound.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8) }
+}
+
+/// A dense `rows × row_bits` bit matrix in one word-aligned allocation.
+///
+/// Row `r` is the packed full-domain share of query `r`; `row_bytes` is the
+/// logical packed length (`DpfParams::output_len()` for a DPF batch), and
+/// each row occupies `row_bytes.div_ceil(8)` words of storage with any
+/// trailing padding bytes held at zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    row_bytes: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Allocate an all-zero matrix of `rows` rows of `row_bytes` packed
+    /// bytes each.
+    pub fn new(rows: usize, row_bytes: usize) -> Self {
+        let words_per_row = row_bytes.div_ceil(8);
+        Self {
+            rows,
+            row_bytes,
+            words_per_row,
+            words: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// Build a matrix by copying already-evaluated packed rows (the legacy
+    /// `Vec<Vec<u8>>` batch shape). Every row must have length `row_bytes`.
+    pub fn from_rows(row_bytes: usize, rows: &[Vec<u8>]) -> Option<Self> {
+        if rows.iter().any(|r| r.len() != row_bytes) {
+            return None;
+        }
+        let mut m = Self::new(rows.len(), row_bytes);
+        for (i, row) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(row);
+        }
+        Some(m)
+    }
+
+    /// Number of rows (queries).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical packed length of each row in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Row `r`'s logical packed bytes — identical to what
+    /// [`DpfKey::eval_full`](crate::DpfKey) would have returned.
+    pub fn row(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        let start = r * self.words_per_row;
+        &words_as_bytes(&self.words[start..start + self.words_per_row])[..self.row_bytes]
+    }
+
+    /// Row `r`'s bytes including the zero padding out to a whole word —
+    /// what a word-wide scan kernel reads.
+    pub fn row_padded(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        let start = r * self.words_per_row;
+        words_as_bytes(&self.words[start..start + self.words_per_row])
+    }
+
+    /// Mutable view of row `r`'s logical bytes, for an evaluator to fill.
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        let start = r * self.words_per_row;
+        &mut words_as_bytes_mut(&mut self.words[start..start + self.words_per_row])
+            [..self.row_bytes]
+    }
+
+    /// All rows as disjoint mutable slices, so a worker pool can fill
+    /// different rows concurrently.
+    pub fn rows_mut(&mut self) -> Vec<&mut [u8]> {
+        let row_bytes = self.row_bytes;
+        if self.words_per_row == 0 {
+            return Vec::new();
+        }
+        self.words
+            .chunks_mut(self.words_per_row)
+            .map(|w| &mut words_as_bytes_mut(w)[..row_bytes])
+            .collect()
+    }
+
+    /// All rows as borrowed logical byte slices (the shape scan entry
+    /// points validate and kernels consume).
+    pub fn row_slices(&self) -> Vec<&[u8]> {
+        (0..self.rows).map(|r| self.row(r)).collect()
+    }
+
+    /// Bit `x` of row `r`.
+    pub fn bit(&self, r: usize, x: u64) -> bool {
+        (self.row(r)[(x / 8) as usize] >> (x % 8)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{gen_with_seeds, DpfParams};
+
+    #[test]
+    fn rows_are_word_padded_and_zero_initialized() {
+        let m = BitMatrix::new(3, 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row_bytes(), 5);
+        for r in 0..3 {
+            assert_eq!(m.row(r), &[0u8; 5]);
+            assert_eq!(m.row_padded(r).len(), 8);
+            // Row starts are word-aligned.
+            assert_eq!(m.row_padded(r).as_ptr() as usize % 8, 0);
+        }
+    }
+
+    #[test]
+    fn row_mut_writes_show_up_and_padding_stays_zero() {
+        let mut m = BitMatrix::new(2, 5);
+        m.row_mut(1).copy_from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(m.row(1), &[1, 2, 3, 4, 5]);
+        assert_eq!(&m.row_padded(1)[5..], &[0, 0, 0]);
+        assert_eq!(m.row(0), &[0u8; 5]);
+    }
+
+    #[test]
+    fn eval_into_rows_matches_eval_full() {
+        let params = DpfParams::new(10, 3).unwrap();
+        let (k0, k1) = gen_with_seeds(&params, 321, [1; 16], [2; 16]);
+        let mut m = BitMatrix::new(2, params.output_len());
+        k0.eval_full_into(m.row_mut(0));
+        k1.eval_full_into(m.row_mut(1));
+        assert_eq!(m.row(0), k0.eval_full().as_slice());
+        assert_eq!(m.row(1), k1.eval_full().as_slice());
+        assert!(m.bit(0, 321) ^ m.bit(1, 321));
+    }
+
+    #[test]
+    fn rows_mut_hands_out_every_row() {
+        let mut m = BitMatrix::new(4, 3);
+        {
+            let mut rows = m.rows_mut();
+            assert_eq!(rows.len(), 4);
+            for (i, row) in rows.iter_mut().enumerate() {
+                row[0] = i as u8 + 1;
+            }
+        }
+        for i in 0..4 {
+            assert_eq!(m.row(i)[0], i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips_and_rejects_ragged_input() {
+        let rows = vec![vec![9u8, 8, 7], vec![1, 2, 3]];
+        let m = BitMatrix::from_rows(3, &rows).unwrap();
+        assert_eq!(m.row_slices(), vec![&rows[0][..], &rows[1][..]]);
+        assert!(BitMatrix::from_rows(4, &rows).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = BitMatrix::new(0, 16);
+        assert_eq!(m.rows(), 0);
+        assert!(m.row_slices().is_empty());
+        let mut z = BitMatrix::new(2, 0);
+        assert_eq!(z.rows_mut().len(), 0);
+    }
+}

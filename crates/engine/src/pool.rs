@@ -14,7 +14,7 @@
 //! degenerates to an inline call on the caller's thread with no spawn at
 //! all — which is what the `LIGHTWEB_SCAN_THREADS=1` CI matrix leg pins.
 
-use lightweb_dpf::DpfKey;
+use lightweb_dpf::{BitMatrix, DpfKey};
 use lightweb_pir::{PirError, PirServer};
 use lightweb_telemetry::trace::{maybe_child, TraceContext};
 use std::ops::Range;
@@ -102,8 +102,23 @@ impl ScanPool {
     /// [`ScanPool::eval_full`] with per-partition trace spans
     /// (`engine.pool.partition`) recorded as children of `ctx`.
     pub fn eval_full_traced(&self, key: &DpfKey, ctx: Option<&TraceContext>) -> Vec<u8> {
+        let mut out = vec![0u8; key.params().output_len()];
+        self.eval_full_into_traced(key, &mut out, ctx);
+        out
+    }
+
+    /// Full-domain evaluation straight into a caller-owned buffer (e.g. a
+    /// [`BitMatrix`] row): workers write their sub-tree runs into disjoint
+    /// slices of `out`, so the parallel path allocates nothing per call.
+    /// `out` must be exactly `output_len()` bytes.
+    pub fn eval_full_into_traced(&self, key: &DpfKey, out: &mut [u8], ctx: Option<&TraceContext>) {
         let _eval = lightweb_telemetry::span!("pir.eval.ns");
         let params = key.params();
+        assert_eq!(
+            out.len(),
+            params.output_len(),
+            "output buffer must be exactly output_len() bytes"
+        );
         // Deepest split that (a) yields >= one sub-tree per worker,
         // (b) stays above the terminal levels, (c) keeps every shard's
         // output byte-aligned.
@@ -115,29 +130,31 @@ impl ScanPool {
             prefix_bits += 1;
         }
         if self.threads <= 1 || prefix_bits == 0 {
-            return key.eval_full();
+            key.eval_full_into(out);
+            return;
         }
         let nodes = key.eval_prefix(prefix_bits);
         let shard_key = key.shard_key(prefix_bits);
         let sub_len = shard_key.shard_output_len();
-        let parts = self.map_ranges(nodes.len(), |range| {
-            let _part = maybe_child(ctx, "engine.pool.partition");
-            // Workers run on scoped threads with empty profile stacks, so
-            // an explicit scope is the only thing attributing their CPU
-            // when the request is untraced.
-            let _prof = lightweb_telemetry::profile::Scope::enter("engine.pool.eval.worker");
-            let mut out = vec![0u8; sub_len * range.len()];
-            for (i, node) in nodes[range].iter().enumerate() {
-                shard_key.eval(node, &mut out[i * sub_len..(i + 1) * sub_len]);
+        let workers = self.threads.min(nodes.len()).max(1);
+        let chunk = nodes.len().div_ceil(workers);
+        let shard_key = &shard_key;
+        crossbeam::thread::scope(|scope| {
+            for (node_run, out_run) in nodes.chunks(chunk).zip(out.chunks_mut(chunk * sub_len)) {
+                scope.spawn(move |_| {
+                    let _part = maybe_child(ctx, "engine.pool.partition");
+                    // Workers run on scoped threads with empty profile
+                    // stacks, so an explicit scope is the only thing
+                    // attributing their CPU when the request is untraced.
+                    let _prof =
+                        lightweb_telemetry::profile::Scope::enter("engine.pool.eval.worker");
+                    for (node, sub_out) in node_run.iter().zip(out_run.chunks_mut(sub_len)) {
+                        shard_key.eval(node, sub_out);
+                    }
+                });
             }
-            out
-        });
-        let mut full = Vec::with_capacity(params.output_len());
-        for part in parts {
-            full.extend_from_slice(&part);
-        }
-        debug_assert_eq!(full.len(), params.output_len());
-        full
+        })
+        .expect("eval pool scope");
     }
 
     /// Parallel XOR scan: partition the record range, scan chunks on the
@@ -205,6 +222,44 @@ impl ScanPool {
             server.scan_batch_range(range, bit_vecs)
         });
         let mut accs = vec![vec![0u8; server.record_len()]; bit_vecs.len()];
+        for partial in partials {
+            for (acc, p) in accs.iter_mut().zip(partial) {
+                lightweb_crypto::xor_in_place(acc, &p);
+            }
+        }
+        Ok(accs)
+    }
+
+    /// Parallel batched scan over a packed [`BitMatrix`] of evaluated
+    /// queries — the allocation-free companion to [`ScanPool::scan_batch`]
+    /// used by the batch answer path. Identical output to
+    /// [`PirServer::scan_matrix`].
+    pub fn scan_matrix(
+        &self,
+        server: &PirServer,
+        matrix: &BitMatrix,
+    ) -> Result<Vec<Vec<u8>>, PirError> {
+        self.scan_matrix_traced(server, matrix, None)
+    }
+
+    /// [`ScanPool::scan_matrix`] with per-partition trace spans
+    /// (`engine.pool.partition`) recorded as children of `ctx`.
+    pub fn scan_matrix_traced(
+        &self,
+        server: &PirServer,
+        matrix: &BitMatrix,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<Vec<u8>>, PirError> {
+        if matrix.row_bytes() != server.params().output_len() {
+            return Err(PirError::ParamsMismatch);
+        }
+        let _scan = lightweb_telemetry::span!("pir.scan.ns");
+        let partials = self.map_ranges(server.len(), |range| {
+            let _part = maybe_child(ctx, "engine.pool.partition");
+            let _prof = lightweb_telemetry::profile::Scope::enter("engine.pool.scan.worker");
+            server.scan_matrix_range(range, matrix)
+        });
+        let mut accs = vec![vec![0u8; server.record_len()]; matrix.rows()];
         for partial in partials {
             for (acc, p) in accs.iter_mut().zip(partial) {
                 lightweb_crypto::xor_in_place(acc, &p);
@@ -286,6 +341,55 @@ mod tests {
                 "t={threads}"
             );
         }
+    }
+
+    #[test]
+    fn eval_into_matrix_rows_matches_eval_full() {
+        let params = DpfParams::new(12, 3).unwrap();
+        let keys: Vec<_> = [5u64, 999, 3000]
+            .iter()
+            .map(|&slot| gen(&params, slot).0)
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ScanPool::new(threads);
+            let mut matrix = BitMatrix::new(keys.len(), params.output_len());
+            for (i, key) in keys.iter().enumerate() {
+                pool.eval_full_into_traced(key, matrix.row_mut(i), None);
+            }
+            for (i, key) in keys.iter().enumerate() {
+                assert_eq!(
+                    matrix.row(i),
+                    key.eval_full().as_slice(),
+                    "t={threads} k={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_scan_matches_batch_scan() {
+        let params = DpfParams::new(11, 2).unwrap();
+        let server = sample_server(params, 90, 24);
+        let keys: Vec<_> = [3u64, 900, 2000]
+            .iter()
+            .map(|&slot| gen(&params, slot).0)
+            .collect();
+        let bit_vecs: Vec<Vec<u8>> = keys.iter().map(|k| k.eval_full()).collect();
+        let matrix = BitMatrix::from_rows(params.output_len(), &bit_vecs).unwrap();
+        let serial = server.scan_batch(&bit_vecs).unwrap();
+        for threads in [1usize, 3, 4] {
+            let pool = ScanPool::new(threads);
+            assert_eq!(
+                pool.scan_matrix(&server, &matrix).unwrap(),
+                serial,
+                "t={threads}"
+            );
+        }
+        let wrong = BitMatrix::new(2, params.output_len() + 1);
+        assert_eq!(
+            ScanPool::new(2).scan_matrix(&server, &wrong).unwrap_err(),
+            PirError::ParamsMismatch
+        );
     }
 
     #[test]

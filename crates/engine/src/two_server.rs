@@ -5,7 +5,7 @@ use crate::pool::ScanPool;
 use crate::query::PreparedQuery;
 use crate::sharded::ShardedDeployment;
 use crate::traits::QueryEngine;
-use lightweb_dpf::{DpfKey, DpfParams};
+use lightweb_dpf::{BitMatrix, DpfKey, DpfParams};
 use lightweb_pir::{KeywordMap, PirError, PirServer};
 use lightweb_telemetry::trace::{maybe_child, record_span_ctx, TraceContext};
 use parking_lot::{Mutex, RwLock};
@@ -162,15 +162,16 @@ impl QueryEngine for TwoServerDpfEngine {
                 })
                 .collect();
         }
-        let bit_vecs: Vec<Vec<u8>> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, key)| {
-                let eval = maybe_child(ctx_of(i), "engine.two_server.eval");
-                let eval_ctx = eval.as_ref().map(|s| s.ctx());
-                self.pool.eval_full_traced(key, eval_ctx.as_ref())
-            })
-            .collect();
+        // One packed bit matrix holds every evaluated query — a single
+        // allocation for the whole batch, with each key expanded directly
+        // into its row.
+        let mut matrix = BitMatrix::new(keys.len(), self.params.output_len());
+        for (i, key) in keys.iter().enumerate() {
+            let eval = maybe_child(ctx_of(i), "engine.two_server.eval");
+            let eval_ctx = eval.as_ref().map(|s| s.ctx());
+            self.pool
+                .eval_full_into_traced(key, matrix.row_mut(i), eval_ctx.as_ref());
+        }
         // The scan is one shared pass over the data (§5.1): mint a scan
         // span per traced query up front, time the pass once, and record
         // the same interval under each — so every request's trace shows
@@ -182,7 +183,7 @@ impl QueryEngine for TwoServerDpfEngine {
         let start = Instant::now();
         let answers = self
             .pool
-            .scan_batch_traced(&pir, &bit_vecs, scan_ctxs.first())
+            .scan_matrix_traced(&pir, &matrix, scan_ctxs.first())
             .map_err(pir_error)?;
         let end = Instant::now();
         for ctx in &scan_ctxs {

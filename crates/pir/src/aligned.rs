@@ -1,0 +1,192 @@
+//! A 64-byte-aligned growable byte buffer for the record store.
+//!
+//! The scan kernels (see [`crate::kernel`]) read the database as whole
+//! `u64` words and, on AVX2, as 256-bit lanes. Backing the record bytes
+//! with an ordinary `Vec<u8>` gives no alignment guarantee at all; this
+//! buffer allocates in 64-byte cache lines so the base address is always
+//! cache-line aligned, and [`crate::two_server::PirServer`] pads every
+//! record stride to a word multiple — together, every record starts on an
+//! 8-byte boundary and no scan word ever straddles a record.
+
+/// One cache line of storage; the allocation unit that pins alignment.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct CacheLine([u8; 64]);
+
+const LINE: usize = 64;
+
+/// A byte buffer whose base address is 64-byte aligned, supporting the
+/// mid-buffer insert/remove the record store needs for upserts.
+#[derive(Clone, Default)]
+pub(crate) struct AlignedBuf {
+    lines: Vec<CacheLine>,
+    len: usize,
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine([0u8; LINE])
+    }
+}
+
+impl AlignedBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes in use.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn raw(&self) -> &[u8] {
+        // SAFETY: `CacheLine` is `repr(C)` over `[u8; 64]` with no
+        // padding; the allocation holds `lines.len() * 64` initialized
+        // bytes.
+        unsafe {
+            std::slice::from_raw_parts(self.lines.as_ptr() as *const u8, self.lines.len() * LINE)
+        }
+    }
+
+    fn raw_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as above.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.lines.as_mut_ptr() as *mut u8,
+                self.lines.len() * LINE,
+            )
+        }
+    }
+
+    /// The in-use bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.raw()[..self.len]
+    }
+
+    /// The in-use bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        let len = self.len;
+        &mut self.raw_mut()[..len]
+    }
+
+    /// The in-use bytes as words. Requires `len()` to be a multiple of 8
+    /// (always true for a stride-padded record store).
+    pub fn as_words(&self) -> &[u64] {
+        debug_assert_eq!(self.len % 8, 0, "word view of a non-word-sized buffer");
+        // SAFETY: the base address is 64-byte (hence 8-byte) aligned, the
+        // first `len` bytes are initialized, and any bit pattern is a
+        // valid `u64`.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr() as *const u64, self.len / 8) }
+    }
+
+    fn ensure_capacity(&mut self, bytes: usize) {
+        let need = bytes.div_ceil(LINE);
+        if need > self.lines.len() {
+            // Grow geometrically so repeated single-record inserts stay
+            // amortized O(1), like Vec.
+            let target = need.max(self.lines.len() * 2);
+            self.lines.resize(target, CacheLine::default());
+        }
+    }
+
+    /// Open a zeroed gap of `n` bytes at offset `at`, shifting the tail
+    /// right. `at` must be `<= len()`.
+    pub fn insert_zeroed(&mut self, at: usize, n: usize) {
+        assert!(at <= self.len, "insert offset outside buffer");
+        self.ensure_capacity(self.len + n);
+        let len = self.len;
+        let raw = self.raw_mut();
+        raw.copy_within(at..len, at + n);
+        raw[at..at + n].fill(0);
+        self.len += n;
+    }
+
+    /// Remove `n` bytes at offset `at`, shifting the tail left.
+    pub fn remove(&mut self, at: usize, n: usize) {
+        assert!(at + n <= self.len, "remove range outside buffer");
+        let len = self.len;
+        let raw = self.raw_mut();
+        raw.copy_within(at + n..len, at);
+        // Keep the freed tail zeroed so future gap-opens expose only
+        // zero bytes and word views of fresh records see no stale data.
+        raw[len - n..len].fill(0);
+        self.len -= n;
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("capacity", &(self.lines.len() * LINE))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_cache_line_aligned_across_growth() {
+        let mut buf = AlignedBuf::new();
+        for round in 0..8 {
+            buf.insert_zeroed(buf.len(), 100);
+            assert_eq!(
+                buf.as_slice().as_ptr() as usize % 64,
+                0,
+                "round {round}: base must stay 64-byte aligned"
+            );
+        }
+        assert_eq!(buf.len(), 800);
+    }
+
+    #[test]
+    fn insert_and_remove_behave_like_vec_splice() {
+        let mut buf = AlignedBuf::new();
+        let mut model: Vec<u8> = Vec::new();
+        let ops = [(0usize, 16usize), (8, 8), (0, 24), (16, 8)];
+        for (at, n) in ops {
+            buf.insert_zeroed(at, n);
+            model.splice(at..at, std::iter::repeat_n(0u8, n));
+            for (i, b) in buf.as_mut_slice().iter_mut().enumerate() {
+                if *b == 0 {
+                    *b = (i % 251) as u8 + 1;
+                }
+            }
+            for (i, b) in model.iter_mut().enumerate() {
+                if *b == 0 {
+                    *b = (i % 251) as u8 + 1;
+                }
+            }
+            assert_eq!(buf.as_slice(), model.as_slice());
+        }
+        buf.remove(8, 16);
+        model.drain(8..24);
+        assert_eq!(buf.as_slice(), model.as_slice());
+    }
+
+    #[test]
+    fn word_view_matches_bytes() {
+        let mut buf = AlignedBuf::new();
+        buf.insert_zeroed(0, 16);
+        buf.as_mut_slice()
+            .copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+        let words = buf.as_words();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].to_ne_bytes(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(words[1].to_ne_bytes(), [9, 10, 11, 12, 13, 14, 15, 16]);
+    }
+
+    #[test]
+    fn removed_tail_is_rezeroed() {
+        let mut buf = AlignedBuf::new();
+        buf.insert_zeroed(0, 24);
+        buf.as_mut_slice().fill(0xAA);
+        buf.remove(0, 8);
+        assert_eq!(buf.len(), 16);
+        // Open a gap where the stale tail used to be: it must read zero.
+        buf.insert_zeroed(16, 8);
+        assert_eq!(&buf.as_slice()[16..], &[0u8; 8]);
+    }
+}

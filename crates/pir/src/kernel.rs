@@ -1,0 +1,472 @@
+//! Word-wide, cache-blocked, batched XOR scan kernels.
+//!
+//! The scan is the server's dominant per-request cost (§5.1: 103 of
+//! 167 ms at 1 GiB) and is memory-bandwidth bound: every record is read
+//! once per sweep and conditionally XORed into an accumulator. These
+//! kernels restructure that inner loop around three ideas:
+//!
+//! 1. **Word-wide XOR over a padded layout.** The database buffer is
+//!    64-byte aligned and every record stride is padded to a multiple of 8
+//!    (see [`two_server::PirServer`](crate::two_server::PirServer)), so
+//!    the kernel operates on whole `u64` words — no per-record remainder
+//!    handling, no unaligned split loads. XOR and AND-with-broadcast-mask
+//!    are byte-order agnostic, so native word ops are portable.
+//! 2. **One sweep per batch.** All queries' accumulators advance while a
+//!    record is resident in L1 (records outermost, queries over the
+//!    resident block), so the data is streamed from DRAM once per batch
+//!    instead of once per query — the amortization that gives batched PIR
+//!    its throughput (§5.1, and ZipPIR's single-server trick).
+//! 3. **Runtime backend selection.** [`KernelBackend::detect`] picks AVX2
+//!    when the CPU has it (`is_x86_feature_detected!`), a portable
+//!    `u64` kernel otherwise, and a byte-at-a-time scalar reference is
+//!    kept for differential testing and exotic targets. The
+//!    `LIGHTWEB_SCAN_KERNEL` environment variable (`scalar | wide | avx2 |
+//!    auto`) overrides detection.
+//!
+//! All backends are branch-free in the record loop: DPF share bits are
+//! ~50% dense, so a conditional skip would mispredict half the time; a
+//! broadcast mask (`0x00…0` or `0xFF…F`) keeps the pipeline full and, per
+//! record, does exactly the same work for every query — which is also what
+//! keeps the scan's timing independent of the queried slot.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Environment variable overriding kernel auto-detection:
+/// `scalar | wide | avx2 | auto`.
+pub const SCAN_KERNEL_ENV: &str = "LIGHTWEB_SCAN_KERNEL";
+
+/// A scan kernel implementation, selectable at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Byte-at-a-time portable reference. Slowest, obviously correct; the
+    /// equivalence oracle the other backends are tested against.
+    Scalar,
+    /// `u64`-word kernel over the padded layout. Portable; the compiler
+    /// autovectorizes the masked-XOR loop on most targets.
+    Wide,
+    /// 256-bit AVX2 kernel (`std::arch`), used only when the CPU reports
+    /// the feature; falls back to [`KernelBackend::Wide`] elsewhere.
+    Avx2,
+}
+
+fn avx2_supported() -> bool {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+impl KernelBackend {
+    /// Every backend, for test matrices and benchmarks.
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Wide,
+        KernelBackend::Avx2,
+    ];
+
+    /// The backend's name as accepted by [`SCAN_KERNEL_ENV`].
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Wide => "wide",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parse an explicit backend name (`auto` is not a backend; it is
+    /// handled by [`KernelBackend::detect`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(KernelBackend::Scalar),
+            "wide" => Some(KernelBackend::Wide),
+            "avx2" => Some(KernelBackend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Scalar | KernelBackend::Wide => true,
+            KernelBackend::Avx2 => avx2_supported(),
+        }
+    }
+
+    /// The fastest backend the CPU supports.
+    pub fn fastest_supported() -> Self {
+        if avx2_supported() {
+            KernelBackend::Avx2
+        } else {
+            KernelBackend::Wide
+        }
+    }
+
+    /// Resolve the backend to use: the [`SCAN_KERNEL_ENV`] override when
+    /// set (falling back, with a one-time warning, if it names an
+    /// unsupported or unknown kernel), otherwise the fastest supported.
+    pub fn detect() -> Self {
+        static WARNED: OnceLock<()> = OnceLock::new();
+        match std::env::var(SCAN_KERNEL_ENV) {
+            Ok(v) if v.is_empty() || v == "auto" => Self::fastest_supported(),
+            Ok(v) => match Self::parse(&v) {
+                Some(k) if k.is_supported() => k,
+                Some(k) => {
+                    WARNED.get_or_init(|| {
+                        eprintln!(
+                            "lightweb-pir: {SCAN_KERNEL_ENV}={} unsupported on this CPU, \
+                             using {}",
+                            k.name(),
+                            Self::fastest_supported().name()
+                        );
+                    });
+                    Self::fastest_supported()
+                }
+                None => {
+                    WARNED.get_or_init(|| {
+                        eprintln!(
+                            "lightweb-pir: unknown {SCAN_KERNEL_ENV}={v:?} \
+                             (expected scalar|wide|avx2|auto), using {}",
+                            Self::fastest_supported().name()
+                        );
+                    });
+                    Self::fastest_supported()
+                }
+            },
+            Err(_) => Self::fastest_supported(),
+        }
+    }
+}
+
+/// View a word slice as its bytes.
+pub(crate) fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: `u64` has no padding, every byte pattern is valid, and `u8`
+    // alignment is never stricter.
+    unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, words.len() * 8) }
+}
+
+/// Mutable variant of [`words_as_bytes`].
+pub(crate) fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as above; writing arbitrary bytes into a `u64` is sound.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8) }
+}
+
+/// The query's share bit for `slot`, widened to an all-zero / all-one mask.
+#[inline(always)]
+fn mask_for(row: &[u8], slot: u64) -> u64 {
+    (((row[(slot / 8) as usize] >> (slot % 8)) & 1) as u64).wrapping_neg()
+}
+
+/// XOR-accumulate records `records` (positions in the occupied-slot list,
+/// ascending-slot order) into per-query accumulators — one sweep of the
+/// data serving the whole batch.
+///
+/// * `data` — the stride-padded record buffer as words; record `i`
+///   occupies words `[i * stride_words, (i + 1) * stride_words)`.
+/// * `slots` — the occupied slots, parallel to the record positions.
+/// * `rows` — one packed share bit vector per query (bit `x` at byte
+///   `x / 8`, LSB-first), each covering every slot in the domain.
+/// * `acc` — `rows.len() * stride_words` accumulator words, XORed in
+///   place (callers pass zeroed accumulators for a fresh scan, or chain
+///   partial scans by reusing them).
+pub fn scan_batch_kernel(
+    backend: KernelBackend,
+    data: &[u64],
+    stride_words: usize,
+    slots: &[u64],
+    records: Range<usize>,
+    rows: &[&[u8]],
+    acc: &mut [u64],
+) {
+    assert!(records.end <= slots.len(), "record range outside database");
+    assert!(
+        data.len() >= records.end * stride_words,
+        "data buffer shorter than record range"
+    );
+    assert_eq!(
+        acc.len(),
+        rows.len() * stride_words,
+        "accumulator must hold stride_words words per query"
+    );
+    if rows.is_empty() || records.is_empty() || stride_words == 0 {
+        return;
+    }
+    match backend {
+        KernelBackend::Scalar => scan_scalar(data, stride_words, slots, records, rows, acc),
+        KernelBackend::Wide => scan_wide(data, stride_words, slots, records, rows, acc),
+        KernelBackend::Avx2 => {
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            if avx2_supported() {
+                // SAFETY: AVX2 presence just checked.
+                unsafe { avx2::scan(data, stride_words, slots, records, rows, acc) };
+                return;
+            }
+            scan_wide(data, stride_words, slots, records, rows, acc)
+        }
+    }
+}
+
+/// Portable reference: byte-at-a-time masked XOR. Kept deliberately
+/// simple — this is the oracle the proptest equivalence suite holds the
+/// fast kernels to.
+fn scan_scalar(
+    data: &[u64],
+    stride_words: usize,
+    slots: &[u64],
+    records: Range<usize>,
+    rows: &[&[u8]],
+    acc: &mut [u64],
+) {
+    let stride = stride_words * 8;
+    let data_bytes = words_as_bytes(data);
+    let acc_bytes = words_as_bytes_mut(acc);
+    for i in records {
+        let slot = slots[i];
+        let rec = &data_bytes[i * stride..(i + 1) * stride];
+        for (q, row) in rows.iter().enumerate() {
+            let mask = ((row[(slot / 8) as usize] >> (slot % 8)) & 1).wrapping_neg();
+            let a = &mut acc_bytes[q * stride..(q + 1) * stride];
+            for (dst, src) in a.iter_mut().zip(rec.iter()) {
+                *dst ^= src & mask;
+            }
+        }
+    }
+}
+
+/// One record's masked XOR into one query's accumulator, blocked in
+/// cache-line (8-word) chunks so the compiler unrolls the body into a
+/// pair of 256-bit ops per block instead of a thin 1×-vector loop.
+#[inline(always)]
+fn xor_masked_words(a: &mut [u64], rec: &[u64], mask: u64) {
+    let mut a_it = a.chunks_exact_mut(8);
+    let mut r_it = rec.chunks_exact(8);
+    for (ab, rb) in (&mut a_it).zip(&mut r_it) {
+        for k in 0..8 {
+            ab[k] ^= rb[k] & mask;
+        }
+    }
+    for (dst, src) in a_it.into_remainder().iter_mut().zip(r_it.remainder()) {
+        *dst ^= src & mask;
+    }
+}
+
+/// Portable fast path: whole-`u64` masked XOR. Each record block stays
+/// resident (L1 at typical bucket sizes) while every query in the batch
+/// consumes it.
+fn scan_wide(
+    data: &[u64],
+    stride_words: usize,
+    slots: &[u64],
+    records: Range<usize>,
+    rows: &[&[u8]],
+    acc: &mut [u64],
+) {
+    let sw = stride_words;
+    if rows.len() == 1 {
+        // Single-query fast path: no mask buffer, one fused loop.
+        let row = rows[0];
+        let acc1 = &mut acc[..sw];
+        for i in records {
+            let mask = mask_for(row, slots[i]);
+            xor_masked_words(acc1, &data[i * sw..(i + 1) * sw], mask);
+        }
+        return;
+    }
+    let mut masks = vec![0u64; rows.len()];
+    for i in records {
+        let slot = slots[i];
+        for (m, row) in masks.iter_mut().zip(rows.iter()) {
+            *m = mask_for(row, slot);
+        }
+        let rec = &data[i * sw..(i + 1) * sw];
+        for (q, &mask) in masks.iter().enumerate() {
+            xor_masked_words(&mut acc[q * sw..(q + 1) * sw], rec, mask);
+        }
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    use std::ops::Range;
+
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// AVX2 kernel: 256-bit masked XOR, 4 words per op. Loads are
+    /// `loadu` — the buffers are 64-byte / 8-byte aligned by
+    /// construction, and unaligned load instructions on aligned
+    /// addresses cost nothing on every AVX2-era core.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scan(
+        data: &[u64],
+        stride_words: usize,
+        slots: &[u64],
+        records: Range<usize>,
+        rows: &[&[u8]],
+        acc: &mut [u64],
+    ) {
+        let sw = stride_words;
+        let mut masks = vec![0u64; rows.len()];
+        for i in records {
+            let slot = slots[i];
+            for (m, row) in masks.iter_mut().zip(rows.iter()) {
+                *m = super::mask_for(row, slot);
+            }
+            let rec = &data[i * sw..(i + 1) * sw];
+            for (q, &mask) in masks.iter().enumerate() {
+                let a = &mut acc[q * sw..(q + 1) * sw];
+                let m = _mm256_set1_epi64x(mask as i64);
+                let mut w = 0usize;
+                // 4× unrolled: 16 words (two cache lines) per iteration,
+                // four independent load/and/xor/store chains in flight.
+                while w + 16 <= sw {
+                    let rp = rec.as_ptr().add(w) as *const __m256i;
+                    let ap = a.as_ptr().add(w) as *const __m256i;
+                    let x0 = _mm256_xor_si256(
+                        _mm256_loadu_si256(ap),
+                        _mm256_and_si256(_mm256_loadu_si256(rp), m),
+                    );
+                    let x1 = _mm256_xor_si256(
+                        _mm256_loadu_si256(ap.add(1)),
+                        _mm256_and_si256(_mm256_loadu_si256(rp.add(1)), m),
+                    );
+                    let x2 = _mm256_xor_si256(
+                        _mm256_loadu_si256(ap.add(2)),
+                        _mm256_and_si256(_mm256_loadu_si256(rp.add(2)), m),
+                    );
+                    let x3 = _mm256_xor_si256(
+                        _mm256_loadu_si256(ap.add(3)),
+                        _mm256_and_si256(_mm256_loadu_si256(rp.add(3)), m),
+                    );
+                    let out = a.as_mut_ptr().add(w) as *mut __m256i;
+                    _mm256_storeu_si256(out, x0);
+                    _mm256_storeu_si256(out.add(1), x1);
+                    _mm256_storeu_si256(out.add(2), x2);
+                    _mm256_storeu_si256(out.add(3), x3);
+                    w += 16;
+                }
+                while w + 4 <= sw {
+                    let src = _mm256_loadu_si256(rec.as_ptr().add(w) as *const __m256i);
+                    let dst = _mm256_loadu_si256(a.as_ptr().add(w) as *const __m256i);
+                    let x = _mm256_xor_si256(dst, _mm256_and_si256(src, m));
+                    _mm256_storeu_si256(a.as_mut_ptr().add(w) as *mut __m256i, x);
+                    w += 4;
+                }
+                while w < sw {
+                    a[w] ^= rec[w] & mask;
+                    w += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        n_records: usize,
+        stride_words: usize,
+        batch: usize,
+    ) -> (Vec<u64>, Vec<u64>, Vec<Vec<u8>>) {
+        let domain = (n_records as u64 * 3 + 8).next_power_of_two();
+        let slots: Vec<u64> = (0..n_records as u64).map(|i| i * 3 + 1).collect();
+        let data: Vec<u64> = (0..n_records * stride_words)
+            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+            .collect();
+        let row_bytes = (domain as usize).div_ceil(8);
+        let rows: Vec<Vec<u8>> = (0..batch)
+            .map(|q| {
+                (0..row_bytes)
+                    .map(|b| ((b * 131 + q * 17 + 7) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        (data, slots, rows)
+    }
+
+    #[test]
+    fn backends_agree_on_random_inputs() {
+        for (n, sw, batch) in [
+            (13usize, 3usize, 1usize),
+            (40, 16, 5),
+            (7, 1, 3),
+            (64, 4, 16),
+        ] {
+            let (data, slots, rows) = sample(n, sw, batch);
+            let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+            let mut reference = vec![0u64; batch * sw];
+            scan_batch_kernel(
+                KernelBackend::Scalar,
+                &data,
+                sw,
+                &slots,
+                0..n,
+                &row_refs,
+                &mut reference,
+            );
+            for backend in KernelBackend::ALL {
+                let mut acc = vec![0u64; batch * sw];
+                scan_batch_kernel(backend, &data, sw, &slots, 0..n, &row_refs, &mut acc);
+                assert_eq!(
+                    acc,
+                    reference,
+                    "backend {} n={n} sw={sw} b={batch}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_range_are_no_ops() {
+        let (data, slots, rows) = sample(8, 2, 2);
+        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        for backend in KernelBackend::ALL {
+            let mut acc: Vec<u64> = Vec::new();
+            scan_batch_kernel(backend, &data, 2, &slots, 0..8, &[], &mut acc);
+            let mut acc = vec![7u64; 2 * 2];
+            scan_batch_kernel(backend, &data, 2, &slots, 3..3, &row_refs, &mut acc);
+            assert_eq!(acc, vec![7u64; 4]);
+        }
+    }
+
+    #[test]
+    fn partial_ranges_xor_to_full_scan() {
+        let (data, slots, rows) = sample(21, 5, 4);
+        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        for backend in KernelBackend::ALL {
+            let mut full = vec![0u64; 4 * 5];
+            scan_batch_kernel(backend, &data, 5, &slots, 0..21, &row_refs, &mut full);
+            for split in [0usize, 1, 10, 20, 21] {
+                let mut acc = vec![0u64; 4 * 5];
+                scan_batch_kernel(backend, &data, 5, &slots, 0..split, &row_refs, &mut acc);
+                scan_batch_kernel(backend, &data, 5, &slots, split..21, &row_refs, &mut acc);
+                assert_eq!(acc, full, "{} split {split}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_parse_round_trip_and_detection_is_supported() {
+        for b in KernelBackend::ALL {
+            assert_eq!(KernelBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(KernelBackend::parse("auto"), None);
+        assert_eq!(KernelBackend::parse("neon"), None);
+        assert!(KernelBackend::detect().is_supported());
+        assert!(KernelBackend::fastest_supported().is_supported());
+        assert!(KernelBackend::Scalar.is_supported());
+        assert!(KernelBackend::Wide.is_supported());
+    }
+}

@@ -24,12 +24,15 @@
 //! implements the cuckoo-hashing mitigation the paper proposes for
 //! collisions.
 
+mod aligned;
 pub mod cuckoo;
 pub mod cuckoo_pir;
+pub mod kernel;
 pub mod keyword;
 pub mod lwe;
 pub mod two_server;
 
+pub use kernel::{KernelBackend, SCAN_KERNEL_ENV};
 pub use keyword::{analytic_collision_probability, KeywordMap};
 pub use two_server::{PirError, PirServer, TwoServerClient, TwoServerQuery};
 

@@ -8,9 +8,12 @@
 //! the remaining 103 ms. XORing the two servers' answers yields the record
 //! in the queried slot.
 //!
-//! The scan is implemented branch-free (a broadcast mask per record) so the
-//! compiler can vectorize it; the paper's prototype used AVX intrinsics for
-//! the same loop.
+//! The scan runs through the word-wide kernel layer ([`crate::kernel`]):
+//! records live in a 64-byte-aligned buffer with the stride padded to a
+//! word multiple, each record is XORed branch-free under a broadcast mask
+//! (the paper's prototype used AVX intrinsics for the same loop — here the
+//! AVX2 path is selected at runtime), and a whole batch of queries is
+//! answered in one sweep of the data.
 //!
 //! Batching (§5.1): evaluating `b` DPF keys up front and answering all of
 //! them in a *single* pass over the data raises throughput at the cost of
@@ -19,8 +22,9 @@
 //! this; the `e2_batching` bench reproduces the paper's 0.51 s / 2 req/s
 //! vs 2.6 s / 6 req/s trade-off curve.
 
-use lightweb_crypto::util::xor_in_place_masked;
-use lightweb_dpf::{gen, DpfKey, DpfParams};
+use crate::aligned::AlignedBuf;
+use crate::kernel::{self, KernelBackend};
+use lightweb_dpf::{gen, BitMatrix, DpfKey, DpfParams};
 use std::ops::Range;
 
 /// Errors from the PIR engine.
@@ -78,10 +82,16 @@ impl std::error::Error for PirError {}
 pub struct PirServer {
     params: DpfParams,
     record_len: usize,
+    /// Bytes between consecutive record starts: `record_len` rounded up to
+    /// a word multiple. The pad bytes are always zero, so scanning padded
+    /// records XORs the same answer as scanning exact-length ones.
+    stride: usize,
+    /// Scan kernel resolved at construction (env override or CPU detect).
+    backend: KernelBackend,
     /// Occupied slots, ascending.
     slots: Vec<u64>,
-    /// Record bytes, contiguous, `slots.len() * record_len`.
-    data: Vec<u8>,
+    /// Record bytes, 64-byte-aligned, `slots.len() * stride`.
+    data: AlignedBuf,
 }
 
 impl PirServer {
@@ -91,8 +101,10 @@ impl PirServer {
         Self {
             params,
             record_len,
+            stride: record_len.next_multiple_of(8),
+            backend: KernelBackend::detect(),
             slots: Vec::new(),
-            data: Vec::new(),
+            data: AlignedBuf::new(),
         }
     }
 
@@ -132,7 +144,9 @@ impl PirServer {
             });
         }
         self.slots.push(slot);
-        self.data.extend_from_slice(record);
+        let at = self.data.len();
+        self.data.insert_zeroed(at, self.stride);
+        self.data.as_mut_slice()[at..at + self.record_len].copy_from_slice(record);
         Ok(())
     }
 
@@ -152,13 +166,16 @@ impl PirServer {
         }
         match self.slots.binary_search(&slot) {
             Ok(i) => {
-                self.data[i * self.record_len..(i + 1) * self.record_len].copy_from_slice(record);
+                let at = i * self.stride;
+                self.data.as_mut_slice()[at..at + self.record_len].copy_from_slice(record);
             }
             Err(i) => {
                 self.slots.insert(i, slot);
-                let at = i * self.record_len;
-                // Insert the record bytes at the right offset.
-                self.data.splice(at..at, record.iter().copied());
+                let at = i * self.stride;
+                // Open a zeroed stride-wide gap (the pad bytes must be
+                // zero) and write the record bytes at its start.
+                self.data.insert_zeroed(at, self.stride);
+                self.data.as_mut_slice()[at..at + self.record_len].copy_from_slice(record);
             }
         }
         Ok(())
@@ -169,8 +186,7 @@ impl PirServer {
         match self.slots.binary_search(&slot) {
             Ok(i) => {
                 self.slots.remove(i);
-                let at = i * self.record_len;
-                self.data.drain(at..at + self.record_len);
+                self.data.remove(i * self.stride, self.stride);
                 true
             }
             Err(_) => false,
@@ -193,9 +209,27 @@ impl PirServer {
     }
 
     /// Total stored bytes (the quantity the paper's per-GiB scan cost is
-    /// normalized against).
+    /// normalized against). Excludes stride padding; see
+    /// [`PirServer::padded_bytes`] for the bytes a sweep actually reads.
     pub fn stored_bytes(&self) -> usize {
-        self.data.len()
+        self.slots.len() * self.record_len
+    }
+
+    /// Bytes one full scan sweep reads: records at their padded stride.
+    /// This is what the `pir.scan.bytes` counter advances by per sweep.
+    pub fn padded_bytes(&self) -> usize {
+        self.slots.len() * self.stride
+    }
+
+    /// Bytes between consecutive record starts (`record_len` rounded up to
+    /// a word multiple; the pad bytes are always zero).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The scan kernel this server resolved at construction.
+    pub fn scan_backend(&self) -> KernelBackend {
+        self.backend
     }
 
     /// The DPF parameters queries must use.
@@ -207,10 +241,11 @@ impl PirServer {
     /// Used when re-materializing the store into another layout (e.g.
     /// splitting it across deployment shards).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        let bytes = self.data.as_slice();
         self.slots.iter().enumerate().map(move |(i, &slot)| {
             (
                 slot,
-                &self.data[i * self.record_len..(i + 1) * self.record_len],
+                &bytes[i * self.stride..i * self.stride + self.record_len],
             )
         })
     }
@@ -250,7 +285,8 @@ impl PirServer {
             return Err(PirError::ParamsMismatch);
         }
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
-        Ok(self.scan_range(0..self.slots.len(), bits))
+        let mut answers = self.scan_rows_range(self.backend, 0..self.slots.len(), &[bits]);
+        Ok(answers.pop().expect("batch of one"))
     }
 
     /// Scan only the records at indices `records` (not slots — positions in
@@ -258,18 +294,10 @@ impl PirServer {
     /// the scan over; partial accumulators XOR together into the full
     /// answer. Callers must pre-validate `bits` (see [`PirServer::scan`]).
     pub fn scan_range(&self, records: Range<usize>, bits: &[u8]) -> Vec<u8> {
-        debug_assert!(records.end <= self.slots.len());
         debug_assert_eq!(bits.len(), self.params.output_len());
-        let mut acc = vec![0u8; self.record_len];
-        for i in records {
-            let slot = self.slots[i];
-            let bit = (bits[(slot / 8) as usize] >> (slot % 8)) & 1;
-            // Branch-free conditional XOR: mask is 0x00 or 0xFF.
-            let mask = bit.wrapping_neg();
-            let rec = &self.data[i * self.record_len..(i + 1) * self.record_len];
-            xor_in_place_masked(&mut acc, rec, mask);
-        }
-        acc
+        self.scan_rows_range(self.backend, records, &[bits])
+            .pop()
+            .expect("batch of one")
     }
 
     /// One scan pass answering many pre-evaluated bit vectors at once: the
@@ -282,41 +310,100 @@ impl PirServer {
             return Err(PirError::ParamsMismatch);
         }
         let _scan = lightweb_telemetry::span!("pir.scan.ns");
-        Ok(self.scan_batch_range(0..self.slots.len(), bit_vecs))
+        let rows: Vec<&[u8]> = bit_vecs.iter().map(|b| b.as_slice()).collect();
+        Ok(self.scan_rows_range(self.backend, 0..self.slots.len(), &rows))
     }
 
     /// Batched scan over the record-index range `records` only; the
     /// range-partitioned building block of [`PirServer::scan_batch`].
     /// Callers must pre-validate the bit vectors.
     pub fn scan_batch_range(&self, records: Range<usize>, bit_vecs: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        debug_assert!(records.end <= self.slots.len());
-        let mut accs = vec![vec![0u8; self.record_len]; bit_vecs.len()];
-        for i in records {
-            let slot = self.slots[i];
-            let rec = &self.data[i * self.record_len..(i + 1) * self.record_len];
-            let byte = (slot / 8) as usize;
-            let shift = (slot % 8) as u32;
-            for (q, bits) in bit_vecs.iter().enumerate() {
-                let mask = ((bits[byte] >> shift) & 1).wrapping_neg();
-                xor_in_place_masked(&mut accs[q], rec, mask);
-            }
+        let rows: Vec<&[u8]> = bit_vecs.iter().map(|b| b.as_slice()).collect();
+        self.scan_rows_range(self.backend, records, &rows)
+    }
+
+    /// [`PirServer::scan_batch_range`] forced onto a specific kernel
+    /// backend, bypassing detection — the hook the differential test
+    /// suite uses to hold every backend to the scalar reference.
+    pub fn scan_batch_range_with(
+        &self,
+        backend: KernelBackend,
+        records: Range<usize>,
+        bit_vecs: &[Vec<u8>],
+    ) -> Vec<Vec<u8>> {
+        let rows: Vec<&[u8]> = bit_vecs.iter().map(|b| b.as_slice()).collect();
+        self.scan_rows_range(backend, records, &rows)
+    }
+
+    /// One scan pass answering a whole evaluated [`BitMatrix`] — the
+    /// preferred batched entry point: the matrix is one allocation for the
+    /// entire batch and its rows are word-aligned for the kernel.
+    pub fn scan_matrix(&self, matrix: &BitMatrix) -> Result<Vec<Vec<u8>>, PirError> {
+        if matrix.row_bytes() != self.params.output_len() {
+            return Err(PirError::ParamsMismatch);
         }
-        accs
+        let _scan = lightweb_telemetry::span!("pir.scan.ns");
+        Ok(self.scan_matrix_range(0..self.slots.len(), matrix))
+    }
+
+    /// Matrix scan over the record-index range `records` only; the
+    /// range-partitioned building block of [`PirServer::scan_matrix`].
+    /// Callers must pre-validate the matrix (see [`PirServer::scan_matrix`]).
+    pub fn scan_matrix_range(&self, records: Range<usize>, matrix: &BitMatrix) -> Vec<Vec<u8>> {
+        debug_assert_eq!(matrix.row_bytes(), self.params.output_len());
+        let rows = matrix.row_slices();
+        self.scan_rows_range(self.backend, records, &rows)
+    }
+
+    /// The one core scan every public path funnels into: run the kernel
+    /// over the padded buffer, account the swept bytes, and slice the
+    /// word-wide accumulators back down to `record_len`.
+    fn scan_rows_range(
+        &self,
+        backend: KernelBackend,
+        records: Range<usize>,
+        rows: &[&[u8]],
+    ) -> Vec<Vec<u8>> {
+        debug_assert!(records.end <= self.slots.len());
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let stride_words = self.stride / 8;
+        let mut acc = vec![0u64; rows.len() * stride_words];
+        kernel::scan_batch_kernel(
+            backend,
+            self.data.as_words(),
+            stride_words,
+            &self.slots,
+            records.clone(),
+            rows,
+            &mut acc,
+        );
+        // One sweep serves the whole batch: the memory traffic is the
+        // range's padded bytes, independent of the batch size.
+        lightweb_telemetry::counter!("pir.scan.bytes").add((records.len() * self.stride) as u64);
+        acc.chunks(stride_words)
+            .map(|words| kernel::words_as_bytes(words)[..self.record_len].to_vec())
+            .collect()
     }
 
     /// Answer a batch of queries in one pass over the data (§5.1 batching).
     ///
-    /// All DPF keys are evaluated first; the scan then visits each record
-    /// once, accumulating into every query's bucket. With `b` queries the
-    /// per-query scan cost drops by ~`b`× while the DPF-evaluation cost is
-    /// unchanged — the origin of the paper's latency/throughput trade-off.
+    /// All DPF keys are evaluated first, into one contiguous
+    /// [`BitMatrix`]; the scan then visits each record once, accumulating
+    /// into every query's bucket. With `b` queries the per-query scan cost
+    /// drops by ~`b`× while the DPF-evaluation cost is unchanged — the
+    /// origin of the paper's latency/throughput trade-off.
     pub fn answer_batch(&self, keys: &[DpfKey]) -> Result<Vec<Vec<u8>>, PirError> {
         self.check_query_params(keys)?;
-        let bit_vecs: Vec<Vec<u8>> = {
+        let mut matrix = BitMatrix::new(keys.len(), self.params.output_len());
+        {
             let _eval = lightweb_telemetry::span!("pir.eval.ns");
-            keys.iter().map(|k| k.eval_full()).collect()
-        };
-        self.scan_batch(&bit_vecs)
+            for (i, key) in keys.iter().enumerate() {
+                key.eval_full_into(matrix.row_mut(i));
+            }
+        }
+        self.scan_matrix(&matrix)
     }
 }
 
@@ -590,6 +677,125 @@ mod tests {
         }
         let batched = server.scan_batch(std::slice::from_ref(&bits)).unwrap();
         assert_eq!(batched[0], full);
+    }
+
+    #[test]
+    fn stride_is_word_padded_and_buffer_is_aligned() {
+        let p = params();
+        // 13-byte records force real padding: stride must round to 16.
+        let server = PirServer::from_entries(p, 13, sample_entries(9, 13)).unwrap();
+        assert_eq!(server.stride(), 16);
+        assert_eq!(server.stored_bytes(), 9 * 13);
+        assert_eq!(server.padded_bytes(), 9 * 16);
+        // The data buffer base is cache-line aligned, so with the stride a
+        // word multiple every record start is word-aligned.
+        let base = server.iter().next().unwrap().1.as_ptr() as usize;
+        assert_eq!(base % 64, 0, "buffer base must be 64-byte aligned");
+        // Word-multiple record lengths need no padding at all.
+        let exact = PirServer::from_entries(p, 16, sample_entries(4, 16)).unwrap();
+        assert_eq!(exact.stride(), 16);
+        assert_eq!(exact.stored_bytes(), exact.padded_bytes());
+    }
+
+    #[test]
+    fn padded_layout_answers_match_unpadded_semantics() {
+        // The reference answer computed straight from the entries (an
+        // unpadded, byte-exact model) must equal the padded server's scan
+        // for every record length around the word boundary.
+        let p = params();
+        for record_len in [1usize, 7, 8, 9, 13, 16, 31] {
+            let entries = sample_entries(17, record_len);
+            let server = PirServer::from_entries(p, record_len, entries.clone()).unwrap();
+            let q = TwoServerClient::new(p, record_len).query_slot(entries[3].0);
+            let bits = q.key0.eval_full();
+            let mut expected = vec![0u8; record_len];
+            for (slot, rec) in &entries {
+                if (bits[(slot / 8) as usize] >> (slot % 8)) & 1 == 1 {
+                    for (e, r) in expected.iter_mut().zip(rec.iter()) {
+                        *e ^= *r;
+                    }
+                }
+            }
+            assert_eq!(
+                server.scan(&bits).unwrap(),
+                expected,
+                "record_len {record_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn upsert_and_remove_preserve_padding_invariants() {
+        // Mid-buffer inserts and removals must keep every record at its
+        // stride slot with zero padding (a stale pad byte would corrupt
+        // every later answer).
+        let p = params();
+        let mut server = PirServer::new(p, 5);
+        for slot in [40u64, 10, 30, 20, 50] {
+            server.upsert(slot, &[slot as u8; 5]).unwrap();
+        }
+        server.remove(30);
+        server.upsert(15, &[7u8; 5]).unwrap();
+        server.upsert(40, &[9u8; 5]).unwrap();
+        let s1 = server.clone();
+        let client = TwoServerClient::new(p, 5);
+        for (slot, expected) in [
+            (10u64, [10u8; 5]),
+            (15, [7; 5]),
+            (20, [20; 5]),
+            (40, [9; 5]),
+        ] {
+            let q = client.query_slot(slot);
+            let got = TwoServerClient::combine(
+                &server.answer(&q.key0).unwrap(),
+                &s1.answer(&q.key1).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(got, expected, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn every_kernel_backend_answers_identically() {
+        let p = params();
+        let entries = sample_entries(23, 19);
+        let server = PirServer::from_entries(p, 19, entries).unwrap();
+        let bit_vecs: Vec<Vec<u8>> = [3u64, 99, 500]
+            .iter()
+            .map(|&s| TwoServerClient::new(p, 19).query_slot(s).key0.eval_full())
+            .collect();
+        let reference =
+            server.scan_batch_range_with(KernelBackend::Scalar, 0..server.len(), &bit_vecs);
+        for backend in KernelBackend::ALL {
+            assert_eq!(
+                server.scan_batch_range_with(backend, 0..server.len(), &bit_vecs),
+                reference,
+                "backend {}",
+                backend.name()
+            );
+        }
+        assert!(server.scan_backend().is_supported());
+    }
+
+    #[test]
+    fn matrix_scan_matches_vec_scan() {
+        let p = params();
+        let server = PirServer::from_entries(p, 24, sample_entries(15, 24)).unwrap();
+        let client = TwoServerClient::new(p, 24);
+        let bit_vecs: Vec<Vec<u8>> = (0..4u64)
+            .map(|i| client.query_slot(i * 11).key0.eval_full())
+            .collect();
+        let matrix = lightweb_dpf::BitMatrix::from_rows(p.output_len(), &bit_vecs).unwrap();
+        assert_eq!(
+            server.scan_matrix(&matrix).unwrap(),
+            server.scan_batch(&bit_vecs).unwrap()
+        );
+        // A matrix built for other parameters is rejected.
+        let wrong = lightweb_dpf::BitMatrix::new(1, p.output_len() - 1);
+        assert_eq!(
+            server.scan_matrix(&wrong).unwrap_err(),
+            PirError::ParamsMismatch
+        );
     }
 
     #[test]
